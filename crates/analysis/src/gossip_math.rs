@@ -1,0 +1,169 @@
+//! Epidemic-dissemination mathematics shared by the other analysis
+//! modules.
+//!
+//! Two classic results underpin the paper's analysis:
+//!
+//! * **Erdős–Rényi connectivity** (the paper's reference \[3\]): when every process
+//!   relays an event to `ln(S) + c` uniformly random group members, the
+//!   probability that *every* process receives it tends to
+//!   `e^{-e^{-c}}` — [`atomic_infection_probability`].
+//! * **The epidemic fixpoint**: the expected *proportion* `π` of processes
+//!   reached by push gossip with mean fanout `f` solves
+//!   `π = 1 − e^{−f·π}` — [`epidemic_fixpoint`]. The paper calls this
+//!   `π_Ti`, "the proportion of processes that actually receive the event
+//!   through the underlying gossip algorithm" (Sec. VI-D, citing \[4\]).
+
+/// Probability that **all** members of a group receive a gossiped event
+/// when every infected member forwards it to `ln(S) + c` random members:
+/// `e^{-e^{-c}}` (Erdős–Rényi; Sec. VI-D of the paper).
+///
+/// ```
+/// use da_analysis::gossip_math::atomic_infection_probability;
+/// let r = atomic_infection_probability(5.0);
+/// assert!(r > 0.99 && r < 1.0);
+/// // c = 0 gives the classic e^{-1}.
+/// assert!((atomic_infection_probability(0.0) - (-1.0f64).exp()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn atomic_infection_probability(c: f64) -> f64 {
+    (-(-c).exp()).exp()
+}
+
+/// The non-trivial fixpoint of `π = 1 − e^{−f·π}` — the expected fraction
+/// of a group infected by push gossip with mean fanout `f`.
+///
+/// Returns 0 for `f ≤ 1` (sub-critical epidemics die out) and approaches 1
+/// as `f` grows. Solved by bisection on `g(π) = π − 1 + e^{−f·π}`, which
+/// is negative just above 0 and positive at 1 for every `f > 1` — plain
+/// fixpoint iteration stalls near the critical point `f ≈ 1`, where its
+/// contraction rate vanishes.
+///
+/// ```
+/// use da_analysis::gossip_math::epidemic_fixpoint;
+/// assert_eq!(epidemic_fixpoint(0.5), 0.0);
+/// let pi = epidemic_fixpoint(8.0); // the paper's log10(1000)+5 fanout
+/// assert!(pi > 0.999);
+/// ```
+#[must_use]
+pub fn epidemic_fixpoint(fanout: f64) -> f64 {
+    if fanout <= 1.0 {
+        return 0.0;
+    }
+    let g = |pi: f64| pi - 1.0 + (-fanout * pi).exp();
+    // Find a lower bracket where g < 0 (g dips negative above the trivial
+    // root at 0 whenever f > 1).
+    let mut lo = 1e-12;
+    while g(lo) >= 0.0 {
+        lo *= 10.0;
+        if lo >= 1.0 {
+            return 0.0; // numerically indistinguishable from critical
+        }
+    }
+    let mut hi = 1.0;
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo).abs() < f64::EPSILON {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Expected fraction of a *finite* group of size `s` reached by gossip
+/// with the paper's fanout `ln(s) + c`, further discounted by the channel
+/// success probability `p_succ` (each push independently survives with
+/// `p_succ`, so the effective fanout is `p_succ · (ln s + c)`).
+///
+/// ```
+/// use da_analysis::gossip_math::infected_fraction;
+/// let f = infected_fraction(1000, 5.0, 0.85);
+/// assert!(f > 0.99);
+/// assert!(infected_fraction(1, 5.0, 1.0) >= 1.0); // lone member has it
+/// ```
+#[must_use]
+pub fn infected_fraction(s: usize, c: f64, p_succ: f64) -> f64 {
+    if s <= 1 {
+        return 1.0;
+    }
+    let fanout = ((s as f64).ln() + c) * p_succ.clamp(0.0, 1.0);
+    epidemic_fixpoint(fanout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_probability_is_a_probability() {
+        for c in [-5.0, -1.0, 0.0, 1.0, 5.0, 20.0] {
+            let p = atomic_infection_probability(c);
+            assert!((0.0..=1.0).contains(&p), "c={c} gave {p}");
+        }
+    }
+
+    #[test]
+    fn atomic_probability_monotone_in_c() {
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let c = -5.0 + 0.2 * f64::from(i);
+            let p = atomic_infection_probability(c);
+            assert!(p >= prev, "not monotone at c={c}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn paper_constant_c5() {
+        // e^{-e^{-5}} ≈ 0.99329.
+        let p = atomic_infection_probability(5.0);
+        assert!((p - 0.993_29).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fixpoint_subcritical_zero() {
+        assert_eq!(epidemic_fixpoint(0.0), 0.0);
+        assert_eq!(epidemic_fixpoint(1.0), 0.0);
+        assert_eq!(epidemic_fixpoint(-3.0), 0.0);
+    }
+
+    #[test]
+    fn fixpoint_satisfies_equation() {
+        for f in [1.5, 2.0, 4.0, 8.0, 12.0] {
+            let pi = epidemic_fixpoint(f);
+            let residual = (pi - (1.0 - (-f * pi).exp())).abs();
+            assert!(residual < 1e-12, "f={f}: residual {residual}");
+            assert!(pi > 0.0 && pi < 1.0);
+        }
+    }
+
+    #[test]
+    fn fixpoint_monotone_in_fanout() {
+        let mut prev = 0.0;
+        for i in 2..60 {
+            let f = f64::from(i) * 0.25;
+            let pi = epidemic_fixpoint(f);
+            assert!(pi >= prev, "not monotone at f={f}");
+            prev = pi;
+        }
+    }
+
+    #[test]
+    fn infected_fraction_degrades_with_loss() {
+        let perfect = infected_fraction(1000, 5.0, 1.0);
+        let lossy = infected_fraction(1000, 5.0, 0.85);
+        let very_lossy = infected_fraction(1000, 5.0, 0.2);
+        assert!(perfect >= lossy);
+        assert!(lossy >= very_lossy);
+    }
+
+    #[test]
+    fn infected_fraction_tiny_groups() {
+        assert_eq!(infected_fraction(0, 5.0, 1.0), 1.0);
+        assert_eq!(infected_fraction(1, 5.0, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! # da-analysis — the paper's analytical model
+//!
+//! Every closed form of Sec. VI and the Appendix of *Data-Aware Multicast*
+//! (Baehni, Eugster, Guerraoui, DSN 2004), as plain functions:
+//!
+//! * [`complexity`] — expected message counts for daMulticast and the
+//!   three baselines (gossip broadcast, gossip multicast, hierarchical
+//!   gossip broadcast), plus the `O(S_Tmax · ln S_Tmax)` worst-case bound.
+//! * [`memory`] — per-process membership-table sizes (`totalMbInfo`).
+//! * [`reliability`] — `e^{-e^{-c}}` intra-group gossip reliability, the
+//!   inter-group propagation probability `pit`, and the end-to-end product
+//!   of eq. 1.
+//! * [`tuning`] — the Appendix equivalences: the `c1(c)` settings at which
+//!   daMulticast matches each baseline's reliability, their validity
+//!   ranges, and the supertable-size bounds under which daMulticast's
+//!   memory still wins.
+//! * [`gossip_math`] — the shared epidemic primitives.
+//!
+//! The crate is pure math: no dependencies on the simulator, so the
+//! harness can cross-check simulation output against it
+//! (`tests/analysis_vs_sim.rs` at the workspace root does exactly that).
+//!
+//! ```
+//! use da_analysis::complexity::{damulticast_messages, GroupLevel};
+//! use da_analysis::reliability::damulticast_reliability;
+//!
+//! // The paper's Sec. VII topology, bottom-up: T2, T1, T0.
+//! let chain = [
+//!     GroupLevel::paper_default(1000),
+//!     GroupLevel::paper_default(100),
+//!     GroupLevel::paper_default(10),
+//! ];
+//! let msgs = damulticast_messages(&chain);
+//! assert!(msgs < 14_000.0, "well inside O(S·lnS)");
+//! assert!(damulticast_reliability(&chain) > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complexity;
+pub mod gossip_math;
+pub mod memory;
+pub mod reliability;
+pub mod tuning;

@@ -1,0 +1,112 @@
+//! Memory-complexity closed forms (Sec. VI-C and VI-E.2 of the paper).
+//!
+//! All formulas count *membership-table entries per process* (the paper's
+//! `totalMbInfo`). Natural logarithms throughout, matching the analysis.
+
+/// daMulticast memory per process interested in a topic of group size `s`:
+/// `ln(S) + c + z` (Sec. VI-C). Root-group members save the `z` term —
+/// pass `z = 0` for them.
+#[must_use]
+pub fn damulticast_memory(s: usize, c: f64, z: usize) -> f64 {
+    group_table(s, c) + z as f64
+}
+
+/// Gossip-broadcast memory: one table over the whole population,
+/// `ln(n) + c` (Sec. VI-E.2 (a)).
+#[must_use]
+pub fn broadcast_memory(n: usize, c: f64) -> f64 {
+    group_table(n, c)
+}
+
+/// Gossip-multicast memory: one table per level of the interest chain,
+/// `Σ_i (ln S_i + c_i)` (Sec. VI-E.2 (b)). `levels` is `(S_i, c_i)`
+/// bottom-up.
+#[must_use]
+pub fn multicast_memory(levels: &[(usize, f64)]) -> f64 {
+    levels.iter().map(|&(s, c)| group_table(s, c)).sum()
+}
+
+/// Hierarchical gossip-broadcast memory: `ln(m) + c1 + ln(N) + c2`
+/// (Sec. VI-E.2 (c)) for `N` groups of `m` processes.
+#[must_use]
+pub fn hierarchical_memory(n_groups: usize, m: usize, c1: f64, c2: f64) -> f64 {
+    group_table(m, c1) + group_table(n_groups, c2)
+}
+
+/// One gossip table: `ln(s) + c`, zero for empty/singleton groups.
+fn group_table(s: usize, c: f64) -> f64 {
+    if s <= 1 {
+        return 0.0;
+    }
+    (s as f64).ln() + c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C: f64 = 5.0;
+
+    #[test]
+    fn damulticast_beats_multicast_on_chains() {
+        // A process interested in T2 of the paper's chain: daMulticast
+        // keeps ln(1000)+5+3 entries; gossip multicast keeps a table per
+        // level.
+        let da = damulticast_memory(1000, C, 3);
+        let mc = multicast_memory(&[(1000, C), (100, C), (10, C)]);
+        assert!(da < mc, "da {da} >= multicast {mc}");
+    }
+
+    #[test]
+    fn damulticast_close_to_broadcast_plus_z() {
+        // vs broadcast over n = 1110: ln(1000)+5+3 vs ln(1110)+5.
+        let da = damulticast_memory(1000, C, 3);
+        let bc = broadcast_memory(1110, C);
+        // The z = 3 supertable makes daMulticast marginally bigger here,
+        // but it buys zero parasite messages (Sec. VI-E.2 discussion).
+        assert!((da - bc) < 3.0 + 1.0);
+    }
+
+    #[test]
+    fn root_members_save_the_supertable() {
+        let leaf = damulticast_memory(1000, C, 3);
+        let root = damulticast_memory(1000, C, 0);
+        assert!((leaf - root - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hierarchical_is_two_tables() {
+        let h = hierarchical_memory(10, 111, C, C);
+        let expect = (111.0f64.ln() + C) + (10.0f64.ln() + C);
+        assert!((h - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_groups_cost_nothing() {
+        assert_eq!(damulticast_memory(1, C, 0), 0.0);
+        assert_eq!(broadcast_memory(0, C), 0.0);
+        assert_eq!(multicast_memory(&[]), 0.0);
+        assert_eq!(hierarchical_memory(1, 1, C, C), 0.0);
+    }
+
+    #[test]
+    fn memory_monotone_in_group_size() {
+        let mut prev = 0.0;
+        for s in [2usize, 10, 100, 1_000, 10_000] {
+            let m = damulticast_memory(s, C, 3);
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn multicast_grows_with_chain_depth() {
+        let shallow = multicast_memory(&[(1000, C)]);
+        let deep = multicast_memory(&[(1000, C), (100, C), (10, C), (5, C)]);
+        assert!(deep > shallow);
+        // daMulticast stays flat regardless of depth — the paper's key
+        // memory property.
+        let da = damulticast_memory(1000, C, 3);
+        assert!(deep > da);
+    }
+}

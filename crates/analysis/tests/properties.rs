@@ -1,0 +1,157 @@
+//! Property tests on the analytical model: every formula must respect the
+//! ranges and monotonicities the paper's derivation relies on.
+
+use da_analysis::complexity::{
+    damulticast_messages, damulticast_upper_bound, s_max, GroupLevel,
+};
+use da_analysis::gossip_math::{atomic_infection_probability, epidemic_fixpoint};
+use da_analysis::memory::{broadcast_memory, damulticast_memory, multicast_memory};
+use da_analysis::reliability::{damulticast_reliability, pit};
+use da_analysis::tuning::{
+    broadcast_c_range, c1_vs_broadcast, c1_vs_hierarchical, c1_vs_multicast,
+    hierarchical_c_range, multicast_c_range,
+};
+use proptest::prelude::*;
+
+fn arb_level() -> impl Strategy<Value = GroupLevel> {
+    (2usize..5_000, 0.0f64..8.0, 1.0f64..20.0, 1usize..6, 0.01f64..1.0).prop_map(
+        |(s, c, g, z, p_succ)| GroupLevel {
+            s,
+            c,
+            g,
+            a: 1.0,
+            z,
+            p_succ,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn atomic_probability_in_unit_interval(c in -10.0f64..20.0) {
+        let p = atomic_infection_probability(c);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn epidemic_fixpoint_in_unit_interval_and_consistent(f in 0.0f64..50.0) {
+        let pi = epidemic_fixpoint(f);
+        prop_assert!((0.0..=1.0).contains(&pi));
+        if f > 1.0 {
+            // Must satisfy its own defining equation.
+            prop_assert!((pi - (1.0 - (-f * pi).exp())).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(pi, 0.0);
+        }
+    }
+
+    #[test]
+    fn pit_is_probability(level in arb_level(), pi_in in 0.0f64..1.0) {
+        let p = pit(&level, pi_in);
+        prop_assert!((0.0..=1.0).contains(&p), "pit = {}", p);
+    }
+
+    #[test]
+    fn reliability_is_probability_and_antitone_in_depth(
+        levels in prop::collection::vec(arb_level(), 1..6),
+    ) {
+        let mut prev = 1.0f64;
+        for depth in 1..=levels.len() {
+            let r = damulticast_reliability(&levels[..depth]);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!(r <= prev + 1e-12, "reliability grew with depth");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn messages_positive_and_below_bound(
+        levels in prop::collection::vec(arb_level(), 1..6),
+    ) {
+        let total = damulticast_messages(&levels);
+        prop_assert!(total >= 0.0);
+        let c_max = levels.iter().map(|l| l.c).fold(0.0, f64::max);
+        let z_max = levels.iter().map(|l| l.z).max().unwrap_or(0);
+        let bound = damulticast_upper_bound(levels.len(), s_max(&levels), c_max, z_max);
+        prop_assert!(
+            total <= bound + 1e-6,
+            "total {} exceeds bound {}", total, bound
+        );
+    }
+
+    #[test]
+    fn memory_monotone_in_s(s in 2usize..100_000, c in 0.0f64..10.0, z in 0usize..10) {
+        let m1 = damulticast_memory(s, c, z);
+        let m2 = damulticast_memory(s * 2, c, z);
+        prop_assert!(m2 > m1);
+    }
+
+    #[test]
+    fn damulticast_memory_never_worse_than_multicast(
+        sizes in prop::collection::vec(2usize..10_000, 2..6),
+        c in 0.0f64..10.0,
+        z in 1usize..4,
+    ) {
+        // For a chain of ≥ 2 levels the paper claims strict improvement as
+        // long as z stays below the eq. 19 bound; z ≤ 3 is always below it
+        // for chains of ≥ 2 non-trivial levels with c ≥ 0.
+        let levels: Vec<(usize, f64)> = sizes.iter().map(|&s| (s, c)).collect();
+        let bottom = sizes[0];
+        let da = damulticast_memory(bottom, c, z);
+        let mc = multicast_memory(&levels);
+        prop_assert!(da <= mc + z as f64, "da {} vs multicast {}", da, mc);
+    }
+
+    #[test]
+    fn broadcast_memory_grows_with_population(n in 2usize..1_000_000, c in 0.0f64..10.0) {
+        prop_assert!(broadcast_memory(n * 2, c) > broadcast_memory(n, c));
+    }
+
+    #[test]
+    fn multicast_equivalence_exact_inside_range(c in 0.0f64..6.0, pit_v in 0.7f64..0.999_999) {
+        if let Some(c1) = c1_vs_multicast(c, pit_v) {
+            prop_assert!(multicast_c_range(pit_v).contains(c));
+            let lhs = atomic_infection_probability(c1) * pit_v;
+            let rhs = atomic_infection_probability(c);
+            prop_assert!((lhs - rhs).abs() < 1e-9, "lhs {} rhs {}", lhs, rhs);
+            prop_assert!(c1 >= -1e-12, "c1 = {}", c1);
+        } else {
+            prop_assert!(!multicast_c_range(pit_v).contains(c) || pit_v >= 1.0);
+        }
+    }
+
+    #[test]
+    fn broadcast_equivalence_identity(
+        c in 0.0f64..4.0,
+        t in 1usize..6,
+        pit_v in 0.9f64..0.999_999,
+    ) {
+        if let Some(c1) = c1_vs_broadcast(c, t, pit_v) {
+            // Appendix eq. 22: e^{-c1} − ln(pit) = e^{-c} / t.
+            let lhs = (-c1).exp() - pit_v.ln();
+            let rhs = (-c).exp() / t as f64;
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        } else {
+            prop_assert!(!broadcast_c_range(t, pit_v).contains(c));
+        }
+    }
+
+    #[test]
+    fn hierarchical_equivalence_identity(
+        t in 1usize..6,
+        n_groups in 1usize..50,
+        pit_v in 0.9f64..0.999_999,
+        frac in 0.01f64..0.99,
+    ) {
+        let range = hierarchical_c_range(t, n_groups, pit_v);
+        prop_assume!(range.is_valid());
+        let c = range.lo + frac * (range.hi - range.lo);
+        if let Some(c_t) = c1_vs_hierarchical(c, t, n_groups, pit_v) {
+            // Appendix eq. 27: t·e^{-cT} − t·ln(pit) = (N+1)·e^{-c}.
+            let lhs = t as f64 * ((-c_t).exp() - pit_v.ln());
+            let rhs = (n_groups as f64 + 1.0) * (-c).exp();
+            prop_assert!((lhs - rhs).abs() < 1e-6, "lhs {} rhs {}", lhs, rhs);
+            prop_assert!(c_t >= -1e-12);
+        }
+    }
+}

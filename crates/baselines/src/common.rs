@@ -1,0 +1,225 @@
+//! Machinery shared by the three baseline algorithms: interest
+//! assignment, delivery/parasite bookkeeping, and gossip target sampling.
+
+use da_simnet::ProcessId;
+use da_topics::{TopicHierarchy, TopicId};
+use damulticast::{Event, EventId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Which topic each process is interested in (the paper's simplifying
+/// assumption: one topic per process, Sec. III-A).
+#[derive(Debug, Clone)]
+pub struct InterestMap {
+    hierarchy: Arc<TopicHierarchy>,
+    interests: Vec<TopicId>,
+}
+
+impl InterestMap {
+    /// Builds the map from a dense per-process interest vector
+    /// (`interests[i]` is the topic of `ProcessId(i)`).
+    #[must_use]
+    pub fn new(hierarchy: Arc<TopicHierarchy>, interests: Vec<TopicId>) -> Self {
+        InterestMap {
+            hierarchy,
+            interests,
+        }
+    }
+
+    /// Builds the interest vector of a linear chain with the given group
+    /// sizes (ids allocated top-down like
+    /// [`da_membership::static_init::assign_group_members`]).
+    #[must_use]
+    pub fn linear(group_sizes: &[usize]) -> Self {
+        let (hierarchy, ids) = TopicHierarchy::linear_chain(group_sizes.len());
+        let mut interests = Vec::with_capacity(group_sizes.iter().sum());
+        for (level, &size) in group_sizes.iter().enumerate() {
+            interests.extend(std::iter::repeat_n(ids[level], size));
+        }
+        InterestMap {
+            hierarchy: Arc::new(hierarchy),
+            interests,
+        }
+    }
+
+    /// The backing hierarchy.
+    #[must_use]
+    pub fn hierarchy(&self) -> &Arc<TopicHierarchy> {
+        &self.hierarchy
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.interests.len()
+    }
+
+    /// The interest topic of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is outside the population.
+    #[must_use]
+    pub fn interest_of(&self, pid: ProcessId) -> TopicId {
+        self.interests[pid.index()]
+    }
+
+    /// True when `pid` wants events of `topic` — its interest is `topic`
+    /// itself or a supertopic of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is outside the population.
+    #[must_use]
+    pub fn wants(&self, pid: ProcessId, topic: TopicId) -> bool {
+        self.hierarchy
+            .includes_or_eq(self.interest_of(pid), topic)
+    }
+
+    /// All processes interested in events of `topic`: subscribers of
+    /// `topic` itself or of any supertopic.
+    #[must_use]
+    pub fn audience(&self, topic: TopicId) -> Vec<ProcessId> {
+        (0..self.population())
+            .map(ProcessId::from_index)
+            .filter(|&p| self.wants(p, topic))
+            .collect()
+    }
+
+    /// The interest vector as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[TopicId] {
+        &self.interests
+    }
+}
+
+/// Per-process delivery bookkeeping shared by all baselines: first-time
+/// de-dup, delivered log, and the parasite counter that daMulticast's
+/// comparison revolves around.
+#[derive(Debug, Clone, Default)]
+pub struct DeliveryLog {
+    seen: HashSet<EventId>,
+    delivered: Vec<Event>,
+    parasites: u64,
+}
+
+impl DeliveryLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        DeliveryLog::default()
+    }
+
+    /// Records the arrival of `event` at a process whose interest check
+    /// evaluated to `interested`. Returns `true` when this was the first
+    /// receipt (the caller should then re-gossip).
+    pub fn on_receive(&mut self, event: &Event, interested: bool) -> bool {
+        if !self.seen.insert(event.id()) {
+            return false;
+        }
+        if interested {
+            self.delivered.push(event.clone());
+        } else {
+            self.parasites += 1;
+        }
+        true
+    }
+
+    /// Events delivered to the application.
+    #[must_use]
+    pub fn delivered(&self) -> &[Event] {
+        &self.delivered
+    }
+
+    /// True when `id` was delivered here.
+    #[must_use]
+    pub fn has_delivered(&self, id: EventId) -> bool {
+        self.delivered.iter().any(|e| e.id() == id)
+    }
+
+    /// Number of parasite receptions (first-time receipts of uninteresting
+    /// events).
+    #[must_use]
+    pub fn parasites(&self) -> u64 {
+        self.parasites
+    }
+}
+
+/// Uniformly samples up to `k` distinct members of `pool` — the gossip
+/// target draw every baseline shares.
+#[must_use]
+pub fn gossip_targets<R: Rng>(pool: &[ProcessId], k: usize, rng: &mut R) -> Vec<ProcessId> {
+    let mut targets = pool.to_vec();
+    targets.shuffle(rng);
+    targets.truncate(k);
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_simnet::rng_from_seed;
+
+    #[test]
+    fn linear_interest_assignment() {
+        let m = InterestMap::linear(&[2, 3]);
+        assert_eq!(m.population(), 5);
+        let root = m.hierarchy().root();
+        assert_eq!(m.interest_of(ProcessId(0)), root);
+        assert_eq!(m.interest_of(ProcessId(1)), root);
+        let t1 = m.interest_of(ProcessId(2));
+        assert_ne!(t1, root);
+        assert_eq!(m.interest_of(ProcessId(4)), t1);
+    }
+
+    #[test]
+    fn wants_follows_inclusion() {
+        let m = InterestMap::linear(&[1, 1, 1]);
+        let root = m.hierarchy().root();
+        let t1 = m.interest_of(ProcessId(1));
+        let t2 = m.interest_of(ProcessId(2));
+        // Root subscriber wants everything.
+        assert!(m.wants(ProcessId(0), root));
+        assert!(m.wants(ProcessId(0), t1));
+        assert!(m.wants(ProcessId(0), t2));
+        // Leaf subscriber wants only its own topic (and subtopics).
+        assert!(m.wants(ProcessId(2), t2));
+        assert!(!m.wants(ProcessId(2), t1));
+        assert!(!m.wants(ProcessId(2), root));
+    }
+
+    #[test]
+    fn audience_of_leaf_topic_is_everyone_above() {
+        let m = InterestMap::linear(&[2, 3, 4]);
+        let t2 = m.interest_of(ProcessId(8));
+        assert_eq!(m.audience(t2).len(), 9, "all subscribers want T2 events");
+        let root = m.hierarchy().root();
+        assert_eq!(m.audience(root).len(), 2, "only root subscribers want root events");
+    }
+
+    #[test]
+    fn delivery_log_dedups_and_counts_parasites() {
+        let mut log = DeliveryLog::new();
+        let e = Event::new(ProcessId(0), 0, TopicId::ROOT, "x");
+        assert!(log.on_receive(&e, true));
+        assert!(!log.on_receive(&e, true), "duplicate");
+        assert_eq!(log.delivered().len(), 1);
+        let p = Event::new(ProcessId(0), 1, TopicId::ROOT, "y");
+        assert!(log.on_receive(&p, false));
+        assert_eq!(log.parasites(), 1);
+        assert!(!log.has_delivered(p.id()));
+    }
+
+    #[test]
+    fn gossip_targets_distinct() {
+        let pool: Vec<ProcessId> = (0..20).map(ProcessId).collect();
+        let mut rng = rng_from_seed(1);
+        let t = gossip_targets(&pool, 8, &mut rng);
+        assert_eq!(t.len(), 8);
+        let set: HashSet<_> = t.iter().collect();
+        assert_eq!(set.len(), 8);
+        assert_eq!(gossip_targets(&pool, 100, &mut rng).len(), 20);
+    }
+}

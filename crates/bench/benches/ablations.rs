@@ -1,0 +1,44 @@
+//! Criterion bench for the **ablation** pipelines: the g sweep point, the
+//! z sweep point, and the fanout-rule variants, at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use da_bench::bench_scenario;
+use da_harness::scenario::{run_scenario, FailureKind};
+use da_membership::FanoutRule;
+use std::hint::black_box;
+
+fn ablation_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_g");
+    for g in [1.0, 5.0, 20.0] {
+        let mut config = bench_scenario(FailureKind::None, 1.0);
+        config.params.g = g;
+        group.bench_with_input(BenchmarkId::from_parameter(g), &config, |b, config| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_scenario(config, seed).inter_in.iter().sum::<f64>())
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_fanout");
+    for (name, rule) in [
+        ("ln", FanoutRule::LnPlusC { c: 5.0 }),
+        ("log10", FanoutRule::Log10PlusC { c: 5.0 }),
+        ("fixed8", FanoutRule::Fixed(8)),
+    ] {
+        let config = bench_scenario(FailureKind::None, 1.0).with_fanout(rule);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(run_scenario(config, seed).total_event_messages)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_points);
+criterion_main!(benches);

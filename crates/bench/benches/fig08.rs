@@ -1,0 +1,31 @@
+//! Criterion bench for the **Fig. 8** pipeline: one full publication
+//! scenario (per-group message counting) at three aliveness levels under
+//! stillborn failures, at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use da_bench::bench_scenario;
+use da_harness::scenario::{run_scenario, FailureKind};
+use std::hint::black_box;
+
+fn fig08(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_group_messages");
+    for alive in [0.5, 0.8, 1.0] {
+        let config = bench_scenario(FailureKind::Stillborn, alive);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alive),
+            &config,
+            |b, config| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let out = run_scenario(config, seed);
+                    black_box(out.intra)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig08);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the **Fig. 9** pipeline: inter-group message
+//! counting across the two boundaries of the bench-scale chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use da_bench::bench_scenario;
+use da_harness::scenario::{run_scenario, FailureKind};
+use std::hint::black_box;
+
+fn fig09(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_intergroup");
+    for alive in [0.5, 1.0] {
+        let config = bench_scenario(FailureKind::Stillborn, alive);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alive),
+            &config,
+            |b, config| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let out = run_scenario(config, seed);
+                    black_box(out.inter_in)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig09);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for the **Fig. 10** pipeline: delivery-fraction
+//! measurement under stillborn failures at bench scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use da_bench::bench_scenario;
+use da_harness::scenario::{run_scenario, FailureKind};
+use std::hint::black_box;
+
+fn fig10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_reliability_stillborn");
+    for alive in [0.4, 0.8] {
+        let config = bench_scenario(FailureKind::Stillborn, alive);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alive),
+            &config,
+            |b, config| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    let out = run_scenario(config, seed);
+                    black_box(out.delivered_fraction)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! # da-bench — shared benchmark fixtures
+//!
+//! Scenario presets reused by the Criterion benches under `benches/`.
+//! Benchmarks run the *same code paths* as the paper-figure harness, at a
+//! scale tuned so `cargo bench` completes in minutes: the benches measure
+//! the cost of regenerating each figure/table, the harness binaries
+//! produce the figures themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use da_harness::scenario::{FailureKind, ScenarioConfig};
+
+/// The bench-scale topology: the paper's three-level chain at one tenth
+/// of the population (1/10/100 ≈ 10/100/1000 ÷ 10).
+#[must_use]
+pub fn bench_sizes() -> Vec<usize> {
+    vec![4, 20, 100]
+}
+
+/// A bench-scale scenario with the paper's parameters.
+#[must_use]
+pub fn bench_scenario(failure: FailureKind, alive: f64) -> ScenarioConfig {
+    ScenarioConfig {
+        group_sizes: bench_sizes(),
+        ..da_harness::scenario::ScenarioConfig::paper_default()
+    }
+    .with_failure(failure, alive)
+}

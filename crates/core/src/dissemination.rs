@@ -1,0 +1,229 @@
+//! The dissemination decision logic (Fig. 7 of the paper).
+//!
+//! Separated from the protocol state machine so the randomized decisions
+//! can be unit-tested in isolation. Given the per-topic parameters and the
+//! two membership tables, [`plan_dissemination`] decides
+//!
+//! 1. **inter-group forwarding**: with probability `p_sel = g / S` the
+//!    process elects itself as a link and then sends the event to each of
+//!    its supertable entries with probability `p_a = a / z` (Fig. 7,
+//!    lines 3–7), and
+//! 2. **intra-group gossip**: the event goes to `fanout(S)` distinct
+//!    processes drawn uniformly from the topic table (lines 8–14, the
+//!    `Table − Ω` loop).
+//!
+//! A note on the pseudo-code: Fig. 7 line 3 reads `if RAND() ≥ p_sel`,
+//! which would elect with probability `1 − p_sel` and contradicts both the
+//! prose ("with a probability p_sel ... a process decides to take part",
+//! Sec. V-B) and the analysis (`nbSuperMsg = S·p_sel·p_a·z·p_succ`,
+//! Sec. VI-B). We follow the prose and the analysis: elect with
+//! probability `p_sel`.
+
+use crate::params::TopicParams;
+use crate::tables::{SuperEntry, SuperTable};
+use da_simnet::ProcessId;
+use rand::Rng;
+
+/// The outcome of one dissemination decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisseminationPlan {
+    /// Whether the process elected itself as an inter-group link.
+    pub elected: bool,
+    /// Supertable entries chosen to receive the event (empty when not
+    /// elected or when each per-entry `p_a` draw failed).
+    pub super_targets: Vec<SuperEntry>,
+    /// Distinct topic-table members chosen for intra-group gossip.
+    pub gossip_targets: Vec<ProcessId>,
+}
+
+impl DisseminationPlan {
+    /// Total number of event messages this plan will emit.
+    #[must_use]
+    pub fn message_count(&self) -> usize {
+        self.super_targets.len() + self.gossip_targets.len()
+    }
+}
+
+/// Draws one dissemination plan (Fig. 7).
+///
+/// `group_size` is `S_Ti` — the (expected) size of the process' group,
+/// which parameterises both `p_sel` and the gossip fanout. `topic_table`
+/// is the process' current view of its group; `stable` its supertopic
+/// table.
+pub fn plan_dissemination<R: Rng>(
+    params: &TopicParams,
+    group_size: usize,
+    topic_table: &[ProcessId],
+    stable: &SuperTable,
+    rng: &mut R,
+) -> DisseminationPlan {
+    // (1) Inter-group forwarding: self-election, then per-entry spray.
+    let p_sel = params.p_sel(group_size);
+    let elected = !stable.is_empty() && p_sel > 0.0 && rng.gen_bool(p_sel);
+    let mut super_targets = Vec::new();
+    if elected {
+        let p_a = params.p_a();
+        for &entry in stable.entries() {
+            if p_a >= 1.0 || (p_a > 0.0 && rng.gen_bool(p_a)) {
+                super_targets.push(entry);
+            }
+        }
+    }
+
+    // (2) Intra-group gossip: fanout(S) distinct targets from the table.
+    let fanout = params.fanout.fanout(group_size);
+    let gossip_targets = sample_distinct(topic_table, fanout, rng);
+
+    DisseminationPlan {
+        elected,
+        super_targets,
+        gossip_targets,
+    }
+}
+
+/// Uniformly samples up to `k` distinct entries of `pool` (the paper's
+/// `Table − Ω` loop: once a process is picked it leaves the candidate set).
+fn sample_distinct<R: Rng>(pool: &[ProcessId], k: usize, rng: &mut R) -> Vec<ProcessId> {
+    use rand::seq::SliceRandom;
+    let mut candidates = pool.to_vec();
+    candidates.shuffle(rng);
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_simnet::rng_from_seed;
+    use da_topics::TopicId;
+
+    fn stable_with(n: u32) -> SuperTable {
+        let mut rng = rng_from_seed(99);
+        let mut t = SuperTable::new(ProcessId(0), n as usize);
+        for i in 0..n {
+            t.insert(
+                SuperEntry {
+                    pid: ProcessId(1000 + i),
+                    topic: TopicId::ROOT,
+                },
+                &mut rng,
+            );
+        }
+        t
+    }
+
+    fn table(n: u32) -> Vec<ProcessId> {
+        (1..=n).map(ProcessId).collect()
+    }
+
+    #[test]
+    fn gossip_targets_distinct_and_bounded_by_fanout() {
+        let mut rng = rng_from_seed(1);
+        let params = TopicParams::paper_default();
+        let plan = plan_dissemination(&params, 1000, &table(30), &stable_with(3), &mut rng);
+        // log10(1000) + 5 = 8.
+        assert_eq!(plan.gossip_targets.len(), 8);
+        let mut sorted = plan.gossip_targets.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "targets are distinct");
+    }
+
+    #[test]
+    fn small_table_limits_gossip() {
+        let mut rng = rng_from_seed(2);
+        let params = TopicParams::paper_default();
+        let plan = plan_dissemination(&params, 1000, &table(3), &stable_with(3), &mut rng);
+        assert_eq!(plan.gossip_targets.len(), 3, "cannot exceed the table");
+    }
+
+    #[test]
+    fn election_rate_close_to_p_sel() {
+        // S = 100, g = 5 → p_sel = 0.05.
+        let params = TopicParams::paper_default();
+        let stable = stable_with(3);
+        let mut rng = rng_from_seed(3);
+        let trials = 20_000;
+        let elected = (0..trials)
+            .filter(|_| plan_dissemination(&params, 100, &table(10), &stable, &mut rng).elected)
+            .count();
+        let rate = elected as f64 / trials as f64;
+        assert!(
+            (rate - 0.05).abs() < 0.01,
+            "election rate {rate} far from p_sel = 0.05"
+        );
+    }
+
+    #[test]
+    fn tiny_group_always_elects() {
+        // S = 3 < g = 5 → p_sel clamps to 1.
+        let params = TopicParams::paper_default();
+        let stable = stable_with(3);
+        let mut rng = rng_from_seed(4);
+        for _ in 0..50 {
+            let plan = plan_dissemination(&params, 3, &table(2), &stable, &mut rng);
+            assert!(plan.elected);
+        }
+    }
+
+    #[test]
+    fn spray_respects_p_a() {
+        // a = 1, z = 3 → each entry receives with probability 1/3; the
+        // expected number of super targets per elected plan is 1.
+        let params = TopicParams::paper_default().with_g(5.0);
+        let stable = stable_with(3);
+        let mut rng = rng_from_seed(5);
+        let mut total = 0usize;
+        let mut elected_count = 0usize;
+        for _ in 0..20_000 {
+            let plan = plan_dissemination(&params, 3, &table(2), &stable, &mut rng);
+            if plan.elected {
+                elected_count += 1;
+                total += plan.super_targets.len();
+            }
+        }
+        let avg = total as f64 / elected_count as f64;
+        assert!((avg - 1.0).abs() < 0.05, "avg spray {avg}, expected ≈ 1");
+    }
+
+    #[test]
+    fn a_equals_z_sprays_everyone() {
+        let params = TopicParams::paper_default().with_a(3.0);
+        let stable = stable_with(3);
+        let mut rng = rng_from_seed(6);
+        let plan = plan_dissemination(&params, 2, &table(1), &stable, &mut rng);
+        assert!(plan.elected, "p_sel clamps to 1 for S=2 < g");
+        assert_eq!(plan.super_targets.len(), 3, "p_a = 1 hits every entry");
+    }
+
+    #[test]
+    fn empty_supertable_never_elects() {
+        let params = TopicParams::paper_default();
+        let stable = SuperTable::new(ProcessId(0), 3);
+        let mut rng = rng_from_seed(7);
+        for _ in 0..100 {
+            let plan = plan_dissemination(&params, 2, &table(5), &stable, &mut rng);
+            assert!(!plan.elected);
+            assert!(plan.super_targets.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_topic_table_no_gossip() {
+        let params = TopicParams::paper_default();
+        let mut rng = rng_from_seed(8);
+        let plan = plan_dissemination(&params, 1000, &[], &stable_with(2), &mut rng);
+        assert!(plan.gossip_targets.is_empty());
+    }
+
+    #[test]
+    fn message_count_sums_both_channels() {
+        let mut rng = rng_from_seed(9);
+        let params = TopicParams::paper_default().with_a(3.0);
+        let plan = plan_dissemination(&params, 3, &table(10), &stable_with(3), &mut rng);
+        assert_eq!(
+            plan.message_count(),
+            plan.super_targets.len() + plan.gossip_targets.len()
+        );
+    }
+}

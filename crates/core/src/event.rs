@@ -1,0 +1,137 @@
+use bytes::Bytes;
+use da_simnet::{ProcessId, WireSize};
+use da_topics::TopicId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique identifier of a published event: publisher id plus a
+/// per-publisher sequence number.
+///
+/// Processes de-duplicate on this id ("Done only the first time the
+/// message is received", Fig. 5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId {
+    /// The publishing process.
+    pub publisher: ProcessId,
+    /// Sequence number local to the publisher.
+    pub sequence: u64,
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.publisher, self.sequence)
+    }
+}
+
+impl WireSize for EventId {
+    fn wire_size(&self) -> usize {
+        4 + 8
+    }
+}
+
+/// A published event (`e_Ti` in the paper): identity, topic, payload.
+///
+/// ```
+/// use damulticast::Event;
+/// use da_simnet::ProcessId;
+/// use da_topics::TopicId;
+///
+/// let e = Event::new(ProcessId(3), 0, TopicId::ROOT, "breaking news");
+/// assert_eq!(e.id().publisher, ProcessId(3));
+/// assert_eq!(e.payload(), b"breaking news");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    id: EventId,
+    topic: TopicId,
+    payload: Bytes,
+}
+
+impl Event {
+    /// Creates an event published by `publisher` with local `sequence`
+    /// number, of `topic`, carrying `payload`.
+    pub fn new(
+        publisher: ProcessId,
+        sequence: u64,
+        topic: TopicId,
+        payload: impl Into<Bytes>,
+    ) -> Self {
+        Event {
+            id: EventId {
+                publisher,
+                sequence,
+            },
+            topic,
+            payload: payload.into(),
+        }
+    }
+
+    /// The event's unique id.
+    #[must_use]
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// The topic the event was published on.
+    #[must_use]
+    pub fn topic(&self) -> TopicId {
+        self.topic
+    }
+
+    /// The opaque payload bytes.
+    #[must_use]
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+impl WireSize for Event {
+    fn wire_size(&self) -> usize {
+        self.id.wire_size() + 4 /* topic */ + 4 /* len */ + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::new(ProcessId(1), 7, TopicId::ROOT, vec![1u8, 2, 3]);
+        assert_eq!(e.id(), EventId {
+            publisher: ProcessId(1),
+            sequence: 7
+        });
+        assert_eq!(e.topic(), TopicId::ROOT);
+        assert_eq!(e.payload(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn id_display() {
+        let id = EventId {
+            publisher: ProcessId(4),
+            sequence: 2,
+        };
+        assert_eq!(id.to_string(), "p4#2");
+    }
+
+    #[test]
+    fn wire_size_includes_payload() {
+        let empty = Event::new(ProcessId(0), 0, TopicId::ROOT, Bytes::new());
+        let full = Event::new(ProcessId(0), 0, TopicId::ROOT, vec![0u8; 100]);
+        assert_eq!(full.wire_size() - empty.wire_size(), 100);
+    }
+
+    #[test]
+    fn ids_order_by_publisher_then_sequence() {
+        let a = EventId {
+            publisher: ProcessId(0),
+            sequence: 9,
+        };
+        let b = EventId {
+            publisher: ProcessId(1),
+            sequence: 0,
+        };
+        assert!(a < b);
+    }
+}

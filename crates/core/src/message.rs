@@ -1,0 +1,125 @@
+//! The daMulticast wire protocol.
+
+use crate::event::Event;
+use crate::tables::SuperEntry;
+use da_membership::MembershipMsg;
+use da_simnet::{ProcessId, WireSize};
+use da_topics::TopicId;
+
+/// Messages exchanged by daMulticast processes.
+///
+/// Maps onto the paper's pseudo-code:
+///
+/// * [`DaMsg::Event`] — `SEND(e_Ti)` of the dissemination algorithm
+///   (Fig. 7), both intra-group gossip and inter-group forwarding. Carries
+///   the sender's group topic so receivers can account inter-group hops.
+/// * [`DaMsg::ReqContact`]/[`DaMsg::AnsContact`] — the bootstrap search
+///   (Fig. 4).
+/// * [`DaMsg::NewProcessReq`]/[`DaMsg::NewProcessAns`] — supertable
+///   refresh (`NEWPROCESS`, Fig. 6).
+/// * [`DaMsg::Ping`]/[`DaMsg::Pong`] — the liveness `CHECK` of Fig. 6
+///   (footnote 7: "the detection of alive processes is done via
+///   timeouts").
+/// * [`DaMsg::Membership`] — underlying membership traffic, piggybacking a
+///   supertable sample (Sec. V-A.2a).
+#[derive(Debug, Clone)]
+pub enum DaMsg {
+    /// An event in flight, tagged with the topic of the sender's group.
+    Event {
+        /// The event being disseminated.
+        event: Event,
+        /// Topic of the group the sender belongs to.
+        sender_topic: TopicId,
+    },
+    /// Bootstrap search request (`REQCONTACT`): the origin looks for
+    /// processes interested in any of `topics`.
+    ReqContact {
+        /// The process the answer should be routed to.
+        origin: ProcessId,
+        /// De-duplication id, unique per (origin, attempt).
+        req_id: u64,
+        /// Topics of interest, nearest ancestor first.
+        topics: Vec<TopicId>,
+        /// Remaining overlay hops before the request expires.
+        ttl: u8,
+    },
+    /// Bootstrap answer (`ANSCONTACT`): contacts interested in `topic`.
+    AnsContact {
+        /// The topic the contacts are interested in.
+        topic: TopicId,
+        /// The contacts themselves.
+        contacts: Vec<ProcessId>,
+    },
+    /// A process asks a live superprocess for fresh supergroup contacts.
+    NewProcessReq,
+    /// The superprocess answers with members of its own group.
+    NewProcessAns {
+        /// Fresh supergroup contacts (the replier's topic + view sample).
+        contacts: Vec<SuperEntry>,
+    },
+    /// Liveness probe of the maintenance task.
+    Ping {
+        /// Correlation nonce echoed by the pong.
+        nonce: u64,
+    },
+    /// Liveness answer.
+    Pong {
+        /// Correlation nonce from the ping.
+        nonce: u64,
+    },
+    /// Underlying membership gossip with a piggybacked supertable sample.
+    Membership {
+        /// The wrapped flat-membership message.
+        inner: MembershipMsg,
+        /// Sample of the sender's supertable, merged by receivers.
+        stable_sample: Vec<SuperEntry>,
+    },
+}
+
+impl WireSize for DaMsg {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            DaMsg::Event { event, .. } => event.wire_size() + 4,
+            DaMsg::ReqContact { topics, .. } => 4 + 8 + 4 + topics.len() * 4 + 1,
+            DaMsg::AnsContact { contacts, .. } => 4 + contacts.wire_size(),
+            DaMsg::NewProcessReq => 0,
+            DaMsg::NewProcessAns { contacts } => 4 + contacts.len() * 8,
+            DaMsg::Ping { .. } | DaMsg::Pong { .. } => 8,
+            DaMsg::Membership {
+                inner,
+                stable_sample,
+            } => inner.wire_size() + 4 + stable_sample.len() * 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_simnet::ProcessId;
+
+    #[test]
+    fn wire_sizes_positive_and_scale() {
+        let ping = DaMsg::Ping { nonce: 1 };
+        assert_eq!(ping.wire_size(), 9);
+        let small = DaMsg::AnsContact {
+            topic: TopicId::ROOT,
+            contacts: vec![],
+        };
+        let big = DaMsg::AnsContact {
+            topic: TopicId::ROOT,
+            contacts: vec![ProcessId(1); 10],
+        };
+        assert!(big.wire_size() > small.wire_size());
+    }
+
+    #[test]
+    fn event_message_accounts_payload() {
+        let e = Event::new(ProcessId(0), 0, TopicId::ROOT, vec![0u8; 64]);
+        let m = DaMsg::Event {
+            event: e,
+            sender_topic: TopicId::ROOT,
+        };
+        assert!(m.wire_size() > 64);
+    }
+}

@@ -1,0 +1,505 @@
+//! Network assembly: build a whole population of [`DaProcess`]es from a
+//! topic hierarchy and group membership lists.
+//!
+//! Two builders mirror the protocol's two modes:
+//!
+//! * [`StaticNetwork`] — the paper's simulation setting (Sec. VII-A):
+//!   every table is drawn once, uniformly at random, before round 0, and
+//!   never changes. Supertables point into the *nearest non-empty ancestor
+//!   group* (Sec. V-A.1, footnote 4).
+//! * [`DynamicNetwork`] — the full protocol: processes only get a handful
+//!   of same-group contacts plus a random overlay, and discover super
+//!   contacts through the bootstrap.
+
+use crate::error::DaError;
+use crate::params::ParamMap;
+use crate::protocol::DaProcess;
+use crate::tables::SuperEntry;
+use da_membership::static_init::{static_super_tables, static_topic_tables};
+use da_membership::MembershipParams;
+use da_simnet::{derive_seed, rng_from_seed, Overlay, ProcessId};
+use da_topics::{TopicHierarchy, TopicId};
+use rand::seq::SliceRandom;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One topic group: the topic and its interested processes.
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// The group's topic.
+    pub topic: TopicId,
+    /// The processes interested in the topic (`Π_Ti`).
+    pub members: Vec<ProcessId>,
+}
+
+/// A fully-specified static population, ready to run under a
+/// [`da_simnet::Engine`].
+///
+/// ```
+/// use damulticast::{ParamMap, StaticNetwork, TopicParams};
+/// use da_simnet::{Engine, SimConfig, ProcessId};
+///
+/// // The paper's topology: S_T0 = 10, S_T1 = 100, S_T2 = 1000.
+/// let net = StaticNetwork::linear(&[10, 100, 1000], ParamMap::default(), 42)
+///     .expect("valid topology");
+/// let first_leaf = net.groups()[2].members[0];
+/// let mut engine = Engine::new(SimConfig::default().with_seed(42), net.into_processes());
+/// engine.process_mut(first_leaf).publish("evt");
+/// engine.run_until_quiescent(64);
+/// ```
+#[derive(Debug)]
+pub struct StaticNetwork {
+    hierarchy: Arc<TopicHierarchy>,
+    groups: Vec<GroupSpec>,
+    processes: Vec<DaProcess>,
+}
+
+impl StaticNetwork {
+    /// Builds a static network over a **linear** topic chain
+    /// `T0 ← T1 ← …` where `group_sizes[i] = S_Ti` (the paper's Sec. VI-A
+    /// assumption and Sec. VII-A setting). Process ids are dense,
+    /// allocated top-down.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaError::InvalidParameter`] when `group_sizes` is empty,
+    /// contains a zero, or `params` fails validation.
+    pub fn linear(group_sizes: &[usize], params: ParamMap, seed: u64) -> Result<Self, DaError> {
+        if group_sizes.is_empty() {
+            return Err(DaError::InvalidParameter {
+                reason: "at least one group (the root) is required".to_owned(),
+            });
+        }
+        let (hierarchy, ids) = TopicHierarchy::linear_chain(group_sizes.len());
+        let members = da_membership::static_init::assign_group_members(group_sizes);
+        let groups = ids
+            .into_iter()
+            .zip(members)
+            .map(|(topic, members)| GroupSpec { topic, members })
+            .collect();
+        StaticNetwork::from_groups(Arc::new(hierarchy), groups, params, seed)
+    }
+
+    /// Builds a static network from explicit groups over an arbitrary
+    /// hierarchy. Groups may be empty (their subscribers link past them to
+    /// the nearest non-empty ancestor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaError::InvalidParameter`] on parameter-validation
+    /// failure, and [`DaError::EmptyGroup`] when the total population is
+    /// empty.
+    pub fn from_groups(
+        hierarchy: Arc<TopicHierarchy>,
+        groups: Vec<GroupSpec>,
+        params: ParamMap,
+        seed: u64,
+    ) -> Result<Self, DaError> {
+        params.validate()?;
+        if groups.iter().all(|g| g.members.is_empty()) {
+            return Err(DaError::EmptyGroup {
+                topic: ".".to_owned(),
+            });
+        }
+        for g in &groups {
+            hierarchy
+                .check(g.topic)
+                .map_err(|_| DaError::UnknownTopic { id: g.topic.index() as u32 })?;
+        }
+        let by_topic: HashMap<TopicId, &GroupSpec> =
+            groups.iter().map(|g| (g.topic, g)).collect();
+        let mut rng = rng_from_seed(derive_seed(seed, 0x57A7));
+        let mut processes: Vec<(ProcessId, DaProcess)> = Vec::new();
+
+        for group in &groups {
+            if group.members.is_empty() {
+                continue;
+            }
+            let tp = params.for_topic(group.topic);
+            tp.validate()?;
+            let topic_tables = static_topic_tables(&group.members, tp.b, &mut rng)
+                .map_err(|e| DaError::InvalidParameter {
+                    reason: e.to_string(),
+                })?;
+
+            // The nearest strict ancestor whose group is non-empty.
+            let ancestor = hierarchy
+                .ancestors(group.topic)
+                .find(|a| by_topic.get(a).is_some_and(|g| !g.members.is_empty()));
+            let super_tables = match ancestor {
+                Some(anc) => {
+                    let supergroup = &by_topic[&anc].members;
+                    let tables =
+                        static_super_tables(&group.members, supergroup, tp.z, &mut rng)
+                            .map_err(|e| DaError::InvalidParameter {
+                                reason: e.to_string(),
+                            })?;
+                    Some((anc, tables))
+                }
+                None => None,
+            };
+
+            for &pid in &group.members {
+                let table = topic_tables[&pid].clone();
+                let supers: Vec<SuperEntry> = match &super_tables {
+                    Some((anc, tables)) => tables[&pid]
+                        .iter()
+                        .map(|&p| SuperEntry {
+                            pid: p,
+                            topic: *anc,
+                        })
+                        .collect(),
+                    None => Vec::new(),
+                };
+                processes.push((
+                    pid,
+                    DaProcess::static_member(
+                        pid,
+                        group.topic,
+                        Arc::clone(&hierarchy),
+                        tp,
+                        group.members.len(),
+                        table,
+                        supers,
+                    ),
+                ));
+            }
+        }
+
+        // Engine addresses processes by dense index; sort and verify.
+        processes.sort_by_key(|(pid, _)| *pid);
+        for (i, (pid, _)) in processes.iter().enumerate() {
+            if pid.index() != i {
+                return Err(DaError::InvalidParameter {
+                    reason: format!(
+                        "process ids must be dense 0..n; found {pid} at position {i}"
+                    ),
+                });
+            }
+        }
+        let processes = processes.into_iter().map(|(_, p)| p).collect();
+        Ok(StaticNetwork {
+            hierarchy,
+            groups,
+            processes,
+        })
+    }
+
+    /// The topic hierarchy backing the network.
+    #[must_use]
+    pub fn hierarchy(&self) -> &Arc<TopicHierarchy> {
+        &self.hierarchy
+    }
+
+    /// The group specifications, in construction order.
+    #[must_use]
+    pub fn groups(&self) -> &[GroupSpec] {
+        &self.groups
+    }
+
+    /// Total number of processes.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Consumes the network, yielding the processes for
+    /// [`da_simnet::Engine::new`].
+    #[must_use]
+    pub fn into_processes(self) -> Vec<DaProcess> {
+        self.processes
+    }
+}
+
+/// A dynamic population: processes bootstrap their own tables through an
+/// overlay and keep them fresh at runtime.
+#[derive(Debug)]
+pub struct DynamicNetwork {
+    hierarchy: Arc<TopicHierarchy>,
+    groups: Vec<GroupSpec>,
+    overlay: Arc<Overlay>,
+    processes: Vec<DaProcess>,
+}
+
+impl DynamicNetwork {
+    /// Builds a dynamic network over a linear chain, handing each process
+    /// `contacts_per_process` random same-group contacts and a shared
+    /// random overlay of the given `overlay_degree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaError::InvalidParameter`] for empty/zero topologies or
+    /// invalid parameters.
+    pub fn linear(
+        group_sizes: &[usize],
+        params: ParamMap,
+        contacts_per_process: usize,
+        overlay_degree: usize,
+        seed: u64,
+    ) -> Result<Self, DaError> {
+        if group_sizes.is_empty() || group_sizes.contains(&0) {
+            return Err(DaError::InvalidParameter {
+                reason: "group sizes must be non-empty and positive".to_owned(),
+            });
+        }
+        params.validate()?;
+        let (hierarchy, ids) = TopicHierarchy::linear_chain(group_sizes.len());
+        let hierarchy = Arc::new(hierarchy);
+        let members = da_membership::static_init::assign_group_members(group_sizes);
+        let population: usize = group_sizes.iter().sum();
+        let overlay = Arc::new(
+            Overlay::random(population, overlay_degree.max(2), derive_seed(seed, 0x07E8))
+                .map_err(|e| DaError::InvalidParameter {
+                    reason: e.to_string(),
+                })?,
+        );
+        let mut rng = rng_from_seed(derive_seed(seed, 0xD1A7));
+        let mut processes = Vec::with_capacity(population);
+        let groups: Vec<GroupSpec> = ids
+            .iter()
+            .zip(&members)
+            .map(|(&topic, members)| GroupSpec {
+                topic,
+                members: members.clone(),
+            })
+            .collect();
+        for group in &groups {
+            let tp = params.for_topic(group.topic);
+            let mparams = MembershipParams {
+                b: tp.b,
+                expected_group_size: group.members.len(),
+                ..MembershipParams::paper_default(group.members.len())
+            };
+            for &pid in &group.members {
+                let mut pool: Vec<ProcessId> = group
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != pid)
+                    .collect();
+                pool.shuffle(&mut rng);
+                pool.truncate(contacts_per_process);
+                processes.push(DaProcess::dynamic_member(
+                    pid,
+                    group.topic,
+                    Arc::clone(&hierarchy),
+                    tp,
+                    mparams,
+                    Arc::clone(&overlay),
+                    pool,
+                ));
+            }
+        }
+        processes.sort_by_key(DaProcess::id);
+        Ok(DynamicNetwork {
+            hierarchy,
+            groups,
+            overlay,
+            processes,
+        })
+    }
+
+    /// The topic hierarchy backing the network.
+    #[must_use]
+    pub fn hierarchy(&self) -> &Arc<TopicHierarchy> {
+        &self.hierarchy
+    }
+
+    /// The group specifications.
+    #[must_use]
+    pub fn groups(&self) -> &[GroupSpec] {
+        &self.groups
+    }
+
+    /// The shared bootstrap overlay.
+    #[must_use]
+    pub fn overlay(&self) -> &Arc<Overlay> {
+        &self.overlay
+    }
+
+    /// Consumes the network, yielding the processes for
+    /// [`da_simnet::Engine::new`].
+    #[must_use]
+    pub fn into_processes(self) -> Vec<DaProcess> {
+        self.processes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::TopicParams;
+    use da_simnet::{Engine, SimConfig};
+
+    #[test]
+    fn linear_builder_respects_paper_topology() {
+        let net = StaticNetwork::linear(&[10, 100, 1000], ParamMap::default(), 1).unwrap();
+        assert_eq!(net.population(), 1110);
+        assert_eq!(net.groups().len(), 3);
+        assert_eq!(net.groups()[0].members.len(), 10);
+        assert_eq!(net.groups()[2].members.len(), 1000);
+    }
+
+    #[test]
+    fn empty_topology_rejected() {
+        assert!(StaticNetwork::linear(&[], ParamMap::default(), 1).is_err());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let params = ParamMap::uniform(TopicParams::paper_default().with_z(0));
+        assert!(StaticNetwork::linear(&[5, 5], params, 1).is_err());
+    }
+
+    #[test]
+    fn tables_point_to_correct_groups() {
+        let net = StaticNetwork::linear(&[10, 100], ParamMap::default(), 2).unwrap();
+        let groups = net.groups().to_vec();
+        let procs = net.into_processes();
+        for p in &procs {
+            let my_group = groups
+                .iter()
+                .find(|g| g.topic == p.topic())
+                .expect("every process belongs to a group");
+            for peer in p.topic_table() {
+                assert!(
+                    my_group.members.contains(peer),
+                    "topic table must stay within the group"
+                );
+            }
+            for e in p.super_table().entries() {
+                assert!(
+                    groups[0].members.contains(&e.pid),
+                    "supertable must point into the ancestor group"
+                );
+                assert_eq!(e.topic, groups[0].topic);
+            }
+        }
+    }
+
+    #[test]
+    fn root_group_has_empty_supertables() {
+        let net = StaticNetwork::linear(&[10, 20], ParamMap::default(), 3).unwrap();
+        let procs = net.into_processes();
+        for p in procs.iter().take(10) {
+            assert!(p.super_table().is_empty(), "root member has no supergroup");
+        }
+    }
+
+    #[test]
+    fn empty_intermediate_group_bridged() {
+        // T1's group is empty: T2 members must link directly to T0.
+        let (h, ids) = TopicHierarchy::linear_chain(3);
+        let h = Arc::new(h);
+        let groups = vec![
+            GroupSpec {
+                topic: ids[0],
+                members: (0..5).map(ProcessId).collect(),
+            },
+            GroupSpec {
+                topic: ids[1],
+                members: vec![],
+            },
+            GroupSpec {
+                topic: ids[2],
+                members: (5..15).map(ProcessId).collect(),
+            },
+        ];
+        let net =
+            StaticNetwork::from_groups(Arc::clone(&h), groups, ParamMap::default(), 4).unwrap();
+        let procs = net.into_processes();
+        for p in procs.iter().skip(5) {
+            assert!(!p.super_table().is_empty());
+            for e in p.super_table().entries() {
+                assert_eq!(e.topic, ids[0], "links skip the empty T1 group");
+            }
+        }
+    }
+
+    #[test]
+    fn bridged_event_still_reaches_root() {
+        let (h, ids) = TopicHierarchy::linear_chain(3);
+        let h = Arc::new(h);
+        let groups = vec![
+            GroupSpec {
+                topic: ids[0],
+                members: (0..5).map(ProcessId).collect(),
+            },
+            GroupSpec {
+                topic: ids[1],
+                members: vec![],
+            },
+            GroupSpec {
+                topic: ids[2],
+                members: (5..15).map(ProcessId).collect(),
+            },
+        ];
+        let net = StaticNetwork::from_groups(h, groups, ParamMap::default(), 5).unwrap();
+        let mut engine = Engine::new(SimConfig::default().with_seed(5), net.into_processes());
+        let id = engine.process_mut(ProcessId(7)).publish("bridge me");
+        engine.run_until_quiescent(64);
+        for pid in 0..5 {
+            assert!(
+                engine.process(ProcessId(pid)).has_delivered(id),
+                "root member {pid} missed the bridged event"
+            );
+        }
+    }
+
+    #[test]
+    fn non_dense_pids_rejected() {
+        let (h, ids) = TopicHierarchy::linear_chain(2);
+        let groups = vec![
+            GroupSpec {
+                topic: ids[0],
+                members: vec![ProcessId(0), ProcessId(2)], // gap at 1
+            },
+            GroupSpec {
+                topic: ids[1],
+                members: vec![ProcessId(5)],
+            },
+        ];
+        assert!(
+            StaticNetwork::from_groups(Arc::new(h), groups, ParamMap::default(), 6).is_err()
+        );
+    }
+
+    #[test]
+    fn dynamic_network_builds_and_floods_bootstrap() {
+        let net = DynamicNetwork::linear(&[5, 20], ParamMap::default(), 3, 4, 7).unwrap();
+        let procs = net.into_processes();
+        assert_eq!(procs.len(), 25);
+        let mut engine = Engine::new(SimConfig::default().with_seed(7), procs);
+        engine.run_rounds(40);
+        // Every leaf process should have found at least one super contact.
+        let linked = (5..25)
+            .filter(|&i| !engine.process(ProcessId(i)).super_table().is_empty())
+            .count();
+        assert!(
+            linked >= 18,
+            "only {linked}/20 leaves bootstrapped a super link"
+        );
+    }
+
+    #[test]
+    fn dynamic_dissemination_end_to_end() {
+        // At S = 20 the paper's g = 5 leaves a ≈2% chance that no process
+        // elects itself for inter-group forwarding; raise g so the test is
+        // statistically sound (the trade-off knob the paper describes).
+        let params = ParamMap::uniform(TopicParams::paper_default().with_g(15.0).with_a(3.0));
+        let net = DynamicNetwork::linear(&[5, 20], params, 3, 4, 9).unwrap();
+        let procs = net.into_processes();
+        let mut engine = Engine::new(SimConfig::default().with_seed(9), procs);
+        engine.run_rounds(30); // let membership + bootstrap settle
+        let id = engine.process_mut(ProcessId(12)).publish("dynamic");
+        engine.run_rounds(30);
+        let leaf_got = (5..25)
+            .filter(|&i| engine.process(ProcessId(i)).has_delivered(id))
+            .count();
+        let root_got = (0..5)
+            .filter(|&i| engine.process(ProcessId(i)).has_delivered(id))
+            .count();
+        assert!(leaf_got >= 18, "leaf delivery {leaf_got}/20");
+        assert!(root_got >= 1, "event failed to climb to the root group");
+    }
+}

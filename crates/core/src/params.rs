@@ -1,0 +1,279 @@
+//! Protocol parameters.
+//!
+//! The paper exposes, per topic `Ti`, the knobs that trade reliability for
+//! message complexity (Sec. V-B): the membership constant `b`, the gossip
+//! constant `c` (inside the fanout rule), the link-election weight `g`
+//! (`p_sel = g / S`), the supertable spray weight `a` (`p_a = a / z`), the
+//! supertable size `z`, and the maintenance threshold `τ`.
+
+use crate::DaError;
+use da_membership::FanoutRule;
+use da_topics::TopicId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-topic daMulticast parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopicParams {
+    /// Membership view constant `b` — topic tables hold `(b+1)·ln(S)` ids.
+    pub b: f64,
+    /// Intra-group gossip fanout rule (`ln(S)+c` family).
+    pub fanout: FanoutRule,
+    /// Link-election weight `g`: a process elects itself to forward an
+    /// event to its supergroup with probability `p_sel = g / S`.
+    pub g: f64,
+    /// Supertable spray weight `a`: each supertable entry is sent the event
+    /// with probability `p_a = a / z`.
+    pub a: f64,
+    /// Supertopic table size `z`.
+    pub z: usize,
+    /// Maintenance threshold `τ`: when at most `τ` supertable entries are
+    /// alive, fresh superprocesses are requested (Fig. 6, line 18).
+    pub tau: usize,
+    /// Rounds between maintenance passes (`KEEP_TABLE_UPDATED` cadence).
+    pub maintenance_period: u64,
+    /// Rounds a liveness ping may take before the peer counts as failed.
+    pub ping_timeout: u64,
+    /// Rounds before an unanswered bootstrap request widens its scope.
+    pub bootstrap_timeout: u64,
+    /// Hop budget of bootstrap search requests through the overlay.
+    pub request_ttl: u8,
+}
+
+impl TopicParams {
+    /// The paper's simulation parameters (Sec. VII-A): `b = 3`, `c = 5`
+    /// (log10 fanout, matching the plotted magnitudes), `g = 5`, `a = 1`,
+    /// `z = 3`.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        TopicParams {
+            b: 3.0,
+            fanout: FanoutRule::Log10PlusC { c: 5.0 },
+            g: 5.0,
+            a: 1.0,
+            z: 3,
+            tau: 1,
+            maintenance_period: 10,
+            ping_timeout: 4,
+            bootstrap_timeout: 6,
+            request_ttl: 8,
+        }
+    }
+
+    /// `p_sel = g / S`, clamped into `[0, 1]` (Sec. V-B).
+    #[must_use]
+    pub fn p_sel(&self, group_size: usize) -> f64 {
+        if group_size == 0 {
+            return 0.0;
+        }
+        (self.g / group_size as f64).clamp(0.0, 1.0)
+    }
+
+    /// `p_a = a / z`, clamped into `[0, 1]` (Sec. V-B).
+    #[must_use]
+    pub fn p_a(&self) -> f64 {
+        if self.z == 0 {
+            return 0.0;
+        }
+        (self.a / self.z as f64).clamp(0.0, 1.0)
+    }
+
+    /// Validates the parameter ranges required by the paper
+    /// (`1 ≤ g`, `1 ≤ a ≤ z`, `0 ≤ τ ≤ z`, `z ≥ 1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaError::InvalidParameter`] describing the violation.
+    pub fn validate(&self) -> Result<(), DaError> {
+        if self.z == 0 {
+            return Err(DaError::InvalidParameter {
+                reason: "z (supertable size) must be at least 1".to_owned(),
+            });
+        }
+        if self.g < 1.0 {
+            return Err(DaError::InvalidParameter {
+                reason: format!("g must be at least 1 (got {})", self.g),
+            });
+        }
+        if self.a < 1.0 || self.a > self.z as f64 {
+            return Err(DaError::InvalidParameter {
+                reason: format!("a must satisfy 1 ≤ a ≤ z (got a={}, z={})", self.a, self.z),
+            });
+        }
+        if self.tau > self.z {
+            return Err(DaError::InvalidParameter {
+                reason: format!(
+                    "τ must satisfy 0 ≤ τ ≤ z (got τ={}, z={})",
+                    self.tau, self.z
+                ),
+            });
+        }
+        if self.b < 0.0 {
+            return Err(DaError::InvalidParameter {
+                reason: format!("b must be non-negative (got {})", self.b),
+            });
+        }
+        Ok(())
+    }
+
+    /// Replaces the fanout rule.
+    #[must_use]
+    pub fn with_fanout(mut self, fanout: FanoutRule) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
+    /// Replaces `g`.
+    #[must_use]
+    pub fn with_g(mut self, g: f64) -> Self {
+        self.g = g;
+        self
+    }
+
+    /// Replaces `a`.
+    #[must_use]
+    pub fn with_a(mut self, a: f64) -> Self {
+        self.a = a;
+        self
+    }
+
+    /// Replaces `z`.
+    #[must_use]
+    pub fn with_z(mut self, z: usize) -> Self {
+        self.z = z;
+        self
+    }
+}
+
+impl Default for TopicParams {
+    fn default() -> Self {
+        TopicParams::paper_default()
+    }
+}
+
+/// Parameter assignment across a topic hierarchy: a default plus per-topic
+/// overrides.
+///
+/// ```
+/// use damulticast::{ParamMap, TopicParams};
+/// use da_topics::TopicId;
+///
+/// let mut params = ParamMap::uniform(TopicParams::paper_default());
+/// let custom = TopicParams::paper_default().with_z(5);
+/// params.set(TopicId::ROOT, custom);
+/// assert_eq!(params.for_topic(TopicId::ROOT).z, 5);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamMap {
+    default: TopicParams,
+    overrides: HashMap<TopicId, TopicParams>,
+}
+
+impl ParamMap {
+    /// Uses `default` for every topic.
+    #[must_use]
+    pub fn uniform(default: TopicParams) -> Self {
+        ParamMap {
+            default,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Overrides the parameters of one topic.
+    pub fn set(&mut self, topic: TopicId, params: TopicParams) {
+        self.overrides.insert(topic, params);
+    }
+
+    /// The parameters of `topic` (override or default).
+    #[must_use]
+    pub fn for_topic(&self, topic: TopicId) -> TopicParams {
+        self.overrides.get(&topic).copied().unwrap_or(self.default)
+    }
+
+    /// The default parameters.
+    #[must_use]
+    pub fn default_params(&self) -> TopicParams {
+        self.default
+    }
+
+    /// Validates every parameter set in the map.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DaError::InvalidParameter`] found.
+    pub fn validate(&self) -> Result<(), DaError> {
+        self.default.validate()?;
+        for params in self.overrides.values() {
+            params.validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for ParamMap {
+    fn default() -> Self {
+        ParamMap::uniform(TopicParams::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_vii() {
+        let p = TopicParams::paper_default();
+        assert!((p.b - 3.0).abs() < f64::EPSILON);
+        assert!((p.g - 5.0).abs() < f64::EPSILON);
+        assert!((p.a - 1.0).abs() < f64::EPSILON);
+        assert_eq!(p.z, 3);
+        assert_eq!(p.fanout, FanoutRule::Log10PlusC { c: 5.0 });
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn probability_p_sel() {
+        let p = TopicParams::paper_default();
+        assert!((p.p_sel(1000) - 0.005).abs() < 1e-12);
+        assert!((p.p_sel(100) - 0.05).abs() < 1e-12);
+        // Tiny groups: clamped to 1.
+        assert!((p.p_sel(3) - 1.0).abs() < 1e-12);
+        assert!(p.p_sel(0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_p_a() {
+        let p = TopicParams::paper_default();
+        assert!((p.p_a() - 1.0 / 3.0).abs() < 1e-12);
+        let p = p.with_a(3.0);
+        assert!((p.p_a() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        assert!(TopicParams::paper_default().with_z(0).validate().is_err());
+        assert!(TopicParams::paper_default().with_g(0.5).validate().is_err());
+        assert!(TopicParams::paper_default().with_a(0.0).validate().is_err());
+        assert!(TopicParams::paper_default()
+            .with_a(10.0)
+            .validate()
+            .is_err());
+        let mut p = TopicParams::paper_default();
+        p.tau = 99;
+        assert!(p.validate().is_err());
+        p.tau = 3;
+        assert!(p.validate().is_ok(), "τ = z is allowed");
+    }
+
+    #[test]
+    fn param_map_overrides() {
+        let mut m = ParamMap::uniform(TopicParams::paper_default());
+        let t1 = TopicId::from_index(1);
+        m.set(t1, TopicParams::paper_default().with_z(7));
+        assert_eq!(m.for_topic(t1).z, 7);
+        assert_eq!(m.for_topic(TopicId::ROOT).z, 3);
+        assert!(m.validate().is_ok());
+        m.set(t1, TopicParams::paper_default().with_z(0));
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,905 @@
+//! The daMulticast process — the protocol state machine of Figs. 4–7.
+//!
+//! A [`DaProcess`] implements [`da_simnet::Protocol`] and combines
+//!
+//! * the **topic table** — a [`FlatMembership`] partial view of the
+//!   process' own group (the underlying membership algorithm of the
+//!   paper's reference \[10\]),
+//! * the **supertopic table** — a constant-size [`SuperTable`] of contacts
+//!   in an including group,
+//! * the **bootstrap task** (`FIND_SUPER_CONTACT`, Fig. 4), flooding the
+//!   weakly-consistent neighbourhood overlay for super contacts,
+//! * the **maintenance task** (`KEEP_TABLE_UPDATED`, Fig. 6), probing
+//!   supertable liveness and refreshing dead links, and
+//! * the **dissemination scheme** (Figs. 5 & 7) with event de-duplication.
+//!
+//! Two operating modes:
+//!
+//! * **static** ([`DaProcess::static_member`]) — the paper's simulation
+//!   mode (Sec. VII-A): tables are fixed at construction, no membership,
+//!   bootstrap or maintenance traffic is generated. Used to regenerate the
+//!   paper's figures.
+//! * **dynamic** ([`DaProcess::dynamic_member`]) — the full protocol:
+//!   joins through contacts, gossips membership digests with piggybacked
+//!   supertable samples, searches super contacts through the overlay and
+//!   maintains them under churn. Used by the examples and the end-to-end
+//!   tests.
+
+use crate::dissemination::plan_dissemination;
+use crate::event::{Event, EventId};
+use crate::maintenance::{MaintenanceAction, MaintenanceTask};
+use crate::message::DaMsg;
+use crate::params::TopicParams;
+use crate::bootstrap::{BootstrapAction, BootstrapTask};
+use crate::tables::{SuperEntry, SuperTable};
+use da_membership::{FlatMembership, MembershipParams};
+use da_simnet::{Ctx, Overlay, ProcessId, Protocol};
+use da_topics::{TopicHierarchy, TopicId};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Pre-rendered counter labels for one process (the metrics hot path does
+/// string lookups; rendering `da.intra.<path>` per send would allocate).
+#[derive(Debug, Clone)]
+struct Labels {
+    /// Event messages gossiped inside the own group.
+    intra: String,
+    /// Event messages sent to supertable entries.
+    inter_out: String,
+    /// Event messages that arrived from a strict subtopic group.
+    inter_in: String,
+    /// Events delivered to the application.
+    delivered: String,
+    /// Events received more than once.
+    duplicate: String,
+    /// Control-plane messages (bootstrap, maintenance, membership).
+    control: String,
+}
+
+impl Labels {
+    fn new(topic_path: &str) -> Self {
+        Labels {
+            intra: format!("da.intra.{topic_path}"),
+            inter_out: format!("da.inter_out.{topic_path}"),
+            inter_in: format!("da.inter_in.{topic_path}"),
+            delivered: format!("da.delivered.{topic_path}"),
+            duplicate: format!("da.duplicate.{topic_path}"),
+            control: format!("da.control.{topic_path}"),
+        }
+    }
+}
+
+/// The daMulticast protocol instance at one simulated process.
+///
+/// See the crate-level documentation for a full example; in short:
+///
+/// ```
+/// use damulticast::{DaProcess, TopicParams};
+/// use da_membership::MembershipParams;
+/// use da_simnet::ProcessId;
+/// use da_topics::TopicHierarchy;
+/// use std::sync::Arc;
+///
+/// let (hierarchy, ids) = TopicHierarchy::linear_chain(2);
+/// let hierarchy = Arc::new(hierarchy);
+/// let p = DaProcess::static_member(
+///     ProcessId(0),
+///     ids[1],
+///     Arc::clone(&hierarchy),
+///     TopicParams::paper_default(),
+///     100,               // S_T1
+///     vec![ProcessId(1)],// topic table
+///     vec![],            // supertable (empty: nearest the root)
+/// );
+/// assert_eq!(p.topic(), ids[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DaProcess {
+    me: ProcessId,
+    topic: TopicId,
+    hierarchy: Arc<TopicHierarchy>,
+    params: TopicParams,
+    /// The topic table (partial view of the own group).
+    membership: FlatMembership,
+    /// The supertopic table.
+    stable: SuperTable,
+    /// `S_Ti` — the size estimate used for `p_sel` and the fanout.
+    group_size: usize,
+    /// Dynamic-mode tasks; `None` in static mode.
+    bootstrap: Option<BootstrapTask>,
+    maintenance: Option<MaintenanceTask>,
+    /// Overlay neighbourhood used by the bootstrap flood (dynamic mode).
+    overlay: Option<Arc<Overlay>>,
+    /// Initial same-group contacts to join through (dynamic mode).
+    join_contacts: Vec<ProcessId>,
+    /// Event ids already received (the paper's "done only the first time").
+    seen: HashSet<EventId>,
+    /// Events delivered to the application, in delivery order.
+    delivered: Vec<Event>,
+    /// Events received for a topic this process is *not* interested in.
+    /// The paper's central claim is that this stays zero.
+    parasite_count: u64,
+    /// Publications queued until the next round hook.
+    pending_publish: Vec<Event>,
+    next_sequence: u64,
+    /// Bootstrap requests already answered/forwarded: `(origin, req_id)`.
+    answered_requests: HashSet<(ProcessId, u64)>,
+    labels: Labels,
+}
+
+impl DaProcess {
+    /// Builds a static-mode process (the paper's Sec. VII-A simulation
+    /// setting): `topic_table` and `super_entries` are fixed for the whole
+    /// run and no control traffic is generated.
+    ///
+    /// `super_entries` lists contacts in the nearest non-empty ancestor
+    /// group, tagged with that ancestor's topic; pass an empty vector for
+    /// root-group members.
+    #[must_use]
+    pub fn static_member(
+        me: ProcessId,
+        topic: TopicId,
+        hierarchy: Arc<TopicHierarchy>,
+        params: TopicParams,
+        group_size: usize,
+        topic_table: Vec<ProcessId>,
+        super_entries: Vec<SuperEntry>,
+    ) -> Self {
+        let mparams = MembershipParams {
+            b: params.b,
+            expected_group_size: group_size,
+            // Static mode: the membership component is a passive container.
+            digest_fanout: 0,
+            digest_size: 0,
+            gossip_period: 0,
+            eviction_age: u64::MAX,
+        };
+        let mut seed_rng = da_simnet::rng_for_process(0xDA, me);
+        let membership =
+            FlatMembership::with_static_view(me, mparams, &topic_table, &mut seed_rng);
+        let mut stable = SuperTable::new(me, params.z.max(super_entries.len()));
+        for entry in super_entries {
+            stable.insert(entry, &mut seed_rng);
+        }
+        let labels = Labels::new(hierarchy.path(topic).as_str());
+        DaProcess {
+            me,
+            topic,
+            hierarchy,
+            params,
+            membership,
+            stable,
+            group_size,
+            bootstrap: None,
+            maintenance: None,
+            overlay: None,
+            join_contacts: Vec::new(),
+            seen: HashSet::new(),
+            delivered: Vec::new(),
+            parasite_count: 0,
+            pending_publish: Vec::new(),
+            next_sequence: 0,
+            answered_requests: HashSet::new(),
+            labels,
+        }
+    }
+
+    /// Builds a dynamic-mode process running the full protocol: it joins
+    /// its group through `join_contacts`, finds super contacts by flooding
+    /// `overlay`, and keeps both tables fresh.
+    #[must_use]
+    pub fn dynamic_member(
+        me: ProcessId,
+        topic: TopicId,
+        hierarchy: Arc<TopicHierarchy>,
+        params: TopicParams,
+        membership_params: MembershipParams,
+        overlay: Arc<Overlay>,
+        join_contacts: Vec<ProcessId>,
+    ) -> Self {
+        let membership = FlatMembership::new(me, membership_params);
+        let stable = SuperTable::new(me, params.z);
+        let bootstrap = BootstrapTask::new(topic, &hierarchy, params.bootstrap_timeout);
+        let maintenance = Some(MaintenanceTask::new(
+            params.maintenance_period,
+            params.ping_timeout,
+        ));
+        let labels = Labels::new(hierarchy.path(topic).as_str());
+        DaProcess {
+            me,
+            topic,
+            hierarchy,
+            params,
+            membership,
+            stable,
+            group_size: membership_params.expected_group_size,
+            bootstrap,
+            maintenance,
+            overlay: Some(overlay),
+            join_contacts,
+            seen: HashSet::new(),
+            delivered: Vec::new(),
+            parasite_count: 0,
+            pending_publish: Vec::new(),
+            next_sequence: 0,
+            answered_requests: HashSet::new(),
+            labels,
+        }
+    }
+
+    /// The process' identity.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The topic this process is interested in.
+    #[must_use]
+    pub fn topic(&self) -> TopicId {
+        self.topic
+    }
+
+    /// The protocol parameters in force at this process.
+    #[must_use]
+    pub fn params(&self) -> &TopicParams {
+        &self.params
+    }
+
+    /// The current topic table (partial view of the own group).
+    #[must_use]
+    pub fn topic_table(&self) -> &[ProcessId] {
+        self.membership.view().as_slice()
+    }
+
+    /// The current supertopic table.
+    #[must_use]
+    pub fn super_table(&self) -> &SuperTable {
+        &self.stable
+    }
+
+    /// Events delivered to the application so far, in delivery order.
+    #[must_use]
+    pub fn delivered(&self) -> &[Event] {
+        &self.delivered
+    }
+
+    /// True when the event has been delivered here.
+    #[must_use]
+    pub fn has_delivered(&self, id: EventId) -> bool {
+        self.delivered.iter().any(|e| e.id() == id)
+    }
+
+    /// Drains the delivered-event log, handing ownership to the caller —
+    /// the pull-style application interface (`deliver e_Ti to the
+    /// application`, Fig. 5). De-duplication state is unaffected: drained
+    /// events are never delivered twice.
+    pub fn take_delivered(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Number of parasite receptions — events of topics this process is
+    /// not interested in. daMulticast's invariant is that this is zero.
+    #[must_use]
+    pub fn parasite_count(&self) -> u64 {
+        self.parasite_count
+    }
+
+    /// Queues an event for publication on this process' own topic. The
+    /// event is delivered locally and disseminated at the next round hook.
+    /// Returns the event's id.
+    pub fn publish(&mut self, payload: impl Into<bytes::Bytes>) -> EventId {
+        let event = Event::new(self.me, self.next_sequence, self.topic, payload);
+        self.next_sequence += 1;
+        let id = event.id();
+        self.pending_publish.push(event);
+        id
+    }
+
+    /// The per-process memory complexity in table entries:
+    /// `|Table| + |sTable|` — the paper's `ln(S) + c + z` bound
+    /// (Sec. VI-C).
+    #[must_use]
+    pub fn memory_entries(&self) -> usize {
+        self.membership.view().len() + self.stable.len()
+    }
+
+    /// True when this process is interested in events of `topic` — i.e.
+    /// `topic` is its own topic or a subtopic thereof.
+    #[must_use]
+    pub fn is_interested_in(&self, topic: TopicId) -> bool {
+        self.hierarchy.includes_or_eq(self.topic, topic)
+    }
+
+    /// Sends `msg` and accounts it as control-plane traffic.
+    fn send_control(&self, ctx: &mut Ctx<'_, DaMsg>, to: ProcessId, msg: DaMsg) {
+        ctx.counters().bump(&self.labels.control);
+        ctx.send(to, msg);
+    }
+
+    /// Runs Fig. 7 for `event` and emits the resulting messages.
+    fn disseminate(&mut self, event: &Event, ctx: &mut Ctx<'_, DaMsg>) {
+        let plan = plan_dissemination(
+            &self.params,
+            self.group_size,
+            self.membership.view().as_slice(),
+            &self.stable,
+            ctx.rng(),
+        );
+        for entry in &plan.super_targets {
+            ctx.counters().bump(&self.labels.inter_out);
+            ctx.send(
+                entry.pid,
+                DaMsg::Event {
+                    event: event.clone(),
+                    sender_topic: self.topic,
+                },
+            );
+        }
+        for &target in &plan.gossip_targets {
+            ctx.counters().bump(&self.labels.intra);
+            ctx.send(
+                target,
+                DaMsg::Event {
+                    event: event.clone(),
+                    sender_topic: self.topic,
+                },
+            );
+        }
+    }
+
+    /// First-reception handling (Fig. 5): de-dup, deliver, re-disseminate.
+    fn receive_event(&mut self, event: Event, sender_topic: TopicId, ctx: &mut Ctx<'_, DaMsg>) {
+        // Interest check: events only ever travel *up* the hierarchy, so a
+        // correct run never trips this. Baselines do; daMulticast must not.
+        if !self.is_interested_in(event.topic()) {
+            self.parasite_count += 1;
+            ctx.counters().bump("da.parasite");
+            return;
+        }
+        if !self.seen.insert(event.id()) {
+            ctx.counters().bump(&self.labels.duplicate);
+            return;
+        }
+        if sender_topic != self.topic {
+            // The event crossed a group boundary to reach us.
+            ctx.counters().bump(&self.labels.inter_in);
+        }
+        ctx.counters().bump(&self.labels.delivered);
+        self.delivered.push(event.clone());
+        self.disseminate(&event, ctx);
+    }
+
+    /// Floods a bootstrap request through the overlay neighbourhood.
+    fn flood_request(
+        &mut self,
+        req_id: u64,
+        topics: Vec<TopicId>,
+        ctx: &mut Ctx<'_, DaMsg>,
+    ) {
+        let Some(overlay) = self.overlay.clone() else {
+            return;
+        };
+        self.answered_requests.insert((self.me, req_id));
+        for &n in overlay.neighbors(self.me) {
+            self.send_control(
+                ctx,
+                n,
+                DaMsg::ReqContact {
+                    origin: self.me,
+                    req_id,
+                    topics: topics.clone(),
+                    ttl: self.params.request_ttl,
+                },
+            );
+        }
+    }
+
+    /// Handles a bootstrap search request (Fig. 4, lines 4–13).
+    fn handle_req_contact(
+        &mut self,
+        origin: ProcessId,
+        req_id: u64,
+        topics: Vec<TopicId>,
+        ttl: u8,
+        ctx: &mut Ctx<'_, DaMsg>,
+    ) {
+        // "Done only the first time the message is received."
+        if !self.answered_requests.insert((origin, req_id)) {
+            return;
+        }
+        if origin == self.me {
+            return;
+        }
+        // If we are interested in one of the requested topics, answer with
+        // ourselves plus a sample of our group view (Ψ).
+        if topics.contains(&self.topic) {
+            let mut contacts = self
+                .membership
+                .view()
+                .sample(self.params.z, ctx.rng());
+            contacts.push(self.me);
+            contacts.retain(|&p| p != origin);
+            self.send_control(
+                ctx,
+                origin,
+                DaMsg::AnsContact {
+                    topic: self.topic,
+                    contacts,
+                },
+            );
+            return;
+        }
+        // Otherwise keep flooding while the request lives.
+        if ttl > 0 {
+            if let Some(overlay) = self.overlay.clone() {
+                for &n in overlay.neighbors(self.me) {
+                    if n == origin {
+                        continue;
+                    }
+                    self.send_control(
+                        ctx,
+                        n,
+                        DaMsg::ReqContact {
+                            origin,
+                            req_id,
+                            topics: topics.clone(),
+                            ttl: ttl - 1,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Handles a bootstrap answer (Fig. 4, lines 30–37): merge the contacts
+    /// and narrow or stop the search.
+    fn handle_ans_contact(&mut self, topic: TopicId, contacts: &[ProcessId], ctx: &mut Ctx<'_, DaMsg>) {
+        // Only contacts of strictly including topics belong in the
+        // supertable.
+        if !self.hierarchy.includes(topic, self.topic) {
+            return;
+        }
+        let entries: Vec<SuperEntry> = contacts
+            .iter()
+            .map(|&pid| SuperEntry { pid, topic })
+            .collect();
+        let hierarchy = Arc::clone(&self.hierarchy);
+        if self.stable.len() < self.stable.capacity() {
+            for &entry in &entries {
+                self.stable.insert(entry, ctx.rng());
+            }
+        }
+        self.stable
+            .tighten(&entries, |t| hierarchy.depth(t));
+        if let Some(task) = self.bootstrap.as_mut() {
+            // A direct-supertopic answer stops the task; answers from
+            // higher ancestors narrow the search (Fig. 4, lines 31-35).
+            task.on_answer(topic, &hierarchy);
+        }
+    }
+
+    /// Wraps and routes pending membership messages, piggybacking a sample
+    /// of the supertable (Sec. V-A.2a).
+    fn route_membership(
+        &mut self,
+        out: Vec<(ProcessId, da_membership::MembershipMsg)>,
+        ctx: &mut Ctx<'_, DaMsg>,
+    ) {
+        for (to, inner) in out {
+            let stable_sample = self.stable.sample(2, ctx.rng());
+            self.send_control(
+                ctx,
+                to,
+                DaMsg::Membership {
+                    inner,
+                    stable_sample,
+                },
+            );
+        }
+    }
+}
+
+impl Protocol for DaProcess {
+    type Msg = DaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DaMsg>) {
+        // Dynamic mode: join the group and start the super-contact search.
+        let contacts = std::mem::take(&mut self.join_contacts);
+        if !contacts.is_empty() {
+            let joins = self.membership.join(&contacts, ctx.rng());
+            self.route_membership(joins, ctx);
+        }
+        if let Some(task) = self.bootstrap.as_mut() {
+            if self.stable.is_empty() {
+                if let BootstrapAction::SendRequest { req_id, topics } = task.start(ctx.round()) {
+                    self.flood_request(req_id, topics, ctx);
+                }
+            } else {
+                task.stop();
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: DaMsg, ctx: &mut Ctx<'_, DaMsg>) {
+        let round = ctx.round();
+        match msg {
+            DaMsg::Event {
+                event,
+                sender_topic,
+            } => {
+                self.membership.mark_heard(from, round);
+                self.receive_event(event, sender_topic, ctx);
+            }
+            DaMsg::ReqContact {
+                origin,
+                req_id,
+                topics,
+                ttl,
+            } => self.handle_req_contact(origin, req_id, topics, ttl, ctx),
+            DaMsg::AnsContact { topic, contacts } => {
+                self.handle_ans_contact(topic, &contacts, ctx);
+            }
+            DaMsg::NewProcessReq => {
+                // Fig. 6, lines 2–5: answer with available superprocesses —
+                // members of *our* group, which is a supergroup of the
+                // requester's.
+                let mut sample = self.membership.view().sample(self.params.z, ctx.rng());
+                sample.push(self.me);
+                let contacts = sample
+                    .into_iter()
+                    .map(|pid| SuperEntry {
+                        pid,
+                        topic: self.topic,
+                    })
+                    .collect();
+                self.send_control(ctx, from, DaMsg::NewProcessAns { contacts });
+            }
+            DaMsg::NewProcessAns { contacts } => {
+                // Fig. 6, lines 6–9: MERGE fresh superprocesses.
+                let hierarchy = Arc::clone(&self.hierarchy);
+                let my_topic = self.topic;
+                let valid: Vec<SuperEntry> = contacts
+                    .into_iter()
+                    .filter(|e| hierarchy.includes(e.topic, my_topic))
+                    .collect();
+                self.stable.merge(&valid, |_| true);
+                self.stable.tighten(&valid, |t| hierarchy.depth(t));
+            }
+            DaMsg::Ping { nonce } => {
+                self.send_control(ctx, from, DaMsg::Pong { nonce });
+            }
+            DaMsg::Pong { .. } => {
+                if let Some(m) = self.maintenance.as_mut() {
+                    m.on_pong(from, round);
+                }
+            }
+            DaMsg::Membership {
+                inner,
+                stable_sample,
+            } => {
+                let replies = self
+                    .membership
+                    .on_message(from, &inner, round, ctx.rng());
+                self.route_membership(replies, ctx);
+                // Piggybacked supertable entries: valid for us when their
+                // topic strictly includes ours (sender is a group-mate, so
+                // its ancestors are ours).
+                let hierarchy = Arc::clone(&self.hierarchy);
+                let my_topic = self.topic;
+                let valid: Vec<SuperEntry> = stable_sample
+                    .into_iter()
+                    .filter(|e| hierarchy.includes(e.topic, my_topic))
+                    .collect();
+                if !valid.is_empty() {
+                    self.stable.merge(&valid, |_| true);
+                    self.stable.tighten(&valid, |t| hierarchy.depth(t));
+                    if let Some(task) = self.bootstrap.as_mut() {
+                        if task.is_active()
+                            && valid.iter().any(|e| e.topic == task.direct_super())
+                        {
+                            task.stop();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_round(&mut self, round: u64, ctx: &mut Ctx<'_, DaMsg>) {
+        // Publications queued since the last round (Fig. 5 SUBSCRIBE +
+        // Fig. 7 DISSEMINATE, run by the publisher).
+        let publishes = std::mem::take(&mut self.pending_publish);
+        for event in publishes {
+            if self.seen.insert(event.id()) {
+                ctx.counters().bump(&self.labels.delivered);
+                self.delivered.push(event.clone());
+            }
+            self.disseminate(&event, ctx);
+        }
+
+        // Static mode stops here: no control plane.
+        if self.overlay.is_none() && self.maintenance.is_none() {
+            return;
+        }
+
+        // Underlying membership gossip.
+        let digests = self.membership.on_round(round, ctx.rng());
+        self.route_membership(digests, ctx);
+
+        // KEEP_TABLE_UPDATED (Fig. 6).
+        let action = if let Some(m) = self.maintenance.as_mut() {
+            let entries: Vec<ProcessId> =
+                self.stable.entries().iter().map(|e| e.pid).collect();
+            let p_sel = self.params.p_sel(self.group_size);
+            let selected = p_sel >= 1.0 || (p_sel > 0.0 && ctx.rng().gen_bool(p_sel));
+            m.on_round(round, &entries, selected, self.params.tau)
+        } else {
+            MaintenanceAction::Idle
+        };
+        match action {
+            MaintenanceAction::Ping { nonce, targets } => {
+                for t in targets {
+                    self.send_control(ctx, t, DaMsg::Ping { nonce });
+                }
+            }
+            MaintenanceAction::Refresh { alive, dead } => {
+                for d in dead {
+                    self.stable.remove(d);
+                }
+                for a in alive {
+                    self.send_control(ctx, a, DaMsg::NewProcessReq);
+                }
+            }
+            MaintenanceAction::RestartBootstrap => {
+                if let Some(task) = self.bootstrap.as_mut() {
+                    if let BootstrapAction::SendRequest { req_id, topics } = task.start(round) {
+                        self.flood_request(req_id, topics, ctx);
+                    }
+                }
+            }
+            MaintenanceAction::Idle => {}
+        }
+
+        // FIND_SUPER_CONTACT timeout handling (Fig. 4, lines 14–28).
+        if let Some(task) = self.bootstrap.as_mut() {
+            if task.is_active() {
+                let hierarchy = Arc::clone(&self.hierarchy);
+                if let BootstrapAction::SendRequest { req_id, topics } =
+                    task.on_round(round, &hierarchy)
+                {
+                    self.flood_request(req_id, topics, ctx);
+                }
+            }
+        }
+    }
+}
+
+use rand::Rng as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_simnet::{Engine, SimConfig};
+
+    fn chain_hierarchy() -> (Arc<TopicHierarchy>, Vec<TopicId>) {
+        let (h, ids) = TopicHierarchy::linear_chain(3);
+        (Arc::new(h), ids)
+    }
+
+    /// A tiny static two-level network: 4 root members (pids 0–3), 6 leaf
+    /// members (pids 4–9) fully meshed, each leaf knowing 2 roots.
+    fn tiny_static_network() -> (Vec<DaProcess>, Vec<TopicId>) {
+        let (h, ids) = chain_hierarchy();
+        let params = TopicParams::paper_default();
+        let root_members: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let mid_members: Vec<ProcessId> = (4..10).map(ProcessId).collect();
+        let mut procs = Vec::new();
+        for &m in &root_members {
+            let table: Vec<ProcessId> =
+                root_members.iter().copied().filter(|&p| p != m).collect();
+            procs.push(DaProcess::static_member(
+                m,
+                ids[0],
+                Arc::clone(&h),
+                params,
+                root_members.len(),
+                table,
+                vec![],
+            ));
+        }
+        for &m in &mid_members {
+            let table: Vec<ProcessId> =
+                mid_members.iter().copied().filter(|&p| p != m).collect();
+            let supers = vec![
+                SuperEntry {
+                    pid: root_members[0],
+                    topic: ids[0],
+                },
+                SuperEntry {
+                    pid: root_members[1],
+                    topic: ids[0],
+                },
+            ];
+            procs.push(DaProcess::static_member(
+                m,
+                ids[1],
+                Arc::clone(&h),
+                params,
+                mid_members.len(),
+                table,
+                supers,
+            ));
+        }
+        (procs, ids)
+    }
+
+    #[test]
+    fn static_event_reaches_whole_group_and_supergroup() {
+        let (procs, _ids) = tiny_static_network();
+        let mut engine = Engine::new(SimConfig::default().with_seed(7), procs);
+        let id = engine.process_mut(ProcessId(5)).publish("hello");
+        engine.run_until_quiescent(50);
+        // Every leaf member must have delivered (reliable channels).
+        for pid in 4..10 {
+            assert!(
+                engine.process(ProcessId(pid)).has_delivered(id),
+                "leaf {pid} missed the event"
+            );
+        }
+        // The event must have climbed into the root group and spread there.
+        for pid in 0..4 {
+            assert!(
+                engine.process(ProcessId(pid)).has_delivered(id),
+                "root {pid} missed the event"
+            );
+        }
+    }
+
+    #[test]
+    fn no_parasites_and_no_double_delivery() {
+        let (procs, _) = tiny_static_network();
+        let mut engine = Engine::new(SimConfig::default().with_seed(3), procs);
+        engine.process_mut(ProcessId(4)).publish("e1");
+        engine.process_mut(ProcessId(9)).publish("e2");
+        engine.run_until_quiescent(50);
+        for (pid, p) in engine.processes() {
+            assert_eq!(p.parasite_count(), 0, "{pid} saw a parasite");
+            let mut ids: Vec<EventId> = p.delivered().iter().map(|e| e.id()).collect();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(ids.len(), p.delivered().len(), "{pid} double-delivered");
+        }
+    }
+
+    #[test]
+    fn events_do_not_flow_downwards() {
+        let (procs, _) = tiny_static_network();
+        let mut engine = Engine::new(SimConfig::default().with_seed(5), procs);
+        // Publish at the ROOT group: leaves subscribe to the mid topic and
+        // must NOT receive a root-topic event.
+        let id = engine.process_mut(ProcessId(0)).publish("root news");
+        engine.run_until_quiescent(50);
+        for pid in 0..4 {
+            assert!(engine.process(ProcessId(pid)).has_delivered(id));
+        }
+        for pid in 4..10 {
+            assert!(
+                !engine.process(ProcessId(pid)).has_delivered(id),
+                "leaf {pid} received a strict-supertopic event"
+            );
+            assert_eq!(engine.process(ProcessId(pid)).parasite_count(), 0);
+        }
+    }
+
+    #[test]
+    fn intra_and_inter_counters_track_messages() {
+        let (procs, ids) = tiny_static_network();
+        let (h, _) = chain_hierarchy();
+        let mid_path = h.path(ids[1]).as_str().to_owned();
+        let root_path = h.path(ids[0]).as_str().to_owned();
+        let mut engine = Engine::new(SimConfig::default().with_seed(11), procs);
+        engine.process_mut(ProcessId(4)).publish("x");
+        engine.run_until_quiescent(50);
+        let c = engine.counters();
+        assert!(c.get(&format!("da.intra.{mid_path}")) > 0, "mid gossip");
+        assert!(c.get(&format!("da.intra.{root_path}")) > 0, "root gossip");
+        assert!(
+            c.get(&format!("da.inter_out.{mid_path}")) > 0,
+            "mid forwarded to root"
+        );
+        assert!(
+            c.get(&format!("da.inter_in.{root_path}")) > 0,
+            "root received from mid"
+        );
+        assert_eq!(c.get("da.parasite"), 0);
+    }
+
+    #[test]
+    fn publisher_delivers_its_own_event_once() {
+        let (procs, _) = tiny_static_network();
+        let mut engine = Engine::new(SimConfig::default().with_seed(13), procs);
+        let id = engine.process_mut(ProcessId(4)).publish("mine");
+        engine.run_until_quiescent(50);
+        let publisher = engine.process(ProcessId(4));
+        assert_eq!(
+            publisher
+                .delivered()
+                .iter()
+                .filter(|e| e.id() == id)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn sequence_numbers_increment() {
+        let (mut procs, _) = tiny_static_network();
+        let a = procs[4].publish("a");
+        let b = procs[4].publish("b");
+        assert_eq!(a.sequence + 1, b.sequence);
+        assert_eq!(a.publisher, b.publisher);
+    }
+
+    #[test]
+    fn memory_entries_bounded_by_paper_formula() {
+        let (procs, _) = tiny_static_network();
+        for p in &procs {
+            // ln(S)+c view (capped) plus z supertable entries.
+            let view_cap = da_membership::kmg_view_size(p.params().b, 6);
+            assert!(p.memory_entries() <= view_cap.max(5) + p.params().z);
+        }
+    }
+
+    #[test]
+    fn root_member_never_elects_super_forwarding() {
+        let (procs, _) = tiny_static_network();
+        let mut engine = Engine::new(SimConfig::default().with_seed(17), procs);
+        engine.process_mut(ProcessId(0)).publish("top");
+        engine.run_until_quiescent(50);
+        // Root processes have empty supertables: inter_out for the root
+        // path must be zero.
+        let c = engine.counters();
+        assert_eq!(c.get("da.inter_out."), c.get("da.inter_out."));
+        assert_eq!(c.sum_prefix("da.inter_out."), 0);
+    }
+}
+
+#[cfg(test)]
+mod take_delivered_tests {
+    use super::*;
+    use da_simnet::{Engine, SimConfig};
+
+    #[test]
+    fn take_delivered_drains_without_redelivery() {
+        let (h, ids) = TopicHierarchy::linear_chain(2);
+        let h = Arc::new(h);
+        let members: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+        let procs: Vec<DaProcess> = members
+            .iter()
+            .map(|&m| {
+                let table = members.iter().copied().filter(|&p| p != m).collect();
+                DaProcess::static_member(
+                    m,
+                    ids[1],
+                    Arc::clone(&h),
+                    crate::TopicParams::paper_default(),
+                    4,
+                    table,
+                    vec![],
+                )
+            })
+            .collect();
+        let mut engine = Engine::new(SimConfig::default().with_seed(1), procs);
+        let id = engine.process_mut(ProcessId(0)).publish("drain me");
+        engine.run_until_quiescent(32);
+
+        let drained = engine.process_mut(ProcessId(1)).take_delivered();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].id(), id);
+        assert!(engine.process(ProcessId(1)).delivered().is_empty());
+
+        // Re-gossip of the same event must not re-deliver after draining.
+        engine.run_rounds(5);
+        assert!(engine.process(ProcessId(1)).delivered().is_empty());
+    }
+}

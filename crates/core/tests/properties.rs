@@ -1,0 +1,261 @@
+//! Property tests on the protocol building blocks: dissemination-plan
+//! statistics, supertable laws, bootstrap narrowing, and maintenance
+//! phases, over arbitrary inputs.
+
+use da_simnet::{rng_from_seed, ProcessId};
+use da_topics::{TopicHierarchy, TopicId};
+use damulticast::{
+    plan_dissemination, BootstrapAction, BootstrapTask, MaintenanceAction, MaintenanceTask,
+    SuperEntry, SuperTable, TopicParams,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_params() -> impl Strategy<Value = TopicParams> {
+    (1.0f64..30.0, 1usize..6, 0.0f64..8.0).prop_map(|(g, z, c)| {
+        TopicParams {
+            g,
+            z,
+            a: 1.0,
+            tau: 1.min(z),
+            fanout: da_membership::FanoutRule::LnPlusC { c },
+            ..TopicParams::paper_default()
+        }
+    })
+}
+
+proptest! {
+    /// Plans never exceed their sources: gossip targets ⊆ topic table
+    /// (distinct, ≤ fanout), super targets ⊆ supertable entries.
+    #[test]
+    fn plan_respects_sources(
+        params in arb_params(),
+        group_size in 1usize..5_000,
+        table_size in 0usize..40,
+        stable_size in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let table: Vec<ProcessId> = (1..=table_size as u32).map(ProcessId).collect();
+        let mut stable = SuperTable::new(ProcessId(0), stable_size);
+        for i in 0..stable_size as u32 {
+            stable.insert(
+                SuperEntry { pid: ProcessId(1000 + i), topic: TopicId::ROOT },
+                &mut rng,
+            );
+        }
+        let plan = plan_dissemination(&params, group_size, &table, &stable, &mut rng);
+
+        let fanout = params.fanout.fanout(group_size);
+        prop_assert!(plan.gossip_targets.len() <= fanout.min(table.len()));
+        let unique: HashSet<ProcessId> = plan.gossip_targets.iter().copied().collect();
+        prop_assert_eq!(unique.len(), plan.gossip_targets.len(), "distinct targets");
+        for t in &plan.gossip_targets {
+            prop_assert!(table.contains(t));
+        }
+        for e in &plan.super_targets {
+            prop_assert!(stable.contains(e.pid));
+        }
+        if !plan.elected {
+            prop_assert!(plan.super_targets.is_empty());
+        }
+        if stable.is_empty() {
+            prop_assert!(!plan.elected);
+        }
+        prop_assert_eq!(
+            plan.message_count(),
+            plan.gossip_targets.len() + plan.super_targets.len()
+        );
+    }
+
+    /// Election frequency tracks p_sel = g/S over many draws.
+    #[test]
+    fn election_frequency_tracks_p_sel(
+        g in 1.0f64..20.0,
+        group_size in 20usize..2_000,
+        seed in 0u64..1_000,
+    ) {
+        let params = TopicParams::paper_default().with_g(g);
+        let mut rng = rng_from_seed(seed);
+        let table: Vec<ProcessId> = (1..=10).map(ProcessId).collect();
+        let mut stable = SuperTable::new(ProcessId(0), 3);
+        for i in 0..3 {
+            stable.insert(
+                SuperEntry { pid: ProcessId(1000 + i), topic: TopicId::ROOT },
+                &mut rng,
+            );
+        }
+        let trials = 4_000;
+        let elected = (0..trials)
+            .filter(|_| plan_dissemination(&params, group_size, &table, &stable, &mut rng).elected)
+            .count();
+        let p_sel = (g / group_size as f64).min(1.0);
+        let rate = elected as f64 / f64::from(trials);
+        // 4000 Bernoulli draws: allow 4 standard deviations of slack.
+        let sigma = (p_sel * (1.0 - p_sel) / f64::from(trials)).sqrt();
+        prop_assert!(
+            (rate - p_sel).abs() <= 4.0 * sigma + 0.005,
+            "rate {} vs p_sel {} (sigma {})", rate, p_sel, sigma
+        );
+    }
+
+    /// Supertable MERGE (footnote 5): dead residents leave, fresh fill up
+    /// to capacity, favourites (alive residents) always survive.
+    #[test]
+    fn supertable_merge_laws(
+        capacity in 1usize..8,
+        residents in prop::collection::vec(1u32..50, 0..8),
+        dead in prop::collection::hash_set(1u32..50, 0..8),
+        fresh in prop::collection::vec(50u32..90, 0..8),
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let mut table = SuperTable::new(ProcessId(0), capacity);
+        for &r in &residents {
+            table.insert(SuperEntry { pid: ProcessId(r), topic: TopicId::ROOT }, &mut rng);
+        }
+        let survivors: Vec<ProcessId> = table
+            .entries()
+            .iter()
+            .map(|e| e.pid)
+            .filter(|p| !dead.contains(&p.0))
+            .collect();
+        let fresh_entries: Vec<SuperEntry> = fresh
+            .iter()
+            .map(|&f| SuperEntry { pid: ProcessId(f), topic: TopicId::ROOT })
+            .collect();
+        table.merge(&fresh_entries, |p| !dead.contains(&p.0));
+
+        prop_assert!(table.len() <= capacity);
+        for s in &survivors {
+            prop_assert!(table.contains(*s), "alive resident evicted by merge");
+        }
+        for e in table.entries() {
+            prop_assert!(!dead.contains(&e.pid.0), "dead entry survived merge");
+        }
+    }
+
+    /// Bootstrap scope grows monotonically up the ancestor chain on
+    /// timeouts and never contains topics below the direct supertopic.
+    #[test]
+    fn bootstrap_widening_monotone(
+        levels in 2usize..8,
+        timeout in 1u64..4,
+        rounds in 1u64..40,
+    ) {
+        let (h, ids) = TopicHierarchy::linear_chain(levels);
+        let leaf = ids[levels - 1];
+        let mut task = BootstrapTask::new(leaf, &h, timeout).unwrap();
+        task.start(0);
+        let mut prev_len = task.wanted().len();
+        for round in 1..=rounds {
+            match task.on_round(round, &h) {
+                BootstrapAction::SendRequest { topics, .. } => {
+                    prop_assert!(topics.len() >= prev_len);
+                    prop_assert!(topics.len() < levels, "scope capped at the root");
+                    // Every requested topic strictly includes the leaf.
+                    for t in &topics {
+                        prop_assert!(h.includes(*t, leaf));
+                    }
+                    prev_len = topics.len();
+                }
+                BootstrapAction::Idle => {}
+            }
+        }
+    }
+
+    /// An answer from any strict ancestor narrows the scope to topics
+    /// below it (or finishes, for the direct supertopic).
+    #[test]
+    fn bootstrap_answer_narrows(
+        levels in 3usize..8,
+        answer_level in 0usize..6,
+        widenings in 0u64..6,
+    ) {
+        let (h, ids) = TopicHierarchy::linear_chain(levels);
+        let leaf = ids[levels - 1];
+        let answer_level = answer_level.min(levels - 2);
+        let mut task = BootstrapTask::new(leaf, &h, 1).unwrap();
+        task.start(0);
+        for round in 1..=widenings {
+            let _ = task.on_round(round, &h);
+        }
+        let answered = ids[answer_level];
+        let finished = task.on_answer(answered, &h);
+        if answered == ids[levels - 2] {
+            prop_assert!(finished, "direct supertopic answer must finish");
+            prop_assert!(!task.is_active());
+        } else {
+            prop_assert!(!finished);
+            // Remaining wanted topics must all be strictly below the
+            // answered ancestor.
+            for t in task.wanted() {
+                prop_assert!(
+                    h.includes(answered, *t),
+                    "wanted topic not below the answered ancestor"
+                );
+            }
+        }
+    }
+
+    /// Maintenance never pings while a check is in flight, and refresh
+    /// triggers exactly when the live count is ≤ τ.
+    #[test]
+    fn maintenance_phases(
+        period in 1u64..6,
+        ping_timeout in 1u64..5,
+        entries in prop::collection::vec(1u32..30, 1..6),
+        answering in prop::collection::hash_set(1u32..30, 0..6),
+        tau in 0usize..4,
+    ) {
+        let mut task = MaintenanceTask::new(period, ping_timeout);
+        let pids: Vec<ProcessId> = entries.iter().map(|&e| ProcessId(e)).collect();
+        // Find the first Ping.
+        let mut round = 0;
+        let ping_round = loop {
+            match task.on_round(round, &pids, true, tau) {
+                MaintenanceAction::Ping { targets, .. } => {
+                    prop_assert_eq!(&targets, &pids, "pings go to every entry");
+                    break round;
+                }
+                MaintenanceAction::RestartBootstrap => {
+                    prop_assert!(pids.is_empty());
+                    return Ok(());
+                }
+                _ => {}
+            }
+            round += 1;
+            prop_assert!(round < 20, "ping never issued");
+        };
+        // Answers arrive immediately from the `answering` subset.
+        for &a in &answering {
+            task.on_pong(ProcessId(a), ping_round);
+        }
+        // While waiting, no second ping.
+        for r in ping_round + 1..ping_round + ping_timeout {
+            let action = task.on_round(r, &pids, true, tau);
+            prop_assert!(
+                !matches!(action, MaintenanceAction::Ping { .. }),
+                "double ping while awaiting pongs"
+            );
+        }
+        // At the timeout, refresh iff live ≤ τ.
+        let action = task.on_round(ping_round + ping_timeout, &pids, true, tau);
+        let live = pids.iter().filter(|p| answering.contains(&p.0)).count();
+        if live <= tau {
+            match action {
+                MaintenanceAction::Refresh { alive, dead } => {
+                    prop_assert_eq!(alive.len(), live);
+                    prop_assert_eq!(dead.len(), pids.len() - live);
+                }
+                other => prop_assert!(false, "expected Refresh, got {:?}", other),
+            }
+        } else {
+            let acceptable = matches!(
+                action,
+                MaintenanceAction::Idle | MaintenanceAction::Ping { .. }
+            );
+            prop_assert!(acceptable, "unexpected action {:?}", action);
+        }
+    }
+}

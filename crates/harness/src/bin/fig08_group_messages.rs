@@ -1,0 +1,26 @@
+//! Regenerates **Fig. 8** of the paper: number of events sent within each
+//! group (T2/T1/T0) as the fraction of alive processes varies, under
+//! stillborn failures.
+//!
+//! Usage: `cargo run --release -p da-harness --bin fig08_group_messages
+//! [--quick]`
+
+use da_harness::experiments::figures::{run_figure, FigureKind};
+use da_harness::experiments::{alive_fractions, Effort};
+use da_harness::{plot, results_dir};
+
+fn main() {
+    let effort = Effort::from_args();
+    let table = run_figure(
+        FigureKind::Fig08GroupMessages,
+        &effort.scenario(),
+        &alive_fractions(),
+        effort.trials(),
+        0xF1608,
+    );
+    print!("{}", table.to_markdown());
+    print!("{}", plot::ascii_plot(&table, 60, 16));
+    let dir = results_dir();
+    table.write_to(&dir).expect("write results");
+    println!("\nwritten to {}/{}.{{csv,md}}", dir.display(), table.file_stem());
+}

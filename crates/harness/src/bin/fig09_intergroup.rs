@@ -1,0 +1,27 @@
+//! Regenerates **Fig. 9** of the paper: number of inter-group events
+//! (T2→T1 and T1→T0) as the fraction of alive processes varies, under
+//! stillborn failures. The paper's observation: even with half the
+//! processes failed, at least one event reaches the supergroup.
+//!
+//! Usage: `cargo run --release -p da-harness --bin fig09_intergroup
+//! [--quick]`
+
+use da_harness::experiments::figures::{run_figure, FigureKind};
+use da_harness::experiments::{alive_fractions, Effort};
+use da_harness::{plot, results_dir};
+
+fn main() {
+    let effort = Effort::from_args();
+    let table = run_figure(
+        FigureKind::Fig09Intergroup,
+        &effort.scenario(),
+        &alive_fractions(),
+        effort.trials(),
+        0xF1609,
+    );
+    print!("{}", table.to_markdown());
+    print!("{}", plot::ascii_plot(&table, 60, 16));
+    let dir = results_dir();
+    table.write_to(&dir).expect("write results");
+    println!("\nwritten to {}/{}.{{csv,md}}", dir.display(), table.file_stem());
+}

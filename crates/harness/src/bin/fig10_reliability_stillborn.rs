@@ -1,0 +1,26 @@
+//! Regenerates **Fig. 10** of the paper: fraction of processes receiving a
+//! published event, per group, under stillborn failures (process state
+//! drawn once before round 0, never replaced).
+//!
+//! Usage: `cargo run --release -p da-harness --bin
+//! fig10_reliability_stillborn [--quick]`
+
+use da_harness::experiments::figures::{run_figure, FigureKind};
+use da_harness::experiments::{alive_fractions, Effort};
+use da_harness::{plot, results_dir};
+
+fn main() {
+    let effort = Effort::from_args();
+    let table = run_figure(
+        FigureKind::Fig10ReliabilityStillborn,
+        &effort.scenario(),
+        &alive_fractions(),
+        effort.trials(),
+        0xF1610,
+    );
+    print!("{}", table.to_markdown());
+    print!("{}", plot::ascii_plot(&table, 60, 16));
+    let dir = results_dir();
+    table.write_to(&dir).expect("write results");
+    println!("\nwritten to {}/{}.{{csv,md}}", dir.display(), table.file_stem());
+}

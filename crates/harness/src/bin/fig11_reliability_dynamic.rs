@@ -1,0 +1,28 @@
+//! Regenerates **Fig. 11** of the paper: fraction of processes receiving a
+//! published event, per group, under the *per-observer* failure model ("a
+//! process can appear to be failed for a process while appearing alive for
+//! another one"). The paper's observation: reliability is markedly better
+//! than Fig. 10's stillborn regime at equal aliveness.
+//!
+//! Usage: `cargo run --release -p da-harness --bin
+//! fig11_reliability_dynamic [--quick]`
+
+use da_harness::experiments::figures::{run_figure, FigureKind};
+use da_harness::experiments::{alive_fractions, Effort};
+use da_harness::{plot, results_dir};
+
+fn main() {
+    let effort = Effort::from_args();
+    let table = run_figure(
+        FigureKind::Fig11ReliabilityDynamic,
+        &effort.scenario(),
+        &alive_fractions(),
+        effort.trials(),
+        0xF1611,
+    );
+    print!("{}", table.to_markdown());
+    print!("{}", plot::ascii_plot(&table, 60, 16));
+    let dir = results_dir();
+    table.write_to(&dir).expect("write results");
+    println!("\nwritten to {}/{}.{{csv,md}}", dir.display(), table.file_stem());
+}

@@ -1,0 +1,24 @@
+//! Regenerates the **`O(S·ln S)` scaling claim** (Sec. VI-B): total event
+//! messages per publication vs the leaf-group size, with the normalised
+//! `messages / (S·lnS)` ratio alongside — flat-or-falling confirms the
+//! complexity class.
+//!
+//! Usage: `cargo run --release -p da-harness --bin fig_scaling [--quick]`
+
+use da_harness::experiments::scaling::run_scaling;
+use da_harness::experiments::Effort;
+use da_harness::{plot, results_dir};
+
+fn main() {
+    let effort = Effort::from_args();
+    let sizes: &[usize] = match effort {
+        Effort::Quick => &[50, 100, 200, 400],
+        Effort::Paper => &[100, 250, 500, 1000, 2000, 4000],
+    };
+    let table = run_scaling(sizes, effort.trials(), 0x5CA1E);
+    print!("{}", table.to_markdown());
+    print!("{}", plot::ascii_plot(&table, 60, 16));
+    let dir = results_dir();
+    table.write_to(&dir).expect("write results");
+    println!("\nwritten to {}", dir.display());
+}

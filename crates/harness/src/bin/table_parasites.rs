@@ -1,0 +1,21 @@
+//! Regenerates the **parasite-freedom comparison** (Sec. I and VI-E):
+//! one root-topic publication per algorithm; daMulticast and gossip
+//! multicast deliver to exactly the interested processes, broadcast and
+//! hierarchical broadcast flood everyone.
+//!
+//! Usage: `cargo run --release -p da-harness --bin table_parasites
+//! [--quick]`
+
+use da_harness::experiments::parasites::run_parasite_table;
+use da_harness::experiments::Effort;
+use da_harness::results_dir;
+
+fn main() {
+    let effort = Effort::from_args();
+    let sizes = effort.scenario().group_sizes;
+    let table = run_parasite_table(&sizes, effort.trials(), 0x9A7A);
+    print!("{}", table.to_markdown());
+    let dir = results_dir();
+    table.write_to(&dir).expect("write results");
+    println!("\nwritten to {}", dir.display());
+}

@@ -1,0 +1,171 @@
+//! Figures 8–11 of the paper: per-group message counts, inter-group
+//! message counts, and delivery reliability, swept over the fraction of
+//! alive processes.
+//!
+//! The four figures share one underlying sweep; they differ only in the
+//! failure model (stillborn vs per-observer) and in which metrics are
+//! extracted. [`FigureKind`] selects the figure.
+
+use crate::report::SeriesTable;
+use crate::runner::sweep;
+use crate::scenario::{run_scenario_metrics, FailureKind, ScenarioConfig};
+
+/// Which of the paper's four evaluation figures to regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FigureKind {
+    /// Fig. 8 — events sent within each group vs alive fraction
+    /// (stillborn failures).
+    Fig08GroupMessages,
+    /// Fig. 9 — events crossing group boundaries vs alive fraction
+    /// (stillborn failures).
+    Fig09Intergroup,
+    /// Fig. 10 — fraction of processes receiving the event, per group
+    /// (stillborn failures).
+    Fig10ReliabilityStillborn,
+    /// Fig. 11 — same as Fig. 10 under per-observer ("weakly consistent")
+    /// failures.
+    Fig11ReliabilityDynamic,
+}
+
+impl FigureKind {
+    /// The figure's title, as used in report files.
+    #[must_use]
+    pub fn title(self) -> &'static str {
+        match self {
+            FigureKind::Fig08GroupMessages => "Fig 08 events sent in each group",
+            FigureKind::Fig09Intergroup => "Fig 09 intergroup events",
+            FigureKind::Fig10ReliabilityStillborn => "Fig 10 reliability stillborn",
+            FigureKind::Fig11ReliabilityDynamic => "Fig 11 reliability dynamic",
+        }
+    }
+
+    /// The failure model this figure uses.
+    #[must_use]
+    pub fn failure(self) -> FailureKind {
+        match self {
+            FigureKind::Fig11ReliabilityDynamic => FailureKind::PerObserver,
+            _ => FailureKind::Stillborn,
+        }
+    }
+}
+
+/// Regenerates one of Figs. 8–11: sweeps `alive_fractions` with `trials`
+/// seeded runs per point over `base` (whose failure kind is overridden by
+/// the figure's).
+#[must_use]
+pub fn run_figure(
+    kind: FigureKind,
+    base: &ScenarioConfig,
+    alive_fractions: &[f64],
+    trials: usize,
+    seed: u64,
+) -> SeriesTable {
+    let levels = base.group_sizes.len();
+    let rows = sweep(alive_fractions, trials, seed, |alive, trial_seed| {
+        let config = base.clone().with_failure(kind.failure(), alive);
+        run_scenario_metrics(&config, trial_seed)
+    });
+
+    // Metric layout (see ScenarioOutcome::into_metrics):
+    // [0..levels)                intra per level (top-down)
+    // [levels..2·levels-1)       inter_in per boundary
+    // [2·levels-1..3·levels-1)   delivered fraction per level
+    let (columns, indices): (Vec<String>, Vec<usize>) = match kind {
+        FigureKind::Fig08GroupMessages => (
+            // The paper plots bottom-up: T2 dominates the figure.
+            (0..levels)
+                .rev()
+                .map(|l| format!("group T{l}"))
+                .collect(),
+            (0..levels).rev().collect(),
+        ),
+        FigureKind::Fig09Intergroup => (
+            (1..levels)
+                .rev()
+                .map(|l| format!("T{l} to T{}", l - 1))
+                .collect(),
+            // inter_in[i] (metric index levels + i) counts arrivals at
+            // level i from level i+1; boundary "Tl→T(l-1)" is index l-1.
+            (1..levels).rev().map(|l| levels + (l - 1)).collect(),
+        ),
+        FigureKind::Fig10ReliabilityStillborn | FigureKind::Fig11ReliabilityDynamic => (
+            (0..levels)
+                .rev()
+                .map(|l| format!("group T{l}"))
+                .collect(),
+            (0..levels).rev().map(|l| 2 * levels - 1 + l).collect(),
+        ),
+    };
+
+    let mut table = SeriesTable::new(kind.title(), "alive fraction", columns);
+    for (x, summaries) in rows {
+        let values = indices.iter().map(|&i| summaries[i]).collect();
+        table.push_row(x, values);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(kind: FigureKind) -> SeriesTable {
+        run_figure(
+            kind,
+            &ScenarioConfig::small(),
+            &[0.4, 1.0],
+            3,
+            7,
+        )
+    }
+
+    #[test]
+    fn fig08_shape() {
+        let t = quick(FigureKind::Fig08GroupMessages);
+        assert_eq!(t.columns, vec!["group T2", "group T1", "group T0"]);
+        assert_eq!(t.rows.len(), 2);
+        // At full aliveness the leaf group (100 members) sends far more
+        // than the root group (5 members).
+        let full = &t.rows[1];
+        assert!(full.values[0].mean > full.values[2].mean);
+        // More failures → fewer messages.
+        assert!(t.rows[0].values[0].mean < full.values[0].mean);
+    }
+
+    #[test]
+    fn fig09_boundaries() {
+        let t = quick(FigureKind::Fig09Intergroup);
+        assert_eq!(t.columns, vec!["T2 to T1", "T1 to T0"]);
+        // At full aliveness at least one event crosses each boundary on
+        // average (the paper's claim).
+        let full = &t.rows[1];
+        assert!(full.values[0].mean >= 1.0, "T2→T1 = {}", full.values[0].mean);
+    }
+
+    #[test]
+    fn fig10_reliability_bounds() {
+        let t = quick(FigureKind::Fig10ReliabilityStillborn);
+        for row in &t.rows {
+            for v in &row.values {
+                assert!((0.0..=1.0).contains(&v.mean));
+            }
+        }
+        // Full aliveness: leaf group reliability near 1.
+        assert!(t.rows[1].values[0].mean > 0.9);
+    }
+
+    #[test]
+    fn fig11_beats_fig10_under_failures() {
+        let f10 = quick(FigureKind::Fig10ReliabilityStillborn);
+        let f11 = quick(FigureKind::Fig11ReliabilityDynamic);
+        // At 40% aliveness the per-observer model keeps reliability
+        // markedly higher (the paper's headline Fig. 11 observation);
+        // compare the leaf group column.
+        assert!(
+            f11.rows[0].values[0].mean >= f10.rows[0].values[0].mean,
+            "dynamic {} < stillborn {}",
+            f11.rows[0].values[0].mean,
+            f10.rows[0].values[0].mean
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Result tables and their CSV / Markdown renderings.
+
+use crate::stats::Summary;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A table of summarised series: one row per x-value (e.g. alive
+/// fraction), one column per series (e.g. group T2 / T1 / T0).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesTable {
+    /// Table title (used as the heading and the output file stem).
+    pub title: String,
+    /// Label of the x column.
+    pub x_label: String,
+    /// Labels of the value columns.
+    pub columns: Vec<String>,
+    /// Rows in ascending x order.
+    pub rows: Vec<SeriesRow>,
+}
+
+/// One row of a [`SeriesTable`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesRow {
+    /// The x value.
+    pub x: f64,
+    /// One summary per column.
+    pub values: Vec<Summary>,
+}
+
+impl SeriesTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        SeriesTable {
+            title: title.into(),
+            x_label: x_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` has a different length than `columns` — a
+    /// programming error in the experiment.
+    pub fn push_row(&mut self, x: f64, values: Vec<Summary>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match the column count"
+        );
+        self.rows.push(SeriesRow { x, values });
+    }
+
+    /// Renders the table as CSV with `mean` and `std` columns per series.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.x_label));
+        for c in &self.columns {
+            let _ = write!(out, ",{}_mean,{}_std", csv_escape(c), csv_escape(c));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "{}", row.x);
+            for v in &row.values {
+                let _ = write!(out, ",{},{}", fmt_num(v.mean), fmt_num(v.std_dev));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured Markdown (mean ± std).
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = write!(out, "| {} |", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, " {c} |");
+        }
+        out.push('\n');
+        let _ = write!(out, "|---|");
+        for _ in &self.columns {
+            let _ = write!(out, "---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "| {} |", fmt_num(row.x));
+            for v in &row.values {
+                if v.std_dev > 0.0 {
+                    let _ = write!(out, " {} ± {} |", fmt_num(v.mean), fmt_num(v.std_dev));
+                } else {
+                    let _ = write!(out, " {} |", fmt_num(v.mean));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<stem>.csv` and `<stem>.md` under `dir`, creating the
+    /// directory if needed. The stem is the lowercased title with
+    /// non-alphanumerics collapsed to `_`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let stem = self.file_stem();
+        std::fs::write(dir.join(format!("{stem}.csv")), self.to_csv())?;
+        std::fs::write(dir.join(format!("{stem}.md")), self.to_markdown())?;
+        Ok(())
+    }
+
+    /// The output file stem derived from the title.
+    #[must_use]
+    pub fn file_stem(&self) -> String {
+        file_stem_of(&self.title)
+    }
+}
+
+/// A table keyed by row label instead of a numeric x — used for the
+/// algorithm-comparison tables (Sec. VI-E), where rows are algorithms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeyedTable {
+    /// Table title (also the output file stem).
+    pub title: String,
+    /// Label of the key column.
+    pub key_label: String,
+    /// Labels of the value columns.
+    pub columns: Vec<String>,
+    /// `(key, values)` rows.
+    pub rows: Vec<(String, Vec<Summary>)>,
+}
+
+impl KeyedTable {
+    /// Creates an empty keyed table.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        key_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        KeyedTable {
+            title: title.into(),
+            key_label: key_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` has a different length than `columns`.
+    pub fn push_row(&mut self, key: impl Into<String>, values: Vec<Summary>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match the column count"
+        );
+        self.rows.push((key.into(), values));
+    }
+
+    /// Renders as CSV (mean and std per column).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.key_label));
+        for c in &self.columns {
+            let _ = write!(out, ",{}_mean,{}_std", csv_escape(c), csv_escape(c));
+        }
+        out.push('\n');
+        for (key, values) in &self.rows {
+            let _ = write!(out, "{}", csv_escape(key));
+            for v in values {
+                let _ = write!(out, ",{},{}", fmt_num(v.mean), fmt_num(v.std_dev));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as GitHub-flavoured Markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = write!(out, "| {} |", self.key_label);
+        for c in &self.columns {
+            let _ = write!(out, " {c} |");
+        }
+        out.push('\n');
+        let _ = write!(out, "|---|");
+        for _ in &self.columns {
+            let _ = write!(out, "---|");
+        }
+        out.push('\n');
+        for (key, values) in &self.rows {
+            let _ = write!(out, "| {key} |");
+            for v in values {
+                if v.std_dev > 0.0 {
+                    let _ = write!(out, " {} ± {} |", fmt_num(v.mean), fmt_num(v.std_dev));
+                } else {
+                    let _ = write!(out, " {} |", fmt_num(v.mean));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<stem>.csv` and `<stem>.md` under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let stem = file_stem_of(&self.title);
+        std::fs::write(dir.join(format!("{stem}.csv")), self.to_csv())?;
+        std::fs::write(dir.join(format!("{stem}.md")), self.to_markdown())?;
+        Ok(())
+    }
+}
+
+/// Lowercased title with non-alphanumerics collapsed to `_`.
+fn file_stem_of(title: &str) -> String {
+    let mut stem = String::with_capacity(title.len());
+    let mut last_underscore = true;
+    for ch in title.chars() {
+        if ch.is_ascii_alphanumeric() {
+            stem.push(ch.to_ascii_lowercase());
+            last_underscore = false;
+        } else if !last_underscore {
+            stem.push('_');
+            last_underscore = true;
+        }
+    }
+    stem.trim_end_matches('_').to_owned()
+}
+
+/// Compact numeric formatting: integers verbatim, otherwise 4 significant
+/// decimals.
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> SeriesTable {
+        let mut t = SeriesTable::new(
+            "Fig 8: events per group",
+            "alive_fraction",
+            vec!["T2".into(), "T1".into()],
+        );
+        t.push_row(0.5, vec![Summary::of(&[10.0, 12.0]), Summary::exact(3.0)]);
+        t.push_row(1.0, vec![Summary::exact(20.0), Summary::exact(5.0)]);
+        t
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = sample_table().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "alive_fraction,T2_mean,T2_std,T1_mean,T1_std");
+        assert!(lines[1].starts_with("0.5,11,"));
+        assert!(lines[2].starts_with("1,20,0,5,0"));
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample_table().to_markdown();
+        assert!(md.contains("### Fig 8"));
+        assert!(md.contains("| alive_fraction | T2 | T1 |"));
+        assert!(md.contains("± "), "std dev shown when non-zero");
+        assert!(md.contains("| 1 | 20 | 5 |"));
+    }
+
+    #[test]
+    fn file_stem_sanitised() {
+        assert_eq!(
+            sample_table().file_stem(),
+            "fig_8_events_per_group"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = SeriesTable::new("t", "x", vec!["a".into()]);
+        t.push_row(0.0, vec![]);
+    }
+
+    #[test]
+    fn write_creates_files() {
+        let dir = std::env::temp_dir().join("da_harness_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        sample_table().write_to(&dir).unwrap();
+        assert!(dir.join("fig_8_events_per_group.csv").exists());
+        assert!(dir.join("fig_8_events_per_group.md").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = SeriesTable::new("t", "x,with comma", vec!["a\"b".into()]);
+        t.push_row(1.0, vec![Summary::exact(1.0)]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("\"x,with comma\",\"a\"\"b\"_mean"));
+    }
+
+    #[test]
+    fn keyed_table_renders() {
+        let mut t = KeyedTable::new(
+            "Message complexity",
+            "algorithm",
+            vec!["measured".into(), "analytic".into()],
+        );
+        t.push_row("daMulticast", vec![Summary::exact(100.0), Summary::exact(110.0)]);
+        t.push_row("broadcast", vec![Summary::of(&[200.0, 220.0]), Summary::exact(215.0)]);
+        let md = t.to_markdown();
+        assert!(md.contains("| daMulticast | 100 | 110 |"));
+        assert!(md.contains("± "));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("algorithm,measured_mean,measured_std"));
+        assert!(csv.contains("daMulticast,100,0,110,0"));
+    }
+
+    #[test]
+    fn keyed_table_writes_files() {
+        let dir = std::env::temp_dir().join("da_harness_keyed_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = KeyedTable::new("Tiny Keyed", "k", vec!["v".into()]);
+        t.push_row("row", vec![Summary::exact(1.0)]);
+        t.write_to(&dir).unwrap();
+        assert!(dir.join("tiny_keyed.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,150 @@
+//! Parallel trial execution.
+//!
+//! Every experiment repeats each configuration over several seeds and
+//! reports summary statistics. Trials are independent simulations, so
+//! they run on scoped worker threads (crossbeam) — the simulation kernel
+//! itself stays single-threaded and deterministic per seed.
+
+use crate::stats::Summary;
+use da_simnet::derive_seed;
+
+/// Runs `trials` independent executions of `run` (seeded deterministically
+/// from `base_seed`) and summarises each returned metric across trials.
+///
+/// `run(seed)` must return the same number of metrics on every call.
+///
+/// # Panics
+///
+/// Panics if `run` returns inconsistent metric counts or a worker thread
+/// panics.
+pub fn run_trials<F>(trials: usize, base_seed: u64, run: F) -> Vec<Summary>
+where
+    F: Fn(u64) -> Vec<f64> + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZeroUsize::get)
+        .min(trials);
+    let results: Vec<Vec<f64>> = crossbeam::thread::scope(|scope| {
+        let run = &run;
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            handles.push(scope.spawn(move |_| {
+                let mut mine = Vec::new();
+                let mut t = worker;
+                while t < trials {
+                    mine.push((t, run(derive_seed(base_seed, t as u64))));
+                    t += threads;
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<(usize, Vec<f64>)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("trial worker panicked"))
+            .collect();
+        // Deterministic aggregation order regardless of thread scheduling.
+        all.sort_by_key(|(t, _)| *t);
+        all.into_iter().map(|(_, m)| m).collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let width = results[0].len();
+    assert!(
+        results.iter().all(|r| r.len() == width),
+        "every trial must report the same metrics"
+    );
+    (0..width)
+        .map(|m| {
+            let samples: Vec<f64> = results.iter().map(|r| r[m]).collect();
+            Summary::of(&samples)
+        })
+        .collect()
+}
+
+/// Sweeps `xs`, running [`run_trials`] at every point. Returns
+/// `(x, summaries)` pairs in input order. Each sweep point gets an
+/// independent seed stream, so adding points never perturbs existing ones.
+pub fn sweep<F>(
+    xs: &[f64],
+    trials: usize,
+    base_seed: u64,
+    run: F,
+) -> Vec<(f64, Vec<Summary>)>
+where
+    F: Fn(f64, u64) -> Vec<f64> + Sync,
+{
+    xs.iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let point_seed = derive_seed(base_seed, 0x5EED_0000 + i as u64);
+            let summaries = run_trials(trials, point_seed, |seed| run(x, seed));
+            (x, summaries)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_aggregate_deterministically() {
+        let f = |seed: u64| vec![(seed % 100) as f64, 1.0];
+        let a = run_trials(16, 42, f);
+        let b = run_trials(16, 42, f);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].mean, b[0].mean, "same seeds, same result");
+        assert_eq!(a[1].mean, 1.0);
+        assert_eq!(a[0].count, 16);
+    }
+
+    #[test]
+    fn different_base_seed_changes_samples() {
+        let f = |seed: u64| vec![(seed % 1000) as f64];
+        let a = run_trials(8, 1, f);
+        let b = run_trials(8, 2, f);
+        assert_ne!(a[0].mean, b[0].mean);
+    }
+
+    #[test]
+    fn zero_trials_empty() {
+        assert!(run_trials(0, 1, |_| vec![1.0]).is_empty());
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_isolation() {
+        let rows = sweep(&[0.1, 0.2, 0.3], 4, 7, |x, seed| {
+            vec![x * 10.0 + (seed % 2) as f64 * 0.0]
+        });
+        assert_eq!(rows.len(), 3);
+        assert!((rows[0].0 - 0.1).abs() < 1e-12);
+        assert!((rows[0].1[0].mean - 1.0).abs() < 1e-9);
+        assert!((rows[2].1[0].mean - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "same metrics")]
+    fn inconsistent_metric_count_panics() {
+        let _ = run_trials(4, 1, |seed| {
+            if seed % 2 == 0 {
+                vec![1.0]
+            } else {
+                vec![1.0, 2.0]
+            }
+        });
+    }
+
+    #[test]
+    fn parallelism_matches_serial_reference() {
+        // The mean of f(seed) must match a serial computation exactly.
+        let f = |seed: u64| vec![(seed % 17) as f64];
+        let summaries = run_trials(32, 9, f);
+        let serial: Vec<f64> = (0..32)
+            .map(|t| (derive_seed(9, t) % 17) as f64)
+            .collect();
+        assert!((summaries[0].mean - Summary::of(&serial).mean).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the membership substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MembershipError {
+    /// A group had no members where at least one was required.
+    EmptyGroup {
+        /// Which operation needed a non-empty group.
+        context: &'static str,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MembershipError::EmptyGroup { context } => {
+                write!(f, "operation '{context}' requires a non-empty group")
+            }
+            MembershipError::InvalidParameter { reason } => {
+                write!(f, "invalid membership parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for MembershipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MembershipError::EmptyGroup { context: "static_init" };
+        assert!(e.to_string().contains("static_init"));
+        let e = MembershipError::InvalidParameter {
+            reason: "z must be positive".into(),
+        };
+        assert!(e.to_string().contains("z must be positive"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MembershipError>();
+    }
+}

@@ -1,0 +1,232 @@
+use da_simnet::ProcessId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A bounded partial view of a process group.
+///
+/// Invariants, maintained by construction and asserted in tests:
+///
+/// * never contains the owner (a process does not list itself),
+/// * never contains duplicates,
+/// * never exceeds its capacity.
+///
+/// When a new entry arrives while the view is full, a uniformly random
+/// resident entry is evicted — the randomised replacement of the underlying
+/// membership algorithm which keeps views unbiased.
+///
+/// ```
+/// use da_membership::PartialView;
+/// use da_simnet::{rng_from_seed, ProcessId};
+///
+/// let mut view = PartialView::new(ProcessId(0), 2);
+/// let mut rng = rng_from_seed(1);
+/// view.insert(ProcessId(1), &mut rng);
+/// view.insert(ProcessId(0), &mut rng); // self: ignored
+/// view.insert(ProcessId(1), &mut rng); // duplicate: ignored
+/// assert_eq!(view.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialView {
+    owner: ProcessId,
+    capacity: usize,
+    entries: Vec<ProcessId>,
+}
+
+impl PartialView {
+    /// Creates an empty view owned by `owner` with the given capacity.
+    #[must_use]
+    pub fn new(owner: ProcessId, capacity: usize) -> Self {
+        PartialView {
+            owner,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The process owning this view.
+    #[must_use]
+    pub fn owner(&self) -> ProcessId {
+        self.owner
+    }
+
+    /// Maximum number of entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the view holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when the view is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// True when `pid` is in the view.
+    #[must_use]
+    pub fn contains(&self, pid: ProcessId) -> bool {
+        self.entries.contains(&pid)
+    }
+
+    /// The entries as a slice, in insertion order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[ProcessId] {
+        &self.entries
+    }
+
+    /// Iterates over the entries.
+    pub fn iter(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Inserts `pid`, evicting a random resident if full. Self-references
+    /// and duplicates are silently ignored. Returns true if `pid` is in the
+    /// view afterwards and was not before.
+    pub fn insert<R: Rng>(&mut self, pid: ProcessId, rng: &mut R) -> bool {
+        if pid == self.owner || self.contains(pid) || self.capacity == 0 {
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim = rng.gen_range(0..self.entries.len());
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(pid);
+        true
+    }
+
+    /// Removes `pid` if present; returns whether it was present.
+    pub fn remove(&mut self, pid: ProcessId) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&e| e == pid) {
+            self.entries.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Retains only entries satisfying the predicate.
+    pub fn retain<F: FnMut(ProcessId) -> bool>(&mut self, mut keep: F) {
+        self.entries.retain(|&e| keep(e));
+    }
+
+    /// Merges the entries of `incoming` into the view (random eviction
+    /// when full). Returns the number of new entries absorbed.
+    pub fn merge<R: Rng>(&mut self, incoming: &[ProcessId], rng: &mut R) -> usize {
+        incoming
+            .iter()
+            .filter(|&&pid| self.insert(pid, rng))
+            .count()
+    }
+
+    /// Samples up to `k` distinct entries uniformly at random.
+    pub fn sample<R: Rng>(&self, k: usize, rng: &mut R) -> Vec<ProcessId> {
+        let mut pool = self.entries.clone();
+        pool.shuffle(rng);
+        pool.truncate(k);
+        pool
+    }
+
+    /// One uniformly random entry, or `None` when empty.
+    pub fn choose<R: Rng>(&self, rng: &mut R) -> Option<ProcessId> {
+        self.entries.choose(rng).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_simnet::rng_from_seed;
+
+    #[test]
+    fn rejects_self_and_duplicates() {
+        let mut rng = rng_from_seed(0);
+        let mut v = PartialView::new(ProcessId(0), 5);
+        assert!(!v.insert(ProcessId(0), &mut rng));
+        assert!(v.insert(ProcessId(1), &mut rng));
+        assert!(!v.insert(ProcessId(1), &mut rng));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn eviction_preserves_capacity() {
+        let mut rng = rng_from_seed(1);
+        let mut v = PartialView::new(ProcessId(0), 3);
+        for i in 1..=10u32 {
+            v.insert(ProcessId(i), &mut rng);
+            assert!(v.len() <= 3);
+        }
+        assert_eq!(v.len(), 3);
+        // The newest entry always survives its own insertion.
+        assert!(v.contains(ProcessId(10)));
+    }
+
+    #[test]
+    fn zero_capacity_accepts_nothing() {
+        let mut rng = rng_from_seed(2);
+        let mut v = PartialView::new(ProcessId(0), 0);
+        assert!(!v.insert(ProcessId(1), &mut rng));
+        assert!(v.is_empty());
+        assert!(v.is_full());
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut rng = rng_from_seed(3);
+        let mut v = PartialView::new(ProcessId(0), 10);
+        for i in 1..=5u32 {
+            v.insert(ProcessId(i), &mut rng);
+        }
+        assert!(v.remove(ProcessId(3)));
+        assert!(!v.remove(ProcessId(3)));
+        v.retain(|p| p.0 % 2 == 0);
+        assert!(v.iter().all(|p| p.0 % 2 == 0));
+    }
+
+    #[test]
+    fn merge_counts_new_entries() {
+        let mut rng = rng_from_seed(4);
+        let mut v = PartialView::new(ProcessId(0), 10);
+        v.insert(ProcessId(1), &mut rng);
+        let absorbed = v.merge(
+            &[ProcessId(1), ProcessId(2), ProcessId(0), ProcessId(3)],
+            &mut rng,
+        );
+        assert_eq!(absorbed, 2); // 1 is duplicate, 0 is self
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn sample_is_distinct_and_bounded() {
+        let mut rng = rng_from_seed(5);
+        let mut v = PartialView::new(ProcessId(0), 10);
+        for i in 1..=8u32 {
+            v.insert(ProcessId(i), &mut rng);
+        }
+        let s = v.sample(5, &mut rng);
+        assert_eq!(s.len(), 5);
+        let mut sorted = s.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        assert_eq!(v.sample(100, &mut rng).len(), 8);
+    }
+
+    #[test]
+    fn choose_none_when_empty() {
+        let mut rng = rng_from_seed(6);
+        let v = PartialView::new(ProcessId(0), 4);
+        assert_eq!(v.choose(&mut rng), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests on the membership substrate: partial-view invariants
+//! under arbitrary operation sequences, static-table laws, and gossip
+//! convergence.
+
+use da_membership::{
+    kmg_view_size, static_init, FanoutRule, FlatMembership, MembershipParams, PartialView,
+};
+use da_simnet::{rng_from_seed, ProcessId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Operations applied to a view in sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    Merge(Vec<u32>),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..50).prop_map(Op::Insert),
+        (0u32..50).prop_map(Op::Remove),
+        prop::collection::vec(0u32..50, 0..8).prop_map(Op::Merge),
+    ]
+}
+
+proptest! {
+    /// View invariants hold under every operation sequence: no self, no
+    /// duplicates, never over capacity.
+    #[test]
+    fn view_invariants_under_any_ops(
+        capacity in 0usize..12,
+        ops in prop::collection::vec(arb_op(), 0..60),
+        seed in 0u64..10_000,
+    ) {
+        let owner = ProcessId(0);
+        let mut rng = rng_from_seed(seed);
+        let mut view = PartialView::new(owner, capacity);
+        for op in ops {
+            match op {
+                Op::Insert(p) => {
+                    view.insert(ProcessId(p), &mut rng);
+                }
+                Op::Remove(p) => {
+                    view.remove(ProcessId(p));
+                }
+                Op::Merge(ps) => {
+                    let pids: Vec<ProcessId> = ps.into_iter().map(ProcessId).collect();
+                    view.merge(&pids, &mut rng);
+                }
+            }
+            prop_assert!(view.len() <= capacity);
+            prop_assert!(!view.contains(owner));
+            let unique: HashSet<ProcessId> = view.iter().collect();
+            prop_assert_eq!(unique.len(), view.len());
+        }
+    }
+
+    /// `kmg_view_size` laws: bounded by S−1, monotone in b, and matches
+    /// the ceil formula when not capped.
+    #[test]
+    fn view_size_laws(b in 0.0f64..8.0, s in 0usize..100_000) {
+        let size = kmg_view_size(b, s);
+        prop_assert!(size <= s.saturating_sub(1));
+        prop_assert!(kmg_view_size(b + 1.0, s) >= size);
+        if s > 1 {
+            let ideal = ((b + 1.0) * (s as f64).ln()).ceil() as usize;
+            prop_assert_eq!(size, ideal.min(s - 1));
+        }
+    }
+
+    /// Fanout rules: capped by S−1, zero for trivial groups, monotone in
+    /// the group size.
+    #[test]
+    fn fanout_laws(c in 0.0f64..10.0, s in 0usize..100_000) {
+        for rule in [
+            FanoutRule::LnPlusC { c },
+            FanoutRule::Log10PlusC { c },
+            FanoutRule::Fixed(c as usize),
+        ] {
+            let f = rule.fanout(s);
+            prop_assert!(f <= s.saturating_sub(1));
+            if s <= 1 {
+                prop_assert_eq!(f, 0);
+            }
+            prop_assert!(rule.fanout(s.saturating_mul(2)) >= f || s == 0);
+        }
+    }
+
+    /// Static topic tables: right size, no self, no duplicates, all
+    /// within the group — for any group size.
+    #[test]
+    fn static_tables_well_formed(n in 1usize..200, b in 0.0f64..6.0, seed in 0u64..10_000) {
+        let members: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+        let mut rng = rng_from_seed(seed);
+        let tables = static_init::static_topic_tables(&members, b, &mut rng).unwrap();
+        let expected = kmg_view_size(b, n);
+        for (&me, table) in &tables {
+            prop_assert_eq!(table.len(), expected.min(n - 1));
+            prop_assert!(!table.contains(&me));
+            let unique: HashSet<&ProcessId> = table.iter().collect();
+            prop_assert_eq!(unique.len(), table.len());
+            prop_assert!(table.iter().all(|p| members.contains(p)));
+        }
+    }
+
+    /// Static supertables: size min(z, supergroup), distinct, all in the
+    /// supergroup.
+    #[test]
+    fn static_super_tables_well_formed(
+        n in 1usize..60,
+        sup in 1usize..60,
+        z in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let members: Vec<ProcessId> = (0..n as u32).map(ProcessId).collect();
+        let supergroup: Vec<ProcessId> =
+            (1000..1000 + sup as u32).map(ProcessId).collect();
+        let mut rng = rng_from_seed(seed);
+        let tables =
+            static_init::static_super_tables(&members, &supergroup, z, &mut rng).unwrap();
+        for table in tables.values() {
+            prop_assert_eq!(table.len(), z.min(sup));
+            prop_assert!(table.iter().all(|p| supergroup.contains(p)));
+            let unique: HashSet<&ProcessId> = table.iter().collect();
+            prop_assert_eq!(unique.len(), table.len());
+        }
+    }
+
+    /// Gossip convergence: two membership components that exchange one
+    /// digest in each direction end up knowing each other.
+    #[test]
+    fn digest_exchange_connects(seed in 0u64..10_000) {
+        let params = MembershipParams::paper_default(10);
+        let mut rng = rng_from_seed(seed);
+        let mut a = FlatMembership::new(ProcessId(0), params);
+        let mut b = FlatMembership::new(ProcessId(1), params);
+        // a joins through b.
+        let joins = a.join(&[ProcessId(1)], &mut rng);
+        for (to, msg) in joins {
+            prop_assert_eq!(to, ProcessId(1));
+            let replies = b.on_message(ProcessId(0), &msg, 0, &mut rng);
+            for (_, reply) in replies {
+                a.on_message(ProcessId(1), &reply, 0, &mut rng);
+            }
+        }
+        prop_assert!(a.view().contains(ProcessId(1)));
+        prop_assert!(b.view().contains(ProcessId(0)));
+    }
+
+    /// Group assignment is a disjoint dense cover.
+    #[test]
+    fn assign_members_partition(sizes in prop::collection::vec(0usize..50, 1..6)) {
+        let groups = static_init::assign_group_members(&sizes);
+        prop_assert_eq!(groups.len(), sizes.len());
+        let mut all = Vec::new();
+        for (g, size) in groups.iter().zip(&sizes) {
+            prop_assert_eq!(g.len(), *size);
+            all.extend(g.iter().copied());
+        }
+        let total: usize = sizes.iter().sum();
+        prop_assert_eq!(all.len(), total);
+        let unique: HashSet<ProcessId> = all.iter().copied().collect();
+        prop_assert_eq!(unique.len(), total, "groups must be disjoint");
+        // Dense 0..total.
+        for i in 0..total {
+            prop_assert!(unique.contains(&ProcessId::from_index(i)));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+use serde::{Deserialize, Serialize};
+
+/// Message latency, measured in gossip rounds.
+///
+/// The paper's simulation is round-synchronous: a message sent in round `n`
+/// is available at the start of round `n + 1`, which is
+/// [`Latency::Fixed`]`(1)`. [`Latency::UniformRounds`] models jittery links
+/// where delivery may straggle by several rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Latency {
+    /// Every message takes exactly this many rounds (minimum 1).
+    Fixed(u64),
+    /// Latency drawn uniformly from `min..=max` rounds per message.
+    UniformRounds {
+        /// Lower bound (inclusive, minimum 1).
+        min: u64,
+        /// Upper bound (inclusive).
+        max: u64,
+    },
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::Fixed(1)
+    }
+}
+
+/// Configuration of the unreliable best-effort channels (Sec. III-A of the
+/// paper; the simulation uses a flat success probability of 0.85,
+/// Sec. VII-A).
+///
+/// ```
+/// use da_simnet::ChannelConfig;
+/// let paper = ChannelConfig::paper_default();
+/// assert!((paper.success_probability - 0.85).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Probability that a sent message survives the channel
+    /// (`p_succ` in the paper's analysis).
+    pub success_probability: f64,
+    /// Delivery latency model.
+    pub latency: Latency,
+}
+
+impl ChannelConfig {
+    /// Perfectly reliable channels with one-round latency.
+    #[must_use]
+    pub fn reliable() -> Self {
+        ChannelConfig {
+            success_probability: 1.0,
+            latency: Latency::default(),
+        }
+    }
+
+    /// The paper's simulation setting: `p_succ = 0.85`, one-round latency
+    /// ("The probability for an event to be received is set to an arbitrary
+    /// value of 0.85, to simulate unreliable, i.e. best effort, channels").
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ChannelConfig {
+            success_probability: 0.85,
+            latency: Latency::default(),
+        }
+    }
+
+    /// Sets the success probability, clamping into `[0, 1]`.
+    #[must_use]
+    pub fn with_success_probability(mut self, p: f64) -> Self {
+        self.success_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: Latency) -> Self {
+        self.latency = latency;
+        self
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = ChannelConfig::default();
+        assert!((c.success_probability - 1.0).abs() < f64::EPSILON);
+        assert_eq!(c.latency, Latency::Fixed(1));
+    }
+
+    #[test]
+    fn paper_default_is_085() {
+        assert!((ChannelConfig::paper_default().success_probability - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_clamps() {
+        let c = ChannelConfig::default().with_success_probability(1.5);
+        assert!((c.success_probability - 1.0).abs() < f64::EPSILON);
+        let c = ChannelConfig::default().with_success_probability(-0.2);
+        assert!(c.success_probability.abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn latency_builder() {
+        let c = ChannelConfig::default().with_latency(Latency::UniformRounds { min: 1, max: 3 });
+        assert_eq!(c.latency, Latency::UniformRounds { min: 1, max: 3 });
+    }
+}

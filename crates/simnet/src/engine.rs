@@ -1,0 +1,796 @@
+//! The round-driven simulation engine.
+
+use crate::channel::{ChannelConfig, Latency};
+use crate::event::MessageQueue;
+use crate::failure::{FailureModel, FailurePlan};
+use crate::metrics::Counters;
+use crate::process::{ProcessId, ProcessStatus};
+use crate::rng::{derive_seed, rng_for_process, rng_from_seed};
+use crate::wire::WireSize;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A protocol running at every simulated process.
+///
+/// The engine drives one instance per process: [`Protocol::on_start`] once
+/// before round 0, [`Protocol::on_message`] for each delivered message, and
+/// [`Protocol::on_round`] once per round while the process is alive.
+/// Messages sent from within the hooks travel through the unreliable
+/// channel and arrive in a later round.
+pub trait Protocol {
+    /// The protocol's message type.
+    type Msg: Clone + std::fmt::Debug + WireSize;
+
+    /// Called once before round 0. Default: no-op.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message addressed to this process survives the channel
+    /// and the process is alive.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called once per round for alive processes, after all deliveries due
+    /// that round. Default: no-op.
+    fn on_round(&mut self, round: u64, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = (round, ctx);
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Master seed from which every RNG stream is derived.
+    pub seed: u64,
+    /// Channel loss/latency model.
+    pub channel: ChannelConfig,
+    /// Failure model applied to the population.
+    pub failure: FailureModel,
+}
+
+impl SimConfig {
+    /// Configuration with reliable channels, no failures, seed 0.
+    #[must_use]
+    pub fn new() -> Self {
+        SimConfig {
+            seed: 0,
+            channel: ChannelConfig::default(),
+            failure: FailureModel::None,
+        }
+    }
+
+    /// Replaces the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the channel configuration.
+    #[must_use]
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Replaces the failure model.
+    #[must_use]
+    pub fn with_failure(mut self, failure: FailureModel) -> Self {
+        self.failure = failure;
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new()
+    }
+}
+
+/// Per-callback execution context handed to [`Protocol`] hooks.
+///
+/// Provides the process identity, the current round, a deterministic
+/// per-process RNG, the shared metrics registry, and the outbox.
+pub struct Ctx<'a, M> {
+    me: ProcessId,
+    round: u64,
+    rng: &'a mut SmallRng,
+    counters: &'a mut Counters,
+    outbox: &'a mut Vec<(ProcessId, M)>,
+}
+
+impl<M> Ctx<'_, M> {
+    /// The process this callback runs at.
+    #[must_use]
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The current round (virtual time).
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Queues a best-effort message to `to`. The message is subject to
+    /// channel loss, latency, and the failure model.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// The deterministic RNG stream of this process.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// The shared metrics registry.
+    pub fn counters(&mut self) -> &mut Counters {
+        self.counters
+    }
+}
+
+/// Summary of one executed round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// The round that was executed.
+    pub round: u64,
+    /// Messages handed to `on_message` this round.
+    pub delivered: u64,
+    /// Messages queued for sending during this round.
+    pub sent: u64,
+}
+
+impl RoundReport {
+    /// True when the round neither delivered nor produced messages —
+    /// the usual quiescence criterion.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.delivered == 0 && self.sent == 0
+    }
+}
+
+/// The round-driven simulation engine.
+///
+/// Owns one [`Protocol`] instance per process (`ProcessId` = index), the
+/// in-flight message queue, the failure plan, and the metrics registry.
+/// See the crate-level docs for an end-to-end example.
+pub struct Engine<P: Protocol> {
+    processes: Vec<P>,
+    status: Vec<ProcessStatus>,
+    rngs: Vec<SmallRng>,
+    queue: MessageQueue<P::Msg>,
+    counters: Counters,
+    channel: ChannelConfig,
+    plan: FailurePlan,
+    engine_rng: SmallRng,
+    observer_rng: SmallRng,
+    round: u64,
+    started: bool,
+}
+
+impl<P: Protocol> Engine<P> {
+    /// Builds an engine over `processes` (process `i` gets `ProcessId(i)`).
+    ///
+    /// The failure model is materialised immediately: stillborn processes
+    /// are crashed before round 0.
+    #[must_use]
+    pub fn new(config: SimConfig, processes: Vec<P>) -> Self {
+        let population = processes.len();
+        let plan = config.failure.materialize(population, config.seed);
+        let mut status = vec![ProcessStatus::Alive; population];
+        for pid in plan.initially_crashed() {
+            status[pid.index()] = ProcessStatus::Crashed;
+        }
+        let rngs = (0..population)
+            .map(|i| rng_for_process(config.seed, ProcessId::from_index(i)))
+            .collect();
+        Engine {
+            processes,
+            status,
+            rngs,
+            queue: MessageQueue::new(),
+            counters: Counters::new(),
+            channel: config.channel,
+            observer_rng: rng_from_seed(plan.observation_seed()),
+            plan,
+            engine_rng: rng_from_seed(derive_seed(config.seed, 0)),
+            round: 0,
+            started: false,
+        }
+    }
+
+    /// Number of simulated processes.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The protocol instance at `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn process(&self, pid: ProcessId) -> &P {
+        &self.processes[pid.index()]
+    }
+
+    /// Mutable access to the protocol instance at `pid` (e.g. to inject a
+    /// publication before running).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn process_mut(&mut self, pid: ProcessId) -> &mut P {
+        &mut self.processes[pid.index()]
+    }
+
+    /// Iterates over `(pid, protocol)` pairs.
+    pub fn processes(&self) -> impl Iterator<Item = (ProcessId, &P)> {
+        self.processes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProcessId::from_index(i), p))
+    }
+
+    /// Consumes the engine, returning the protocol instances.
+    #[must_use]
+    pub fn into_processes(self) -> Vec<P> {
+        self.processes
+    }
+
+    /// Liveness of `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn status(&self, pid: ProcessId) -> ProcessStatus {
+        self.status[pid.index()]
+    }
+
+    /// Ids of currently alive processes.
+    #[must_use]
+    pub fn alive(&self) -> Vec<ProcessId> {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_alive())
+            .map(|(i, _)| ProcessId::from_index(i))
+            .collect()
+    }
+
+    /// Crashes `pid` immediately: it stops executing and receiving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn crash(&mut self, pid: ProcessId) {
+        self.status[pid.index()] = ProcessStatus::Crashed;
+    }
+
+    /// Recovers `pid` immediately: it resumes at the next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn recover(&mut self, pid: ProcessId) {
+        self.status[pid.index()] = ProcessStatus::Alive;
+    }
+
+    /// The shared metrics registry.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The next round to execute.
+    #[must_use]
+    pub fn current_round(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of messages currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Earliest delivery round among in-flight messages, or `None` when
+    /// nothing is queued — lets drivers skip provably quiet rounds.
+    #[must_use]
+    pub fn next_delivery_round(&self) -> Option<u64> {
+        self.queue.next_round()
+    }
+
+    /// Runs one round: applies scheduled fates, calls `on_start` hooks
+    /// (first round only), delivers all messages due, then runs
+    /// `on_round` for every alive process in pid order.
+    pub fn step_round(&mut self) -> RoundReport {
+        let round = self.round;
+        let mut report = RoundReport {
+            round,
+            ..RoundReport::default()
+        };
+
+        // Scripted fates apply at the start of the round.
+        let fates: Vec<_> = self.plan.fates_at(round).copied().collect();
+        for fate in fates {
+            self.status[fate.pid.index()] = if fate.crash {
+                ProcessStatus::Crashed
+            } else {
+                ProcessStatus::Alive
+            };
+        }
+
+        // Continuous churn: independent crash/recovery draws per process.
+        if let Some(rates) = self.plan.churn() {
+            for status in &mut self.status {
+                if status.is_alive() {
+                    if rates.crash > 0.0 && self.engine_rng.gen_bool(rates.crash) {
+                        *status = ProcessStatus::Crashed;
+                        self.counters.bump("sim.churn_crashes");
+                    }
+                } else if rates.recover > 0.0 && self.engine_rng.gen_bool(rates.recover) {
+                    *status = ProcessStatus::Alive;
+                    self.counters.bump("sim.churn_recoveries");
+                }
+            }
+        }
+
+        let mut outbox: Vec<(ProcessId, P::Msg)> = Vec::new();
+
+        if !self.started {
+            self.started = true;
+            for i in 0..self.processes.len() {
+                if !self.status[i].is_alive() {
+                    continue;
+                }
+                let me = ProcessId::from_index(i);
+                let mut ctx = Ctx {
+                    me,
+                    round,
+                    rng: &mut self.rngs[i],
+                    counters: &mut self.counters,
+                    outbox: &mut outbox,
+                };
+                self.processes[i].on_start(&mut ctx);
+                let sent = Self::flush_outbox(
+                    &mut outbox,
+                    me,
+                    round,
+                    &self.channel,
+                    &mut self.engine_rng,
+                    &mut self.queue,
+                    &mut self.counters,
+                );
+                report.sent += sent;
+            }
+        }
+
+        // Deliver everything due this round (including stragglers from
+        // earlier rounds when a latency model produced them).
+        while let Some(m) = self.queue.pop_due(round) {
+            let to = m.to;
+            if !self.status[to.index()].is_alive() {
+                self.counters.bump("sim.dropped_dead");
+                continue;
+            }
+            // Per-observer failure model: the target appears failed for
+            // this particular transmission.
+            if !self.plan.observes_alive(&mut self.observer_rng) {
+                self.counters.bump("sim.dropped_observed_failed");
+                continue;
+            }
+            report.delivered += 1;
+            self.counters.bump("sim.delivered");
+            let mut ctx = Ctx {
+                me: to,
+                round,
+                rng: &mut self.rngs[to.index()],
+                counters: &mut self.counters,
+                outbox: &mut outbox,
+            };
+            self.processes[to.index()].on_message(m.from, m.msg, &mut ctx);
+            let sent = Self::flush_outbox(
+                &mut outbox,
+                to,
+                round,
+                &self.channel,
+                &mut self.engine_rng,
+                &mut self.queue,
+                &mut self.counters,
+            );
+            report.sent += sent;
+        }
+
+        // Round hooks for alive processes, in pid order.
+        for i in 0..self.processes.len() {
+            if !self.status[i].is_alive() {
+                continue;
+            }
+            let me = ProcessId::from_index(i);
+            let mut ctx = Ctx {
+                me,
+                round,
+                rng: &mut self.rngs[i],
+                counters: &mut self.counters,
+                outbox: &mut outbox,
+            };
+            self.processes[i].on_round(round, &mut ctx);
+            let sent = Self::flush_outbox(
+                &mut outbox,
+                me,
+                round,
+                &self.channel,
+                &mut self.engine_rng,
+                &mut self.queue,
+                &mut self.counters,
+            );
+            report.sent += sent;
+        }
+
+        self.round += 1;
+        report
+    }
+
+    /// Runs exactly `rounds` rounds and returns their reports.
+    pub fn run_rounds(&mut self, rounds: u64) -> Vec<RoundReport> {
+        (0..rounds).map(|_| self.step_round()).collect()
+    }
+
+    /// Runs until a round is quiet (nothing delivered, nothing sent, and no
+    /// messages left in flight) or `max_rounds` have executed. Returns the
+    /// number of rounds executed.
+    pub fn run_until_quiescent(&mut self, max_rounds: u64) -> u64 {
+        for executed in 0..max_rounds {
+            let report = self.step_round();
+            if report.is_quiet() && self.queue.is_empty() {
+                return executed + 1;
+            }
+        }
+        max_rounds
+    }
+
+    /// Routes queued sends through the channel: counts them, samples loss,
+    /// samples latency, and enqueues survivors.
+    fn flush_outbox(
+        outbox: &mut Vec<(ProcessId, P::Msg)>,
+        from: ProcessId,
+        round: u64,
+        channel: &ChannelConfig,
+        engine_rng: &mut SmallRng,
+        queue: &mut MessageQueue<P::Msg>,
+        counters: &mut Counters,
+    ) -> u64 {
+        let mut sent = 0;
+        for (to, msg) in outbox.drain(..) {
+            sent += 1;
+            counters.bump("sim.sent");
+            counters.add_named("sim.bytes_sent", msg.wire_size() as u64);
+            let survives = channel.success_probability >= 1.0
+                || engine_rng.gen_bool(channel.success_probability.max(0.0));
+            if !survives {
+                counters.bump("sim.dropped_channel");
+                continue;
+            }
+            let latency = match channel.latency {
+                Latency::Fixed(l) => l.max(1),
+                Latency::UniformRounds { min, max } => {
+                    let lo = min.max(1);
+                    let hi = max.max(lo);
+                    engine_rng.gen_range(lo..=hi)
+                }
+            };
+            queue.push(round + latency, from, to, msg);
+        }
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FailureModel;
+
+    /// Every process sends its id to the next process each round and
+    /// counts receipts.
+    struct Relay {
+        received: u64,
+        population: u32,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Token;
+
+    impl WireSize for Token {
+        fn wire_size(&self) -> usize {
+            2
+        }
+    }
+
+    impl Protocol for Relay {
+        type Msg = Token;
+
+        fn on_message(&mut self, _from: ProcessId, _msg: Token, _ctx: &mut Ctx<'_, Token>) {
+            self.received += 1;
+        }
+
+        fn on_round(&mut self, _round: u64, ctx: &mut Ctx<'_, Token>) {
+            let next = ProcessId((ctx.me().0 + 1) % self.population);
+            ctx.send(next, Token);
+        }
+    }
+
+    fn relay_engine(config: SimConfig, n: u32) -> Engine<Relay> {
+        let procs = (0..n)
+            .map(|_| Relay {
+                received: 0,
+                population: n,
+            })
+            .collect();
+        Engine::new(config, procs)
+    }
+
+    #[test]
+    fn messages_delivered_next_round() {
+        let mut e = relay_engine(SimConfig::default(), 3);
+        let r0 = e.step_round();
+        assert_eq!(r0.sent, 3);
+        assert_eq!(r0.delivered, 0, "nothing in flight during round 0");
+        let r1 = e.step_round();
+        assert_eq!(r1.delivered, 3);
+    }
+
+    #[test]
+    fn reliable_channel_loses_nothing() {
+        let mut e = relay_engine(SimConfig::default(), 4);
+        e.run_rounds(10);
+        assert_eq!(e.counters().get("sim.dropped_channel"), 0);
+        // 4 sends per round × 10 rounds.
+        assert_eq!(e.counters().get("sim.sent"), 40);
+        // Everything sent before the last round was delivered.
+        assert_eq!(e.counters().get("sim.delivered"), 36);
+    }
+
+    #[test]
+    fn lossy_channel_drops_roughly_fraction() {
+        let config = SimConfig::default()
+            .with_seed(5)
+            .with_channel(ChannelConfig::default().with_success_probability(0.5));
+        let mut e = relay_engine(config, 10);
+        e.run_rounds(100);
+        let sent = e.counters().get("sim.sent");
+        let dropped = e.counters().get("sim.dropped_channel");
+        assert_eq!(sent, 1000);
+        assert!(
+            (350..650).contains(&dropped),
+            "dropped {dropped} of {sent}, expected ≈ half"
+        );
+    }
+
+    #[test]
+    fn bytes_accounted() {
+        let mut e = relay_engine(SimConfig::default(), 2);
+        e.run_rounds(3);
+        assert_eq!(
+            e.counters().get("sim.bytes_sent"),
+            e.counters().get("sim.sent") * 2
+        );
+    }
+
+    #[test]
+    fn stillborn_processes_never_run() {
+        let config = SimConfig::default().with_seed(1).with_failure(FailureModel::Stillborn {
+            alive_fraction: 0.5,
+        });
+        let mut e = relay_engine(config, 10);
+        e.run_rounds(5);
+        let crashed: Vec<ProcessId> = (0..10)
+            .map(ProcessId)
+            .filter(|&p| !e.status(p).is_alive())
+            .collect();
+        assert_eq!(crashed.len(), 5);
+        for p in crashed {
+            assert_eq!(e.process(p).received, 0, "{p} is crashed yet received");
+        }
+    }
+
+    #[test]
+    fn messages_to_crashed_processes_drop() {
+        let mut e = relay_engine(SimConfig::default(), 3);
+        e.crash(ProcessId(1));
+        e.run_rounds(4);
+        assert!(e.counters().get("sim.dropped_dead") > 0);
+        assert_eq!(e.process(ProcessId(1)).received, 0);
+    }
+
+    #[test]
+    fn recovery_resumes_execution() {
+        let mut e = relay_engine(SimConfig::default(), 2);
+        e.crash(ProcessId(1));
+        e.run_rounds(3);
+        assert_eq!(e.process(ProcessId(1)).received, 0);
+        e.recover(ProcessId(1));
+        e.run_rounds(3);
+        assert!(e.process(ProcessId(1)).received > 0);
+    }
+
+    #[test]
+    fn per_observer_drops_fraction() {
+        let config = SimConfig::default()
+            .with_seed(11)
+            .with_failure(FailureModel::PerObserver {
+                alive_fraction: 0.5,
+            });
+        let mut e = relay_engine(config, 10);
+        e.run_rounds(100);
+        let observed = e.counters().get("sim.dropped_observed_failed");
+        assert!(
+            (350..650).contains(&observed),
+            "observer drops {observed}, expected ≈ 500"
+        );
+        // Nobody is actually crashed in this model.
+        assert_eq!(e.alive().len(), 10);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed: u64| {
+            let config = SimConfig::default()
+                .with_seed(seed)
+                .with_channel(ChannelConfig::paper_default())
+                .with_failure(FailureModel::Stillborn {
+                    alive_fraction: 0.8,
+                });
+            let mut e = relay_engine(config, 20);
+            e.run_rounds(30);
+            (
+                e.counters().get("sim.sent"),
+                e.counters().get("sim.delivered"),
+                e.counters().get("sim.dropped_channel"),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn quiescence_detected() {
+        /// Sends one message at start; goes quiet afterwards.
+        struct OneShot;
+        #[derive(Clone, Debug)]
+        struct M;
+        impl WireSize for M {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        impl Protocol for OneShot {
+            type Msg = M;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
+                if ctx.me() == ProcessId(0) {
+                    ctx.send(ProcessId(1), M);
+                }
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: M, _c: &mut Ctx<'_, M>) {}
+        }
+        let mut e = Engine::new(SimConfig::default(), vec![OneShot, OneShot]);
+        let rounds = e.run_until_quiescent(100);
+        assert!(rounds < 100, "quiesced after {rounds} rounds");
+        assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn scheduled_fates_apply() {
+        use crate::Fate;
+        let config = SimConfig::default().with_failure(FailureModel::Schedule(vec![
+            Fate {
+                round: 2,
+                pid: ProcessId(0),
+                crash: true,
+            },
+            Fate {
+                round: 4,
+                pid: ProcessId(0),
+                crash: false,
+            },
+        ]));
+        let mut e = relay_engine(config, 2);
+        e.run_rounds(2);
+        assert!(e.status(ProcessId(0)).is_alive());
+        e.step_round(); // round 2 applies the crash
+        assert!(!e.status(ProcessId(0)).is_alive());
+        e.run_rounds(2); // rounds 3 and 4; round 4 recovers
+        assert!(e.status(ProcessId(0)).is_alive());
+    }
+
+    #[test]
+    fn latency_jitter_delivers_eventually() {
+        let config = SimConfig::default().with_channel(
+            ChannelConfig::default().with_latency(Latency::UniformRounds { min: 1, max: 4 }),
+        );
+        let mut e = relay_engine(config, 5);
+        e.run_rounds(20);
+        let total: u64 = e.processes.iter().map(|p| p.received).sum();
+        assert!(total > 0);
+        // All messages sent at least 4 rounds ago must have arrived.
+        assert_eq!(
+            e.counters().get("sim.delivered") + e.in_flight() as u64,
+            e.counters().get("sim.sent")
+        );
+    }
+}
+
+#[cfg(test)]
+mod churn_engine_tests {
+    use super::*;
+    use crate::{FailureModel, ProcessId, WireSize};
+
+    struct Quiet;
+    #[derive(Clone, Debug)]
+    struct Never;
+    impl WireSize for Never {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+    impl Protocol for Quiet {
+        type Msg = Never;
+        fn on_message(&mut self, _f: ProcessId, _m: Never, _c: &mut Ctx<'_, Never>) {}
+    }
+
+    #[test]
+    fn churn_converges_to_stationary_aliveness() {
+        // crash 0.05 / recover 0.15 → stationary alive = 0.75.
+        let config = SimConfig::default().with_seed(5).with_failure(FailureModel::Churn {
+            crash_probability: 0.05,
+            recover_probability: 0.15,
+        });
+        let mut e = Engine::new(config, (0..200).map(|_| Quiet).collect());
+        e.run_rounds(50); // mix
+        let mut samples = Vec::new();
+        for _ in 0..100 {
+            e.step_round();
+            samples.push(e.alive().len() as f64 / 200.0);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(
+            (mean - 0.75).abs() < 0.08,
+            "mean aliveness {mean}, expected ≈ 0.75"
+        );
+        assert!(e.counters().get("sim.churn_crashes") > 0);
+        assert!(e.counters().get("sim.churn_recoveries") > 0);
+    }
+
+    #[test]
+    fn churn_is_deterministic() {
+        let run = || {
+            let config = SimConfig::default().with_seed(9).with_failure(FailureModel::Churn {
+                crash_probability: 0.1,
+                recover_probability: 0.1,
+            });
+            let mut e = Engine::new(config, (0..50).map(|_| Quiet).collect());
+            e.run_rounds(60);
+            (
+                e.counters().get("sim.churn_crashes"),
+                e.counters().get("sim.churn_recoveries"),
+                e.alive().len(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_rates_are_inert() {
+        let config = SimConfig::default().with_failure(FailureModel::Churn {
+            crash_probability: 0.0,
+            recover_probability: 0.0,
+        });
+        let mut e = Engine::new(config, (0..20).map(|_| Quiet).collect());
+        e.run_rounds(30);
+        assert_eq!(e.alive().len(), 20);
+        assert_eq!(e.counters().get("sim.churn_crashes"), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! # da-simnet — deterministic simulation kernel
+//!
+//! The daMulticast paper evaluates its protocol with a simulator of
+//! *synchronous gossip rounds* over unreliable best-effort channels
+//! (Sec. VII-A: "Our simulator written in C# simulates synchronous gossip
+//! rounds"). This crate is our Rust substitute: a deterministic,
+//! seed-reproducible round-driven discrete-event kernel with
+//!
+//! * virtual time measured in gossip rounds,
+//! * unreliable channels (per-send Bernoulli loss, configurable latency in
+//!   rounds),
+//! * process crash/recovery plus the paper's two failure models —
+//!   *stillborn* (Fig. 8–10: state drawn once at simulation start) and
+//!   *per-observer* (Fig. 11: a process "can appear to be failed for a
+//!   process while appearing alive for another one"),
+//! * per-process RNG streams derived from a master seed, and
+//! * a metrics registry counting messages per protocol-defined label.
+//!
+//! Protocols implement the [`Protocol`] trait and are driven by an
+//! [`Engine`]:
+//!
+//! ```
+//! use da_simnet::{Ctx, Engine, Protocol, ProcessId, SimConfig, WireSize};
+//!
+//! #[derive(Clone, Debug)]
+//! struct Ping(u32);
+//! impl WireSize for Ping {
+//!     fn wire_size(&self) -> usize { 4 }
+//! }
+//!
+//! struct Node { got: u32 }
+//! impl Protocol for Node {
+//!     type Msg = Ping;
+//!     fn on_round(&mut self, round: u64, ctx: &mut Ctx<'_, Ping>) {
+//!         if round == 0 && ctx.me() == ProcessId(0) {
+//!             ctx.send(ProcessId(1), Ping(7));
+//!         }
+//!     }
+//!     fn on_message(&mut self, _from: ProcessId, msg: Ping, _ctx: &mut Ctx<'_, Ping>) {
+//!         self.got = msg.0;
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(
+//!     SimConfig::default().with_seed(42),
+//!     vec![Node { got: 0 }, Node { got: 0 }],
+//! );
+//! engine.run_rounds(3);
+//! assert_eq!(engine.process(ProcessId(1)).got, 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod engine;
+mod error;
+mod event;
+mod failure;
+mod metrics;
+mod overlay;
+mod process;
+mod rng;
+mod wire;
+
+pub use channel::{ChannelConfig, Latency};
+pub use engine::{Ctx, Engine, Protocol, RoundReport, SimConfig};
+pub use error::SimError;
+pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};
+pub use metrics::{CounterId, Counters};
+pub use overlay::Overlay;
+pub use process::{ProcessId, ProcessStatus};
+pub use rng::{derive_seed, rng_for_process, rng_from_seed};
+pub use wire::{encode_frame, WireSize, FRAME_OVERHEAD};

@@ -1,0 +1,200 @@
+//! Interned counter registry.
+//!
+//! Protocols label their traffic (e.g. `intra.t2`, `inter.t2->t1`) and the
+//! harness reads the counters back after a run. Counter names are interned
+//! to [`CounterId`]s so the per-message hot path is an array increment.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a registered counter. Obtained from [`Counters::register`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CounterId(u32);
+
+/// A registry of named monotonic counters.
+///
+/// ```
+/// use da_simnet::Counters;
+/// let mut c = Counters::new();
+/// let id = c.register("intra.t2");
+/// c.add(id, 3);
+/// c.bump("intra.t2");
+/// assert_eq!(c.get("intra.t2"), 4);
+/// assert_eq!(c.get("never-registered"), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counters {
+    values: Vec<u64>,
+    names: Vec<String>,
+    index: HashMap<String, CounterId>,
+}
+
+impl Counters {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Registers (or looks up) a counter by name, returning its id.
+    pub fn register(&mut self, name: &str) -> CounterId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = CounterId(u32::try_from(self.values.len()).expect("too many counters"));
+        self.values.push(0);
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds `delta` to the counter behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this registry.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.values[id.0 as usize] += delta;
+    }
+
+    /// Increments a counter by name, registering it on first use.
+    pub fn bump(&mut self, name: &str) {
+        let id = self.register(name);
+        self.add(id, 1);
+    }
+
+    /// Adds `delta` to a counter by name, registering it on first use.
+    pub fn add_named(&mut self, name: &str, delta: u64) {
+        let id = self.register(name);
+        self.add(id, delta);
+    }
+
+    /// Current value of a counter by name (0 when never registered).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.index
+            .get(name)
+            .map_or(0, |id| self.values[id.0 as usize])
+    }
+
+    /// Current value behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this registry.
+    #[must_use]
+    pub fn value(&self, id: CounterId) -> u64 {
+        self.values[id.0 as usize]
+    }
+
+    /// Iterates over `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.values.iter().copied())
+    }
+
+    /// Sum over counters whose name starts with `prefix`.
+    #[must_use]
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Number of registered counters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no counter has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Counters ({} registered)", self.len())?;
+        let mut sorted: Vec<(&str, u64)> = self.iter().collect();
+        sorted.sort_by_key(|(name, _)| *name);
+        for (name, value) in sorted {
+            writeln!(f, "  {name}: {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut c = Counters::new();
+        let a = c.register("x");
+        let b = c.register("x");
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut c = Counters::new();
+        let id = c.register("msgs");
+        c.add(id, 5);
+        c.add(id, 2);
+        assert_eq!(c.value(id), 7);
+        assert_eq!(c.get("msgs"), 7);
+    }
+
+    #[test]
+    fn bump_registers_lazily() {
+        let mut c = Counters::new();
+        c.bump("lazy");
+        c.bump("lazy");
+        assert_eq!(c.get("lazy"), 2);
+    }
+
+    #[test]
+    fn unknown_name_reads_zero() {
+        let c = Counters::new();
+        assert_eq!(c.get("nope"), 0);
+    }
+
+    #[test]
+    fn sum_prefix_aggregates() {
+        let mut c = Counters::new();
+        c.add_named("intra.t0", 1);
+        c.add_named("intra.t1", 10);
+        c.add_named("inter.t1", 100);
+        assert_eq!(c.sum_prefix("intra."), 11);
+        assert_eq!(c.sum_prefix("inter."), 100);
+        assert_eq!(c.sum_prefix(""), 111);
+    }
+
+    #[test]
+    fn display_sorted_by_name() {
+        let mut c = Counters::new();
+        c.bump("b");
+        c.bump("a");
+        let s = c.to_string();
+        let pos_a = s.find("a:").unwrap();
+        let pos_b = s.find("b:").unwrap();
+        assert!(pos_a < pos_b);
+    }
+
+    #[test]
+    fn iter_in_registration_order() {
+        let mut c = Counters::new();
+        c.bump("z");
+        c.bump("a");
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["z", "a"]);
+    }
+}

@@ -1,0 +1,97 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing topic paths or manipulating hierarchies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopicError {
+    /// The path did not start with the leading `.` of the root topic.
+    MissingLeadingDot,
+    /// A path segment was empty (e.g. `.a..b`).
+    EmptySegment {
+        /// Zero-based index of the offending segment.
+        index: usize,
+    },
+    /// A segment contained a character outside `[A-Za-z0-9_-]`.
+    InvalidCharacter {
+        /// The offending character.
+        character: char,
+        /// Zero-based index of the segment containing it.
+        segment: usize,
+    },
+    /// A [`crate::TopicId`] did not belong to the hierarchy it was used with.
+    UnknownTopic {
+        /// The raw index of the foreign id.
+        id: u32,
+    },
+    /// An edge insertion would have created a cycle in a topic DAG.
+    WouldCycle {
+        /// Topic that would become its own ancestor.
+        id: u32,
+    },
+    /// A DAG edge insertion referenced a parent/child pair already linked.
+    DuplicateEdge {
+        /// Child topic of the duplicate edge.
+        child: u32,
+        /// Parent topic of the duplicate edge.
+        parent: u32,
+    },
+}
+
+impl fmt::Display for TopicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicError::MissingLeadingDot => {
+                write!(f, "topic path must start with '.' (the root topic)")
+            }
+            TopicError::EmptySegment { index } => {
+                write!(f, "topic path segment {index} is empty")
+            }
+            TopicError::InvalidCharacter { character, segment } => write!(
+                f,
+                "invalid character {character:?} in topic path segment {segment}"
+            ),
+            TopicError::UnknownTopic { id } => {
+                write!(f, "topic id {id} does not belong to this hierarchy")
+            }
+            TopicError::WouldCycle { id } => {
+                write!(f, "adding this supertopic edge would make topic {id} its own ancestor")
+            }
+            TopicError::DuplicateEdge { child, parent } => {
+                write!(f, "topic {child} already lists topic {parent} as a supertopic")
+            }
+        }
+    }
+}
+
+impl Error for TopicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TopicError::EmptySegment { index: 2 };
+        assert!(e.to_string().contains("segment 2"));
+        let e = TopicError::InvalidCharacter {
+            character: '!',
+            segment: 0,
+        };
+        assert!(e.to_string().contains('!'));
+        let e = TopicError::UnknownTopic { id: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(TopicError::MissingLeadingDot);
+        assert!(e.to_string().contains("root topic"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopicError>();
+    }
+}

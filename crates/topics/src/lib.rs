@@ -1,0 +1,49 @@
+//! # da-topics — hierarchical topic substrate
+//!
+//! Topic-based publish/subscribe systems organise event topics in a
+//! hierarchy, e.g. `.dsn04.reviewers` where `.dsn04` is the direct
+//! supertopic of `.dsn04.reviewers` and `.` (the *root topic*) includes
+//! everything. The daMulticast paper (Baehni, Eugster, Guerraoui, DSN 2004)
+//! exploits exactly this structure — *data-awareness* — to build dynamic
+//! process groups and route events bottom-up along inclusion relations.
+//!
+//! This crate provides the hierarchy machinery everything else builds on:
+//!
+//! * [`TopicPath`] — a validated, dotted topic name (`.a.b.c`).
+//! * [`TopicId`] — a cheap interned handle into a [`TopicHierarchy`].
+//! * [`TopicHierarchy`] — a single-parent topic tree with O(1) parent
+//!   lookup and inclusion queries.
+//! * [`dag::TopicDag`] — the multiple-inheritance extension sketched in the
+//!   paper's concluding remarks (a topic may have several supertopics).
+//!
+//! ## Example
+//!
+//! ```
+//! use da_topics::TopicHierarchy;
+//!
+//! # fn main() -> Result<(), da_topics::TopicError> {
+//! let mut h = TopicHierarchy::new();
+//! let reviewers = h.insert(".dsn04.reviewers")?;
+//! let dsn04 = h.resolve(".dsn04").expect("intermediate topic was created");
+//! assert_eq!(h.parent(reviewers), Some(dsn04));
+//! assert!(h.includes(dsn04, reviewers));
+//! assert!(h.includes(h.root(), reviewers));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dag;
+mod error;
+mod hierarchy;
+mod id;
+mod iter;
+mod path;
+
+pub use error::TopicError;
+pub use hierarchy::{TopicHierarchy, TopicInfo};
+pub use id::TopicId;
+pub use iter::{Ancestors, BreadthFirst, Descendants};
+pub use path::TopicPath;

@@ -1,0 +1,255 @@
+//! Property-based tests for the topic hierarchy substrate.
+
+use da_topics::{TopicHierarchy, TopicPath};
+use proptest::prelude::*;
+
+/// Strategy producing valid topic path strings up to 5 levels deep.
+fn path_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-z][a-z0-9_-]{0,6}", 0..5)
+        .prop_map(|segments| {
+            if segments.is_empty() {
+                ".".to_owned()
+            } else {
+                format!(".{}", segments.join("."))
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn parse_roundtrips(path in path_strategy()) {
+        let parsed = TopicPath::parse(&path).expect("strategy produces valid paths");
+        prop_assert_eq!(parsed.as_str(), path.as_str());
+        let reparsed = TopicPath::parse(parsed.as_str()).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn depth_equals_segment_count(path in path_strategy()) {
+        let parsed = TopicPath::parse(&path).unwrap();
+        prop_assert_eq!(parsed.depth(), parsed.segments().count());
+    }
+
+    #[test]
+    fn parent_reduces_depth_by_one(path in path_strategy()) {
+        let parsed = TopicPath::parse(&path).unwrap();
+        if let Some(parent) = parsed.parent() {
+            prop_assert_eq!(parent.depth() + 1, parsed.depth());
+            prop_assert!(parent.includes(&parsed));
+        } else {
+            prop_assert!(parsed.is_root());
+        }
+    }
+
+    #[test]
+    fn inclusion_is_strict_and_antisymmetric(a in path_strategy(), b in path_strategy()) {
+        let pa = TopicPath::parse(&a).unwrap();
+        let pb = TopicPath::parse(&b).unwrap();
+        // Irreflexive.
+        prop_assert!(!pa.includes(&pa));
+        // Antisymmetric.
+        if pa.includes(&pb) {
+            prop_assert!(!pb.includes(&pa));
+        }
+    }
+
+    #[test]
+    fn inclusion_is_transitive(base in path_strategy(), s1 in "[a-z]{1,4}", s2 in "[a-z]{1,4}") {
+        let a = TopicPath::parse(&base).unwrap();
+        let b = a.child(&s1).unwrap();
+        let c = b.child(&s2).unwrap();
+        prop_assert!(a.includes(&b));
+        prop_assert!(b.includes(&c));
+        prop_assert!(a.includes(&c));
+    }
+
+    #[test]
+    fn hierarchy_matches_path_semantics(paths in prop::collection::vec(path_strategy(), 1..12)) {
+        let h = TopicHierarchy::from_paths(&paths).unwrap();
+        // Every inserted path resolves and its structural relations mirror
+        // the string-level relations.
+        for p in &paths {
+            let id = h.resolve(p).expect("inserted paths resolve");
+            let parsed = TopicPath::parse(p).unwrap();
+            prop_assert_eq!(h.depth(id), parsed.depth());
+            match parsed.parent() {
+                None => prop_assert_eq!(h.parent(id), None),
+                Some(pp) => {
+                    let pid = h.resolve(pp.as_str()).expect("parents are auto-created");
+                    prop_assert_eq!(h.parent(id), Some(pid));
+                }
+            }
+        }
+        // Pairwise inclusion agreement between hierarchy ids and paths.
+        let ids: Vec<_> = h.iter().collect();
+        for &x in &ids {
+            for &y in &ids {
+                prop_assert_eq!(
+                    h.includes(x, y),
+                    h.path(x).includes(h.path(y)),
+                    "hierarchy and path inclusion disagree for {} vs {}",
+                    h.path(x), h.path(y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_are_exactly_the_includers(paths in prop::collection::vec(path_strategy(), 1..10)) {
+        let h = TopicHierarchy::from_paths(&paths).unwrap();
+        for id in h.iter() {
+            let ancestors: Vec<_> = h.ancestors(id).collect();
+            for other in h.iter() {
+                let is_ancestor = ancestors.contains(&other);
+                prop_assert_eq!(is_ancestor, h.includes(other, id));
+            }
+            // Nearest-first: depths strictly decrease.
+            for w in ancestors.windows(2) {
+                prop_assert!(h.depth(w[0]) > h.depth(w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_is_a_common_nonstrict_ancestor(paths in prop::collection::vec(path_strategy(), 2..8)) {
+        let h = TopicHierarchy::from_paths(&paths).unwrap();
+        let ids: Vec<_> = h.iter().collect();
+        for &a in &ids {
+            for &b in &ids {
+                let l = h.lowest_common_ancestor(a, b);
+                prop_assert!(h.includes_or_eq(l, a));
+                prop_assert!(h.includes_or_eq(l, b));
+                // No deeper common ancestor exists.
+                for &cand in &ids {
+                    if h.includes_or_eq(cand, a)
+                        && h.includes_or_eq(cand, b) {
+                        prop_assert!(h.depth(cand) <= h.depth(l));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn descendants_count_matches_inclusion(paths in prop::collection::vec(path_strategy(), 1..10)) {
+        let h = TopicHierarchy::from_paths(&paths).unwrap();
+        for id in h.iter() {
+            let via_iter = h.descendants(id).count();
+            let via_inclusion = h.iter().filter(|&x| h.includes_or_eq(id, x)).count();
+            prop_assert_eq!(via_iter, via_inclusion);
+        }
+    }
+}
+
+mod dag_properties {
+    use da_topics::dag::TopicDag;
+    use da_topics::TopicId;
+    use proptest::prelude::*;
+
+    /// Builds a random DAG: `n` topics, each attached to 1–3 parents drawn
+    /// from the already-created topics (so edges always point upward —
+    /// acyclic by construction).
+    fn arb_dag() -> impl Strategy<Value = TopicDag> {
+        prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 1..4), 0..14)
+            .prop_map(|specs| {
+                let mut dag = TopicDag::new();
+                let mut ids = vec![dag.root()];
+                for (i, parents) in specs.into_iter().enumerate() {
+                    let mut chosen: Vec<TopicId> =
+                        parents.iter().map(|ix| *ix.get(&ids)).collect();
+                    chosen.sort();
+                    chosen.dedup();
+                    let id = dag
+                        .add_topic(&format!("t{i}"), &chosen)
+                        .expect("parents exist");
+                    ids.push(id);
+                }
+                dag
+            })
+    }
+
+    proptest! {
+        /// Inclusion is a strict partial order: irreflexive, antisymmetric,
+        /// transitive; the root includes every other topic.
+        #[test]
+        fn dag_inclusion_partial_order(dag in arb_dag()) {
+            let ids: Vec<TopicId> = dag.topological_order();
+            prop_assert_eq!(ids.len(), dag.len());
+            for &a in &ids {
+                prop_assert!(!dag.includes(a, a), "irreflexive");
+                if a != dag.root() {
+                    prop_assert!(dag.includes(dag.root(), a), "root includes all");
+                }
+                for &b in &ids {
+                    if dag.includes(a, b) {
+                        prop_assert!(!dag.includes(b, a), "antisymmetric");
+                        for &c in &ids {
+                            if dag.includes(b, c) {
+                                prop_assert!(dag.includes(a, c), "transitive");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Topological order places every parent before its children.
+        #[test]
+        fn dag_topological_order_respects_edges(dag in arb_dag()) {
+            let order = dag.topological_order();
+            let position = |id: TopicId| order.iter().position(|&x| x == id).unwrap();
+            for &id in &order {
+                for &parent in dag.parents(id) {
+                    prop_assert!(
+                        position(parent) < position(id),
+                        "parent after child in topological order"
+                    );
+                }
+            }
+        }
+
+        /// `ancestors` agrees with `includes`, and parents/children edges
+        /// are mutually consistent.
+        #[test]
+        fn dag_ancestors_and_edges_consistent(dag in arb_dag()) {
+            let ids = dag.topological_order();
+            for &id in &ids {
+                let ancestors = dag.ancestors(id);
+                for &other in &ids {
+                    prop_assert_eq!(
+                        ancestors.contains(&other),
+                        dag.includes(other, id),
+                        "ancestors/includes mismatch"
+                    );
+                }
+                for &p in dag.parents(id) {
+                    prop_assert!(dag.children(p).contains(&id));
+                }
+                for &c in dag.children(id) {
+                    prop_assert!(dag.parents(c).contains(&id));
+                }
+            }
+        }
+
+        /// Adding a cycle-creating edge is rejected: when `a` includes `b`
+        /// (i.e. `b` is a descendant of `a`), making `b` a supertopic of
+        /// `a` would close a cycle and must fail; the DAG is unchanged.
+        #[test]
+        fn dag_rejects_cycles(dag in arb_dag()) {
+            let ids = dag.topological_order();
+            let mut dag = dag;
+            for &a in &ids {
+                for &b in &ids {
+                    if a == b || dag.includes(a, b) {
+                        let before = dag.parents(a).len();
+                        prop_assert!(
+                            dag.add_supertopic(a, b).is_err(),
+                            "cycle-creating edge accepted"
+                        );
+                        prop_assert_eq!(dag.parents(a).len(), before);
+                    }
+                }
+            }
+        }
+    }
+}

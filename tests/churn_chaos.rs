@@ -1,0 +1,156 @@
+//! Chaos testing under continuous churn: the full dynamic protocol stack
+//! survives processes crashing and recovering every round, keeps its
+//! invariants, and still delivers.
+
+use da_simnet::{Engine, FailureModel, ProcessId, SimConfig};
+use damulticast::{DynamicNetwork, EventId, ParamMap, TopicParams};
+
+fn churn_engine(
+    crash: f64,
+    recover: f64,
+    seed: u64,
+) -> (Engine<damulticast::DaProcess>, Vec<Vec<ProcessId>>) {
+    let params = TopicParams {
+        maintenance_period: 5,
+        ping_timeout: 2,
+        g: 15.0,
+        a: 3.0,
+        ..TopicParams::paper_default()
+    };
+    let net = DynamicNetwork::linear(&[8, 40], ParamMap::uniform(params), 3, 4, seed).unwrap();
+    let members: Vec<Vec<ProcessId>> = net.groups().iter().map(|g| g.members.clone()).collect();
+    let sim = SimConfig::default()
+        .with_seed(seed)
+        .with_failure(FailureModel::Churn {
+            crash_probability: crash,
+            recover_probability: recover,
+        });
+    (Engine::new(sim, net.into_processes()), members)
+}
+
+/// Gentle churn (1% crash, 3% recover → 75% stationary aliveness): the
+/// stack keeps delivering the bulk of publications to surviving members.
+#[test]
+fn delivers_through_gentle_churn() {
+    let (mut engine, members) = churn_engine(0.01, 0.03, 7);
+    engine.run_rounds(60);
+    let mut ids = Vec::new();
+    for i in 0..6 {
+        if let Some(&p) = members[1]
+            .iter()
+            .skip(i * 5)
+            .find(|&&p| engine.status(p).is_alive())
+        {
+            ids.push(engine.process_mut(p).publish(format!("evt {i}")));
+        }
+        engine.run_rounds(8);
+    }
+    engine.run_rounds(30);
+
+    assert!(!ids.is_empty());
+    let alive_leaves: Vec<ProcessId> = members[1]
+        .iter()
+        .copied()
+        .filter(|&p| engine.status(p).is_alive())
+        .collect();
+    assert!(!alive_leaves.is_empty());
+    let mut total = 0.0;
+    for &id in &ids {
+        total += alive_leaves
+            .iter()
+            .filter(|&&p| engine.process(p).has_delivered(id))
+            .count() as f64
+            / alive_leaves.len() as f64;
+    }
+    let mean = total / ids.len() as f64;
+    assert!(mean > 0.5, "mean delivery among survivors {mean}");
+}
+
+/// Invariants survive brutal churn (10% crash / 10% recover): no parasite
+/// deliveries, no duplicates, crashed processes silent.
+#[test]
+fn invariants_survive_brutal_churn() {
+    let (mut engine, members) = churn_engine(0.1, 0.1, 11);
+    engine.run_rounds(40);
+    for i in 0..8 {
+        if let Some(&p) = members[1]
+            .iter()
+            .skip(i * 3)
+            .find(|&&p| engine.status(p).is_alive())
+        {
+            engine.process_mut(p).publish(format!("chaos {i}"));
+        }
+        engine.run_rounds(5);
+    }
+    engine.run_rounds(40);
+
+    assert_eq!(engine.counters().get("da.parasite"), 0);
+    for (pid, p) in engine.processes() {
+        assert_eq!(p.parasite_count(), 0, "{pid} parasite");
+        let mut ids: Vec<EventId> = p.delivered().iter().map(|e| e.id()).collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "{pid} duplicate delivery");
+    }
+    // The simulation saw genuine churn in both directions.
+    assert!(engine.counters().get("sim.churn_crashes") > 10);
+    assert!(engine.counters().get("sim.churn_recoveries") > 10);
+}
+
+/// Churn runs are deterministic end to end.
+#[test]
+fn churn_chaos_deterministic() {
+    let fingerprint = |seed: u64| {
+        let (mut engine, members) = churn_engine(0.05, 0.1, seed);
+        engine.run_rounds(50);
+        if let Some(&p) = members[1].iter().find(|&&p| engine.status(p).is_alive()) {
+            engine.process_mut(p).publish("det");
+        }
+        engine.run_rounds(30);
+        (
+            engine.counters().get("sim.sent"),
+            engine.counters().get("sim.churn_crashes"),
+            engine.counters().get("sim.churn_recoveries"),
+            engine.alive().len(),
+        )
+    };
+    assert_eq!(fingerprint(3), fingerprint(3));
+    assert_ne!(fingerprint(3), fingerprint(4));
+}
+
+/// A process that crashes mid-dissemination and later recovers can still
+/// receive *subsequent* events (its tables may be stale but maintenance
+/// repairs them).
+#[test]
+fn recovered_processes_rejoin_the_flow() {
+    let (mut engine, members) = churn_engine(0.02, 0.2, 13);
+    engine.run_rounds(120); // long enough that most processes cycled
+    assert!(
+        engine.counters().get("sim.churn_recoveries") > 20,
+        "the scenario must actually exercise recovery"
+    );
+    // Publish after the churn history; recovered processes are part of
+    // the audience.
+    let publisher = members[1]
+        .iter()
+        .copied()
+        .find(|&p| engine.status(p).is_alive())
+        .expect("someone is alive at 90% stationary aliveness");
+    let id = engine.process_mut(publisher).publish("after recovery");
+    engine.run_rounds(30);
+    let alive: Vec<ProcessId> = members[1]
+        .iter()
+        .copied()
+        .filter(|&p| engine.status(p).is_alive())
+        .collect();
+    let got = alive
+        .iter()
+        .filter(|&&p| engine.process(p).has_delivered(id))
+        .count();
+    assert!(
+        got * 2 > alive.len(),
+        "majority of (partly recovered) survivors deliver: {got}/{}",
+        alive.len()
+    );
+}

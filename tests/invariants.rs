@@ -1,0 +1,176 @@
+//! Property-based system invariants (DESIGN.md §7), checked over random
+//! topologies, parameters, failure draws and publish patterns.
+
+use da_simnet::{ChannelConfig, Engine, FailureModel, SimConfig};
+use damulticast::{EventId, ParamMap, StaticNetwork, TopicParams};
+use proptest::prelude::*;
+
+/// A random linear topology: 2–4 levels, each group 2–20 processes.
+fn arb_topology() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(2usize..20, 2..5)
+}
+
+fn arb_params() -> impl Strategy<Value = TopicParams> {
+    (1.0f64..20.0, 1usize..5, 0.0f64..8.0).prop_map(|(g, z, c)| TopicParams {
+        g,
+        z,
+        a: 1.0,
+        tau: 1.min(z),
+        fanout: da_membership::FanoutRule::LnPlusC { c },
+        ..TopicParams::paper_default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariant 1: no parasite delivery — whatever the topology,
+    /// parameters, loss rate, failures, and publish level.
+    #[test]
+    fn never_a_parasite(
+        sizes in arb_topology(),
+        params in arb_params(),
+        publish_level_frac in 0.0f64..1.0,
+        p_succ in 0.3f64..1.0,
+        alive in 0.3f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let net = StaticNetwork::linear(&sizes, ParamMap::uniform(params), seed).unwrap();
+        let groups = net.groups().to_vec();
+        let sim = SimConfig::default()
+            .with_seed(seed)
+            .with_channel(ChannelConfig::default().with_success_probability(p_succ))
+            .with_failure(FailureModel::Stillborn { alive_fraction: alive });
+        let mut engine = Engine::new(sim, net.into_processes());
+        let level = ((publish_level_frac * sizes.len() as f64) as usize).min(sizes.len() - 1);
+        if let Some(&publisher) = groups[level].members.first() {
+            if engine.status(publisher).is_alive() {
+                engine.process_mut(publisher).publish("prop");
+            }
+        }
+        engine.run_until_quiescent(96);
+        prop_assert_eq!(engine.counters().get("da.parasite"), 0);
+        for (pid, p) in engine.processes() {
+            prop_assert_eq!(p.parasite_count(), 0, "parasite at {}", pid);
+        }
+    }
+
+    /// Invariant 2: at-most-once delivery per event id per process.
+    #[test]
+    fn delivery_is_exactly_once(
+        sizes in arb_topology(),
+        seed in 0u64..1_000,
+        publishes in 1usize..4,
+    ) {
+        let net = StaticNetwork::linear(&sizes, ParamMap::default(), seed).unwrap();
+        let groups = net.groups().to_vec();
+        let mut engine = Engine::new(SimConfig::default().with_seed(seed), net.into_processes());
+        let leaf = groups.last().unwrap();
+        for i in 0..publishes {
+            let publisher = leaf.members[i % leaf.members.len()];
+            engine.process_mut(publisher).publish(format!("e{i}"));
+        }
+        engine.run_until_quiescent(96);
+        for (pid, p) in engine.processes() {
+            let mut ids: Vec<EventId> = p.delivered().iter().map(|e| e.id()).collect();
+            let before = ids.len();
+            ids.sort();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), before, "duplicate delivery at {}", pid);
+        }
+    }
+
+    /// Invariant 4 (memory): every topic table stays within the
+    /// `(b+1)·ln(S)` capacity, every supertable within `z`, and supertable
+    /// entries always reference strict-ancestor group members.
+    #[test]
+    fn table_bounds_and_ancestry(
+        sizes in arb_topology(),
+        params in arb_params(),
+        seed in 0u64..1_000,
+    ) {
+        let net = StaticNetwork::linear(&sizes, ParamMap::uniform(params), seed).unwrap();
+        let groups = net.groups().to_vec();
+        let hierarchy = std::sync::Arc::clone(net.hierarchy());
+        let procs = net.into_processes();
+        for p in &procs {
+            let my_group = groups.iter().find(|g| g.topic == p.topic()).unwrap();
+            let cap = da_membership::kmg_view_size(params.b, my_group.members.len());
+            prop_assert!(p.topic_table().len() <= cap.max(1));
+            prop_assert!(p.super_table().len() <= params.z);
+            for e in p.super_table().entries() {
+                prop_assert!(
+                    hierarchy.includes(e.topic, p.topic()),
+                    "supertable entry topic must strictly include the owner's"
+                );
+                let target_group = groups.iter().find(|g| g.topic == e.topic).unwrap();
+                prop_assert!(target_group.members.contains(&e.pid));
+            }
+        }
+    }
+
+    /// Invariant 7: crashed processes never deliver.
+    #[test]
+    fn crashed_processes_stay_silent(
+        sizes in arb_topology(),
+        alive in 0.2f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        let net = StaticNetwork::linear(&sizes, ParamMap::default(), seed).unwrap();
+        let groups = net.groups().to_vec();
+        let sim = SimConfig::default()
+            .with_seed(seed)
+            .with_failure(FailureModel::Stillborn { alive_fraction: alive });
+        let mut engine = Engine::new(sim, net.into_processes());
+        let leaf = groups.last().unwrap();
+        if let Some(&publisher) = leaf
+            .members
+            .iter()
+            .find(|&&p| engine.status(p).is_alive())
+        {
+            engine.process_mut(publisher).publish("prop");
+        }
+        engine.run_until_quiescent(96);
+        for (pid, p) in engine.processes() {
+            if !engine.status(pid).is_alive() {
+                prop_assert!(
+                    p.delivered().is_empty(),
+                    "{} is crashed yet delivered",
+                    pid
+                );
+            }
+        }
+    }
+
+    /// Event ordering sanity: per-publisher sequence numbers are strictly
+    /// increasing in the delivered stream of every process.
+    #[test]
+    fn per_publisher_sequences_monotone(
+        sizes in arb_topology(),
+        seed in 0u64..1_000,
+    ) {
+        let net = StaticNetwork::linear(&sizes, ParamMap::default(), seed).unwrap();
+        let groups = net.groups().to_vec();
+        let mut engine = Engine::new(SimConfig::default().with_seed(seed), net.into_processes());
+        let leaf = groups.last().unwrap();
+        let publisher = leaf.members[0];
+        for i in 0..3 {
+            engine.process_mut(publisher).publish(format!("s{i}"));
+            // Sequential publications: later events are published in later
+            // rounds, so gossip order preserves publisher order here.
+            engine.run_rounds(8);
+        }
+        engine.run_until_quiescent(96);
+        for (_, p) in engine.processes() {
+            let seqs: Vec<u64> = p
+                .delivered()
+                .iter()
+                .filter(|e| e.id().publisher == publisher)
+                .map(|e| e.id().sequence)
+                .collect();
+            let mut sorted = seqs.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(seqs, sorted);
+        }
+    }
+}
