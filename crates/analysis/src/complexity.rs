@@ -87,10 +87,7 @@ pub fn intergroup_messages(level: &GroupLevel) -> f64 {
 /// the last entry the root group.
 #[must_use]
 pub fn damulticast_messages(levels: &[GroupLevel]) -> f64 {
-    let intra: f64 = levels
-        .iter()
-        .map(|l| intra_group_messages(l.s, l.c))
-        .sum();
+    let intra: f64 = levels.iter().map(|l| intra_group_messages(l.s, l.c)).sum();
     let inter: f64 = levels
         .iter()
         .take(levels.len().saturating_sub(1)) // root forwards nowhere
@@ -110,10 +107,7 @@ pub fn broadcast_messages(n: usize, c: f64) -> f64 {
 /// chain, with no inter-group forwarding cost.
 #[must_use]
 pub fn multicast_messages(levels: &[GroupLevel]) -> f64 {
-    levels
-        .iter()
-        .map(|l| intra_group_messages(l.s, l.c))
-        .sum()
+    levels.iter().map(|l| intra_group_messages(l.s, l.c)).sum()
 }
 
 /// Hierarchical gossip-broadcast message count:
@@ -176,10 +170,7 @@ mod tests {
     fn total_is_intra_plus_inter_without_root() {
         let chain = paper_chain();
         let total = damulticast_messages(&chain);
-        let intra: f64 = chain
-            .iter()
-            .map(|l| intra_group_messages(l.s, l.c))
-            .sum();
+        let intra: f64 = chain.iter().map(|l| intra_group_messages(l.s, l.c)).sum();
         let inter = intergroup_messages(&chain[0]) + intergroup_messages(&chain[1]);
         assert!((total - (intra + inter)).abs() < 1e-9);
     }

@@ -161,9 +161,7 @@ mod tests {
         // "In the extreme case where ... there is only one topic ... our
         // algorithm suffers no degradation" (Sec. I).
         let only = [GroupLevel::paper_default(500)];
-        assert!(
-            (damulticast_reliability(&only) - broadcast_reliability(5.0)).abs() < 1e-12
-        );
+        assert!((damulticast_reliability(&only) - broadcast_reliability(5.0)).abs() < 1e-12);
     }
 
     #[test]

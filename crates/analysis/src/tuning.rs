@@ -147,8 +147,7 @@ pub fn c1_vs_hierarchical(c: f64, t: usize, n_groups: usize, pit: f64) -> Option
 #[must_use]
 pub fn z_bound_vs_hierarchical(n_groups: usize, t: usize, c: f64, pit: f64) -> f64 {
     let tf = t as f64;
-    c + (n_groups as f64).ln() + (n_groups as f64 + 1.0 + tf * c.exp() * pit.ln()).ln()
-        - tf.ln()
+    c + (n_groups as f64).ln() + (n_groups as f64 + 1.0 + tf * c.exp() * pit.ln()).ln() - tf.ln()
 }
 
 /// NaN-safe upper bound: `ln` of a non-positive argument means "no valid

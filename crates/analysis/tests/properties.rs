@@ -1,29 +1,32 @@
 //! Property tests on the analytical model: every formula must respect the
 //! ranges and monotonicities the paper's derivation relies on.
 
-use da_analysis::complexity::{
-    damulticast_messages, damulticast_upper_bound, s_max, GroupLevel,
-};
+use da_analysis::complexity::{damulticast_messages, damulticast_upper_bound, s_max, GroupLevel};
 use da_analysis::gossip_math::{atomic_infection_probability, epidemic_fixpoint};
 use da_analysis::memory::{broadcast_memory, damulticast_memory, multicast_memory};
 use da_analysis::reliability::{damulticast_reliability, pit};
 use da_analysis::tuning::{
-    broadcast_c_range, c1_vs_broadcast, c1_vs_hierarchical, c1_vs_multicast,
-    hierarchical_c_range, multicast_c_range,
+    broadcast_c_range, c1_vs_broadcast, c1_vs_hierarchical, c1_vs_multicast, hierarchical_c_range,
+    multicast_c_range,
 };
 use proptest::prelude::*;
 
 fn arb_level() -> impl Strategy<Value = GroupLevel> {
-    (2usize..5_000, 0.0f64..8.0, 1.0f64..20.0, 1usize..6, 0.01f64..1.0).prop_map(
-        |(s, c, g, z, p_succ)| GroupLevel {
+    (
+        2usize..5_000,
+        0.0f64..8.0,
+        1.0f64..20.0,
+        1usize..6,
+        0.01f64..1.0,
+    )
+        .prop_map(|(s, c, g, z, p_succ)| GroupLevel {
             s,
             c,
             g,
             a: 1.0,
             z,
             p_succ,
-        },
-    )
+        })
 }
 
 proptest! {

@@ -125,11 +125,10 @@ pub fn build_broadcast_network(
     }
     let everyone: Vec<ProcessId> = (0..n).map(ProcessId::from_index).collect();
     let mut rng = rng_from_seed(derive_seed(seed, 0xBC));
-    let tables = static_topic_tables(&everyone, b, &mut rng).map_err(|e| {
-        DaError::InvalidParameter {
+    let tables =
+        static_topic_tables(&everyone, b, &mut rng).map_err(|e| DaError::InvalidParameter {
             reason: e.to_string(),
-        }
-    })?;
+        })?;
     let fanout = fanout.fanout(n);
     Ok(everyone
         .iter()
@@ -177,10 +176,7 @@ mod tests {
         // other 13 processes still receive and relay it.
         engine.process_mut(ProcessId(0)).publish("root-only news");
         engine.run_until_quiescent(50);
-        let parasites: u64 = engine
-            .processes()
-            .map(|(_, p)| p.log().parasites())
-            .sum();
+        let parasites: u64 = engine.processes().map(|(_, p)| p.log().parasites()).sum();
         assert!(
             parasites >= 10,
             "expected widespread parasites, got {parasites}"
@@ -208,7 +204,11 @@ mod tests {
             let mut ids: Vec<EventId> = p.log().delivered().iter().map(|e| e.id()).collect();
             ids.sort();
             ids.dedup();
-            assert_eq!(ids.len(), p.log().delivered().len(), "{pid} double-delivered");
+            assert_eq!(
+                ids.len(),
+                p.log().delivered().len(),
+                "{pid} double-delivered"
+            );
         }
     }
 
@@ -227,8 +227,6 @@ mod tests {
             std::sync::Arc::new(da_topics::TopicHierarchy::new()),
             vec![],
         );
-        assert!(
-            build_broadcast_network(&interests, 3.0, FanoutRule::default(), 1).is_err()
-        );
+        assert!(build_broadcast_network(&interests, 3.0, FanoutRule::default(), 1).is_err());
     }
 }

@@ -74,8 +74,7 @@ impl InterestMap {
     /// Panics if `pid` is outside the population.
     #[must_use]
     pub fn wants(&self, pid: ProcessId, topic: TopicId) -> bool {
-        self.hierarchy
-            .includes_or_eq(self.interest_of(pid), topic)
+        self.hierarchy.includes_or_eq(self.interest_of(pid), topic)
     }
 
     /// All processes interested in events of `topic`: subscribers of
@@ -196,7 +195,11 @@ mod tests {
         let t2 = m.interest_of(ProcessId(8));
         assert_eq!(m.audience(t2).len(), 9, "all subscribers want T2 events");
         let root = m.hierarchy().root();
-        assert_eq!(m.audience(root).len(), 2, "only root subscribers want root events");
+        assert_eq!(
+            m.audience(root).len(),
+            2,
+            "only root subscribers want root events"
+        );
     }
 
     #[test]

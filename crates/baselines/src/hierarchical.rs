@@ -130,12 +130,11 @@ pub fn build_hierarchical_network(
 ) -> Result<Vec<HierarchicalProcess>, DaError> {
     let n = interests.population();
     let mut rng = rng_from_seed(derive_seed(seed, 0x8C));
-    let layout =
-        HierarchicalLayout::partition(n, n_groups, &mut rng).map_err(|e| {
-            DaError::InvalidParameter {
-                reason: e.to_string(),
-            }
-        })?;
+    let layout = HierarchicalLayout::partition(n, n_groups, &mut rng).map_err(|e| {
+        DaError::InvalidParameter {
+            reason: e.to_string(),
+        }
+    })?;
     let tables = static_hierarchical_tables(&layout, b, &mut rng).map_err(|e| {
         DaError::InvalidParameter {
             reason: e.to_string(),
@@ -196,10 +195,7 @@ mod tests {
         let mut engine = Engine::new(SimConfig::default().with_seed(3), network());
         engine.process_mut(ProcessId(0)).publish("root-only");
         engine.run_until_quiescent(60);
-        let parasites: u64 = engine
-            .processes()
-            .map(|(_, p)| p.log().parasites())
-            .sum();
+        let parasites: u64 = engine.processes().map(|(_, p)| p.log().parasites()).sum();
         assert!(parasites >= 10, "got {parasites}");
     }
 

@@ -155,19 +155,17 @@ pub fn build_multicast_network(
     }
     let hierarchy = interests.hierarchy().clone();
     let mut rng = rng_from_seed(derive_seed(seed, 0x4C));
-    let mut per_process: Vec<HashMap<TopicId, (Vec<ProcessId>, usize)>> =
-        vec![HashMap::new(); n];
+    let mut per_process: Vec<HashMap<TopicId, (Vec<ProcessId>, usize)>> = vec![HashMap::new(); n];
 
     for topic in hierarchy.iter() {
         let group = interests.audience(topic);
         if group.is_empty() {
             continue;
         }
-        let tables = static_topic_tables(&group, b, &mut rng).map_err(|e| {
-            DaError::InvalidParameter {
+        let tables =
+            static_topic_tables(&group, b, &mut rng).map_err(|e| DaError::InvalidParameter {
                 reason: e.to_string(),
-            }
-        })?;
+            })?;
         let f = fanout.fanout(group.len());
         for &member in &group {
             per_process[member.index()].insert(topic, (tables[&member].clone(), f));
@@ -276,8 +274,6 @@ mod tests {
             std::sync::Arc::new(da_topics::TopicHierarchy::new()),
             vec![],
         );
-        assert!(
-            build_multicast_network(&interests, 3.0, FanoutRule::default(), 1).is_err()
-        );
+        assert!(build_multicast_network(&interests, 3.0, FanoutRule::default(), 1).is_err());
     }
 }

@@ -11,18 +11,14 @@ fn fig08(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig08_group_messages");
     for alive in [0.5, 0.8, 1.0] {
         let config = bench_scenario(FailureKind::Stillborn, alive);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alive),
-            &config,
-            |b, config| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed = seed.wrapping_add(1);
-                    let out = run_scenario(config, seed);
-                    black_box(out.intra)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(alive), &config, |b, config| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let out = run_scenario(config, seed);
+                black_box(out.intra)
+            });
+        });
     }
     group.finish();
 }

@@ -10,18 +10,14 @@ fn fig09(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_intergroup");
     for alive in [0.5, 1.0] {
         let config = bench_scenario(FailureKind::Stillborn, alive);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alive),
-            &config,
-            |b, config| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed = seed.wrapping_add(1);
-                    let out = run_scenario(config, seed);
-                    black_box(out.inter_in)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(alive), &config, |b, config| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let out = run_scenario(config, seed);
+                black_box(out.inter_in)
+            });
+        });
     }
     group.finish();
 }

@@ -10,18 +10,14 @@ fn fig10(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_reliability_stillborn");
     for alive in [0.4, 0.8] {
         let config = bench_scenario(FailureKind::Stillborn, alive);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alive),
-            &config,
-            |b, config| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed = seed.wrapping_add(1);
-                    let out = run_scenario(config, seed);
-                    black_box(out.delivered_fraction)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(alive), &config, |b, config| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                let out = run_scenario(config, seed);
+                black_box(out.delivered_fraction)
+            });
+        });
     }
     group.finish();
 }

@@ -20,7 +20,8 @@ fn topics(c: &mut Criterion) {
     });
     let mut big = TopicHierarchy::new();
     for i in 0..1000 {
-        big.insert(&format!(".a{}.b{}.c{}", i % 10, i % 100, i)).unwrap();
+        big.insert(&format!(".a{}.b{}.c{}", i % 10, i % 100, i))
+            .unwrap();
     }
     group.bench_function("resolve_in_1000_topics", |b| {
         b.iter(|| black_box(big.resolve(".a5.b55.c555")));

@@ -69,6 +69,12 @@ impl BootstrapTask {
         self.active
     }
 
+    /// The topic whose process runs this task.
+    #[must_use]
+    pub fn topic(&self) -> TopicId {
+        self.my_topic
+    }
+
     /// The direct supertopic this task ultimately looks for.
     #[must_use]
     pub fn direct_super(&self) -> TopicId {
@@ -164,6 +170,8 @@ mod tests {
     fn start_requests_direct_super() {
         let (h, ids) = chain();
         let mut task = BootstrapTask::new(ids[3], &h, 5).unwrap();
+        assert_eq!(task.topic(), ids[3]);
+        assert_eq!(task.direct_super(), ids[2]);
         match task.start(0) {
             BootstrapAction::SendRequest { topics, .. } => {
                 assert_eq!(topics, vec![ids[2]]);

@@ -288,20 +288,17 @@ impl DagNetwork {
             if members.is_empty() {
                 continue;
             }
-            let topic_tables =
-                static_topic_tables(members, params.b, &mut rng).map_err(|e| {
-                    DaError::InvalidParameter {
-                        reason: e.to_string(),
-                    }
-                })?;
+            let topic_tables = static_topic_tables(members, params.b, &mut rng).map_err(|e| {
+                DaError::InvalidParameter {
+                    reason: e.to_string(),
+                }
+            })?;
 
             // One supertable per direct parent edge, sourced from the
             // nearest populated ancestor reachable from that parent.
             let mut per_edge: Vec<(TopicId, Vec<ProcessId>)> = Vec::new();
             for &parent in dag.parents(*topic) {
-                if let Some((anchor, supergroup)) =
-                    nearest_populated(&dag, parent, &members_of)
-                {
+                if let Some((anchor, supergroup)) = nearest_populated(&dag, parent, &members_of) {
                     // Entries are tagged with the *edge's* parent topic so
                     // they land in that edge's table; the contacts come
                     // from the anchor group.
@@ -314,11 +311,8 @@ impl DagNetwork {
                 let mut supers = Vec::new();
                 for (edge_topic, supergroup) in &per_edge {
                     use rand::seq::SliceRandom;
-                    let mut pool: Vec<ProcessId> = supergroup
-                        .iter()
-                        .copied()
-                        .filter(|&p| p != pid)
-                        .collect();
+                    let mut pool: Vec<ProcessId> =
+                        supergroup.iter().copied().filter(|&p| p != pid).collect();
                     pool.shuffle(&mut rng);
                     pool.truncate(params.z);
                     supers.extend(pool.into_iter().map(|p| SuperEntry {
@@ -514,7 +508,10 @@ mod tests {
         let net = DagNetwork::build(dag, groups, params, 5).unwrap();
         let procs = net.into_processes();
         for p in procs.iter().skip(4) {
-            assert!(p.memory_entries() > p.topic_table().len(), "bridged links exist");
+            assert!(
+                p.memory_entries() > p.topic_table().len(),
+                "bridged links exist"
+            );
         }
         let mut engine = Engine::new(SimConfig::default().with_seed(5), procs);
         let id = engine.process_mut(ProcessId(6)).publish("up");
@@ -530,12 +527,7 @@ mod tests {
         let dag = TopicDag::new();
         let root = dag.root();
         assert!(matches!(
-            DagNetwork::build(
-                dag,
-                vec![(root, vec![])],
-                TopicParams::paper_default(),
-                1
-            ),
+            DagNetwork::build(dag, vec![(root, vec![])], TopicParams::paper_default(), 1),
             Err(DaError::EmptyGroup { .. })
         ));
         let dag = TopicDag::new();

@@ -29,7 +29,10 @@ impl fmt::Display for DaError {
                 write!(f, "invalid daMulticast parameter: {reason}")
             }
             DaError::UnknownTopic { id } => {
-                write!(f, "topic id {id} does not belong to the protocol's hierarchy")
+                write!(
+                    f,
+                    "topic id {id} does not belong to the protocol's hierarchy"
+                )
             }
             DaError::EmptyGroup { topic } => {
                 write!(f, "group for topic '{topic}' has no members")

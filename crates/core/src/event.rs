@@ -98,10 +98,13 @@ mod tests {
     #[test]
     fn event_accessors() {
         let e = Event::new(ProcessId(1), 7, TopicId::ROOT, vec![1u8, 2, 3]);
-        assert_eq!(e.id(), EventId {
-            publisher: ProcessId(1),
-            sequence: 7
-        });
+        assert_eq!(
+            e.id(),
+            EventId {
+                publisher: ProcessId(1),
+                sequence: 7
+            }
+        );
         assert_eq!(e.topic(), TopicId::ROOT);
         assert_eq!(e.payload(), &[1, 2, 3]);
     }

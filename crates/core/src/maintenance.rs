@@ -40,10 +40,7 @@ pub enum MaintenanceAction {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum Phase {
     Idle,
-    AwaitingPongs {
-        nonce: u64,
-        sent_at: u64,
-    },
+    AwaitingPongs { nonce: u64, sent_at: u64 },
 }
 
 /// State machine of `KEEP_TABLE_UPDATED`.
@@ -135,7 +132,10 @@ mod tests {
     #[test]
     fn empty_table_restarts_bootstrap() {
         let mut t = MaintenanceTask::new(5, 2);
-        assert_eq!(t.on_round(0, &[], true, 1), MaintenanceAction::RestartBootstrap);
+        assert_eq!(
+            t.on_round(0, &[], true, 1),
+            MaintenanceAction::RestartBootstrap
+        );
         // Off-period rounds stay idle even with an empty table.
         assert_eq!(t.on_round(1, &[], true, 1), MaintenanceAction::Idle);
     }

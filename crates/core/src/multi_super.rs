@@ -267,7 +267,10 @@ mod tests {
             &mut rng,
         );
         // g ≥ S and a = z force p_sel = p_a = 1.
-        let params = TopicParams::paper_default().with_g(100.0).with_a(1.0).with_z(1);
+        let params = TopicParams::paper_default()
+            .with_g(100.0)
+            .with_a(1.0)
+            .with_z(1);
         let plan = plan_multi_dissemination(&params, 2, &[ProcessId(1)], &t, &mut rng);
         assert!(plan.elected);
         let topics: Vec<TopicId> = plan.super_targets.iter().map(|e| e.topic).collect();

@@ -104,10 +104,11 @@ impl StaticNetwork {
         for g in &groups {
             hierarchy
                 .check(g.topic)
-                .map_err(|_| DaError::UnknownTopic { id: g.topic.index() as u32 })?;
+                .map_err(|_| DaError::UnknownTopic {
+                    id: g.topic.index() as u32,
+                })?;
         }
-        let by_topic: HashMap<TopicId, &GroupSpec> =
-            groups.iter().map(|g| (g.topic, g)).collect();
+        let by_topic: HashMap<TopicId, &GroupSpec> = groups.iter().map(|g| (g.topic, g)).collect();
         let mut rng = rng_from_seed(derive_seed(seed, 0x57A7));
         let mut processes: Vec<(ProcessId, DaProcess)> = Vec::new();
 
@@ -117,9 +118,11 @@ impl StaticNetwork {
             }
             let tp = params.for_topic(group.topic);
             tp.validate()?;
-            let topic_tables = static_topic_tables(&group.members, tp.b, &mut rng)
-                .map_err(|e| DaError::InvalidParameter {
-                    reason: e.to_string(),
+            let topic_tables =
+                static_topic_tables(&group.members, tp.b, &mut rng).map_err(|e| {
+                    DaError::InvalidParameter {
+                        reason: e.to_string(),
+                    }
                 })?;
 
             // The nearest strict ancestor whose group is non-empty.
@@ -129,11 +132,10 @@ impl StaticNetwork {
             let super_tables = match ancestor {
                 Some(anc) => {
                     let supergroup = &by_topic[&anc].members;
-                    let tables =
-                        static_super_tables(&group.members, supergroup, tp.z, &mut rng)
-                            .map_err(|e| DaError::InvalidParameter {
-                                reason: e.to_string(),
-                            })?;
+                    let tables = static_super_tables(&group.members, supergroup, tp.z, &mut rng)
+                        .map_err(|e| DaError::InvalidParameter {
+                            reason: e.to_string(),
+                        })?;
                     Some((anc, tables))
                 }
                 None => None,
@@ -171,9 +173,7 @@ impl StaticNetwork {
         for (i, (pid, _)) in processes.iter().enumerate() {
             if pid.index() != i {
                 return Err(DaError::InvalidParameter {
-                    reason: format!(
-                        "process ids must be dense 0..n; found {pid} at position {i}"
-                    ),
+                    reason: format!("process ids must be dense 0..n; found {pid} at position {i}"),
                 });
             }
         }
@@ -248,10 +248,11 @@ impl DynamicNetwork {
         let members = da_membership::static_init::assign_group_members(group_sizes);
         let population: usize = group_sizes.iter().sum();
         let overlay = Arc::new(
-            Overlay::random(population, overlay_degree.max(2), derive_seed(seed, 0x07E8))
-                .map_err(|e| DaError::InvalidParameter {
+            Overlay::random(population, overlay_degree.max(2), derive_seed(seed, 0x07E8)).map_err(
+                |e| DaError::InvalidParameter {
                     reason: e.to_string(),
-                })?,
+                },
+            )?,
         );
         let mut rng = rng_from_seed(derive_seed(seed, 0xD1A7));
         let mut processes = Vec::with_capacity(population);
@@ -459,9 +460,7 @@ mod tests {
                 members: vec![ProcessId(5)],
             },
         ];
-        assert!(
-            StaticNetwork::from_groups(Arc::new(h), groups, ParamMap::default(), 6).is_err()
-        );
+        assert!(StaticNetwork::from_groups(Arc::new(h), groups, ParamMap::default(), 6).is_err());
     }
 
     #[test]

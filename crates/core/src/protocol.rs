@@ -25,12 +25,12 @@
 //!   maintains them under churn. Used by the examples and the end-to-end
 //!   tests.
 
+use crate::bootstrap::{BootstrapAction, BootstrapTask};
 use crate::dissemination::plan_dissemination;
 use crate::event::{Event, EventId};
 use crate::maintenance::{MaintenanceAction, MaintenanceTask};
 use crate::message::DaMsg;
 use crate::params::TopicParams;
-use crate::bootstrap::{BootstrapAction, BootstrapTask};
 use crate::tables::{SuperEntry, SuperTable};
 use da_membership::{FlatMembership, MembershipParams};
 use da_simnet::{Ctx, Overlay, ProcessId, Protocol};
@@ -155,8 +155,7 @@ impl DaProcess {
             eviction_age: u64::MAX,
         };
         let mut seed_rng = da_simnet::rng_for_process(0xDA, me);
-        let membership =
-            FlatMembership::with_static_view(me, mparams, &topic_table, &mut seed_rng);
+        let membership = FlatMembership::with_static_view(me, mparams, &topic_table, &mut seed_rng);
         let mut stable = SuperTable::new(me, params.z.max(super_entries.len()));
         for entry in super_entries {
             stable.insert(entry, &mut seed_rng);
@@ -370,12 +369,7 @@ impl DaProcess {
     }
 
     /// Floods a bootstrap request through the overlay neighbourhood.
-    fn flood_request(
-        &mut self,
-        req_id: u64,
-        topics: Vec<TopicId>,
-        ctx: &mut Ctx<'_, DaMsg>,
-    ) {
+    fn flood_request(&mut self, req_id: u64, topics: Vec<TopicId>, ctx: &mut Ctx<'_, DaMsg>) {
         let Some(overlay) = self.overlay.clone() else {
             return;
         };
@@ -413,10 +407,7 @@ impl DaProcess {
         // If we are interested in one of the requested topics, answer with
         // ourselves plus a sample of our group view (Ψ).
         if topics.contains(&self.topic) {
-            let mut contacts = self
-                .membership
-                .view()
-                .sample(self.params.z, ctx.rng());
+            let mut contacts = self.membership.view().sample(self.params.z, ctx.rng());
             contacts.push(self.me);
             contacts.retain(|&p| p != origin);
             self.send_control(
@@ -453,7 +444,12 @@ impl DaProcess {
 
     /// Handles a bootstrap answer (Fig. 4, lines 30–37): merge the contacts
     /// and narrow or stop the search.
-    fn handle_ans_contact(&mut self, topic: TopicId, contacts: &[ProcessId], ctx: &mut Ctx<'_, DaMsg>) {
+    fn handle_ans_contact(
+        &mut self,
+        topic: TopicId,
+        contacts: &[ProcessId],
+        ctx: &mut Ctx<'_, DaMsg>,
+    ) {
         // Only contacts of strictly including topics belong in the
         // supertable.
         if !self.hierarchy.includes(topic, self.topic) {
@@ -469,8 +465,7 @@ impl DaProcess {
                 self.stable.insert(entry, ctx.rng());
             }
         }
-        self.stable
-            .tighten(&entries, |t| hierarchy.depth(t));
+        self.stable.tighten(&entries, |t| hierarchy.depth(t));
         if let Some(task) = self.bootstrap.as_mut() {
             // A direct-supertopic answer stops the task; answers from
             // higher ancestors narrow the search (Fig. 4, lines 31-35).
@@ -577,9 +572,7 @@ impl Protocol for DaProcess {
                 inner,
                 stable_sample,
             } => {
-                let replies = self
-                    .membership
-                    .on_message(from, &inner, round, ctx.rng());
+                let replies = self.membership.on_message(from, &inner, round, ctx.rng());
                 self.route_membership(replies, ctx);
                 // Piggybacked supertable entries: valid for us when their
                 // topic strictly includes ours (sender is a group-mate, so
@@ -594,8 +587,7 @@ impl Protocol for DaProcess {
                     self.stable.merge(&valid, |_| true);
                     self.stable.tighten(&valid, |t| hierarchy.depth(t));
                     if let Some(task) = self.bootstrap.as_mut() {
-                        if task.is_active()
-                            && valid.iter().any(|e| e.topic == task.direct_super())
+                        if task.is_active() && valid.iter().any(|e| e.topic == task.direct_super())
                         {
                             task.stop();
                         }
@@ -628,8 +620,7 @@ impl Protocol for DaProcess {
 
         // KEEP_TABLE_UPDATED (Fig. 6).
         let action = if let Some(m) = self.maintenance.as_mut() {
-            let entries: Vec<ProcessId> =
-                self.stable.entries().iter().map(|e| e.pid).collect();
+            let entries: Vec<ProcessId> = self.stable.entries().iter().map(|e| e.pid).collect();
             let p_sel = self.params.p_sel(self.group_size);
             let selected = p_sel >= 1.0 || (p_sel > 0.0 && ctx.rng().gen_bool(p_sel));
             m.on_round(round, &entries, selected, self.params.tau)
@@ -695,8 +686,7 @@ mod tests {
         let mid_members: Vec<ProcessId> = (4..10).map(ProcessId).collect();
         let mut procs = Vec::new();
         for &m in &root_members {
-            let table: Vec<ProcessId> =
-                root_members.iter().copied().filter(|&p| p != m).collect();
+            let table: Vec<ProcessId> = root_members.iter().copied().filter(|&p| p != m).collect();
             procs.push(DaProcess::static_member(
                 m,
                 ids[0],
@@ -708,8 +698,7 @@ mod tests {
             ));
         }
         for &m in &mid_members {
-            let table: Vec<ProcessId> =
-                mid_members.iter().copied().filter(|&p| p != m).collect();
+            let table: Vec<ProcessId> = mid_members.iter().copied().filter(|&p| p != m).collect();
             let supers = vec![
                 SuperEntry {
                     pid: root_members[0],

@@ -280,10 +280,7 @@ mod tests {
         t.insert(entry(1, 0), &mut rng);
         t.insert(entry(2, 2), &mut rng);
         t.insert(entry(3, 1), &mut rng);
-        assert_eq!(
-            t.closest_topic(|t| t.index()),
-            Some(TopicId::from_index(2))
-        );
+        assert_eq!(t.closest_topic(|t| t.index()), Some(TopicId::from_index(2)));
     }
 
     #[test]

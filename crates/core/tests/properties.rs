@@ -12,15 +12,13 @@ use proptest::prelude::*;
 use std::collections::HashSet;
 
 fn arb_params() -> impl Strategy<Value = TopicParams> {
-    (1.0f64..30.0, 1usize..6, 0.0f64..8.0).prop_map(|(g, z, c)| {
-        TopicParams {
-            g,
-            z,
-            a: 1.0,
-            tau: 1.min(z),
-            fanout: da_membership::FanoutRule::LnPlusC { c },
-            ..TopicParams::paper_default()
-        }
+    (1.0f64..30.0, 1usize..6, 0.0f64..8.0).prop_map(|(g, z, c)| TopicParams {
+        g,
+        z,
+        a: 1.0,
+        tau: 1.min(z),
+        fanout: da_membership::FanoutRule::LnPlusC { c },
+        ..TopicParams::paper_default()
     })
 }
 

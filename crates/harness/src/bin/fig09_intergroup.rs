@@ -23,5 +23,9 @@ fn main() {
     print!("{}", plot::ascii_plot(&table, 60, 16));
     let dir = results_dir();
     table.write_to(&dir).expect("write results");
-    println!("\nwritten to {}/{}.{{csv,md}}", dir.display(), table.file_stem());
+    println!(
+        "\nwritten to {}/{}.{{csv,md}}",
+        dir.display(),
+        table.file_stem()
+    );
 }

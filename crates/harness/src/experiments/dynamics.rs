@@ -21,12 +21,8 @@ pub fn run_latency(leaf_sizes: &[usize], trials: usize, seed: u64) -> SeriesTabl
     let xs: Vec<f64> = leaf_sizes.iter().map(|&s| s as f64).collect();
     let rows = sweep(&xs, trials, seed, |s, trial_seed| {
         let s = s as usize;
-        let net = StaticNetwork::linear(
-            &[10, 100, s],
-            ParamMap::default(),
-            trial_seed,
-        )
-        .expect("valid topology");
+        let net = StaticNetwork::linear(&[10, 100, s], ParamMap::default(), trial_seed)
+            .expect("valid topology");
         let leaf_members = net.groups()[2].members.clone();
         let sim = SimConfig::default()
             .with_seed(trial_seed)
@@ -58,9 +54,21 @@ pub fn run_latency(leaf_sizes: &[usize], trials: usize, seed: u64) -> SeriesTabl
         // Unreached thresholds (possible for 100% under channel loss)
         // count as the cap — they pull the mean up honestly.
         vec![
-            if reached_half.is_nan() { 96.0 } else { reached_half },
-            if reached_95.is_nan() { 96.0 } else { reached_95 },
-            if reached_all.is_nan() { 96.0 } else { reached_all },
+            if reached_half.is_nan() {
+                96.0
+            } else {
+                reached_half
+            },
+            if reached_95.is_nan() {
+                96.0
+            } else {
+                reached_95
+            },
+            if reached_all.is_nan() {
+                96.0
+            } else {
+                reached_all
+            },
         ]
     });
     let mut table = SeriesTable::new(
@@ -95,14 +103,8 @@ pub fn run_churn(crash_rates: &[f64], trials: usize, seed: u64) -> SeriesTable {
             a: 3.0,
             ..TopicParams::paper_default()
         };
-        let net = DynamicNetwork::linear(
-            &[8, 40],
-            ParamMap::uniform(params),
-            3,
-            4,
-            trial_seed,
-        )
-        .expect("valid dynamic topology");
+        let net = DynamicNetwork::linear(&[8, 40], ParamMap::uniform(params), 3, 4, trial_seed)
+            .expect("valid dynamic topology");
         let groups = net.groups().to_vec();
         let sim = SimConfig::default()
             .with_seed(trial_seed)

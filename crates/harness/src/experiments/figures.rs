@@ -73,10 +73,7 @@ pub fn run_figure(
     let (columns, indices): (Vec<String>, Vec<usize>) = match kind {
         FigureKind::Fig08GroupMessages => (
             // The paper plots bottom-up: T2 dominates the figure.
-            (0..levels)
-                .rev()
-                .map(|l| format!("group T{l}"))
-                .collect(),
+            (0..levels).rev().map(|l| format!("group T{l}")).collect(),
             (0..levels).rev().collect(),
         ),
         FigureKind::Fig09Intergroup => (
@@ -89,10 +86,7 @@ pub fn run_figure(
             (1..levels).rev().map(|l| levels + (l - 1)).collect(),
         ),
         FigureKind::Fig10ReliabilityStillborn | FigureKind::Fig11ReliabilityDynamic => (
-            (0..levels)
-                .rev()
-                .map(|l| format!("group T{l}"))
-                .collect(),
+            (0..levels).rev().map(|l| format!("group T{l}")).collect(),
             (0..levels).rev().map(|l| 2 * levels - 1 + l).collect(),
         ),
     };
@@ -110,13 +104,7 @@ mod tests {
     use super::*;
 
     fn quick(kind: FigureKind) -> SeriesTable {
-        run_figure(
-            kind,
-            &ScenarioConfig::small(),
-            &[0.4, 1.0],
-            3,
-            7,
-        )
+        run_figure(kind, &ScenarioConfig::small(), &[0.4, 1.0], 3, 7)
     }
 
     #[test]
@@ -139,7 +127,11 @@ mod tests {
         // At full aliveness at least one event crosses each boundary on
         // average (the paper's claim).
         let full = &t.rows[1];
-        assert!(full.values[0].mean >= 1.0, "T2→T1 = {}", full.values[0].mean);
+        assert!(
+            full.values[0].mean >= 1.0,
+            "T2→T1 = {}",
+            full.values[0].mean
+        );
     }
 
     #[test]

@@ -124,6 +124,9 @@ mod tests {
             sent(0),
             sent(1)
         );
-        assert!(sent(2) < sent(1), "multicast beats broadcast on root events");
+        assert!(
+            sent(2) < sent(1),
+            "multicast beats broadcast on root events"
+        );
     }
 }

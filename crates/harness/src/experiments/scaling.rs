@@ -29,10 +29,7 @@ pub fn run_scaling(leaf_sizes: &[usize], trials: usize, seed: u64) -> SeriesTabl
     let mut table = SeriesTable::new(
         "Fig scaling message complexity",
         "leaf group size S",
-        vec![
-            "total event messages".into(),
-            "messages / (S ln S)".into(),
-        ],
+        vec!["total event messages".into(), "messages / (S ln S)".into()],
     );
     for (x, summaries) in rows {
         table.push_row(x, summaries);

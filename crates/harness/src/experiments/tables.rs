@@ -36,11 +36,7 @@ fn analysis_chain(group_sizes: &[usize], c: f64) -> Vec<complexity::GroupLevel> 
 /// Channels are reliable and the `ln(S) + c` fanout of the analysis is
 /// used, so measured counts are directly comparable to the closed forms.
 #[must_use]
-pub fn run_complexity_table(
-    group_sizes: &[usize],
-    trials: usize,
-    seed: u64,
-) -> KeyedTable {
+pub fn run_complexity_table(group_sizes: &[usize], trials: usize, seed: u64) -> KeyedTable {
     let c = 5.0;
     let b = 3.0;
     let fanout = FanoutRule::LnPlusC { c };
@@ -100,7 +96,10 @@ pub fn run_complexity_table(
         )
         .expect("valid topology");
         let procs = net.into_processes();
-        let total: usize = procs.iter().map(damulticast::DaProcess::memory_entries).sum();
+        let total: usize = procs
+            .iter()
+            .map(damulticast::DaProcess::memory_entries)
+            .sum();
         total as f64 / procs.len() as f64
     };
     let leaf_s = *group_sizes.last().expect("non-empty");
@@ -117,8 +116,8 @@ pub fn run_complexity_table(
 
     // --- gossip broadcast --------------------------------------------
     let bc = run_trials(trials, seed, |s| {
-        let procs = build_broadcast_network(&interests, b, fanout, s)
-            .expect("population non-empty");
+        let procs =
+            build_broadcast_network(&interests, b, fanout, s).expect("population non-empty");
         let mem: usize = procs.iter().map(|p| p.memory_entries()).sum();
         let mem = mem as f64 / procs.len() as f64;
         let mut engine = Engine::new(SimConfig::default().with_seed(s), procs);
@@ -143,8 +142,8 @@ pub fn run_complexity_table(
 
     // --- gossip multicast ----------------------------------------------
     let mc = run_trials(trials, seed, |s| {
-        let procs = build_multicast_network(&interests, b, fanout, s)
-            .expect("population non-empty");
+        let procs =
+            build_multicast_network(&interests, b, fanout, s).expect("population non-empty");
         let mem: usize = procs.iter().map(|p| p.memory_entries()).sum();
         let mem = mem as f64 / procs.len() as f64;
         let mut engine = Engine::new(SimConfig::default().with_seed(s), procs);
@@ -298,11 +297,11 @@ pub fn run_reliability_table(
         // Baselines: publish at the first alive leaf; measure the fraction
         // of alive interested processes that delivered.
         let baseline = |which: &str, s: u64| -> f64 {
-            let sim = SimConfig::default()
-                .with_seed(s)
-                .with_failure(da_simnet::FailureModel::Stillborn {
+            let sim = SimConfig::default().with_seed(s).with_failure(
+                da_simnet::FailureModel::Stillborn {
                     alive_fraction: alive,
-                });
+                },
+            );
             macro_rules! run_with {
                 ($procs:expr, $delivered:expr) => {{
                     let mut engine = Engine::new(sim, $procs);
@@ -331,13 +330,19 @@ pub fn run_reliability_table(
                     let procs = build_broadcast_network(&interests, b, fanout, s).unwrap();
                     run_with!(procs, |e: &Engine<da_baselines::BroadcastProcess>,
                                       p: ProcessId,
-                                      id| e.process(p).log().has_delivered(id))
+                                      id| e
+                        .process(p)
+                        .log()
+                        .has_delivered(id))
                 }
                 "mc" => {
                     let procs = build_multicast_network(&interests, b, fanout, s).unwrap();
                     run_with!(procs, |e: &Engine<da_baselines::MulticastProcess>,
                                       p: ProcessId,
-                                      id| e.process(p).log().has_delivered(id))
+                                      id| e
+                        .process(p)
+                        .log()
+                        .has_delivered(id))
                 }
                 _ => {
                     let procs =
@@ -345,7 +350,10 @@ pub fn run_reliability_table(
                             .unwrap();
                     run_with!(procs, |e: &Engine<da_baselines::HierarchicalProcess>,
                                       p: ProcessId,
-                                      id| e.process(p).log().has_delivered(id))
+                                      id| e
+                        .process(p)
+                        .log()
+                        .has_delivered(id))
                 }
             }
         };

@@ -39,6 +39,5 @@ use std::path::PathBuf;
 /// the current working directory (override with `DA_RESULTS_DIR`).
 #[must_use]
 pub fn results_dir() -> PathBuf {
-    std::env::var_os("DA_RESULTS_DIR")
-        .map_or_else(|| PathBuf::from("results"), PathBuf::from)
+    std::env::var_os("DA_RESULTS_DIR").map_or_else(|| PathBuf::from("results"), PathBuf::from)
 }

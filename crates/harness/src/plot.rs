@@ -54,12 +54,7 @@ pub fn ascii_plot(table: &SeriesTable, width: usize, height: usize) -> String {
     for line in grid {
         let _ = writeln!(out, "{:>10} │{}", "", line.into_iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "{:>10} └{}",
-        0,
-        "─".repeat(width)
-    );
+    let _ = writeln!(out, "{:>10} └{}", 0, "─".repeat(width));
     let _ = writeln!(
         out,
         "{:>12}{x_min:<10.2}{:>pad$}{x_max:.2}",

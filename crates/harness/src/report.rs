@@ -31,11 +31,7 @@ pub struct SeriesRow {
 impl SeriesTable {
     /// Creates an empty table.
     #[must_use]
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
         SeriesTable {
             title: title.into(),
             x_label: x_label.into(),
@@ -305,10 +301,7 @@ mod tests {
 
     #[test]
     fn file_stem_sanitised() {
-        assert_eq!(
-            sample_table().file_stem(),
-            "fig_8_events_per_group"
-        );
+        assert_eq!(sample_table().file_stem(), "fig_8_events_per_group");
     }
 
     #[test]
@@ -343,8 +336,14 @@ mod tests {
             "algorithm",
             vec!["measured".into(), "analytic".into()],
         );
-        t.push_row("daMulticast", vec![Summary::exact(100.0), Summary::exact(110.0)]);
-        t.push_row("broadcast", vec![Summary::of(&[200.0, 220.0]), Summary::exact(215.0)]);
+        t.push_row(
+            "daMulticast",
+            vec![Summary::exact(100.0), Summary::exact(110.0)],
+        );
+        t.push_row(
+            "broadcast",
+            vec![Summary::of(&[200.0, 220.0]), Summary::exact(215.0)],
+        );
         let md = t.to_markdown();
         assert!(md.contains("| daMulticast | 100 | 110 |"));
         assert!(md.contains("± "));

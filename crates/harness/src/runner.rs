@@ -67,12 +67,7 @@ where
 /// Sweeps `xs`, running [`run_trials`] at every point. Returns
 /// `(x, summaries)` pairs in input order. Each sweep point gets an
 /// independent seed stream, so adding points never perturbs existing ones.
-pub fn sweep<F>(
-    xs: &[f64],
-    trials: usize,
-    base_seed: u64,
-    run: F,
-) -> Vec<(f64, Vec<Summary>)>
+pub fn sweep<F>(xs: &[f64], trials: usize, base_seed: u64, run: F) -> Vec<(f64, Vec<Summary>)>
 where
     F: Fn(f64, u64) -> Vec<f64> + Sync,
 {
@@ -142,9 +137,7 @@ mod tests {
         // The mean of f(seed) must match a serial computation exactly.
         let f = |seed: u64| vec![(seed % 17) as f64];
         let summaries = run_trials(32, 9, f);
-        let serial: Vec<f64> = (0..32)
-            .map(|t| (derive_seed(9, t) % 17) as f64)
-            .collect();
+        let serial: Vec<f64> = (0..32).map(|t| (derive_seed(9, t) % 17) as f64).collect();
         assert!((summaries[0].mean - Summary::of(&serial).mean).abs() < 1e-12);
     }
 }

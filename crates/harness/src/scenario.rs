@@ -7,9 +7,7 @@
 
 use crate::stats::Summary;
 use da_membership::FanoutRule;
-use da_simnet::{
-    ChannelConfig, Engine, FailureModel, ProcessId, SimConfig,
-};
+use da_simnet::{ChannelConfig, Engine, FailureModel, ProcessId, SimConfig};
 use da_topics::TopicId;
 use damulticast::{ParamMap, StaticNetwork, TopicParams};
 use serde::{Deserialize, Serialize};
@@ -145,8 +143,7 @@ impl ScenarioOutcome {
     /// chain of `levels` groups.
     #[must_use]
     pub fn metric_labels(levels: usize) -> Vec<String> {
-        let mut labels: Vec<String> =
-            (0..levels).map(|i| format!("intra_t{i}")).collect();
+        let mut labels: Vec<String> = (0..levels).map(|i| format!("intra_t{i}")).collect();
         labels.extend((0..levels - 1).map(|i| format!("inter_t{}_to_t{}", i + 1, i)));
         labels.extend((0..levels).map(|i| format!("delivered_t{i}")));
         labels.extend((0..levels).map(|i| format!("delivered_alive_t{i}")));

@@ -38,7 +38,9 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = MembershipError::EmptyGroup { context: "static_init" };
+        let e = MembershipError::EmptyGroup {
+            context: "static_init",
+        };
         assert!(e.to_string().contains("static_init"));
         let e = MembershipError::InvalidParameter {
             reason: "z must be positive".into(),

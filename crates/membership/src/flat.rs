@@ -129,11 +129,7 @@ impl FlatMembership {
 
     /// Round hook: every `gossip_period` rounds, sends digests to
     /// `digest_fanout` random view members and evicts stale entries.
-    pub fn on_round<R: Rng>(
-        &mut self,
-        round: u64,
-        rng: &mut R,
-    ) -> Vec<(ProcessId, MembershipMsg)> {
+    pub fn on_round<R: Rng>(&mut self, round: u64, rng: &mut R) -> Vec<(ProcessId, MembershipMsg)> {
         if self.params.gossip_period == 0 || !round.is_multiple_of(self.params.gossip_period) {
             return Vec::new();
         }
@@ -142,9 +138,14 @@ impl FlatMembership {
         self.view
             .sample(self.params.digest_fanout, rng)
             .into_iter()
-            .map(|to| (to, MembershipMsg::Digest {
-                sample: digest.clone(),
-            }))
+            .map(|to| {
+                (
+                    to,
+                    MembershipMsg::Digest {
+                        sample: digest.clone(),
+                    },
+                )
+            })
             .collect()
     }
 
@@ -195,7 +196,9 @@ impl FlatMembership {
     }
 
     fn make_digest<R: Rng>(&self, rng: &mut R) -> Vec<ProcessId> {
-        let mut sample = self.view.sample(self.params.digest_size.saturating_sub(1), rng);
+        let mut sample = self
+            .view
+            .sample(self.params.digest_size.saturating_sub(1), rng);
         sample.push(self.me);
         sample
     }

@@ -41,9 +41,7 @@ impl HierarchicalLayout {
         }
         if group_count > population {
             return Err(MembershipError::InvalidParameter {
-                reason: format!(
-                    "group_count {group_count} exceeds population {population}"
-                ),
+                reason: format!("group_count {group_count} exceeds population {population}"),
             });
         }
         let mut ids: Vec<ProcessId> = (0..population).map(ProcessId::from_index).collect();
@@ -130,8 +128,7 @@ pub fn static_hierarchical_tables<R: Rng>(
         let members = layout.group(g);
         let intra_size = kmg_view_size(b, members.len());
         for &me in members {
-            let mut own: Vec<ProcessId> =
-                members.iter().copied().filter(|&p| p != me).collect();
+            let mut own: Vec<ProcessId> = members.iter().copied().filter(|&p| p != me).collect();
             own.shuffle(rng);
             own.truncate(intra_size);
             intra.insert(me, own);

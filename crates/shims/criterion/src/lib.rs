@@ -1,0 +1,210 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal wall-clock bench harness with Criterion's registration API
+//! (`criterion_group!` / `criterion_main!` / `Criterion` /
+//! `BenchmarkId`). Each benchmark is warmed up briefly, then timed for a
+//! fixed wall-clock budget, and the mean ns/iter is printed — no
+//! statistical analysis, HTML reports, or regression detection. CI runs
+//! `cargo bench --no-run`, so benches are primarily compile-checked;
+//! `cargo bench` still produces useful local numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (nanosecond resolution means
+/// this can stay short).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// The bench registry/driver (mirror of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), &mut f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim, kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over many iterations (mirror of `criterion::Bencher`).
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly; the return value is dropped (wrap
+    /// it in `std::hint::black_box` to keep the computation alive).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: establish caches and a rough per-iter cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Measurement: batch to amortize clock reads on fast routines.
+        let per_iter = warm_start.elapsed().as_nanos() / u128::from(warm_iters.max(1));
+        let batch = (MEASURE_BUDGET.as_nanos() / 20 / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.iters += batch;
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(label: &str, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label:<50} (no measurement — Bencher::iter never called)");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    println!(
+        "{label:<50} time: {:>12.1} ns/iter  ({} iters)",
+        ns_per_iter, bencher.iters
+    );
+}
+
+/// Registers benchmark functions under a group name (API-compatible with
+/// the unconfigured form of Criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main` running the given groups. Arguments passed by
+/// `cargo bench` (e.g. `--bench`, filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| 1u64 + 1));
+    }
+
+    #[test]
+    fn group_api_round_trip() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.bench_function(BenchmarkId::new("f", "p"), |b| b.iter(|| ()));
+        g.finish();
+    }
+}

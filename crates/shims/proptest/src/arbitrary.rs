@@ -1,0 +1,57 @@
+//! The [`Arbitrary`] trait and [`any`] strategy constructor.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical strategy (mirror of `proptest::arbitrary`).
+pub trait Arbitrary: Sized + Debug {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A`, i.e. `any::<A>()`.
+pub struct Any<A>(PhantomData<A>);
+
+/// Returns the canonical strategy for `A`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_uniform!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut rng = rng_for("anybool");
+        let mut saw = [false, false];
+        for _ in 0..64 {
+            saw[usize::from(any::<bool>().generate(&mut rng))] = true;
+        }
+        assert_eq!(saw, [true, true]);
+    }
+}

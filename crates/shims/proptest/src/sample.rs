@@ -1,0 +1,60 @@
+//! Sampling helpers (`Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A position into a not-yet-known collection: generated once, projected
+/// onto any slice later via modulo, like `proptest::sample::Index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Projects onto a collection of length `len`.
+    ///
+    /// # Panics
+    /// Panics if `len` is 0.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.raw % len
+    }
+
+    /// Returns the element of `slice` this index selects.
+    ///
+    /// # Panics
+    /// Panics if `slice` is empty.
+    #[must_use]
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index {
+            raw: rng.gen_range(0..usize::MAX),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::strategy::Strategy;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let mut rng = rng_for("index");
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            let ix = any::<Index>().generate(&mut rng);
+            assert!(items.contains(ix.get(&items)));
+            assert!(ix.index(7) < 7);
+        }
+    }
+}

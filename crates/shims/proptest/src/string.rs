@@ -1,0 +1,251 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supported syntax — the subset appearing in this workspace's property
+//! tests, plus the obvious neighbors:
+//!
+//! * literal characters and `\`-escapes,
+//! * character classes `[a-z0-9_-]` (ranges + literals; no negation),
+//! * quantifiers `{n}`, `{m,n}`, `?`, and bounded `*` / `+` (0–8 / 1–8),
+//! * groups `(...)` with `|` alternation.
+//!
+//! Anything else panics with a clear message rather than generating the
+//! wrong distribution silently.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    /// Alternatives, each a sequence of quantified atoms.
+    Group(Vec<Vec<Quantified>>),
+}
+
+#[derive(Debug, Clone)]
+struct Quantified {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+/// Panics on regex syntax outside the supported subset.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let alternatives = parse_alternatives(&mut pattern.chars().peekable(), pattern, false);
+    let mut out = String::new();
+    emit_alternatives(&alternatives, rng, &mut out);
+    out
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_alternatives(
+    chars: &mut Chars<'_>,
+    pattern: &str,
+    in_group: bool,
+) -> Vec<Vec<Quantified>> {
+    let mut alternatives = vec![Vec::new()];
+    while let Some(&c) = chars.peek() {
+        match c {
+            ')' if in_group => break,
+            ')' => panic!("regex shim: unmatched ')' in {pattern:?}"),
+            '|' => {
+                chars.next();
+                alternatives.push(Vec::new());
+            }
+            _ => {
+                let atom = parse_atom(chars, pattern);
+                let (min, max) = parse_quantifier(chars, pattern);
+                alternatives
+                    .last_mut()
+                    .expect("at least one alternative")
+                    .push(Quantified { atom, min, max });
+            }
+        }
+    }
+    alternatives
+}
+
+fn parse_atom(chars: &mut Chars<'_>, pattern: &str) -> Atom {
+    match chars.next().expect("caller peeked") {
+        '[' => {
+            let mut ranges = Vec::new();
+            if chars.peek() == Some(&'^') {
+                panic!("regex shim: negated classes unsupported in {pattern:?}");
+            }
+            loop {
+                let lo = match chars.next() {
+                    None => panic!("regex shim: unterminated class in {pattern:?}"),
+                    Some(']') => break,
+                    Some('\\') => chars
+                        .next()
+                        .unwrap_or_else(|| panic!("regex shim: dangling escape in {pattern:?}")),
+                    Some(ch) => ch,
+                };
+                // `a-z` range, unless `-` is the literal last char.
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek().is_some_and(|&hi| hi != ']') {
+                        chars.next();
+                        let hi = chars.next().expect("peeked above");
+                        assert!(lo <= hi, "regex shim: inverted range in {pattern:?}");
+                        ranges.push((lo, hi));
+                        continue;
+                    }
+                }
+                ranges.push((lo, lo));
+            }
+            assert!(!ranges.is_empty(), "regex shim: empty class in {pattern:?}");
+            Atom::Class(ranges)
+        }
+        '(' => {
+            let alternatives = parse_alternatives(chars, pattern, true);
+            match chars.next() {
+                Some(')') => Atom::Group(alternatives),
+                _ => panic!("regex shim: unterminated group in {pattern:?}"),
+            }
+        }
+        '\\' => Atom::Lit(
+            chars
+                .next()
+                .unwrap_or_else(|| panic!("regex shim: dangling escape in {pattern:?}")),
+        ),
+        '.' | '^' | '$' => {
+            panic!(
+                "regex shim: '.', '^', '$' metacharacters unsupported in {pattern:?} (escape them)"
+            )
+        }
+        ch => Atom::Lit(ch),
+    }
+}
+
+fn parse_quantifier(chars: &mut Chars<'_>, pattern: &str) -> (u32, u32) {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(ch) => body.push(ch),
+                    None => panic!("regex shim: unterminated quantifier in {pattern:?}"),
+                }
+            }
+            let parse_n = |s: &str| -> u32 {
+                s.trim().parse().unwrap_or_else(|_| {
+                    panic!("regex shim: bad quantifier {body:?} in {pattern:?}")
+                })
+            };
+            match body.split_once(',') {
+                None => {
+                    let n = parse_n(&body);
+                    (n, n)
+                }
+                Some((lo, "")) => (parse_n(lo), parse_n(lo).saturating_add(8)),
+                Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+fn emit_alternatives(alternatives: &[Vec<Quantified>], rng: &mut TestRng, out: &mut String) {
+    let seq = &alternatives[rng.gen_range(0..alternatives.len())];
+    for q in seq {
+        let reps = rng.gen_range(q.min..=q.max);
+        for _ in 0..reps {
+            emit_atom(&q.atom, rng, out);
+        }
+    }
+}
+
+fn emit_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Lit(c) => out.push(*c),
+        Atom::Class(ranges) => {
+            // Weight ranges by their width for a uniform choice over chars.
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let width = hi as u32 - lo as u32 + 1;
+                if pick < width {
+                    out.push(char::from_u32(lo as u32 + pick).expect("in-range scalar"));
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("pick bounded by total");
+        }
+        Atom::Group(alternatives) => emit_alternatives(alternatives, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn class_with_repeat_matches_shape() {
+        let mut rng = rng_for("shape");
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_-]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+            );
+        }
+    }
+
+    #[test]
+    fn exact_count_and_literals() {
+        let mut rng = rng_for("exact");
+        for _ in 0..50 {
+            let s = generate("ab[0-9]{3}z?", &mut rng);
+            assert!(s.starts_with("ab"), "{s:?}");
+            assert!(s[2..5].chars().all(|c| c.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        let mut rng = rng_for("alt");
+        let mut saw = [false, false];
+        for _ in 0..100 {
+            let s = generate("(foo|ba[rz]){1,2}", &mut rng);
+            assert!(s.len() == 3 || s.len() == 6, "{s:?}");
+            saw[usize::from(s.starts_with("foo"))] = true;
+        }
+        assert!(saw[0] && saw[1], "both alternatives exercised");
+    }
+
+    #[test]
+    fn escapes_and_literal_dash() {
+        let mut rng = rng_for("esc");
+        assert_eq!(generate(r"a\.b", &mut rng), "a.b");
+        let s = generate("[a-]", &mut rng);
+        assert!(s == "a" || s == "-");
+    }
+}

@@ -1,0 +1,88 @@
+//! Test-runner plumbing used by the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The RNG driving all strategies (deterministic per test).
+pub type TestRng = SmallRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count as a
+    /// pass and the runner generates a replacement.
+    Reject(String),
+    /// A `prop_assert*` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per test. Defaults to 64 (the
+    /// real crate defaults to 256; the offline shim trades cases for a
+    /// fast tier-1), overridable with `PROPTEST_CASES`.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config requiring `cases` passing cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Builds the deterministic RNG for one property test: seeded from an
+/// FNV-1a hash of the test name, XORed with `PROPTEST_SEED` when set, so
+/// every test draws an independent but reproducible stream.
+#[must_use]
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let user: u64 = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    SmallRng::seed_from_u64(hash ^ user)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn rng_is_deterministic_and_name_dependent() {
+        let mut a = rng_for("alpha");
+        let mut b = rng_for("alpha");
+        let mut c = rng_for("beta");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

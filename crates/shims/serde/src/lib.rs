@@ -1,0 +1,93 @@
+//! Offline shim for `serde`.
+//!
+//! The approved offline dependency set has no serde data format, so the
+//! workspace only needs serde for **compile-time conformance**: config and
+//! result types declare `#[derive(Serialize, Deserialize)]` and
+//! `tests/serde_conformance.rs` asserts the bounds hold. This shim keeps
+//! that contract checkable without registry access:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits — **not** blanket
+//!   implemented, so the conformance test still distinguishes types that
+//!   opted in (via the derive) from types that did not;
+//! * the derive macros (from the sibling `serde-derive` shim) emit empty
+//!   marker impls and accept `#[serde(...)]` helper attributes;
+//! * [`de::DeserializeOwned`] mirrors real serde's blanket impl over
+//!   `for<'de> Deserialize<'de>`.
+//!
+//! Swapping the real `serde` back in is a one-line change in the root
+//! `Cargo.toml`'s `[workspace.dependencies]`; no source changes needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// Real serde's `Serialize` has a `serialize` method; with no data format
+/// in the offline set, the method would be dead weight — the marker alone
+/// carries the conformance contract.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from data borrowed for `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserialization helper traits, mirroring `serde::de`.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input,
+    /// blanket-implemented exactly like real serde.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> crate::Deserialize<'de> {}
+}
+
+// Mirror real serde's impls for the std types that appear inside derived
+// containers or directly in conformance checks.
+macro_rules! mark_primitive {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+mark_primitive!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String,
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+
+macro_rules! mark_tuple {
+    ($(($($n:ident),+)),* $(,)?) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {}
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {}
+    )*};
+}
+
+mark_tuple!((A), (A, B), (A, B, C), (A, B, C, D));
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, S> Deserialize<'de>
+    for std::collections::HashMap<K, V, S>
+{
+}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {}
+impl<'de, T: Deserialize<'de>, S> Deserialize<'de> for std::collections::HashSet<T, S> {}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {}

@@ -582,9 +582,11 @@ mod tests {
 
     #[test]
     fn stillborn_processes_never_run() {
-        let config = SimConfig::default().with_seed(1).with_failure(FailureModel::Stillborn {
-            alive_fraction: 0.5,
-        });
+        let config = SimConfig::default()
+            .with_seed(1)
+            .with_failure(FailureModel::Stillborn {
+                alive_fraction: 0.5,
+            });
         let mut e = relay_engine(config, 10);
         e.run_rounds(5);
         let crashed: Vec<ProcessId> = (0..10)
@@ -744,10 +746,12 @@ mod churn_engine_tests {
     #[test]
     fn churn_converges_to_stationary_aliveness() {
         // crash 0.05 / recover 0.15 → stationary alive = 0.75.
-        let config = SimConfig::default().with_seed(5).with_failure(FailureModel::Churn {
-            crash_probability: 0.05,
-            recover_probability: 0.15,
-        });
+        let config = SimConfig::default()
+            .with_seed(5)
+            .with_failure(FailureModel::Churn {
+                crash_probability: 0.05,
+                recover_probability: 0.15,
+            });
         let mut e = Engine::new(config, (0..200).map(|_| Quiet).collect());
         e.run_rounds(50); // mix
         let mut samples = Vec::new();
@@ -767,10 +771,12 @@ mod churn_engine_tests {
     #[test]
     fn churn_is_deterministic() {
         let run = || {
-            let config = SimConfig::default().with_seed(9).with_failure(FailureModel::Churn {
-                crash_probability: 0.1,
-                recover_probability: 0.1,
-            });
+            let config = SimConfig::default()
+                .with_seed(9)
+                .with_failure(FailureModel::Churn {
+                    crash_probability: 0.1,
+                    recover_probability: 0.1,
+                });
             let mut e = Engine::new(config, (0..50).map(|_| Quiet).collect());
             e.run_rounds(60);
             (

@@ -2,8 +2,8 @@
 //! delivery round, FIFO within a round.
 
 use crate::ProcessId;
-use std::collections::BinaryHeap;
 use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
 
 /// An in-flight message awaiting delivery.
 #[derive(Debug, Clone)]

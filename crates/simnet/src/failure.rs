@@ -82,8 +82,7 @@ impl FailureModel {
             FailureModel::Stillborn { alive_fraction } => {
                 let alive_fraction = alive_fraction.clamp(0.0, 1.0);
                 let mut rng = rng_from_seed(derive_seed(seed, 0xFA11));
-                let mut ids: Vec<ProcessId> =
-                    (0..population).map(ProcessId::from_index).collect();
+                let mut ids: Vec<ProcessId> = (0..population).map(ProcessId::from_index).collect();
                 ids.shuffle(&mut rng);
                 // Round half-up so alive_fraction=1.0 keeps everyone alive
                 // and 0.0 crashes everyone.
@@ -216,9 +215,15 @@ mod tests {
 
     #[test]
     fn stillborn_extremes() {
-        let all_alive = FailureModel::Stillborn { alive_fraction: 1.0 }.materialize(50, 9);
+        let all_alive = FailureModel::Stillborn {
+            alive_fraction: 1.0,
+        }
+        .materialize(50, 9);
         assert!(all_alive.initially_crashed().is_empty());
-        let all_dead = FailureModel::Stillborn { alive_fraction: 0.0 }.materialize(50, 9);
+        let all_dead = FailureModel::Stillborn {
+            alive_fraction: 0.0,
+        }
+        .materialize(50, 9);
         assert_eq!(all_dead.initially_crashed().len(), 50);
     }
 
@@ -284,9 +289,15 @@ mod tests {
 
     #[test]
     fn clamps_out_of_range_fractions() {
-        let plan = FailureModel::Stillborn { alive_fraction: 2.0 }.materialize(10, 0);
+        let plan = FailureModel::Stillborn {
+            alive_fraction: 2.0,
+        }
+        .materialize(10, 0);
         assert!(plan.initially_crashed().is_empty());
-        let plan = FailureModel::PerObserver { alive_fraction: -1.0 }.materialize(10, 0);
+        let plan = FailureModel::PerObserver {
+            alive_fraction: -1.0,
+        }
+        .materialize(10, 0);
         assert_eq!(plan.observer_alive_probability(), Some(0.0));
     }
 }
@@ -323,9 +334,11 @@ mod churn_tests {
     #[test]
     fn non_churn_models_have_no_rates() {
         assert!(FailureModel::None.materialize(5, 0).churn().is_none());
-        assert!(FailureModel::Stillborn { alive_fraction: 0.5 }
-            .materialize(5, 0)
-            .churn()
-            .is_none());
+        assert!(FailureModel::Stillborn {
+            alive_fraction: 0.5
+        }
+        .materialize(5, 0)
+        .churn()
+        .is_none());
     }
 }

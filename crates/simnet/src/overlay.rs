@@ -120,7 +120,12 @@ impl Overlay {
     /// # Panics
     ///
     /// Panics if `pid` is outside the overlay's population.
-    pub fn sample_neighbors<R: Rng>(&self, pid: ProcessId, k: usize, rng: &mut R) -> Vec<ProcessId> {
+    pub fn sample_neighbors<R: Rng>(
+        &self,
+        pid: ProcessId,
+        k: usize,
+        rng: &mut R,
+    ) -> Vec<ProcessId> {
         let mut pool: Vec<ProcessId> = self.neighbors[pid.index()].to_vec();
         pool.shuffle(rng);
         pool.truncate(k);

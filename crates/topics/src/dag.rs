@@ -74,7 +74,11 @@ impl TopicDag {
     /// # Errors
     ///
     /// Returns [`TopicError::UnknownTopic`] if any parent id is foreign.
-    pub fn add_topic(&mut self, name: &str, supertopics: &[TopicId]) -> Result<TopicId, TopicError> {
+    pub fn add_topic(
+        &mut self,
+        name: &str,
+        supertopics: &[TopicId],
+    ) -> Result<TopicId, TopicError> {
         for &p in supertopics {
             self.check(p)?;
         }
@@ -205,9 +209,7 @@ impl TopicDag {
         let mut indegree: HashMap<usize, usize> = (0..self.len())
             .map(|i| (i, self.parents[i].len()))
             .collect();
-        let mut queue: VecDeque<usize> = (0..self.len())
-            .filter(|i| indegree[i] == 0)
-            .collect();
+        let mut queue: VecDeque<usize> = (0..self.len()).filter(|i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(self.len());
         while let Some(i) = queue.pop_front() {
             order.push(TopicId::from_index(i));

@@ -55,10 +55,16 @@ impl fmt::Display for TopicError {
                 write!(f, "topic id {id} does not belong to this hierarchy")
             }
             TopicError::WouldCycle { id } => {
-                write!(f, "adding this supertopic edge would make topic {id} its own ancestor")
+                write!(
+                    f,
+                    "adding this supertopic edge would make topic {id} its own ancestor"
+                )
             }
             TopicError::DuplicateEdge { child, parent } => {
-                write!(f, "topic {child} already lists topic {parent} as a supertopic")
+                write!(
+                    f,
+                    "topic {child} already lists topic {parent} as a supertopic"
+                )
             }
         }
     }

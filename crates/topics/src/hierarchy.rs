@@ -119,9 +119,7 @@ impl TopicHierarchy {
             path = path
                 .child(&format!("t{level}"))
                 .expect("generated segments are valid");
-            let id = h
-                .insert_path(&path)
-                .expect("generated paths are valid");
+            let id = h.insert_path(&path).expect("generated paths are valid");
             ids.push(id);
         }
         (h, ids)

@@ -141,7 +141,9 @@ impl TopicPath {
     /// empty or contains invalid characters.
     pub fn child(&self, segment: &str) -> Result<TopicPath, TopicError> {
         if segment.is_empty() {
-            return Err(TopicError::EmptySegment { index: self.depth() });
+            return Err(TopicError::EmptySegment {
+                index: self.depth(),
+            });
         }
         if let Some(character) = segment
             .chars()
@@ -248,10 +250,7 @@ mod tests {
 
     #[test]
     fn rejects_missing_dot() {
-        assert_eq!(
-            TopicPath::parse("abc"),
-            Err(TopicError::MissingLeadingDot)
-        );
+        assert_eq!(TopicPath::parse("abc"), Err(TopicError::MissingLeadingDot));
         assert_eq!(TopicPath::parse(""), Err(TopicError::MissingLeadingDot));
     }
 

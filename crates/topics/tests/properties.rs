@@ -5,14 +5,13 @@ use proptest::prelude::*;
 
 /// Strategy producing valid topic path strings up to 5 levels deep.
 fn path_strategy() -> impl Strategy<Value = String> {
-    prop::collection::vec("[a-z][a-z0-9_-]{0,6}", 0..5)
-        .prop_map(|segments| {
-            if segments.is_empty() {
-                ".".to_owned()
-            } else {
-                format!(".{}", segments.join("."))
-            }
-        })
+    prop::collection::vec("[a-z][a-z0-9_-]{0,6}", 0..5).prop_map(|segments| {
+        if segments.is_empty() {
+            ".".to_owned()
+        } else {
+            format!(".{}", segments.join("."))
+        }
+    })
 }
 
 proptest! {
@@ -150,22 +149,24 @@ mod dag_properties {
     /// from the already-created topics (so edges always point upward —
     /// acyclic by construction).
     fn arb_dag() -> impl Strategy<Value = TopicDag> {
-        prop::collection::vec(prop::collection::vec(any::<prop::sample::Index>(), 1..4), 0..14)
-            .prop_map(|specs| {
-                let mut dag = TopicDag::new();
-                let mut ids = vec![dag.root()];
-                for (i, parents) in specs.into_iter().enumerate() {
-                    let mut chosen: Vec<TopicId> =
-                        parents.iter().map(|ix| *ix.get(&ids)).collect();
-                    chosen.sort();
-                    chosen.dedup();
-                    let id = dag
-                        .add_topic(&format!("t{i}"), &chosen)
-                        .expect("parents exist");
-                    ids.push(id);
-                }
-                dag
-            })
+        prop::collection::vec(
+            prop::collection::vec(any::<prop::sample::Index>(), 1..4),
+            0..14,
+        )
+        .prop_map(|specs| {
+            let mut dag = TopicDag::new();
+            let mut ids = vec![dag.root()];
+            for (i, parents) in specs.into_iter().enumerate() {
+                let mut chosen: Vec<TopicId> = parents.iter().map(|ix| *ix.get(&ids)).collect();
+                chosen.sort();
+                chosen.dedup();
+                let id = dag
+                    .add_topic(&format!("t{i}"), &chosen)
+                    .expect("parents exist");
+                ids.push(id);
+            }
+            dag
+        })
     }
 
     proptest! {

@@ -43,11 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n=== scripted crash wave on the dynamic stack ===");
     let sizes = [6usize, 24];
-    let params = ParamMap::uniform(
-        TopicParams::paper_default()
-            .with_g(12.0)
-            .with_a(3.0),
-    );
+    let params = ParamMap::uniform(TopicParams::paper_default().with_g(12.0).with_a(3.0));
     let net = DynamicNetwork::linear(&sizes, params, 3, 4, 99)?;
     // Crash half the root group at round 30.
     let fates: Vec<Fate> = (0..3)
@@ -69,7 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("live supertable entries before crash: {healthy_links}");
     println!("live supertable entries after repair: {repaired_links}");
 
-    let id = engine.process_mut(ProcessId(18)).publish("after the crash wave");
+    let id = engine
+        .process_mut(ProcessId(18))
+        .publish("after the crash wave");
     engine.run_rounds(40);
     let surviving_roots: Vec<ProcessId> = (0..6)
         .map(ProcessId)

@@ -63,16 +63,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nski-racing event ({gold}):");
     println!("  ski devotees          {:>2}/20", count(29..49, gold));
-    println!("  sport fans            {:>2}/12  (edge 1)", count(5..17, gold));
-    println!("  switzerland watchers  {:>2}/12  (edge 2)", count(17..29, gold));
+    println!(
+        "  sport fans            {:>2}/12  (edge 1)",
+        count(5..17, gold)
+    );
+    println!(
+        "  switzerland watchers  {:>2}/12  (edge 2)",
+        count(17..29, gold)
+    );
     println!("  generalists           {:>2}/5", count(0..5, gold));
     assert!(count(5..17, gold) >= 10, "sport edge must carry the event");
     assert!(count(17..29, gold) >= 10, "swiss edge must carry the event");
 
     println!("\nfootball event ({goal}):");
     println!("  sport fans            {:>2}/12", count(5..17, goal));
-    println!("  switzerland watchers  {:>2}/12  (must be 0)", count(17..29, goal));
-    println!("  ski devotees          {:>2}/20  (must be 0)", count(29..49, goal));
+    println!(
+        "  switzerland watchers  {:>2}/12  (must be 0)",
+        count(17..29, goal)
+    );
+    println!(
+        "  ski devotees          {:>2}/20  (must be 0)",
+        count(29..49, goal)
+    );
     assert_eq!(count(17..29, goal), 0, "football is not Swiss news");
     assert_eq!(count(29..49, goal), 0, "events never flow downwards");
 

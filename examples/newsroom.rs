@@ -48,10 +48,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let politics_desk = desk(10);
 
     let groups = vec![
-        GroupSpec { topic: news, members: chiefs.clone() },
-        GroupSpec { topic: sport, members: sport_editors.clone() },
-        GroupSpec { topic: football, members: football_fans.clone() },
-        GroupSpec { topic: politics, members: politics_desk.clone() },
+        GroupSpec {
+            topic: news,
+            members: chiefs.clone(),
+        },
+        GroupSpec {
+            topic: sport,
+            members: sport_editors.clone(),
+        },
+        GroupSpec {
+            topic: football,
+            members: football_fans.clone(),
+        },
+        GroupSpec {
+            topic: politics,
+            members: politics_desk.clone(),
+        },
     ];
 
     // Small groups: boost the election weight so single events cross
@@ -61,8 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = Engine::new(SimConfig::default().with_seed(7), net.into_processes());
 
     // A football reporter files a story; a politics reporter files another.
-    let goal = engine.process_mut(football_fans[0]).publish("goal in stoppage time");
-    let vote = engine.process_mut(politics_desk[0]).publish("parliament vote passes");
+    let goal = engine
+        .process_mut(football_fans[0])
+        .publish("goal in stoppage time");
+    let vote = engine
+        .process_mut(politics_desk[0])
+        .publish("parliament vote passes");
     engine.run_until_quiescent(64);
 
     let count = |members: &[ProcessId], id| {
@@ -76,14 +92,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  football fans   {:>2}/30", count(&football_fans, goal));
     println!("  sport editors   {:>2}/6", count(&sport_editors, goal));
     println!("  chief editors   {:>2}/4", count(&chiefs, goal));
-    println!("  politics desk   {:>2}/10  (must be 0)", count(&politics_desk, goal));
-    assert_eq!(count(&politics_desk, goal), 0, "politics desk must not see sport");
+    println!(
+        "  politics desk   {:>2}/10  (must be 0)",
+        count(&politics_desk, goal)
+    );
+    assert_eq!(
+        count(&politics_desk, goal),
+        0,
+        "politics desk must not see sport"
+    );
 
     println!("\npolitics story ({vote}):");
     println!("  politics desk   {:>2}/10", count(&politics_desk, vote));
     println!("  chief editors   {:>2}/4", count(&chiefs, vote));
-    println!("  football fans   {:>2}/30  (must be 0)", count(&football_fans, vote));
-    println!("  sport editors   {:>2}/6   (must be 0)", count(&sport_editors, vote));
+    println!(
+        "  football fans   {:>2}/30  (must be 0)",
+        count(&football_fans, vote)
+    );
+    println!(
+        "  sport editors   {:>2}/6   (must be 0)",
+        count(&sport_editors, vote)
+    );
     assert_eq!(count(&football_fans, vote), 0);
     assert_eq!(count(&sport_editors, vote), 0);
 

@@ -67,9 +67,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("ticks reaching a majority of market analysts: {}/{ticks}", reached[0]);
-    println!("ticks reaching a majority of sector analysts: {}/{ticks}", reached[1]);
-    println!("ticks reaching a majority of GPU traders:     {}/{ticks}", reached[2]);
+    println!(
+        "ticks reaching a majority of market analysts: {}/{ticks}",
+        reached[0]
+    );
+    println!(
+        "ticks reaching a majority of sector analysts: {}/{ticks}",
+        reached[1]
+    );
+    println!(
+        "ticks reaching a majority of GPU traders:     {}/{ticks}",
+        reached[2]
+    );
     assert!(reached[2] >= 9, "tick stream must blanket its own group");
     assert!(reached[1] >= 7, "sector analysts follow the GPU feed");
 

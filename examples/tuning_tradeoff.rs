@@ -36,9 +36,18 @@ fn main() {
     println!("g      pit(T2->T1)   end-to-end reliability");
     for g in [1.0, 2.0, 5.0, 10.0, 20.0] {
         let chain = [
-            GroupLevel { g, ..GroupLevel::paper_default(1000) },
-            GroupLevel { g, ..GroupLevel::paper_default(100) },
-            GroupLevel { g, ..GroupLevel::paper_default(10) },
+            GroupLevel {
+                g,
+                ..GroupLevel::paper_default(1000)
+            },
+            GroupLevel {
+                g,
+                ..GroupLevel::paper_default(100)
+            },
+            GroupLevel {
+                g,
+                ..GroupLevel::paper_default(10)
+            },
         ];
         println!(
             "{g:>4.0}   {:>8.4}       {:>8.4}",

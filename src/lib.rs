@@ -42,12 +42,9 @@ pub use damulticast;
 /// ```
 pub mod prelude {
     pub use da_membership::FanoutRule;
-    pub use da_simnet::{
-        ChannelConfig, Engine, FailureModel, ProcessId, SimConfig,
-    };
+    pub use da_simnet::{ChannelConfig, Engine, FailureModel, ProcessId, SimConfig};
     pub use da_topics::{TopicHierarchy, TopicId};
     pub use damulticast::{
-        DaError, DaProcess, DynamicNetwork, Event, EventId, ParamMap, StaticNetwork,
-        TopicParams,
+        DaError, DaProcess, DynamicNetwork, Event, EventId, ParamMap, StaticNetwork, TopicParams,
     };
 }

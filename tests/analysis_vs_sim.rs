@@ -82,12 +82,8 @@ fn intergroup_count_matches_analysis() {
 /// Sec. VI-C (in table entries: `(b+1)ln(S)` view + `z`).
 #[test]
 fn memory_within_paper_bound() {
-    let net = damulticast::StaticNetwork::linear(
-        &SIZES,
-        damulticast::ParamMap::default(),
-        3,
-    )
-    .unwrap();
+    let net =
+        damulticast::StaticNetwork::linear(&SIZES, damulticast::ParamMap::default(), 3).unwrap();
     let groups = net.groups().to_vec();
     let procs = net.into_processes();
     for p in &procs {
@@ -133,7 +129,9 @@ fn reliability_at_least_atomic_bound() {
 fn lossy_reliability_tracks_eq1() {
     let mut config = base_config();
     config.p_succ = 0.85;
-    let measured = run_trials(40, 5, |seed| {
+    // 120 trials: the per-trial fraction has std ≈ 0.3, so 40 trials left
+    // the mean within sampling distance of the bound on unlucky seeds.
+    let measured = run_trials(120, 5, |seed| {
         let out = run_scenario(&config, seed);
         vec![out.delivered_fraction[0]]
     })[0]

@@ -39,7 +39,12 @@ fn delivery_bitmaps(seed: u64) -> [Vec<bool>; 4] {
     let id = engine.process_mut(leaf_publisher).publish("parity");
     engine.run_until_quiescent(96);
     let bc: Vec<bool> = (0..n)
-        .map(|i| engine.process(ProcessId::from_index(i)).log().has_delivered(id))
+        .map(|i| {
+            engine
+                .process(ProcessId::from_index(i))
+                .log()
+                .has_delivered(id)
+        })
         .collect();
 
     // Multicast.
@@ -48,7 +53,12 @@ fn delivery_bitmaps(seed: u64) -> [Vec<bool>; 4] {
     let id = engine.process_mut(leaf_publisher).publish("parity");
     engine.run_until_quiescent(96);
     let mc: Vec<bool> = (0..n)
-        .map(|i| engine.process(ProcessId::from_index(i)).log().has_delivered(id))
+        .map(|i| {
+            engine
+                .process(ProcessId::from_index(i))
+                .log()
+                .has_delivered(id)
+        })
         .collect();
 
     // Hierarchical.
@@ -57,7 +67,12 @@ fn delivery_bitmaps(seed: u64) -> [Vec<bool>; 4] {
     let id = engine.process_mut(leaf_publisher).publish("parity");
     engine.run_until_quiescent(96);
     let hc: Vec<bool> = (0..n)
-        .map(|i| engine.process(ProcessId::from_index(i)).log().has_delivered(id))
+        .map(|i| {
+            engine
+                .process(ProcessId::from_index(i))
+                .log()
+                .has_delivered(id)
+        })
         .collect();
 
     [da, bc, mc, hc]
@@ -89,23 +104,31 @@ fn root_event_parasite_profile() {
                 let mut e = Engine::new(SimConfig::default().with_seed(seed), procs);
                 e.process_mut(root_publisher).publish("root");
                 e.run_until_quiescent(96);
-                (e.counters().get("bc.delivered"), e.counters().get("bc.parasite"))
+                (
+                    e.counters().get("bc.delivered"),
+                    e.counters().get("bc.parasite"),
+                )
             }
             "mc" => {
                 let procs = build_multicast_network(&interests, 3.0, FANOUT, seed).unwrap();
                 let mut e = Engine::new(SimConfig::default().with_seed(seed), procs);
                 e.process_mut(root_publisher).publish("root");
                 e.run_until_quiescent(96);
-                (e.counters().get("mc.delivered"), e.counters().get("mc.parasite"))
+                (
+                    e.counters().get("mc.delivered"),
+                    e.counters().get("mc.parasite"),
+                )
             }
             "hc" => {
                 let procs =
-                    build_hierarchical_network(&interests, 4, 3.0, FANOUT, FANOUT, seed)
-                        .unwrap();
+                    build_hierarchical_network(&interests, 4, 3.0, FANOUT, FANOUT, seed).unwrap();
                 let mut e = Engine::new(SimConfig::default().with_seed(seed), procs);
                 e.process_mut(root_publisher).publish("root");
                 e.run_until_quiescent(96);
-                (e.counters().get("hc.delivered"), e.counters().get("hc.parasite"))
+                (
+                    e.counters().get("hc.delivered"),
+                    e.counters().get("hc.parasite"),
+                )
             }
             _ => unreachable!(),
         }
@@ -115,8 +138,15 @@ fn root_event_parasite_profile() {
     let (mc_del, mc_par) = run_counts("mc", 42);
     let (hc_del, hc_par) = run_counts("hc", 42);
 
-    assert_eq!(bc_del, SIZES[0] as u64, "broadcast delivers to subscribers only");
-    assert_eq!(bc_par as usize, n - SIZES[0], "everyone else receives a parasite");
+    assert_eq!(
+        bc_del, SIZES[0] as u64,
+        "broadcast delivers to subscribers only"
+    );
+    assert_eq!(
+        bc_par as usize,
+        n - SIZES[0],
+        "everyone else receives a parasite"
+    );
     assert_eq!(mc_del, SIZES[0] as u64);
     assert_eq!(mc_par, 0, "multicast is parasite-free");
     assert_eq!(hc_del, SIZES[0] as u64);
@@ -170,15 +200,24 @@ fn memory_ordering() {
     let params = ParamMap::uniform(TopicParams::paper_default().with_fanout(FANOUT));
     let net = StaticNetwork::linear(&SIZES, params, 44).unwrap();
     let da_procs = net.into_processes();
-    let da_mean: f64 = da_procs.iter().map(|p| p.memory_entries() as f64).sum::<f64>()
+    let da_mean: f64 = da_procs
+        .iter()
+        .map(|p| p.memory_entries() as f64)
+        .sum::<f64>()
         / da_procs.len() as f64;
 
     let bc_procs = build_broadcast_network(&interests, 3.0, FANOUT, 44).unwrap();
-    let bc_mean: f64 = bc_procs.iter().map(|p| p.memory_entries() as f64).sum::<f64>()
+    let bc_mean: f64 = bc_procs
+        .iter()
+        .map(|p| p.memory_entries() as f64)
+        .sum::<f64>()
         / bc_procs.len() as f64;
 
     let mc_procs = build_multicast_network(&interests, 3.0, FANOUT, 44).unwrap();
-    let mc_mean: f64 = mc_procs.iter().map(|p| p.memory_entries() as f64).sum::<f64>()
+    let mc_mean: f64 = mc_procs
+        .iter()
+        .map(|p| p.memory_entries() as f64)
+        .sum::<f64>()
         / mc_procs.len() as f64;
 
     assert!(

@@ -3,8 +3,8 @@
 //! supertable tightening.
 
 use da_simnet::{Engine, FailureModel, Fate, ProcessId, SimConfig};
-use damulticast::{DynamicNetwork, GroupSpec, ParamMap, StaticNetwork, TopicParams};
 use da_topics::TopicHierarchy;
+use damulticast::{DynamicNetwork, GroupSpec, ParamMap, StaticNetwork, TopicParams};
 use std::sync::Arc;
 
 fn boosted_params() -> ParamMap {

@@ -108,7 +108,11 @@ fn harness_sweeps_deterministic() {
     for ((xa, sa), (xb, sb)) in a.iter().zip(b.iter()) {
         assert_eq!(xa, xb);
         for (ma, mb) in sa.iter().zip(sb.iter()) {
-            assert_eq!(ma.mean.to_bits(), mb.mean.to_bits(), "non-deterministic mean");
+            assert_eq!(
+                ma.mean.to_bits(),
+                mb.mean.to_bits(),
+                "non-deterministic mean"
+            );
             assert_eq!(ma.std_dev.to_bits(), mb.std_dev.to_bits());
         }
     }
