@@ -1,0 +1,105 @@
+//! Criterion bench for the **live runtime**: the same bench-scale
+//! topology the figure benches use (4/20/100), but executed on the
+//! `da-runtime` worker pool instead of the simulator — pool spin-up,
+//! a publication burst driven to quiescence, graceful shutdown. A
+//! simulator reference point with the identical workload makes the
+//! live-vs-sim overhead visible in one printout.
+//!
+//! `DA_BENCH_JSON=BENCH_runtime.json cargo bench -p da-bench --bench
+//! runtime_throughput -- --quick` emits the machine-readable baseline
+//! CI tracks from PR 2 onward.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use da_bench::bench_sizes;
+use da_runtime::{Runtime, RuntimeConfig};
+use da_simnet::{Engine, SimConfig};
+use damulticast::{DaProcess, ParamMap, StaticNetwork};
+use std::hint::black_box;
+
+const MAX_TICKS: u64 = 64;
+
+fn network(seed: u64) -> StaticNetwork {
+    StaticNetwork::linear(&bench_sizes(), ParamMap::default(), seed)
+        .expect("bench topology is valid")
+}
+
+/// Publishes `events` stories from distinct leaf members and returns the
+/// processes driven to quiescence on the live runtime.
+fn live_run(seed: u64, workers: usize, events: usize) -> u64 {
+    let net = network(seed);
+    let leaf = net.groups().last().expect("leaf group").members.clone();
+    let config = RuntimeConfig::default()
+        .with_seed(seed)
+        .with_workers(workers);
+    let mut rt = Runtime::spawn(config, net.into_processes());
+    for i in 0..events {
+        rt.with_process_mut(leaf[i % leaf.len()], |p| p.publish("bench"));
+    }
+    rt.run_until_quiescent(MAX_TICKS);
+    let out = rt.shutdown();
+    out.counters.get("rt.delivered")
+}
+
+/// The identical workload under the simulator, for the reference row.
+fn sim_run(seed: u64, events: usize) -> u64 {
+    let net = network(seed);
+    let leaf = net.groups().last().expect("leaf group").members.clone();
+    let mut engine: Engine<DaProcess> =
+        Engine::new(SimConfig::default().with_seed(seed), net.into_processes());
+    for i in 0..events {
+        engine.process_mut(leaf[i % leaf.len()]).publish("bench");
+    }
+    engine.run_until_quiescent(MAX_TICKS);
+    engine.counters().get("sim.delivered")
+}
+
+fn runtime_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_throughput");
+    let population: usize = bench_sizes().iter().sum();
+
+    // Pool spin-up + one event to quiescence + graceful shutdown: the
+    // end-to-end cost of serving one publication live.
+    group.bench_with_input(
+        BenchmarkId::new("live_event", population),
+        &population,
+        |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(live_run(seed, 2, 1))
+            });
+        },
+    );
+
+    // A 16-event burst: amortises spin-up, measures sustained delivery.
+    group.bench_with_input(
+        BenchmarkId::new("live_burst16", population),
+        &population,
+        |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(live_run(seed, 2, 16))
+            });
+        },
+    );
+
+    // Simulator reference: the same topology and burst, single-threaded
+    // deterministic rounds.
+    group.bench_with_input(
+        BenchmarkId::new("sim_burst16", population),
+        &population,
+        |b, _| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(sim_run(seed, 16))
+            });
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, runtime_throughput);
+criterion_main!(benches);

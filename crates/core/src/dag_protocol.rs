@@ -20,6 +20,7 @@
 //! per-edge cost matching the single-inheritance analysis).
 
 use crate::event::{Event, EventId};
+use crate::exec::{Exec, ExecProtocol};
 use crate::message::DaMsg;
 use crate::multi_super::{plan_multi_dissemination, MultiSuperTables};
 use crate::params::TopicParams;
@@ -180,7 +181,7 @@ impl DagProcess {
         topic == self.topic || self.dag.includes(self.topic, topic)
     }
 
-    fn disseminate(&mut self, event: &Event, ctx: &mut Ctx<'_, DaMsg>) {
+    fn disseminate<X: Exec<Msg = DaMsg>>(&mut self, event: &Event, ctx: &mut X) {
         let plan = plan_multi_dissemination(
             &self.params,
             self.group_size,
@@ -189,7 +190,7 @@ impl DagProcess {
             ctx.rng(),
         );
         for entry in &plan.super_targets {
-            ctx.counters().bump(&self.label_inter);
+            ctx.bump(&self.label_inter);
             ctx.send(
                 entry.pid,
                 DaMsg::Event {
@@ -199,7 +200,7 @@ impl DagProcess {
             );
         }
         for &target in &plan.gossip_targets {
-            ctx.counters().bump(&self.label_intra);
+            ctx.bump(&self.label_intra);
             ctx.send(
                 target,
                 DaMsg::Event {
@@ -211,37 +212,50 @@ impl DagProcess {
     }
 }
 
-impl Protocol for DagProcess {
+impl ExecProtocol for DagProcess {
     type Msg = DaMsg;
 
-    fn on_message(&mut self, _from: ProcessId, msg: DaMsg, ctx: &mut Ctx<'_, DaMsg>) {
+    fn on_message<X: Exec<Msg = DaMsg>>(&mut self, _from: ProcessId, msg: DaMsg, ctx: &mut X) {
         // Static mode: only event traffic exists in a DAG network.
         let DaMsg::Event { event, .. } = msg else {
             return;
         };
         if !self.is_interested_in(event.topic()) {
             self.parasite_count += 1;
-            ctx.counters().bump("dag.parasite");
+            ctx.bump("dag.parasite");
             return;
         }
         if !self.seen.insert(event.id()) {
-            ctx.counters().bump("dag.duplicate");
+            ctx.bump("dag.duplicate");
             return;
         }
-        ctx.counters().bump(&self.label_delivered);
+        ctx.bump(&self.label_delivered);
         self.delivered.push(event.clone());
         self.disseminate(&event, ctx);
     }
 
-    fn on_round(&mut self, _round: u64, ctx: &mut Ctx<'_, DaMsg>) {
+    fn on_round<X: Exec<Msg = DaMsg>>(&mut self, _round: u64, ctx: &mut X) {
         let publishes = std::mem::take(&mut self.pending_publish);
         for event in publishes {
             if self.seen.insert(event.id()) {
-                ctx.counters().bump(&self.label_delivered);
+                ctx.bump(&self.label_delivered);
                 self.delivered.push(event.clone());
             }
             self.disseminate(&event, ctx);
         }
+    }
+}
+
+/// Simulator adapter: pure delegation into the [`ExecProtocol`] impl.
+impl Protocol for DagProcess {
+    type Msg = DaMsg;
+
+    fn on_message(&mut self, from: ProcessId, msg: DaMsg, ctx: &mut Ctx<'_, DaMsg>) {
+        ExecProtocol::on_message(self, from, msg, ctx);
+    }
+
+    fn on_round(&mut self, round: u64, ctx: &mut Ctx<'_, DaMsg>) {
+        ExecProtocol::on_round(self, round, ctx);
     }
 }
 

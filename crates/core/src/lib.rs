@@ -58,6 +58,15 @@
 //! | Topic/supertopic tables (Sec. V-A.1) | [`SuperTable`] + `da_membership` |
 //! | Per-topic knobs `b,c,g,a,z,τ` (Sec. V-B) | [`TopicParams`] |
 //! | Sec. VIII multiple inheritance | [`MultiSuperTables`] |
+//!
+//! ## Substrates
+//!
+//! The protocol is written once against the [`Exec`] execution-context
+//! trait ([`ExecProtocol`]) and runs unchanged on two substrates: the
+//! deterministic round simulator (`da-simnet`, used for the paper's
+//! figures) and the multi-threaded live runtime (`da-runtime`, used to
+//! serve real traffic). The `da_simnet::Protocol` impls here are one-line
+//! delegations into the substrate-generic logic.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -67,6 +76,7 @@ mod dag_protocol;
 mod dissemination;
 mod error;
 mod event;
+mod exec;
 mod maintenance;
 mod message;
 mod multi_super;
@@ -80,6 +90,7 @@ pub use dag_protocol::{DagNetwork, DagProcess};
 pub use dissemination::{plan_dissemination, DisseminationPlan};
 pub use error::DaError;
 pub use event::{Event, EventId};
+pub use exec::{Exec, ExecProtocol};
 pub use maintenance::{MaintenanceAction, MaintenanceTask};
 pub use message::DaMsg;
 pub use multi_super::{plan_multi_dissemination, MultiSuperTables};

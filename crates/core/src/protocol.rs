@@ -28,6 +28,7 @@
 use crate::bootstrap::{BootstrapAction, BootstrapTask};
 use crate::dissemination::plan_dissemination;
 use crate::event::{Event, EventId};
+use crate::exec::{Exec, ExecProtocol};
 use crate::maintenance::{MaintenanceAction, MaintenanceTask};
 use crate::message::DaMsg;
 use crate::params::TopicParams;
@@ -310,13 +311,13 @@ impl DaProcess {
     }
 
     /// Sends `msg` and accounts it as control-plane traffic.
-    fn send_control(&self, ctx: &mut Ctx<'_, DaMsg>, to: ProcessId, msg: DaMsg) {
-        ctx.counters().bump(&self.labels.control);
+    fn send_control<X: Exec<Msg = DaMsg>>(&self, ctx: &mut X, to: ProcessId, msg: DaMsg) {
+        ctx.bump(&self.labels.control);
         ctx.send(to, msg);
     }
 
     /// Runs Fig. 7 for `event` and emits the resulting messages.
-    fn disseminate(&mut self, event: &Event, ctx: &mut Ctx<'_, DaMsg>) {
+    fn disseminate<X: Exec<Msg = DaMsg>>(&mut self, event: &Event, ctx: &mut X) {
         let plan = plan_dissemination(
             &self.params,
             self.group_size,
@@ -325,7 +326,7 @@ impl DaProcess {
             ctx.rng(),
         );
         for entry in &plan.super_targets {
-            ctx.counters().bump(&self.labels.inter_out);
+            ctx.bump(&self.labels.inter_out);
             ctx.send(
                 entry.pid,
                 DaMsg::Event {
@@ -335,7 +336,7 @@ impl DaProcess {
             );
         }
         for &target in &plan.gossip_targets {
-            ctx.counters().bump(&self.labels.intra);
+            ctx.bump(&self.labels.intra);
             ctx.send(
                 target,
                 DaMsg::Event {
@@ -347,29 +348,39 @@ impl DaProcess {
     }
 
     /// First-reception handling (Fig. 5): de-dup, deliver, re-disseminate.
-    fn receive_event(&mut self, event: Event, sender_topic: TopicId, ctx: &mut Ctx<'_, DaMsg>) {
+    fn receive_event<X: Exec<Msg = DaMsg>>(
+        &mut self,
+        event: Event,
+        sender_topic: TopicId,
+        ctx: &mut X,
+    ) {
         // Interest check: events only ever travel *up* the hierarchy, so a
         // correct run never trips this. Baselines do; daMulticast must not.
         if !self.is_interested_in(event.topic()) {
             self.parasite_count += 1;
-            ctx.counters().bump("da.parasite");
+            ctx.bump("da.parasite");
             return;
         }
         if !self.seen.insert(event.id()) {
-            ctx.counters().bump(&self.labels.duplicate);
+            ctx.bump(&self.labels.duplicate);
             return;
         }
         if sender_topic != self.topic {
             // The event crossed a group boundary to reach us.
-            ctx.counters().bump(&self.labels.inter_in);
+            ctx.bump(&self.labels.inter_in);
         }
-        ctx.counters().bump(&self.labels.delivered);
+        ctx.bump(&self.labels.delivered);
         self.delivered.push(event.clone());
         self.disseminate(&event, ctx);
     }
 
     /// Floods a bootstrap request through the overlay neighbourhood.
-    fn flood_request(&mut self, req_id: u64, topics: Vec<TopicId>, ctx: &mut Ctx<'_, DaMsg>) {
+    fn flood_request<X: Exec<Msg = DaMsg>>(
+        &mut self,
+        req_id: u64,
+        topics: Vec<TopicId>,
+        ctx: &mut X,
+    ) {
         let Some(overlay) = self.overlay.clone() else {
             return;
         };
@@ -389,13 +400,13 @@ impl DaProcess {
     }
 
     /// Handles a bootstrap search request (Fig. 4, lines 4–13).
-    fn handle_req_contact(
+    fn handle_req_contact<X: Exec<Msg = DaMsg>>(
         &mut self,
         origin: ProcessId,
         req_id: u64,
         topics: Vec<TopicId>,
         ttl: u8,
-        ctx: &mut Ctx<'_, DaMsg>,
+        ctx: &mut X,
     ) {
         // "Done only the first time the message is received."
         if !self.answered_requests.insert((origin, req_id)) {
@@ -444,11 +455,11 @@ impl DaProcess {
 
     /// Handles a bootstrap answer (Fig. 4, lines 30–37): merge the contacts
     /// and narrow or stop the search.
-    fn handle_ans_contact(
+    fn handle_ans_contact<X: Exec<Msg = DaMsg>>(
         &mut self,
         topic: TopicId,
         contacts: &[ProcessId],
-        ctx: &mut Ctx<'_, DaMsg>,
+        ctx: &mut X,
     ) {
         // Only contacts of strictly including topics belong in the
         // supertable.
@@ -475,10 +486,10 @@ impl DaProcess {
 
     /// Wraps and routes pending membership messages, piggybacking a sample
     /// of the supertable (Sec. V-A.2a).
-    fn route_membership(
+    fn route_membership<X: Exec<Msg = DaMsg>>(
         &mut self,
         out: Vec<(ProcessId, da_membership::MembershipMsg)>,
-        ctx: &mut Ctx<'_, DaMsg>,
+        ctx: &mut X,
     ) {
         for (to, inner) in out {
             let stable_sample = self.stable.sample(2, ctx.rng());
@@ -494,10 +505,10 @@ impl DaProcess {
     }
 }
 
-impl Protocol for DaProcess {
+impl ExecProtocol for DaProcess {
     type Msg = DaMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, DaMsg>) {
+    fn on_start<X: Exec<Msg = DaMsg>>(&mut self, ctx: &mut X) {
         // Dynamic mode: join the group and start the super-contact search.
         let contacts = std::mem::take(&mut self.join_contacts);
         if !contacts.is_empty() {
@@ -515,7 +526,7 @@ impl Protocol for DaProcess {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: DaMsg, ctx: &mut Ctx<'_, DaMsg>) {
+    fn on_message<X: Exec<Msg = DaMsg>>(&mut self, from: ProcessId, msg: DaMsg, ctx: &mut X) {
         let round = ctx.round();
         match msg {
             DaMsg::Event {
@@ -597,13 +608,13 @@ impl Protocol for DaProcess {
         }
     }
 
-    fn on_round(&mut self, round: u64, ctx: &mut Ctx<'_, DaMsg>) {
+    fn on_round<X: Exec<Msg = DaMsg>>(&mut self, round: u64, ctx: &mut X) {
         // Publications queued since the last round (Fig. 5 SUBSCRIBE +
         // Fig. 7 DISSEMINATE, run by the publisher).
         let publishes = std::mem::take(&mut self.pending_publish);
         for event in publishes {
             if self.seen.insert(event.id()) {
-                ctx.counters().bump(&self.labels.delivered);
+                ctx.bump(&self.labels.delivered);
                 self.delivered.push(event.clone());
             }
             self.disseminate(&event, ctx);
@@ -662,6 +673,25 @@ impl Protocol for DaProcess {
                 }
             }
         }
+    }
+}
+
+/// Simulator adapter: the whole protocol lives in the substrate-generic
+/// [`ExecProtocol`] impl above; running under `da_simnet::Engine` is pure
+/// delegation through the `Ctx` execution context.
+impl Protocol for DaProcess {
+    type Msg = DaMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, DaMsg>) {
+        ExecProtocol::on_start(self, ctx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: DaMsg, ctx: &mut Ctx<'_, DaMsg>) {
+        ExecProtocol::on_message(self, from, msg, ctx);
+    }
+
+    fn on_round(&mut self, round: u64, ctx: &mut Ctx<'_, DaMsg>) {
+        ExecProtocol::on_round(self, round, ctx);
     }
 }
 

@@ -1,0 +1,23 @@
+//! Compares **delivery reliability live vs simulated**: the same
+//! topology, parameters, and single-publication workload executed under
+//! `da_simnet::Engine` and `da_runtime::Runtime`, tabulating per-level
+//! delivered fractions, parasites, and event-message volume.
+//!
+//! Usage: `cargo run --release -p da-harness --bin live_vs_sim
+//! [--quick]`
+
+use da_harness::experiments::live::run_live_vs_sim;
+use da_harness::experiments::Effort;
+use da_harness::results_dir;
+use damulticast::ParamMap;
+
+fn main() {
+    let effort = Effort::from_args();
+    let sizes = effort.scenario().group_sizes;
+    let params = ParamMap::uniform(effort.scenario().params);
+    let table = run_live_vs_sim(&sizes, &params, effort.trials(), 0x11FE);
+    print!("{}", table.to_markdown());
+    let dir = results_dir();
+    table.write_to(&dir).expect("write results");
+    println!("\nwritten to {}", dir.display());
+}

@@ -15,6 +15,7 @@
 //! | Parasite-freedom claim | [`experiments::parasites`] | `table_parasites` |
 //! | `O(S·lnS)` scaling | [`experiments::scaling`] | `fig_scaling` |
 //! | g/z/fanout/maintenance ablations | [`experiments::ablations`] | `ablations` |
+//! | Live-runtime vs simulator reliability | [`experiments::live`] | `live_vs_sim` |
 //!
 //! Every binary accepts `--quick` for a scaled-down smoke run and writes
 //! CSV + Markdown into `results/` (plus an ASCII plot on stdout).

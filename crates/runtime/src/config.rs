@@ -1,0 +1,128 @@
+//! Runtime configuration.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Configuration of one live runtime.
+///
+/// Mirrors `da_simnet::SimConfig`'s builder style; `new()` delegates to
+/// the derived `Default`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Worker threads in the pool. `0` (the default) means one per
+    /// available CPU, capped by the population.
+    pub workers: usize,
+    /// Master seed from which every process' RNG stream is derived —
+    /// the same derivation as the simulator, so a process keeps its
+    /// stream across substrates.
+    pub seed: u64,
+    /// Per-worker inbox capacity. `None` (the default) is unbounded;
+    /// `Some(n)` applies send-side backpressure at `n` queued envelopes.
+    /// Bounded inboxes can deadlock a tick when workers flood each other
+    /// beyond the cap — use them only with protocols whose per-tick
+    /// output is bounded.
+    pub mailbox_capacity: Option<usize>,
+    /// Watchdog: how long the coordinator waits for a worker to ack a
+    /// tick before declaring the pool wedged (panicking with
+    /// a diagnostic rather than hanging CI forever).
+    pub tick_timeout_ms: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 0,
+            seed: 0,
+            mailbox_capacity: None,
+            tick_timeout_ms: 60_000,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Auto-sized worker pool, seed 0, unbounded inboxes.
+    #[must_use]
+    pub fn new() -> Self {
+        RuntimeConfig::default()
+    }
+
+    /// Replaces the worker count (`0` = one per available CPU).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Bounds every worker inbox to `capacity` queued envelopes.
+    #[must_use]
+    pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
+        self.mailbox_capacity = Some(capacity);
+        self
+    }
+
+    /// Replaces the tick watchdog timeout.
+    #[must_use]
+    pub fn with_tick_timeout_ms(mut self, ms: u64) -> Self {
+        self.tick_timeout_ms = ms;
+        self
+    }
+
+    /// The effective pool size for a population: the configured count, or
+    /// one worker per CPU when auto-sized — never more workers than
+    /// processes, never zero.
+    #[must_use]
+    pub fn effective_workers(&self, population: usize) -> usize {
+        let base = if self.workers == 0 {
+            std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get)
+        } else {
+            self.workers
+        };
+        base.min(population.max(1)).max(1)
+    }
+
+    /// The tick watchdog as a [`Duration`].
+    #[must_use]
+    pub fn tick_timeout(&self) -> Duration {
+        Duration::from_millis(self.tick_timeout_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_equals_default() {
+        assert_eq!(RuntimeConfig::new(), RuntimeConfig::default());
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let c = RuntimeConfig::default()
+            .with_workers(3)
+            .with_seed(9)
+            .with_mailbox_capacity(128)
+            .with_tick_timeout_ms(5);
+        assert_eq!(c.workers, 3);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.mailbox_capacity, Some(128));
+        assert_eq!(c.tick_timeout(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn effective_workers_clamps() {
+        let c = RuntimeConfig::default().with_workers(8);
+        assert_eq!(c.effective_workers(3), 3, "never more workers than procs");
+        assert_eq!(c.effective_workers(100), 8);
+        assert_eq!(c.effective_workers(0), 1, "empty population still ticks");
+        let auto = RuntimeConfig::default();
+        assert!(auto.effective_workers(1_000_000) >= 1);
+    }
+}

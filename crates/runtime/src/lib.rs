@@ -1,0 +1,66 @@
+//! # da-runtime — the concurrent live-execution substrate
+//!
+//! The paper evaluates daMulticast under a synchronous round simulator
+//! (Sec. VII-A); this crate runs the *same protocol code* on real
+//! threads with real message passing. Every process that implements
+//! `damulticast::ExecProtocol` — [`damulticast::DaProcess`] included,
+//! unchanged — runs as an actor on a worker pool:
+//!
+//! * **transport** — an in-memory [`Router`] over mpsc channels
+//!   (the crossbeam shim): each worker owns one inbox; sends are
+//!   address-hashed to the owning worker and never copied twice;
+//! * **tick scheduler** — gossip rounds become *ticks*: the coordinator
+//!   broadcasts a tick, every worker drains the messages sent before it,
+//!   runs the round hooks of its processes, and acks; the barrier
+//!   guarantees a message sent in tick `n` is delivered in tick `n+1`,
+//!   preserving the simulator's virtual-time contract while workers run
+//!   concurrently;
+//! * **sharded metrics** — each worker counts into its own
+//!   [`ShardedCounters`] shard (uncontended lock); snapshots merge on
+//!   demand into the same `da_simnet::Counters` registry the harness
+//!   already reads;
+//! * **graceful shutdown** — [`Runtime::shutdown`] stops the pool,
+//!   joins every worker, and hands back the protocol instances for
+//!   inspection, exactly like `Engine::into_processes`.
+//!
+//! Delivery order *within* a tick is whatever the threads produce — the
+//! substrate is concurrent, not deterministic — but the protocol's
+//! guarantees (full audience coverage, zero parasite deliveries) hold on
+//! both substrates; `tests/runtime_parity.rs` in the workspace root
+//! asserts it against the simulator on the paper's topology.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use da_runtime::{Runtime, RuntimeConfig};
+//! use damulticast::{ParamMap, StaticNetwork};
+//!
+//! # fn main() -> Result<(), damulticast::DaError> {
+//! let net = StaticNetwork::linear(&[4, 16], ParamMap::default(), 7)?;
+//! let leaf = net.groups()[1].members[0];
+//! let config = RuntimeConfig::default().with_workers(2).with_seed(7);
+//! let mut rt = Runtime::spawn(config, net.into_processes());
+//!
+//! let id = rt.with_process_mut(leaf, |p| p.publish("live!"));
+//! rt.run_until_quiescent(64);
+//!
+//! let out = rt.shutdown();
+//! let delivered = out.processes.iter().filter(|p| p.has_delivered(id)).count();
+//! assert!(delivered >= 12, "gossip blankets the leaf group");
+//! assert_eq!(out.counters.get("da.parasite"), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod metrics;
+mod runtime;
+mod transport;
+
+pub use config::RuntimeConfig;
+pub use metrics::ShardedCounters;
+pub use runtime::{Runtime, Shutdown, TickReport};
+pub use transport::{Envelope, Router};

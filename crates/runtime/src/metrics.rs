@@ -1,0 +1,117 @@
+//! The sharded metrics registry.
+//!
+//! The simulator owns a single `Counters` registry because it is
+//! single-threaded. Live, every worker counting into one shared registry
+//! would serialise the hot path on a lock; instead each worker gets its
+//! own shard (locked only by that worker during a tick, and briefly by
+//! snapshot readers) and [`ShardedCounters::merged`] folds the shards
+//! into one registry with the same names the harness already reads.
+
+use da_simnet::Counters;
+use std::sync::Mutex;
+
+/// Per-worker counter shards with on-demand merging.
+///
+/// ```
+/// use da_runtime::ShardedCounters;
+///
+/// let sharded = ShardedCounters::new(2);
+/// sharded.shard(0).lock().unwrap().bump("rt.sent");
+/// sharded.shard(1).lock().unwrap().add_named("rt.sent", 2);
+/// assert_eq!(sharded.merged().get("rt.sent"), 3);
+/// ```
+#[derive(Debug)]
+pub struct ShardedCounters {
+    shards: Vec<Mutex<Counters>>,
+}
+
+impl ShardedCounters {
+    /// Creates `shards` empty shards (at least one).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        ShardedCounters {
+            shards: (0..shards.max(1))
+                .map(|_| Mutex::new(Counters::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard behind `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    #[must_use]
+    pub fn shard(&self, index: usize) -> &Mutex<Counters> {
+        &self.shards[index]
+    }
+
+    /// Folds every shard into one registry. A snapshot: shards keep
+    /// counting afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a worker died holding its shard lock (poisoned mutex).
+    #[must_use]
+    pub fn merged(&self) -> Counters {
+        let mut out = Counters::new();
+        for shard in &self.shards {
+            out.merge_from(&shard.lock().expect("metrics shard poisoned"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_folds_all_shards() {
+        let s = ShardedCounters::new(3);
+        for (i, shard) in (0..3).map(|i| (i, s.shard(i))) {
+            shard.lock().unwrap().add_named("x", i as u64 + 1);
+        }
+        assert_eq!(s.merged().get("x"), 6);
+        assert_eq!(s.shards(), 3);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let s = ShardedCounters::new(0);
+        assert_eq!(s.shards(), 1);
+        assert!(s.merged().is_empty());
+    }
+
+    #[test]
+    fn merged_is_a_snapshot() {
+        let s = ShardedCounters::new(2);
+        s.shard(0).lock().unwrap().bump("a");
+        let snap = s.merged();
+        s.shard(1).lock().unwrap().bump("a");
+        assert_eq!(snap.get("a"), 1);
+        assert_eq!(s.merged().get("a"), 2);
+    }
+
+    #[test]
+    fn shards_count_concurrently() {
+        let s = std::sync::Arc::new(ShardedCounters::new(4));
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.shard(w).lock().unwrap().bump("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(s.merged().get("hits"), 4000);
+    }
+}

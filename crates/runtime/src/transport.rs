@@ -1,0 +1,104 @@
+//! The in-memory transport: envelopes and the worker-addressed router.
+
+use crossbeam::channel::Sender;
+use da_simnet::ProcessId;
+
+/// One in-flight message on the live transport.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Sending process.
+    pub from: ProcessId,
+    /// Destination process.
+    pub to: ProcessId,
+    /// Tick during which the message was sent; the scheduler delivers it
+    /// in a strictly later tick, mirroring the simulator's one-round
+    /// channel latency.
+    pub sent_tick: u64,
+    /// The protocol message.
+    pub msg: M,
+}
+
+/// Routes envelopes to the inbox of the worker owning the destination.
+///
+/// Processes are striped across workers (`worker = pid mod workers`), so
+/// routing is a single index computation — no lookup table, no lock.
+/// Every worker holds a clone; the router is the only way messages move
+/// between threads.
+#[derive(Debug)]
+pub struct Router<M> {
+    inboxes: Vec<Sender<Envelope<M>>>,
+}
+
+impl<M> Clone for Router<M> {
+    fn clone(&self) -> Self {
+        Router {
+            inboxes: self.inboxes.clone(),
+        }
+    }
+}
+
+impl<M> Router<M> {
+    /// Builds a router over one inbox sender per worker.
+    #[must_use]
+    pub fn new(inboxes: Vec<Sender<Envelope<M>>>) -> Self {
+        assert!(!inboxes.is_empty(), "a router needs at least one worker");
+        Router { inboxes }
+    }
+
+    /// Number of workers behind this router.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    /// The worker owning `pid`.
+    #[must_use]
+    pub fn worker_of(&self, pid: ProcessId) -> usize {
+        pid.index() % self.inboxes.len()
+    }
+
+    /// Hands an envelope to the owning worker's inbox. Returns `false`
+    /// when that worker has already shut down (the message is dropped,
+    /// like a send to a crashed process).
+    pub fn send(&self, envelope: Envelope<M>) -> bool {
+        let worker = self.worker_of(envelope.to);
+        self.inboxes[worker].send(envelope).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+
+    fn env(to: u32) -> Envelope<u8> {
+        Envelope {
+            from: ProcessId(0),
+            to: ProcessId(to),
+            sent_tick: 0,
+            msg: 1,
+        }
+    }
+
+    #[test]
+    fn routes_by_pid_stripe() {
+        let (tx0, rx0) = channel::unbounded();
+        let (tx1, rx1) = channel::unbounded();
+        let router = Router::new(vec![tx0, tx1]);
+        assert_eq!(router.workers(), 2);
+        assert!(router.send(env(4)));
+        assert!(router.send(env(5)));
+        assert!(router.send(env(7)));
+        assert_eq!(rx0.len(), 1, "pid 4 → worker 0");
+        assert_eq!(rx1.len(), 2, "pids 5 and 7 → worker 1");
+        assert_eq!(rx0.recv().unwrap().to, ProcessId(4));
+    }
+
+    #[test]
+    fn send_to_gone_worker_reports_drop() {
+        let (tx, rx) = channel::unbounded::<Envelope<u8>>();
+        let router = Router::new(vec![tx]);
+        drop(rx);
+        assert!(!router.send(env(0)));
+    }
+}

@@ -7,17 +7,72 @@
 //! statistical analysis, HTML reports, or regression detection. CI runs
 //! `cargo bench --no-run`, so benches are primarily compile-checked;
 //! `cargo bench` still produces useful local numbers.
+//!
+//! Two extras beyond plain printing (both divergences from crates.io
+//! criterion, which has richer equivalents):
+//!
+//! * a `--quick` argument (same spelling as real criterion's) shrinks
+//!   the warm-up/measure budgets ~10×, for CI smoke runs;
+//! * when the `DA_BENCH_JSON` environment variable names a file, every
+//!   finished benchmark appends one JSON line
+//!   `{"bench": …, "ns_per_iter": …, "iters": …}` — a machine-readable
+//!   baseline (real criterion writes Criterion-format JSON trees under
+//!   `target/criterion/` instead).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Target measurement time per benchmark (nanosecond resolution means
 /// this can stay short).
 const MEASURE_BUDGET: Duration = Duration::from_millis(200);
 const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// `--quick` mode: ~10× shorter budgets for CI smoke runs.
+fn quick() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick"))
+}
+
+fn warmup_budget() -> Duration {
+    if quick() {
+        WARMUP_BUDGET / 10
+    } else {
+        WARMUP_BUDGET
+    }
+}
+
+fn measure_budget() -> Duration {
+    if quick() {
+        MEASURE_BUDGET / 10
+    } else {
+        MEASURE_BUDGET
+    }
+}
+
+/// Appends one JSON line per finished benchmark to `$DA_BENCH_JSON`,
+/// when set. Failures to write are silently ignored — emitting a
+/// baseline must never fail a bench run.
+fn emit_json(label: &str, ns_per_iter: f64, iters: u64) {
+    let Some(path) = std::env::var_os("DA_BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write as _;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = writeln!(
+            file,
+            "{{\"bench\":\"{}\",\"ns_per_iter\":{ns_per_iter:.1},\"iters\":{iters}}}",
+            label.escape_default()
+        );
+    }
+}
 
 /// The bench registry/driver (mirror of `criterion::Criterion`).
 #[derive(Debug, Default)]
@@ -128,15 +183,15 @@ impl Bencher {
         // Warm-up: establish caches and a rough per-iter cost.
         let warm_start = Instant::now();
         let mut warm_iters: u64 = 0;
-        while warm_start.elapsed() < WARMUP_BUDGET {
+        while warm_start.elapsed() < warmup_budget() {
             std::hint::black_box(routine());
             warm_iters += 1;
         }
         // Measurement: batch to amortize clock reads on fast routines.
         let per_iter = warm_start.elapsed().as_nanos() / u128::from(warm_iters.max(1));
-        let batch = (MEASURE_BUDGET.as_nanos() / 20 / per_iter.max(1)).clamp(1, 1 << 20) as u64;
+        let batch = (measure_budget().as_nanos() / 20 / per_iter.max(1)).clamp(1, 1 << 20) as u64;
         let start = Instant::now();
-        while start.elapsed() < MEASURE_BUDGET {
+        while start.elapsed() < measure_budget() {
             for _ in 0..batch {
                 std::hint::black_box(routine());
             }
@@ -161,6 +216,7 @@ where
         "{label:<50} time: {:>12.1} ns/iter  ({} iters)",
         ns_per_iter, bencher.iters
     );
+    emit_json(label, ns_per_iter, bencher.iters);
 }
 
 /// Registers benchmark functions under a group name (API-compatible with

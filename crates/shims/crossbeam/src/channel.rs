@@ -1,0 +1,358 @@
+//! MPSC channels (mirror of `crossbeam::channel`, divergences in the
+//! crate docs).
+//!
+//! ```
+//! use crossbeam::channel;
+//! use std::time::Duration;
+//!
+//! let (tx, rx) = channel::unbounded();
+//! tx.send(7).unwrap();
+//! assert_eq!(rx.len(), 1);
+//! assert_eq!(rx.recv(), Ok(7));
+//! assert!(rx.recv_timeout(Duration::from_millis(1)).is_err());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Error of [`Sender::send`]: the receiver is gone. Carries the
+/// unsendable message back, like crossbeam's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error of [`Receiver::recv`]: every sender is gone and the channel is
+/// drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error of [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (senders may still exist).
+    Empty,
+    /// Every sender is gone and the channel is drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error of [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// Nothing arrived within the timeout (senders may still exist).
+    Timeout,
+    /// Every sender is gone and the channel is drained.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// The sending half of a channel. Cloneable — many producers may feed
+/// the single consumer.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: SenderKind<T>,
+    queued: Arc<AtomicUsize>,
+}
+
+#[derive(Debug)]
+enum SenderKind<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let inner = match &self.inner {
+            SenderKind::Unbounded(tx) => SenderKind::Unbounded(tx.clone()),
+            SenderKind::Bounded(tx) => SenderKind::Bounded(tx.clone()),
+        };
+        Sender {
+            inner,
+            queued: Arc::clone(&self.queued),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while a bounded channel is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] (carrying the message) when the receiver has
+    /// been dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        // Count before handing off so a receiver that observes the message
+        // also observes a non-zero len.
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        let result = match &self.inner {
+            SenderKind::Unbounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+            SenderKind::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+        };
+        if result.is_err() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+        }
+        result
+    }
+
+    /// Number of messages currently queued (see the crate docs for the
+    /// estimate semantics under concurrency).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    /// True when no message is currently queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The receiving half of a channel. Single consumer (divergence from
+/// crossbeam's MPMC receiver — see the crate docs).
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+    queued: Arc<AtomicUsize>,
+}
+
+impl<T> Receiver<T> {
+    fn took_one<E>(&self, result: Result<T, E>) -> Result<T, E> {
+        if result.is_ok() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+        }
+        result
+    }
+
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when every sender is gone and the channel is
+    /// drained.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.took_one(self.inner.recv().map_err(|_| RecvError))
+    }
+
+    /// Returns immediately with a message or an emptiness report.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] when the channel can never yield
+    /// again.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.took_one(self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        }))
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses — the shim's
+    /// substitute for `select!`-with-deadline patterns.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when the deadline passes first,
+    /// [`RecvTimeoutError::Disconnected`] when the channel can never
+    /// yield again.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.took_one(self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        }))
+    }
+
+    /// Number of messages currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queued.load(Ordering::SeqCst)
+    }
+
+    /// True when no message is currently queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Creates a channel of unlimited capacity: `send` never blocks.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    let queued = Arc::new(AtomicUsize::new(0));
+    (
+        Sender {
+            inner: SenderKind::Unbounded(tx),
+            queued: Arc::clone(&queued),
+        },
+        Receiver { inner: rx, queued },
+    )
+}
+
+/// Creates a channel holding at most `cap` in-flight messages: `send`
+/// blocks while full. `cap = 0` is a rendezvous channel (every send
+/// blocks until a matching receive), exactly like crossbeam's.
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    let queued = Arc::new(AtomicUsize::new(0));
+    (
+        Sender {
+            inner: SenderKind::Bounded(tx),
+            queued: Arc::clone(&queued),
+        },
+        Receiver { inner: rx, queued },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn unbounded_round_trip_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 100);
+        for i in 0..100 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn multiple_producers_one_consumer() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            for worker in 0..4u64 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        tx.send(worker * 1000 + i).unwrap();
+                    }
+                });
+            }
+        });
+        let mut got: Vec<u64> = (0..200).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        got.dedup();
+        assert_eq!(got.len(), 200, "every send arrives exactly once");
+    }
+
+    #[test]
+    fn bounded_blocks_at_capacity() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // The third send must wait for a receive; run it on a thread.
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+            drop(tx);
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        assert_eq!(rx.recv(), Err(RecvError));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (tx, rx) = unbounded::<u8>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(20)), Ok(1));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_returns_message() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(42), Err(SendError(42)));
+        assert_eq!(tx.len(), 0, "failed sends are not counted as queued");
+    }
+
+    #[test]
+    fn len_tracks_sends_and_receives() {
+        let (tx, rx) = bounded(8);
+        assert!(tx.is_empty());
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.recv().unwrap();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn rendezvous_channel_pairs_send_with_recv() {
+        let (tx, rx) = bounded(0);
+        let t = std::thread::spawn(move || tx.send(5));
+        assert_eq!(rx.recv(), Ok(5));
+        assert!(t.join().unwrap().is_ok());
+    }
+}

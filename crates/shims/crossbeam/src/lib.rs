@@ -1,13 +1,35 @@
-//! Offline shim for `crossbeam` (the `thread::scope` API only).
+//! Offline shim for `crossbeam` (the `thread::scope` and `channel` APIs).
 //!
 //! `crossbeam::thread::scope` predates `std::thread::scope`; the std
 //! version provides the same borrow-checked scoped spawning, so this shim
 //! is a thin adapter. One behavioral divergence, irrelevant to this
 //! workspace (which joins every handle): a panic in an *unjoined* child
 //! propagates out of [`thread::scope`] instead of surfacing as `Err`.
+//!
+//! The [`channel`] module mirrors `crossbeam::channel` over
+//! `std::sync::mpsc`. Divergences from the crates.io crate:
+//!
+//! * **Single consumer.** Real crossbeam channels are MPMC and
+//!   [`channel::Receiver`] is `Clone`; this shim's receiver is the std
+//!   MPSC receiver — one consumer per channel. The workspace's live
+//!   runtime gives every worker its own inbox, so multi-consumer
+//!   semantics are never exercised.
+//! * **No `select!`.** Waiting on several channels is done with
+//!   [`channel::Receiver::recv_timeout`] polling loops instead.
+//! * `len`/`is_empty` are tracked with a shared atomic counter, so they
+//!   are monotonic snapshots (exact once senders and receiver quiesce),
+//!   matching how real crossbeam documents them (a relaxed estimate under
+//!   concurrency).
+//! * Only the surface this workspace uses is provided: `unbounded`,
+//!   `bounded`, `Sender::send`, `Receiver::{recv, try_recv,
+//!   recv_timeout}`, the matching error types, and `len`/`is_empty`.
+//!   `try_send`, `send_timeout`, deadlines, and the `after`/`tick`/
+//!   `never` constructors are absent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod channel;
 
 /// Scoped threads (mirror of `crossbeam::thread`).
 pub mod thread {

@@ -39,7 +39,10 @@ pub trait Protocol {
 }
 
 /// Configuration of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// The derived `Default` (seed 0, reliable channels, no failures) is the
+/// single source of truth; [`SimConfig::new`] delegates to it.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Master seed from which every RNG stream is derived.
     pub seed: u64,
@@ -53,11 +56,7 @@ impl SimConfig {
     /// Configuration with reliable channels, no failures, seed 0.
     #[must_use]
     pub fn new() -> Self {
-        SimConfig {
-            seed: 0,
-            channel: ChannelConfig::default(),
-            failure: FailureModel::None,
-        }
+        SimConfig::default()
     }
 
     /// Replaces the master seed.
@@ -79,12 +78,6 @@ impl SimConfig {
     pub fn with_failure(mut self, failure: FailureModel) -> Self {
         self.failure = failure;
         self
-    }
-}
-
-impl Default for SimConfig {
-    fn default() -> Self {
-        SimConfig::new()
     }
 }
 
@@ -531,6 +524,14 @@ mod tests {
             })
             .collect();
         Engine::new(config, procs)
+    }
+
+    #[test]
+    fn sim_config_new_equals_default() {
+        assert_eq!(SimConfig::new(), SimConfig::default());
+        assert_eq!(SimConfig::new().channel, ChannelConfig::reliable());
+        assert_eq!(SimConfig::new().failure, FailureModel::None);
+        assert_ne!(SimConfig::new(), SimConfig::new().with_seed(1));
     }
 
     #[test]

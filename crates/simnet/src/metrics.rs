@@ -96,6 +96,15 @@ impl Counters {
             .zip(self.values.iter().copied())
     }
 
+    /// Folds another registry into this one, adding value-by-name and
+    /// registering names this registry has not seen. Used to merge the
+    /// per-worker shards of a live run into one global snapshot.
+    pub fn merge_from(&mut self, other: &Counters) {
+        for (name, value) in other.iter() {
+            self.add_named(name, value);
+        }
+    }
+
     /// Sum over counters whose name starts with `prefix`.
     #[must_use]
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
@@ -176,6 +185,23 @@ mod tests {
         assert_eq!(c.sum_prefix("intra."), 11);
         assert_eq!(c.sum_prefix("inter."), 100);
         assert_eq!(c.sum_prefix(""), 111);
+    }
+
+    #[test]
+    fn merge_from_adds_and_registers() {
+        let mut a = Counters::new();
+        a.add_named("shared", 2);
+        a.add_named("only_a", 1);
+        let mut b = Counters::new();
+        b.add_named("shared", 3);
+        b.add_named("only_b", 7);
+        a.merge_from(&b);
+        assert_eq!(a.get("shared"), 5);
+        assert_eq!(a.get("only_a"), 1);
+        assert_eq!(a.get("only_b"), 7);
+        // Merging an empty registry changes nothing.
+        a.merge_from(&Counters::new());
+        assert_eq!(a.sum_prefix(""), 13);
     }
 
     #[test]

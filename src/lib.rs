@@ -9,6 +9,8 @@
 //! * [`damulticast`] — the paper's contribution (the daMulticast protocol).
 //! * [`da_topics`] — the topic-hierarchy substrate.
 //! * [`da_simnet`] — the deterministic discrete-event simulation kernel.
+//! * [`da_runtime`] — the concurrent live-execution substrate (the same
+//!   protocol code on a worker-pool actor runtime).
 //! * [`da_membership`] — the gossip-based membership substrate.
 //! * [`da_baselines`] — the three baseline dissemination algorithms.
 //! * [`da_analysis`] — closed-form analysis from Section VI of the paper.
@@ -24,6 +26,7 @@ pub use da_analysis;
 pub use da_baselines;
 pub use da_harness;
 pub use da_membership;
+pub use da_runtime;
 pub use da_simnet;
 pub use da_topics;
 pub use damulticast;
@@ -42,9 +45,11 @@ pub use damulticast;
 /// ```
 pub mod prelude {
     pub use da_membership::FanoutRule;
+    pub use da_runtime::{Runtime, RuntimeConfig};
     pub use da_simnet::{ChannelConfig, Engine, FailureModel, ProcessId, SimConfig};
     pub use da_topics::{TopicHierarchy, TopicId};
     pub use damulticast::{
-        DaError, DaProcess, DynamicNetwork, Event, EventId, ParamMap, StaticNetwork, TopicParams,
+        DaError, DaProcess, DynamicNetwork, Event, EventId, Exec, ExecProtocol, ParamMap,
+        StaticNetwork, TopicParams,
     };
 }

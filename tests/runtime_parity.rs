@@ -1,0 +1,148 @@
+//! Cross-substrate equivalence: the *same* protocol instances, built by
+//! the same `StaticNetwork`, must deliver the same event set whether
+//! driven by the deterministic round simulator (`da-simnet`) or the
+//! multi-threaded live runtime (`da-runtime`).
+//!
+//! The live substrate is concurrent, so per-message traces differ
+//! run-to-run; what must coincide is the *outcome*: every published
+//! event reaches its full audience (each subscriber of the topic or a
+//! supertopic), nobody outside the audience ever sees it, and no
+//! parasite message is counted. As in `e2e_dissemination.rs`, the
+//! trade-off knobs are pinned high (`g = 20`, `a = z`, `ln S + 12`
+//! fanout) so full coverage is not at the mercy of one seed or one
+//! thread interleaving (miss probability ≈ e^{-12} per event).
+
+use da_runtime::{Runtime, RuntimeConfig};
+use da_simnet::{Engine, ProcessId, SimConfig};
+use damulticast::{DaProcess, EventId, ParamMap, StaticNetwork, TopicParams};
+
+/// The paper's Sec. VII-A topology with pinned-high trade-off knobs.
+const SIZES: [usize; 3] = [10, 100, 1000];
+
+fn pinned_params() -> ParamMap {
+    ParamMap::uniform(
+        TopicParams::paper_default()
+            .with_g(20.0)
+            .with_a(3.0)
+            .with_fanout(da_membership::FanoutRule::LnPlusC { c: 12.0 }),
+    )
+}
+
+fn build_network(seed: u64) -> StaticNetwork {
+    StaticNetwork::linear(&SIZES, pinned_params(), seed).expect("paper topology is valid")
+}
+
+/// Sorted delivered-event ids per process — the comparison key.
+fn delivered_sets(procs: &[DaProcess]) -> Vec<Vec<EventId>> {
+    procs
+        .iter()
+        .map(|p| {
+            let mut ids: Vec<EventId> = p.delivered().iter().map(|e| e.id()).collect();
+            ids.sort();
+            ids
+        })
+        .collect()
+}
+
+/// Publishers: the first member of each level (leaf, mid, root events).
+fn publishers(net: &StaticNetwork) -> Vec<ProcessId> {
+    net.groups().iter().map(|g| g.members[0]).collect()
+}
+
+/// Runs the topology under the simulator, publishing one event per
+/// level. Returns per-process delivered sets plus the parasite count.
+fn run_sim(seed: u64) -> (Vec<Vec<EventId>>, u64) {
+    let net = build_network(seed);
+    let pubs = publishers(&net);
+    let mut engine = Engine::new(SimConfig::default().with_seed(seed), net.into_processes());
+    for (level, pid) in pubs.into_iter().enumerate() {
+        engine.process_mut(pid).publish(format!("event-{level}"));
+    }
+    engine.run_until_quiescent(128);
+    let parasites = engine.counters().get("da.parasite");
+    (delivered_sets(&engine.into_processes()), parasites)
+}
+
+/// Runs the identical topology under the live runtime.
+fn run_live(seed: u64, workers: usize) -> (Vec<Vec<EventId>>, u64) {
+    let net = build_network(seed);
+    let pubs = publishers(&net);
+    let config = RuntimeConfig::default()
+        .with_seed(seed)
+        .with_workers(workers);
+    let mut rt = Runtime::spawn(config, net.into_processes());
+    for (level, pid) in pubs.into_iter().enumerate() {
+        rt.with_process_mut(pid, move |p| p.publish(format!("event-{level}")));
+    }
+    rt.run_until_quiescent(128);
+    let out = rt.shutdown();
+    (
+        delivered_sets(&out.processes),
+        out.counters.get("da.parasite"),
+    )
+}
+
+/// The audience of the level-`l` event: members of levels 0..=l (events
+/// climb; they never flow down). With dense top-down pid allocation the
+/// audience is exactly pids `0..prefix_sum(l)`.
+fn audience_cutoff(level: usize) -> usize {
+    SIZES[..=level].iter().sum()
+}
+
+#[test]
+fn live_runtime_delivers_the_same_event_set_as_the_simulator() {
+    let seed = 42;
+    let (sim_sets, sim_parasites) = run_sim(seed);
+    let (live_sets, live_parasites) = run_live(seed, 0);
+
+    assert_eq!(sim_parasites, 0, "simulator run saw a parasite");
+    assert_eq!(live_parasites, 0, "live run saw a parasite");
+    assert_eq!(sim_sets.len(), live_sets.len());
+
+    for (pid, (sim, live)) in sim_sets.iter().zip(&live_sets).enumerate() {
+        assert_eq!(
+            sim, live,
+            "process {pid} delivered different event sets across substrates"
+        );
+    }
+}
+
+#[test]
+fn both_substrates_blanket_the_full_audience() {
+    let seed = 7;
+    for (substrate, (sets, parasites)) in [("sim", run_sim(seed)), ("live", run_live(seed, 0))] {
+        assert_eq!(parasites, 0, "{substrate}: parasite deliveries");
+        let population: usize = SIZES.iter().sum();
+        assert_eq!(sets.len(), population);
+        // Event of level l (publisher = first member of level l) must be
+        // delivered by exactly the processes of levels 0..=l.
+        for (level, &size) in SIZES.iter().enumerate() {
+            let cutoff = audience_cutoff(level);
+            // Each level's event id is reconstructible: publisher is the
+            // first member of the level, sequence 0.
+            let publisher = ProcessId::from_index(cutoff - size);
+            let id = EventId {
+                publisher,
+                sequence: 0,
+            };
+            for (pid, delivered) in sets.iter().enumerate() {
+                let interested = pid < cutoff;
+                assert_eq!(
+                    delivered.binary_search(&id).is_ok(),
+                    interested,
+                    "{substrate}: process {pid} vs level-{level} event (audience < {cutoff})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn live_outcome_is_stable_across_pool_shapes() {
+    // The guarantee must not depend on how processes map to workers.
+    let (one, p1) = run_live(3, 1);
+    let (eight, p8) = run_live(3, 8);
+    assert_eq!(p1, 0);
+    assert_eq!(p8, 0);
+    assert_eq!(one, eight, "worker count changed the delivered event sets");
+}
