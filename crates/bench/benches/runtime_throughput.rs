@@ -3,20 +3,70 @@
 //! `da-runtime` worker pool instead of the simulator — pool spin-up,
 //! a publication burst driven to quiescence, graceful shutdown. A
 //! simulator reference point with the identical workload makes the
-//! live-vs-sim overhead visible in one printout.
+//! live-vs-sim overhead visible in one printout, and the
+//! `runtime_batching` pair isolates the transport layer: the same
+//! envelope stream pushed one channel send per envelope versus
+//! coalesced into one batch per destination worker per tick (the PR 3
+//! Router hot-path change).
 //!
 //! `DA_BENCH_JSON=BENCH_runtime.json cargo bench -p da-bench --bench
 //! runtime_throughput -- --quick` emits the machine-readable baseline
 //! CI tracks from PR 2 onward.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crossbeam::channel;
 use da_bench::bench_sizes;
-use da_runtime::{Runtime, RuntimeConfig};
-use da_simnet::{Engine, SimConfig};
+use da_core::channel::ChannelConfig;
+use da_runtime::{Batch, Envelope, FaultyRouter, Router, Runtime, RuntimeConfig};
+use da_simnet::{Engine, ProcessId, SimConfig};
 use damulticast::{DaProcess, ParamMap, StaticNetwork};
 use std::hint::black_box;
 
 const MAX_TICKS: u64 = 64;
+
+/// Envelopes per simulated tick in the transport pump (the coalescing
+/// window the batched path flushes on).
+const PUMP_TICK: usize = 64;
+
+/// Pushes `msgs` envelopes through the in-memory transport to `workers`
+/// inboxes and drains them, either one channel send per envelope (the
+/// PR 2 hot path) or coalesced per destination worker per tick (the
+/// batched `FaultyRouter` path). Returns the envelopes received.
+fn transport_pump(msgs: usize, workers: usize, batched: bool) -> u64 {
+    let mut txs = Vec::with_capacity(workers);
+    let mut rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = channel::unbounded::<Batch<u64>>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let router = Router::new(txs);
+    if batched {
+        let mut faulty = FaultyRouter::new(router, ChannelConfig::reliable(), 1);
+        for i in 0..msgs {
+            let tick = (i / PUMP_TICK) as u64;
+            faulty.send(ProcessId(0), ProcessId((i % 97) as u32), tick, i as u64);
+            if i % PUMP_TICK == PUMP_TICK - 1 {
+                faulty.flush();
+            }
+        }
+        faulty.flush();
+    } else {
+        for i in 0..msgs {
+            let tick = (i / PUMP_TICK) as u64;
+            router.send(Envelope {
+                from: ProcessId(0),
+                to: ProcessId((i % 97) as u32),
+                sent_tick: tick,
+                due_tick: tick + 1,
+                msg: i as u64,
+            });
+        }
+    }
+    rxs.iter()
+        .map(|rx| rx.try_iter().map(|b| b.len() as u64).sum::<u64>())
+        .sum()
+}
 
 fn network(seed: u64) -> StaticNetwork {
     StaticNetwork::linear(&bench_sizes(), ParamMap::default(), seed)
@@ -95,6 +145,25 @@ fn runtime_throughput(c: &mut Criterion) {
                 seed = seed.wrapping_add(1);
                 black_box(sim_run(seed, 16))
             });
+        },
+    );
+
+    // Transport isolation: the same 8192-envelope stream to a 4-worker
+    // pool, per-envelope channel sends vs per-tick coalesced batches —
+    // the measured win of the PR 3 Router batching.
+    const PUMP_MSGS: usize = 8192;
+    group.bench_with_input(
+        BenchmarkId::new("runtime_batching_unbatched", PUMP_MSGS),
+        &PUMP_MSGS,
+        |b, &msgs| {
+            b.iter(|| black_box(transport_pump(msgs, 4, false)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("runtime_batching_batched", PUMP_MSGS),
+        &PUMP_MSGS,
+        |b, &msgs| {
+            b.iter(|| black_box(transport_pump(msgs, 4, true)));
         },
     );
 

@@ -1,0 +1,341 @@
+//! The unreliable-channel fault model (Sec. III-A of the paper),
+//! shared by both execution substrates.
+//!
+//! A channel is parameterised by a per-send survival probability and a
+//! latency distribution measured in virtual-time units (gossip rounds on
+//! the simulator, scheduler ticks on the live runtime). The model is
+//! *sampled*, never enforced: [`ChannelConfig::sample_fate`] draws the
+//! fate of one send from a caller-supplied RNG, so each substrate keeps
+//! its own notion of which stream the draws come from —
+//! `da_simnet::Engine` uses its single engine stream, `da_runtime`'s
+//! `FaultyRouter` uses one deterministic stream per directed process
+//! pair ([`EdgeRngs`]).
+
+use crate::seed::{derive_seed, rng_from_seed};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Message latency, measured in virtual-time units (gossip rounds on the
+/// simulator, ticks on the live runtime).
+///
+/// The paper's simulation is round-synchronous: a message sent in round
+/// `n` is available at the start of round `n + 1`, which is
+/// [`Latency::Fixed`]`(1)`. [`Latency::UniformRounds`] models jittery
+/// links where delivery may straggle by several rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Latency {
+    /// Every message takes exactly this many rounds (minimum 1).
+    Fixed(u64),
+    /// Latency drawn uniformly from `min..=max` rounds per message.
+    UniformRounds {
+        /// Lower bound (inclusive, minimum 1).
+        min: u64,
+        /// Upper bound (inclusive).
+        max: u64,
+    },
+}
+
+impl Default for Latency {
+    fn default() -> Self {
+        Latency::Fixed(1)
+    }
+}
+
+/// The sampled fate of one send: lost on the wire, or delivered after a
+/// latency (in virtual-time units, always ≥ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelFate {
+    /// The channel dropped the message.
+    Lost,
+    /// The message survives and arrives `latency` rounds/ticks after it
+    /// was sent.
+    Deliver {
+        /// Rounds/ticks between send and delivery (≥ 1).
+        latency: u64,
+    },
+}
+
+/// Configuration of the unreliable best-effort channels (Sec. III-A of the
+/// paper; the simulation uses a flat success probability of 0.85,
+/// Sec. VII-A).
+///
+/// ```
+/// use da_core::channel::ChannelConfig;
+/// let paper = ChannelConfig::paper_default();
+/// assert!((paper.success_probability - 0.85).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Probability that a sent message survives the channel
+    /// (`p_succ` in the paper's analysis).
+    pub success_probability: f64,
+    /// Delivery latency model.
+    pub latency: Latency,
+}
+
+impl ChannelConfig {
+    /// Perfectly reliable channels with one-round latency.
+    #[must_use]
+    pub fn reliable() -> Self {
+        ChannelConfig {
+            success_probability: 1.0,
+            latency: Latency::default(),
+        }
+    }
+
+    /// The paper's simulation setting: `p_succ = 0.85`, one-round latency
+    /// ("The probability for an event to be received is set to an arbitrary
+    /// value of 0.85, to simulate unreliable, i.e. best effort, channels").
+    #[must_use]
+    pub fn paper_default() -> Self {
+        ChannelConfig {
+            success_probability: 0.85,
+            latency: Latency::default(),
+        }
+    }
+
+    /// Sets the success probability, clamping into `[0, 1]`.
+    #[must_use]
+    pub fn with_success_probability(mut self, p: f64) -> Self {
+        self.success_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the latency model.
+    #[must_use]
+    pub fn with_latency(mut self, latency: Latency) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// True when the model can neither lose nor reorder anything: every
+    /// send survives and takes exactly one round — the configuration
+    /// under which a faulty transport must behave byte-for-byte like a
+    /// perfect one.
+    #[must_use]
+    pub fn is_perfect(&self) -> bool {
+        self.success_probability >= 1.0 && self.latency == Latency::Fixed(1)
+    }
+
+    /// Draws the fate of one send from `rng`.
+    ///
+    /// The draw order is part of the model's contract (deterministic
+    /// replays depend on it): at most one Bernoulli draw for loss —
+    /// skipped entirely when `success_probability ≥ 1` — then at most
+    /// one uniform draw for latency — skipped for [`Latency::Fixed`].
+    ///
+    /// ```
+    /// use da_core::channel::{ChannelConfig, ChannelFate};
+    /// use da_core::seed::rng_from_seed;
+    ///
+    /// let mut rng = rng_from_seed(7);
+    /// let fate = ChannelConfig::reliable().sample_fate(&mut rng);
+    /// assert_eq!(fate, ChannelFate::Deliver { latency: 1 });
+    /// ```
+    pub fn sample_fate<R: Rng>(&self, rng: &mut R) -> ChannelFate {
+        let survives =
+            self.success_probability >= 1.0 || rng.gen_bool(self.success_probability.max(0.0));
+        if !survives {
+            return ChannelFate::Lost;
+        }
+        let latency = match self.latency {
+            Latency::Fixed(l) => l.max(1),
+            Latency::UniformRounds { min, max } => {
+                let lo = min.max(1);
+                let hi = max.max(lo);
+                rng.gen_range(lo..=hi)
+            }
+        };
+        ChannelFate::Deliver { latency }
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig::reliable()
+    }
+}
+
+/// Stream discriminator reserved for edge RNGs, far away from the
+/// engine stream (0) and the per-process streams (`pid + 1`).
+const EDGE_STREAM_TAG: u64 = 0xED6E_0000_0000_0001;
+
+/// Deterministic per-edge RNG streams: one independent [`SmallRng`] per
+/// directed `(from, to)` process pair, derived from the master seed.
+///
+/// The live runtime samples channel fates on the sending side, where
+/// thread interleaving would make a single shared stream
+/// schedule-dependent. Keying the stream by the *edge* removes the
+/// worker from the picture: the k-th message a process sends to a given
+/// peer sees the same draw regardless of how processes are striped
+/// across threads.
+///
+/// Streams materialise lazily and are never evicted, so memory grows
+/// with the number of *distinct directed edges actually used* — worst
+/// case `O(n²)` per stream family for an all-to-all workload (one
+/// 32-byte generator plus map entry per edge). Gossip traffic touches
+/// far fewer edges (each process talks to its fanout-bounded view), but
+/// callers running huge dense populations should hold one `EdgeRngs`
+/// per sender partition, as `da_runtime` does per worker, or derive
+/// stateless draws from [`EdgeRngs::edge_seed`] plus a message counter.
+///
+/// ```
+/// use da_core::channel::EdgeRngs;
+/// use rand::Rng as _;
+///
+/// let mut a = EdgeRngs::new(42);
+/// let mut b = EdgeRngs::new(42);
+/// let draw_a: u64 = a.rng(3, 9).gen();
+/// let draw_b: u64 = b.rng(3, 9).gen();
+/// assert_eq!(draw_a, draw_b, "same master seed, same edge, same stream");
+/// ```
+#[derive(Debug)]
+pub struct EdgeRngs {
+    edge_master: u64,
+    streams: HashMap<(u64, u64), SmallRng>,
+}
+
+impl EdgeRngs {
+    /// Creates the stream family for a run with the given master seed.
+    #[must_use]
+    pub fn new(master_seed: u64) -> Self {
+        EdgeRngs {
+            edge_master: derive_seed(master_seed, EDGE_STREAM_TAG),
+            streams: HashMap::new(),
+        }
+    }
+
+    /// The seed of the `(from, to)` edge stream (exposed for tests and
+    /// for substrates that manage their own RNG storage).
+    #[must_use]
+    pub fn edge_seed(&self, from: u64, to: u64) -> u64 {
+        derive_seed(derive_seed(self.edge_master, from), to)
+    }
+
+    /// The RNG stream of the directed edge `from → to`, created on first
+    /// use (cache hits pay only the map lookup, not the seed
+    /// derivation).
+    pub fn rng(&mut self, from: u64, to: u64) -> &mut SmallRng {
+        let edge_master = self.edge_master;
+        self.streams
+            .entry((from, to))
+            .or_insert_with(|| rng_from_seed(derive_seed(derive_seed(edge_master, from), to)))
+    }
+
+    /// Number of edge streams materialised so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// True when no edge stream has been materialised yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = ChannelConfig::default();
+        assert!((c.success_probability - 1.0).abs() < f64::EPSILON);
+        assert_eq!(c.latency, Latency::Fixed(1));
+        assert!(c.is_perfect());
+    }
+
+    #[test]
+    fn paper_default_is_085() {
+        assert!((ChannelConfig::paper_default().success_probability - 0.85).abs() < 1e-12);
+        assert!(!ChannelConfig::paper_default().is_perfect());
+    }
+
+    #[test]
+    fn builder_clamps() {
+        let c = ChannelConfig::default().with_success_probability(1.5);
+        assert!((c.success_probability - 1.0).abs() < f64::EPSILON);
+        let c = ChannelConfig::default().with_success_probability(-0.2);
+        assert!(c.success_probability.abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn latency_builder() {
+        let c = ChannelConfig::default().with_latency(Latency::UniformRounds { min: 1, max: 3 });
+        assert_eq!(c.latency, Latency::UniformRounds { min: 1, max: 3 });
+        assert!(!c.is_perfect());
+    }
+
+    #[test]
+    fn perfect_channel_draws_nothing() {
+        // A perfect channel must consume zero randomness, so replays that
+        // toggle it cannot shift other streams.
+        let mut a = rng_from_seed(1);
+        let mut b = rng_from_seed(1);
+        let fate = ChannelConfig::reliable().sample_fate(&mut a);
+        assert_eq!(fate, ChannelFate::Deliver { latency: 1 });
+        use rand::Rng as _;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn lossy_channel_loses_roughly_fraction() {
+        let config = ChannelConfig::default().with_success_probability(0.5);
+        let mut rng = rng_from_seed(5);
+        let lost = (0..1000)
+            .filter(|_| config.sample_fate(&mut rng) == ChannelFate::Lost)
+            .count();
+        assert!((350..650).contains(&lost), "lost {lost} of 1000");
+    }
+
+    #[test]
+    fn uniform_latency_stays_in_bounds() {
+        let config =
+            ChannelConfig::default().with_latency(Latency::UniformRounds { min: 2, max: 5 });
+        let mut rng = rng_from_seed(9);
+        for _ in 0..500 {
+            match config.sample_fate(&mut rng) {
+                ChannelFate::Deliver { latency } => assert!((2..=5).contains(&latency)),
+                ChannelFate::Lost => panic!("reliable channel lost a message"),
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_zero_latency_clamps_to_one() {
+        let config = ChannelConfig::default().with_latency(Latency::Fixed(0));
+        let mut rng = rng_from_seed(2);
+        assert_eq!(
+            config.sample_fate(&mut rng),
+            ChannelFate::Deliver { latency: 1 }
+        );
+    }
+
+    #[test]
+    fn edge_streams_are_independent_and_reproducible() {
+        use rand::Rng as _;
+        let mut rngs = EdgeRngs::new(7);
+        let ab: Vec<u64> = (0..8).map(|_| rngs.rng(0, 1).gen()).collect();
+        let ba: Vec<u64> = (0..8).map(|_| rngs.rng(1, 0).gen()).collect();
+        assert_ne!(ab, ba, "direction matters");
+        assert_eq!(rngs.len(), 2);
+
+        let mut again = EdgeRngs::new(7);
+        let ab2: Vec<u64> = (0..8).map(|_| again.rng(0, 1).gen()).collect();
+        assert_eq!(ab, ab2);
+    }
+
+    #[test]
+    fn edge_seed_differs_from_process_streams() {
+        // Edge streams must not collide with the engine stream (0) or
+        // per-process streams (pid + 1) of the same master seed.
+        let rngs = EdgeRngs::new(3);
+        for pid in 0..64 {
+            assert_ne!(rngs.edge_seed(0, 1), derive_seed(3, pid));
+        }
+    }
+}

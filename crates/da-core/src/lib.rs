@@ -1,0 +1,30 @@
+//! # da-core — substrate-neutral foundations
+//!
+//! The pieces of the daMulticast reproduction that belong to *neither*
+//! substrate: the unreliable-channel fault model (Sec. III-A of the
+//! paper) and the deterministic seed-derivation scheme every RNG stream
+//! hangs off.
+//!
+//! Both execution substrates consume this crate:
+//!
+//! * `da_simnet::Engine` samples loss and latency for every queued send
+//!   through [`channel::ChannelConfig::sample_fate`] on its own engine
+//!   RNG stream — single-threaded, globally ordered draws;
+//! * `da_runtime`'s `FaultyRouter` samples the *same* model per send,
+//!   but on [`channel::EdgeRngs`] — one deterministic stream per
+//!   directed process pair — so the draws a message experiences do not
+//!   depend on how processes are striped across worker threads.
+//!
+//! `da_simnet` re-exports [`channel::ChannelConfig`], [`channel::Latency`],
+//! [`seed::derive_seed`] and [`seed::rng_from_seed`] under their
+//! pre-existing paths, so simulator-facing code is unaffected by the
+//! extraction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod seed;
+
+pub use channel::{ChannelConfig, ChannelFate, EdgeRngs, Latency};
+pub use seed::{derive_seed, rng_from_seed};

@@ -1,0 +1,61 @@
+//! Deterministic seed derivation.
+//!
+//! Every source of randomness in a run — simulated or live — is derived
+//! from a single master seed so that runs are exactly reproducible:
+//! identical seeds and configurations produce identical metrics (an
+//! invariant covered by the workspace integration test suite).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Mixes `master` and a `stream` discriminator into an independent seed
+/// using the splitmix64 finalizer, which diffuses single-bit differences
+/// across the whole word.
+///
+/// ```
+/// use da_core::seed::derive_seed;
+/// assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+/// assert_ne!(derive_seed(42, 7), derive_seed(42, 8));
+/// ```
+#[must_use]
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A [`SmallRng`] seeded directly from a 64-bit seed.
+#[must_use]
+pub fn rng_from_seed(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derive_seed_is_deterministic() {
+        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        let a = derive_seed(42, 1);
+        let b = derive_seed(42, 2);
+        assert_ne!(a, b);
+        // Nearby masters also diverge.
+        assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
+    }
+
+    #[test]
+    fn rng_from_seed_is_reproducible() {
+        let mut r1 = rng_from_seed(99);
+        let mut r2 = rng_from_seed(99);
+        for _ in 0..16 {
+            assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+        }
+    }
+}

@@ -1,12 +1,17 @@
 //! Compares **delivery reliability live vs simulated**: the same
 //! topology, parameters, and single-publication workload executed under
-//! `da_simnet::Engine` and `da_runtime::Runtime`, tabulating per-level
-//! delivered fractions, parasites, and event-message volume.
+//! `da_simnet::Engine` and `da_runtime::Runtime` — first over perfect
+//! channels (per-level delivered fractions, parasites, event-message
+//! volume), then as a reliability sweep over the per-link success
+//! probability, checking the substrates agree within 3σ at every point.
 //!
 //! Usage: `cargo run --release -p da-harness --bin live_vs_sim
 //! [--quick]`
 
-use da_harness::experiments::live::run_live_vs_sim;
+use da_harness::experiments::live::{
+    ratios_agree_within_3_sigma, reliability_sweep_probabilities, run_live_vs_sim,
+    run_reliability_sweep,
+};
 use da_harness::experiments::Effort;
 use da_harness::results_dir;
 use damulticast::ParamMap;
@@ -17,7 +22,34 @@ fn main() {
     let params = ParamMap::uniform(effort.scenario().params);
     let table = run_live_vs_sim(&sizes, &params, effort.trials(), 0x11FE);
     print!("{}", table.to_markdown());
+
+    let probs = reliability_sweep_probabilities();
+    let sweep = run_reliability_sweep(&sizes, &params, &probs, effort.trials(), 0x5EED);
+    print!("\n{}", sweep.to_markdown());
+    let mut disagreements = 0u32;
+    for row in &sweep.rows {
+        let (sim, live) = (&row.values[0], &row.values[1]);
+        let agree = ratios_agree_within_3_sigma(sim, live, 0.02);
+        disagreements += u32::from(!agree);
+        println!(
+            "p = {:.2}: sim {:.4} vs live {:.4} — {}",
+            row.x,
+            sim.mean,
+            live.mean,
+            if agree {
+                "within 3σ"
+            } else {
+                "DISAGREE beyond 3σ"
+            }
+        );
+    }
+
     let dir = results_dir();
     table.write_to(&dir).expect("write results");
+    sweep.write_to(&dir).expect("write sweep results");
     println!("\nwritten to {}", dir.display());
+    if disagreements > 0 {
+        eprintln!("{disagreements} sweep point(s) disagree beyond 3σ");
+        std::process::exit(1);
+    }
 }

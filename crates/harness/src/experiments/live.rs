@@ -3,41 +3,67 @@
 //!
 //! The paper's evaluation is simulator-only; the live runtime
 //! (`da-runtime`) must not change the protocol's observable behaviour.
-//! This experiment publishes one event in the bottom group and compares,
-//! across seeded trials, the per-level delivered fraction, the parasite
-//! count, and the event-message volume between `da_simnet::Engine` and
-//! `da_runtime::Runtime`. The live substrate is concurrent (per-trial
-//! numbers fluctuate with thread interleaving), so the comparison is
-//! statistical: matching means within noise, and an identical hard zero
-//! for parasites.
+//! Two experiments check that:
+//!
+//! * [`run_live_vs_sim`] publishes one event in the bottom group over
+//!   perfect channels and compares, across seeded trials, the per-level
+//!   delivered fraction, the parasite count, and the event-message
+//!   volume between `da_simnet::Engine` and `da_runtime::Runtime`;
+//! * [`run_reliability_sweep`] repeats the comparison under *lossy*
+//!   channels, sweeping the per-link success probability — the paper's
+//!   central axis — through the shared `da_core::channel` model that
+//!   both substrates consume. Live and simulated delivery ratios must
+//!   agree within noise ([`ratios_agree_within_3_sigma`]) at every
+//!   swept probability.
+//!
+//! The live substrate is concurrent (per-trial numbers fluctuate with
+//! thread interleaving), so all comparisons are statistical: matching
+//! means within noise, and an identical hard zero for parasites.
 
-use crate::report::KeyedTable;
+use crate::report::{KeyedTable, SeriesTable};
 use crate::stats::Summary;
 use da_runtime::{Runtime, RuntimeConfig};
-use da_simnet::{derive_seed, Engine, SimConfig};
+use da_simnet::{derive_seed, ChannelConfig, Engine, SimConfig};
 use damulticast::{DaProcess, EventId, ParamMap, StaticNetwork};
 
 /// Maximum virtual-time budget per trial (rounds or ticks).
 const MAX_TIME: u64 = 64;
 
+/// The success probabilities the reliability sweep covers: the perfect
+/// corner, two mild-loss points around the paper's 0.85 operating
+/// point, and a harsh 20%-loss channel.
+#[must_use]
+pub fn reliability_sweep_probabilities() -> Vec<f64> {
+    vec![1.0, 0.95, 0.9, 0.8]
+}
+
 /// One seeded trial on one substrate: per-level delivered fraction, then
 /// parasites, then event messages.
-fn trial_metrics(group_sizes: &[usize], params: &ParamMap, seed: u64, live: bool) -> Vec<f64> {
+fn trial_metrics(
+    group_sizes: &[usize],
+    params: &ParamMap,
+    channel: ChannelConfig,
+    seed: u64,
+    live: bool,
+) -> Vec<f64> {
     let net = StaticNetwork::linear(group_sizes, params.clone(), seed)
         .expect("experiment topology must be valid");
     let groups = net.groups().to_vec();
     let publisher = groups.last().expect("at least one group").members[0];
 
     let (procs, counters) = if live {
-        let config = RuntimeConfig::default().with_seed(seed).with_workers(2);
+        let config = RuntimeConfig::default()
+            .with_seed(seed)
+            .with_workers(2)
+            .with_channel(channel);
         let mut rt = Runtime::spawn(config, net.into_processes());
         rt.with_process_mut(publisher, |p| p.publish("live-vs-sim"));
         rt.run_until_quiescent(MAX_TIME);
         let out = rt.shutdown();
         (out.processes, out.counters)
     } else {
-        let mut engine: Engine<DaProcess> =
-            Engine::new(SimConfig::default().with_seed(seed), net.into_processes());
+        let config = SimConfig::default().with_seed(seed).with_channel(channel);
+        let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
         engine.process_mut(publisher).publish("live-vs-sim");
         engine.run_until_quiescent(MAX_TIME);
         let counters = engine.counters().clone();
@@ -64,6 +90,27 @@ fn trial_metrics(group_sizes: &[usize], params: &ParamMap, seed: u64, live: bool
     metrics
 }
 
+/// One seeded trial boiled down to the overall delivery ratio: the
+/// fraction of the full audience (every process — the topology is a
+/// linear inclusion chain, so all groups subscribe at or above the
+/// publication topic) that delivered the published event.
+fn delivery_ratio_trial(
+    group_sizes: &[usize],
+    params: &ParamMap,
+    channel: ChannelConfig,
+    seed: u64,
+    live: bool,
+) -> f64 {
+    let per_level = trial_metrics(group_sizes, params, channel, seed, live);
+    let population: usize = group_sizes.iter().sum();
+    let delivered: f64 = group_sizes
+        .iter()
+        .zip(&per_level)
+        .map(|(&size, fraction)| fraction * size as f64)
+        .sum();
+    delivered / population as f64
+}
+
 /// Runs `trials` seeded publications on each substrate and tabulates
 /// per-level delivered fractions, parasites, and event-message volume.
 ///
@@ -88,7 +135,15 @@ pub fn run_live_vs_sim(
 
     for (key, live) in [("simulator", false), ("live runtime", true)] {
         let samples: Vec<Vec<f64>> = (0..trials)
-            .map(|t| trial_metrics(group_sizes, params, derive_seed(base_seed, t as u64), live))
+            .map(|t| {
+                trial_metrics(
+                    group_sizes,
+                    params,
+                    ChannelConfig::reliable(),
+                    derive_seed(base_seed, t as u64),
+                    live,
+                )
+            })
             .collect();
         let width = samples.first().map_or(0, Vec::len);
         let summaries: Vec<Summary> = (0..width)
@@ -97,6 +152,61 @@ pub fn run_live_vs_sim(
         table.push_row(key, summaries);
     }
     table
+}
+
+/// Sweeps the per-link success probability and tabulates the overall
+/// delivery ratio on both substrates — the live counterpart of the
+/// paper's reliability figures, with the x-axis driven through the
+/// shared `da_core::channel` model.
+///
+/// Trials run serially for the same oversubscription reason as
+/// [`run_live_vs_sim`].
+#[must_use]
+pub fn run_reliability_sweep(
+    group_sizes: &[usize],
+    params: &ParamMap,
+    success_probabilities: &[f64],
+    trials: usize,
+    base_seed: u64,
+) -> SeriesTable {
+    let mut table = SeriesTable::new(
+        "Delivery ratio under lossy channels, live vs simulated",
+        "success_probability",
+        vec!["delivery_ratio_sim".into(), "delivery_ratio_live".into()],
+    );
+    for (row, &p) in success_probabilities.iter().enumerate() {
+        let channel = ChannelConfig::reliable().with_success_probability(p);
+        let mut summaries = Vec::with_capacity(2);
+        for live in [false, true] {
+            let samples: Vec<f64> = (0..trials)
+                .map(|t| {
+                    // A distinct seed stream per (probability, substrate,
+                    // trial) point, so sweep points are independent.
+                    let stream = (row as u64) * 2 + u64::from(live);
+                    let seed = derive_seed(derive_seed(base_seed, stream), t as u64);
+                    delivery_ratio_trial(group_sizes, params, channel, seed, live)
+                })
+                .collect();
+            summaries.push(Summary::of(&samples));
+        }
+        table.push_row(p, summaries);
+    }
+    table
+}
+
+/// True when two per-substrate delivery-ratio summaries agree within
+/// three standard errors of their difference of means.
+///
+/// `floor` guards the degenerate corner where both variances collapse
+/// (e.g. every trial delivers the full audience at `p = 1.0`): the
+/// tolerance never drops below it. Exposed so the acceptance test and
+/// the `live_vs_sim` binary apply the identical criterion.
+#[must_use]
+pub fn ratios_agree_within_3_sigma(sim: &Summary, live: &Summary, floor: f64) -> bool {
+    let se_diff = (sim.std_dev.powi(2) / sim.count.max(1) as f64
+        + live.std_dev.powi(2) / live.count.max(1) as f64)
+        .sqrt();
+    (sim.mean - live.mean).abs() <= (3.0 * se_diff).max(floor)
 }
 
 #[cfg(test)]
@@ -131,5 +241,48 @@ mod tests {
             assert_eq!(values[3].mean, 0.0, "{name}: parasites");
             assert!(values[4].mean > 0.0, "{name}: event traffic recorded");
         }
+    }
+
+    /// The PR 3 acceptance criterion: live and simulated delivery ratios
+    /// agree within 3σ at every swept success probability.
+    #[test]
+    fn reliability_sweep_substrates_agree_within_3_sigma() {
+        let probs = reliability_sweep_probabilities();
+        let trials = 6;
+        let table = run_reliability_sweep(&[4, 10, 40], &pinned(), &probs, trials, 0x5EED);
+        assert_eq!(table.rows.len(), probs.len());
+        for row in &table.rows {
+            let (sim, live) = (&row.values[0], &row.values[1]);
+            assert_eq!(sim.count, trials);
+            assert_eq!(live.count, trials);
+            // Pinned-high knobs keep gossip near-atomic even at p = 0.8.
+            assert!(
+                sim.mean > 0.9 && live.mean > 0.9,
+                "p = {}: sim {} / live {} — protocol itself degraded",
+                row.x,
+                sim.mean,
+                live.mean
+            );
+            // The 0.02 floor covers the zero-variance corner (p = 1.0
+            // delivers everything in every trial on both substrates).
+            assert!(
+                ratios_agree_within_3_sigma(sim, live, 0.02),
+                "p = {}: sim {} ± {} vs live {} ± {} disagree beyond 3σ",
+                row.x,
+                sim.mean,
+                sim.std_dev,
+                live.mean,
+                live.std_dev
+            );
+        }
+    }
+
+    #[test]
+    fn agreement_criterion_flags_real_gaps() {
+        let tight = Summary::of(&[0.99, 1.0, 0.98, 1.0]);
+        let close = Summary::of(&[0.98, 0.99, 1.0, 0.97]);
+        assert!(ratios_agree_within_3_sigma(&tight, &close, 0.02));
+        let far = Summary::of(&[0.5, 0.52, 0.49, 0.51]);
+        assert!(!ratios_agree_within_3_sigma(&tight, &far, 0.02));
     }
 }

@@ -1,23 +1,44 @@
 //! Runtime configuration.
 
+use da_core::channel::ChannelConfig;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Configuration of one live runtime.
 ///
 /// Mirrors `da_simnet::SimConfig`'s builder style; `new()` delegates to
-/// the derived `Default`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// the derived `Default`. The [`ChannelConfig`] is the same
+/// substrate-neutral model the simulator uses, so a reliability sweep
+/// carries one config across both substrates:
+///
+/// ```
+/// use da_core::channel::ChannelConfig;
+/// use da_runtime::RuntimeConfig;
+///
+/// let lossy = ChannelConfig::paper_default(); // p_succ = 0.85
+/// let config = RuntimeConfig::default()
+///     .with_workers(2)
+///     .with_seed(42)
+///     .with_channel(lossy);
+/// assert!((config.channel.success_probability - 0.85).abs() < 1e-12);
+/// assert_eq!(RuntimeConfig::new(), RuntimeConfig::default());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeConfig {
     /// Worker threads in the pool. `0` (the default) means one per
     /// available CPU, capped by the population.
     pub workers: usize,
     /// Master seed from which every process' RNG stream is derived —
     /// the same derivation as the simulator, so a process keeps its
-    /// stream across substrates.
+    /// stream across substrates. Also roots the per-edge channel fault
+    /// streams when the channel model is not perfect.
     pub seed: u64,
+    /// Channel loss/latency model applied by the transport
+    /// ([`crate::FaultyRouter`]). The default is a perfect channel:
+    /// nothing lost, one-tick latency — the PR 2 behaviour.
+    pub channel: ChannelConfig,
     /// Per-worker inbox capacity. `None` (the default) is unbounded;
-    /// `Some(n)` applies send-side backpressure at `n` queued envelopes.
+    /// `Some(n)` applies send-side backpressure at `n` queued batches.
     /// Bounded inboxes can deadlock a tick when workers flood each other
     /// beyond the cap — use them only with protocols whose per-tick
     /// output is bounded.
@@ -33,6 +54,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             workers: 0,
             seed: 0,
+            channel: ChannelConfig::reliable(),
             mailbox_capacity: None,
             tick_timeout_ms: 60_000,
         }
@@ -40,7 +62,8 @@ impl Default for RuntimeConfig {
 }
 
 impl RuntimeConfig {
-    /// Auto-sized worker pool, seed 0, unbounded inboxes.
+    /// Auto-sized worker pool, seed 0, perfect channels, unbounded
+    /// inboxes.
     #[must_use]
     pub fn new() -> Self {
         RuntimeConfig::default()
@@ -60,7 +83,14 @@ impl RuntimeConfig {
         self
     }
 
-    /// Bounds every worker inbox to `capacity` queued envelopes.
+    /// Replaces the channel loss/latency model.
+    #[must_use]
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Bounds every worker inbox to `capacity` queued batches.
     #[must_use]
     pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
         self.mailbox_capacity = Some(capacity);
@@ -101,6 +131,7 @@ mod tests {
     #[test]
     fn new_equals_default() {
         assert_eq!(RuntimeConfig::new(), RuntimeConfig::default());
+        assert!(RuntimeConfig::default().channel.is_perfect());
     }
 
     #[test]
@@ -108,10 +139,12 @@ mod tests {
         let c = RuntimeConfig::default()
             .with_workers(3)
             .with_seed(9)
+            .with_channel(ChannelConfig::paper_default())
             .with_mailbox_capacity(128)
             .with_tick_timeout_ms(5);
         assert_eq!(c.workers, 3);
         assert_eq!(c.seed, 9);
+        assert_eq!(c.channel, ChannelConfig::paper_default());
         assert_eq!(c.mailbox_capacity, Some(128));
         assert_eq!(c.tick_timeout(), Duration::from_millis(5));
     }

@@ -8,7 +8,15 @@
 //!
 //! * **transport** — an in-memory [`Router`] over mpsc channels
 //!   (the crossbeam shim): each worker owns one inbox; sends are
-//!   address-hashed to the owning worker and never copied twice;
+//!   address-hashed to the owning worker, coalesced per destination
+//!   worker into one [`Batch`] per tick, and never copied twice;
+//! * **channel faults** — the [`FaultyRouter`] applies the same
+//!   substrate-neutral loss/latency model the simulator uses
+//!   (`da_core::channel`, configured via
+//!   [`RuntimeConfig::with_channel`]): Bernoulli loss and sampled
+//!   latencies drawn from deterministic per-edge RNG streams, with
+//!   delayed envelopes parked on a per-worker delay wheel until their
+//!   due tick;
 //! * **tick scheduler** — gossip rounds become *ticks*: the coordinator
 //!   broadcasts a tick, every worker drains the messages sent before it,
 //!   runs the round hooks of its processes, and acks; the barrier
@@ -59,8 +67,9 @@ mod config;
 mod metrics;
 mod runtime;
 mod transport;
+mod wheel;
 
 pub use config::RuntimeConfig;
 pub use metrics::ShardedCounters;
 pub use runtime::{Runtime, Shutdown, TickReport};
-pub use transport::{Envelope, Router};
+pub use transport::{Batch, Envelope, FaultyRouter, FlushReport, Router, SendFate};

@@ -2,7 +2,8 @@
 
 use crate::config::RuntimeConfig;
 use crate::metrics::ShardedCounters;
-use crate::transport::{Envelope, Router};
+use crate::transport::{Batch, FaultyRouter, Router, SendFate};
+use crate::wheel::DelayWheel;
 use crossbeam::channel::{self, Receiver, Sender};
 use da_simnet::{rng_for_process, Counters, ProcessId, WireSize};
 use damulticast::{Exec, ExecProtocol};
@@ -19,7 +20,7 @@ struct LiveCtx<'a, M> {
     tick: u64,
     rng: &'a mut SmallRng,
     counters: &'a mut Counters,
-    router: &'a Router<M>,
+    router: &'a mut FaultyRouter<M>,
     sent: &'a mut u64,
 }
 
@@ -39,14 +40,9 @@ impl<M: WireSize> Exec for LiveCtx<'_, M> {
         self.counters.bump("rt.sent");
         self.counters
             .add_named("rt.bytes_sent", msg.wire_size() as u64);
-        let delivered = self.router.send(Envelope {
-            from: self.me,
-            to,
-            sent_tick: self.tick,
-            msg,
-        });
-        if !delivered {
-            self.counters.bump("rt.dropped_closed");
+        match self.router.send(self.me, to, self.tick, msg) {
+            SendFate::Queued { .. } => {}
+            SendFate::DroppedChannel => self.counters.bump("rt.dropped_channel"),
         }
     }
 
@@ -92,11 +88,12 @@ struct WorkerReport {
 pub struct TickReport {
     /// The tick that was executed.
     pub tick: u64,
-    /// Messages handed to the transport during this tick.
+    /// Messages handed to the transport during this tick (including
+    /// ones the unreliable channel then lost).
     pub sent: u64,
     /// Messages handed to `on_message` during this tick.
     pub delivered: u64,
-    /// Messages observed in flight but due in a later tick.
+    /// Messages parked in delay wheels, due in a later tick.
     pub pending: u64,
 }
 
@@ -110,21 +107,22 @@ impl TickReport {
 }
 
 /// One worker thread: owns a stripe of processes (`pid ≡ id mod stride`),
-/// their RNG streams, and its inbox; executes ticks on command.
+/// their RNG streams, its inbox, its outgoing [`FaultyRouter`] (with the
+/// per-tick coalescing buffers), and its delay wheel; executes ticks on
+/// command.
 struct Worker<P: ExecProtocol> {
     id: usize,
     stride: usize,
     procs: Vec<P>,
     rngs: Vec<SmallRng>,
     control: Receiver<Control<P>>,
-    inbox: Receiver<Envelope<P::Msg>>,
-    router: Router<P::Msg>,
+    inbox: Receiver<Batch<P::Msg>>,
+    faulty: FaultyRouter<P::Msg>,
     reports: Sender<WorkerReport>,
     counters: Arc<ShardedCounters>,
-    /// Envelopes observed during a drain but due in a later tick (their
-    /// `sent_tick` equals the current tick: a faster worker sent them
-    /// while this one was already draining).
-    carryover: Vec<Envelope<P::Msg>>,
+    /// Envelopes that survived the channel but carry latency > 1: parked
+    /// here until the scheduler reaches their due tick.
+    wheel: DelayWheel<P::Msg>,
     started: bool,
 }
 
@@ -159,6 +157,7 @@ where
                 Ok(Control::Stop) | Err(_) => break,
             }
         }
+        self.account_shutdown_in_flight();
         let (id, stride) = (self.id, self.stride);
         self.procs
             .into_iter()
@@ -167,10 +166,35 @@ where
             .collect()
     }
 
-    /// One tick: deliver everything sent before `tick`, then run the
-    /// round hooks. The coordinator's barrier guarantees all such
-    /// messages are already in the inbox (or the carryover) when the
-    /// tick command arrives.
+    /// Messages still travelling when the pool stops (parked in the
+    /// wheel, or in the inbox with a future due tick) are accounted as
+    /// `rt.dropped_shutdown` rather than silently vanishing — the live
+    /// analogue of the simulator's in-flight queue being discarded.
+    ///
+    /// The drain is complete: Stop is only sent between ticks, when every
+    /// worker is parked on its control channel and all per-tick batches
+    /// have been flushed.
+    fn account_shutdown_in_flight(&mut self) {
+        let mut in_flight = self.wheel.discard_all() as u64;
+        while let Ok(batch) = self.inbox.try_recv() {
+            in_flight += batch.len() as u64;
+        }
+        if in_flight > 0 {
+            let shard = Arc::clone(&self.counters);
+            shard
+                .shard(self.id)
+                .lock()
+                .expect("metrics shard poisoned")
+                .add_named("rt.dropped_shutdown", in_flight);
+        }
+    }
+
+    /// One tick: release delay-wheel messages due now, drain the inbox
+    /// (delivering due envelopes, parking delayed ones), run the round
+    /// hooks, then flush this tick's coalesced outgoing batches before
+    /// acking. The coordinator's barrier guarantees every batch sent
+    /// during tick `n` is in its destination inbox before tick `n + 1`
+    /// starts.
     fn run_tick(&mut self, tick: u64) -> WorkerReport {
         let shard = Arc::clone(&self.counters);
         let mut counters = shard.shard(self.id).lock().expect("metrics shard poisoned");
@@ -186,24 +210,28 @@ where
                     tick,
                     rng: &mut self.rngs[i],
                     counters: &mut counters,
-                    router: &self.router,
+                    router: &mut self.faulty,
                     sent: &mut sent,
                 };
                 self.procs[i].on_start(&mut ctx);
             }
         }
 
-        // Collect this tick's deliveries: yesterday's carryover plus
-        // whatever the inbox holds with an earlier send tick. Envelopes
-        // stamped with the current tick were sent by workers already
-        // executing it — they are due next tick and are stashed.
-        let mut due = std::mem::take(&mut self.carryover);
-        while let Ok(env) = self.inbox.try_recv() {
-            debug_assert!(env.sent_tick <= tick, "envelope from the future");
-            if env.sent_tick < tick {
-                due.push(env);
-            } else {
-                self.carryover.push(env);
+        // Collect this tick's deliveries: whatever the wheel owes now,
+        // plus every inbox envelope that is already due. Envelopes with
+        // a later due tick are parked on the wheel — that covers both
+        // sampled latencies above one tick and the same-tick race where
+        // a faster worker already flushed the tick being drained (its
+        // output is due next tick by construction).
+        let mut due = self.wheel.take_due(tick);
+        while let Ok(batch) = self.inbox.try_recv() {
+            for env in batch {
+                debug_assert!(env.sent_tick <= tick, "envelope from the future");
+                if env.due_tick <= tick {
+                    due.push(env);
+                } else {
+                    self.wheel.schedule(env);
+                }
             }
         }
 
@@ -216,7 +244,7 @@ where
                 tick,
                 rng: &mut self.rngs[local],
                 counters: &mut counters,
-                router: &self.router,
+                router: &mut self.faulty,
                 sent: &mut sent,
             };
             self.procs[local].on_message(env.from, env.msg, &mut ctx);
@@ -230,23 +258,31 @@ where
                 tick,
                 rng: &mut self.rngs[i],
                 counters: &mut counters,
-                router: &self.router,
+                router: &mut self.faulty,
                 sent: &mut sent,
             };
             self.procs[i].on_round(tick, &mut ctx);
         }
 
+        // Ship this tick's output: one coalesced batch per destination
+        // worker, inside the barrier so receivers see it next tick.
+        let flush = self.faulty.flush();
+        if flush.dropped_closed > 0 {
+            counters.add_named("rt.dropped_closed", flush.dropped_closed);
+        }
+
         WorkerReport {
             sent,
             delivered,
-            pending: self.carryover.len() as u64,
+            pending: self.wheel.len() as u64,
         }
     }
 }
 
 /// The live runtime: a pool of worker threads executing
 /// [`ExecProtocol`] processes as actors under a barrier-synchronised
-/// tick scheduler.
+/// tick scheduler, with the shared `da_core` channel fault model applied
+/// by the transport.
 ///
 /// The API mirrors `da_simnet::Engine` where the concepts coincide
 /// (`step_tick`/`run_ticks`/`run_until_quiescent`, `counters`), and
@@ -254,7 +290,21 @@ where
 /// (processes live on worker threads) plus [`Runtime::shutdown`] (the
 /// graceful path that joins the pool and returns them).
 ///
-/// See the crate docs for an end-to-end example.
+/// ```
+/// use da_runtime::{Runtime, RuntimeConfig};
+/// use damulticast::{ParamMap, StaticNetwork};
+///
+/// let net = StaticNetwork::linear(&[3, 9], ParamMap::default(), 1).unwrap();
+/// let leaf = net.groups()[1].members[0];
+/// let config = RuntimeConfig::default().with_workers(2).with_seed(1);
+/// let mut rt = Runtime::spawn(config, net.into_processes());
+///
+/// let id = rt.with_process_mut(leaf, |p| p.publish("tick"));
+/// rt.run_until_quiescent(48);
+///
+/// let out = rt.shutdown();
+/// assert!(out.processes.iter().filter(|p| p.has_delivered(id)).count() > 1);
+/// ```
 pub struct Runtime<P: ExecProtocol> {
     controls: Vec<Sender<Control<P>>>,
     reports: Receiver<WorkerReport>,
@@ -271,7 +321,9 @@ pub struct Shutdown<P> {
     /// Every protocol instance, in pid order — the live counterpart of
     /// `Engine::into_processes`.
     pub processes: Vec<P>,
-    /// Final merged metrics snapshot.
+    /// Final merged metrics snapshot. Messages still in flight when the
+    /// pool stopped (possible under latency models above one tick) are
+    /// counted under `rt.dropped_shutdown`.
     pub counters: Counters,
 }
 
@@ -330,10 +382,10 @@ where
                 rngs,
                 control: control_rx,
                 inbox,
-                router: router.clone(),
+                faulty: FaultyRouter::new(router.clone(), config.channel, config.seed),
                 reports: report_tx.clone(),
                 counters: Arc::clone(&counters),
-                carryover: Vec::new(),
+                wheel: DelayWheel::new(),
                 started: false,
             };
             let handle = std::thread::Builder::new()
@@ -458,6 +510,8 @@ where
 
     /// Graceful shutdown: stops every worker, joins the pool, and
     /// returns the protocol instances (pid order) with the final metrics.
+    /// In-flight messages (delay wheels, undrained inboxes) are counted
+    /// as `rt.dropped_shutdown` — never silently lost, never waited for.
     ///
     /// # Panics
     ///
@@ -505,6 +559,7 @@ impl<P: ExecProtocol> Drop for Runtime<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use da_core::channel::{ChannelConfig, Latency};
 
     /// Every process sends one token to the next pid each tick and
     /// records the tick of each receipt.
@@ -527,10 +582,9 @@ mod tests {
         type Msg = Token;
 
         fn on_message<X: Exec<Msg = Token>>(&mut self, _from: ProcessId, msg: Token, ctx: &mut X) {
-            assert_eq!(
-                msg.sent_at + 1,
-                ctx.round(),
-                "tick barrier must impose one-tick latency"
+            assert!(
+                msg.sent_at < ctx.round(),
+                "deliveries are strictly later than their send tick"
             );
             self.received.push(ctx.round());
         }
@@ -543,16 +597,19 @@ mod tests {
         }
     }
 
-    fn relay_runtime(n: u32, workers: usize) -> Runtime<Relay> {
-        let procs = (0..n)
+    fn relay_procs(n: u32) -> Vec<Relay> {
+        (0..n)
             .map(|_| Relay {
                 population: n,
                 received: Vec::new(),
             })
-            .collect();
+            .collect()
+    }
+
+    fn relay_runtime(n: u32, workers: usize) -> Runtime<Relay> {
         Runtime::spawn(
             RuntimeConfig::default().with_workers(workers).with_seed(1),
-            procs,
+            relay_procs(n),
         )
     }
 
@@ -579,6 +636,8 @@ mod tests {
         assert_eq!(out.counters.get("rt.sent"), 50);
         assert_eq!(out.counters.get("rt.delivered"), 50);
         assert_eq!(out.counters.get("rt.bytes_sent"), 400);
+        assert_eq!(out.counters.get("rt.dropped_channel"), 0);
+        assert_eq!(out.counters.get("rt.dropped_shutdown"), 0);
         let total: usize = out.processes.iter().map(|p| p.received.len()).sum();
         assert_eq!(total, 50);
     }
@@ -635,6 +694,129 @@ mod tests {
         rt.run_until_quiescent(32);
         let out = rt.shutdown();
         assert_eq!(out.counters.get("rt.sent"), 25);
+    }
+
+    /// Satellite requirement: the zero-latency (perfect) channel config
+    /// is byte-for-byte the plain-Router behaviour — same per-process
+    /// receipt ticks, same counters — because the explicit reliable
+    /// config and the default are the same draw-free path.
+    #[test]
+    fn explicit_reliable_channel_equals_default_event_set() {
+        let run = |config: RuntimeConfig| {
+            let mut rt = Runtime::spawn(config.with_workers(3).with_seed(1), relay_procs(9));
+            rt.run_until_quiescent(32);
+            let out = rt.shutdown();
+            let receipts: Vec<Vec<u64>> = out
+                .processes
+                .into_iter()
+                .map(|p| {
+                    let mut r = p.received;
+                    r.sort_unstable();
+                    r
+                })
+                .collect();
+            (
+                receipts,
+                out.counters.get("rt.sent"),
+                out.counters.get("rt.delivered"),
+            )
+        };
+        let default = run(RuntimeConfig::default());
+        let explicit = run(RuntimeConfig::default()
+            .with_channel(ChannelConfig::reliable().with_latency(Latency::Fixed(1))));
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn fixed_latency_delivers_exactly_k_ticks_later() {
+        /// Process 0 sends one message to process 1 in tick 0; the
+        /// receipt tick must honour the configured latency.
+        struct OneShot {
+            receipt: Option<u64>,
+        }
+        #[derive(Clone, Debug)]
+        struct M;
+        impl WireSize for M {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        impl ExecProtocol for OneShot {
+            type Msg = M;
+            fn on_message<X: Exec<Msg = M>>(&mut self, _f: ProcessId, _m: M, ctx: &mut X) {
+                self.receipt = Some(ctx.round());
+            }
+            fn on_round<X: Exec<Msg = M>>(&mut self, round: u64, ctx: &mut X) {
+                if round == 0 && ctx.me() == ProcessId(0) {
+                    ctx.send(ProcessId(1), M);
+                }
+            }
+        }
+        let config = RuntimeConfig::default()
+            .with_workers(2)
+            .with_channel(ChannelConfig::reliable().with_latency(Latency::Fixed(3)));
+        let procs = (0..2).map(|_| OneShot { receipt: None }).collect();
+        let mut rt = Runtime::spawn(config, procs);
+        let reports = rt.run_ticks(5);
+        // Ticks 1 and 2 hold the message pending; tick 3 delivers it.
+        assert_eq!(reports[1].pending, 1);
+        assert_eq!(reports[2].pending, 1);
+        assert_eq!(reports[3].delivered, 1);
+        let out = rt.shutdown();
+        assert_eq!(out.processes[1].receipt, Some(3));
+        assert_eq!(out.counters.get("rt.dropped_shutdown"), 0);
+    }
+
+    #[test]
+    fn pending_messages_defer_quiescence() {
+        let config = RuntimeConfig::default()
+            .with_workers(2)
+            .with_channel(ChannelConfig::reliable().with_latency(Latency::Fixed(4)));
+        let mut rt = Runtime::spawn(config, relay_procs(6));
+        let executed = rt.run_until_quiescent(64);
+        assert!(executed < 64);
+        let out = rt.shutdown();
+        // Latency stretches the schedule but loses nothing.
+        assert_eq!(out.counters.get("rt.sent"), 30);
+        assert_eq!(out.counters.get("rt.delivered"), 30);
+    }
+
+    /// Satellite requirement: messages still in flight at `shutdown` are
+    /// accounted, not hung on. With latency 5, everything sent in the
+    /// two executed ticks is still parked when the pool stops.
+    #[test]
+    fn shutdown_accounts_in_flight_messages() {
+        let config = RuntimeConfig::default()
+            .with_workers(3)
+            .with_channel(ChannelConfig::reliable().with_latency(Latency::Fixed(5)));
+        let mut rt = Runtime::spawn(config, relay_procs(8));
+        rt.run_ticks(2);
+        let out = rt.shutdown(); // must not hang waiting for due ticks
+        let sent = out.counters.get("rt.sent");
+        assert_eq!(sent, 16, "8 senders × 2 ticks");
+        assert_eq!(out.counters.get("rt.delivered"), 0);
+        assert_eq!(out.counters.get("rt.dropped_shutdown"), sent);
+    }
+
+    #[test]
+    fn lossy_channel_drops_and_still_quiesces() {
+        let config = RuntimeConfig::default()
+            .with_workers(2)
+            .with_seed(9)
+            .with_channel(ChannelConfig::reliable().with_success_probability(0.5));
+        let mut rt = Runtime::spawn(config, relay_procs(10));
+        let executed = rt.run_until_quiescent(64);
+        assert!(executed < 64);
+        let out = rt.shutdown();
+        let sent = out.counters.get("rt.sent");
+        let delivered = out.counters.get("rt.delivered");
+        let dropped = out.counters.get("rt.dropped_channel");
+        assert_eq!(sent, 50);
+        assert_eq!(delivered + dropped, sent, "every send is accounted");
+        assert!(
+            (10..40).contains(&dropped),
+            "dropped {dropped} of {sent}, expected ≈ half"
+        );
     }
 
     #[test]
@@ -706,5 +888,28 @@ mod tests {
         // The stream belongs to the process, not the worker: regrouping
         // the pool must not change the first draw of any process.
         assert_eq!(run(2), run(4));
+    }
+
+    /// Channel fates key off the edge, not the worker: the multiset of
+    /// per-process loss counts is identical however the pool is striped.
+    #[test]
+    fn channel_fates_are_stripe_independent() {
+        let run = |workers: usize| {
+            let config = RuntimeConfig::default()
+                .with_workers(workers)
+                .with_seed(7)
+                .with_channel(ChannelConfig::reliable().with_success_probability(0.6));
+            let mut rt = Runtime::spawn(config, relay_procs(12));
+            rt.run_until_quiescent(64);
+            let out = rt.shutdown();
+            (
+                out.counters.get("rt.dropped_channel"),
+                out.counters.get("rt.delivered"),
+            )
+        };
+        // The relay's send pattern is deterministic (next-pid ring), so
+        // per-edge draws — and with them the global loss totals — must
+        // not move when the worker count changes.
+        assert_eq!(run(1), run(4));
     }
 }

@@ -1,6 +1,19 @@
-//! The in-memory transport: envelopes and the worker-addressed router.
+//! The in-memory transport: envelopes, per-tick batches, the
+//! worker-addressed [`Router`], and the fault-injecting [`FaultyRouter`].
+//!
+//! Two transport layers share the same inboxes:
+//!
+//! * [`Router`] is the perfect wire: it hands envelopes (or whole
+//!   batches of them) to the inbox of the worker owning the destination
+//!   process, never losing or delaying anything.
+//! * [`FaultyRouter`] layers the substrate-neutral channel fault model
+//!   (`da_core::channel`) on top: each send's fate — lost, or delivered
+//!   after a sampled latency — is drawn from a deterministic per-edge
+//!   RNG stream, and survivors are coalesced per destination worker so
+//!   one tick costs at most one channel send per worker pair.
 
 use crossbeam::channel::Sender;
+use da_core::channel::{ChannelConfig, ChannelFate, EdgeRngs};
 use da_simnet::ProcessId;
 
 /// One in-flight message on the live transport.
@@ -10,12 +23,90 @@ pub struct Envelope<M> {
     pub from: ProcessId,
     /// Destination process.
     pub to: ProcessId,
-    /// Tick during which the message was sent; the scheduler delivers it
-    /// in a strictly later tick, mirroring the simulator's one-round
-    /// channel latency.
+    /// Tick during which the message was sent.
     pub sent_tick: u64,
+    /// Tick at whose start the message becomes deliverable — always
+    /// strictly greater than [`Envelope::sent_tick`], mirroring the
+    /// simulator's send-in-round-`n` / deliver-in-round-`n + k` channel
+    /// contract (`k = 1` on a perfect channel).
+    pub due_tick: u64,
     /// The protocol message.
     pub msg: M,
+}
+
+/// What travels through a worker inbox: one envelope, or everything a
+/// peer worker sent here during one tick.
+///
+/// The one-element case stays allocation-free — it is what `Router::send`
+/// produces, and what fan-in-of-one batching degenerates to.
+#[derive(Debug)]
+pub enum Batch<M> {
+    /// A single envelope (no heap allocation for the payload).
+    One(Envelope<M>),
+    /// Every envelope one sending worker coalesced for this inbox during
+    /// one tick.
+    Many(Vec<Envelope<M>>),
+}
+
+impl<M> Batch<M> {
+    /// Number of envelopes in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Batch::One(_) => 1,
+            Batch::Many(v) => v.len(),
+        }
+    }
+
+    /// True when the batch holds no envelopes (only possible for an
+    /// empty [`Batch::Many`], which the routers never send).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<M> IntoIterator for Batch<M> {
+    type Item = Envelope<M>;
+    type IntoIter = BatchIter<M>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        match self {
+            Batch::One(env) => BatchIter::One(Some(env)),
+            Batch::Many(v) => BatchIter::Many(v.into_iter()),
+        }
+    }
+}
+
+/// Iterator over a [`Batch`]'s envelopes (the one-envelope case stays
+/// allocation-free here too).
+#[derive(Debug)]
+pub enum BatchIter<M> {
+    /// Draining a [`Batch::One`].
+    One(Option<Envelope<M>>),
+    /// Draining a [`Batch::Many`].
+    Many(std::vec::IntoIter<Envelope<M>>),
+}
+
+impl<M> Iterator for BatchIter<M> {
+    type Item = Envelope<M>;
+
+    fn next(&mut self) -> Option<Envelope<M>> {
+        match self {
+            BatchIter::One(env) => env.take(),
+            BatchIter::Many(iter) => iter.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            BatchIter::One(env) => {
+                let n = usize::from(env.is_some());
+                (n, Some(n))
+            }
+            BatchIter::Many(iter) => iter.size_hint(),
+        }
+    }
 }
 
 /// Routes envelopes to the inbox of the worker owning the destination.
@@ -24,9 +115,29 @@ pub struct Envelope<M> {
 /// routing is a single index computation — no lookup table, no lock.
 /// Every worker holds a clone; the router is the only way messages move
 /// between threads.
+///
+/// ```
+/// use crossbeam::channel;
+/// use da_runtime::{Envelope, Router};
+/// use da_simnet::ProcessId;
+///
+/// let (tx0, rx0) = channel::unbounded();
+/// let (tx1, rx1) = channel::unbounded();
+/// let router = Router::new(vec![tx0, tx1]);
+/// assert_eq!(router.worker_of(ProcessId(5)), 1, "pid mod workers");
+/// router.send(Envelope {
+///     from: ProcessId(0),
+///     to: ProcessId(5),
+///     sent_tick: 0,
+///     due_tick: 1,
+///     msg: "hi",
+/// });
+/// assert_eq!(rx1.recv().unwrap().len(), 1);
+/// assert!(rx0.is_empty());
+/// ```
 #[derive(Debug)]
 pub struct Router<M> {
-    inboxes: Vec<Sender<Envelope<M>>>,
+    inboxes: Vec<Sender<Batch<M>>>,
 }
 
 impl<M> Clone for Router<M> {
@@ -40,7 +151,7 @@ impl<M> Clone for Router<M> {
 impl<M> Router<M> {
     /// Builds a router over one inbox sender per worker.
     #[must_use]
-    pub fn new(inboxes: Vec<Sender<Envelope<M>>>) -> Self {
+    pub fn new(inboxes: Vec<Sender<Batch<M>>>) -> Self {
         assert!(!inboxes.is_empty(), "a router needs at least one worker");
         Router { inboxes }
     }
@@ -57,12 +168,178 @@ impl<M> Router<M> {
         pid.index() % self.inboxes.len()
     }
 
-    /// Hands an envelope to the owning worker's inbox. Returns `false`
+    /// Hands one envelope to the owning worker's inbox. Returns `false`
     /// when that worker has already shut down (the message is dropped,
     /// like a send to a crashed process).
     pub fn send(&self, envelope: Envelope<M>) -> bool {
         let worker = self.worker_of(envelope.to);
-        self.inboxes[worker].send(envelope).is_ok()
+        self.inboxes[worker].send(Batch::One(envelope)).is_ok()
+    }
+
+    /// Hands a whole per-tick batch to `worker`'s inbox in one channel
+    /// operation — the amortisation the gossip fanout lives off (many
+    /// small same-destination sends per tick). Returns `false` when the
+    /// worker has already shut down.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `worker` is out of range.
+    pub fn send_batch(&self, worker: usize, batch: Vec<Envelope<M>>) -> bool {
+        debug_assert!(!batch.is_empty(), "empty batches are never sent");
+        self.inboxes[worker].send(Batch::Many(batch)).is_ok()
+    }
+}
+
+/// The fate [`FaultyRouter::send`] reports for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// The message survived the channel and is queued for its
+    /// destination worker (delivered at `due_tick`).
+    Queued {
+        /// Tick at whose start the message becomes deliverable.
+        due_tick: u64,
+    },
+    /// The channel lost the message (Bernoulli loss draw failed).
+    DroppedChannel,
+}
+
+/// What one [`FaultyRouter::flush`] moved and lost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushReport {
+    /// Channel operations performed (≤ one per destination worker).
+    pub batches: u64,
+    /// Envelopes handed over across all batches.
+    pub envelopes: u64,
+    /// Envelopes lost because their destination worker had already shut
+    /// down.
+    pub dropped_closed: u64,
+}
+
+/// A [`Router`] behind an unreliable channel: drops and delays envelopes
+/// according to a [`ChannelConfig`], and coalesces the survivors of each
+/// tick into one batch per destination worker.
+///
+/// Loss and latency draws come from `da_core`'s deterministic per-edge
+/// RNG streams, so the fate of "the k-th message from process 3 to
+/// process 9" does not depend on how processes are striped across
+/// worker threads. A perfect configuration
+/// ([`ChannelConfig::is_perfect`]) takes a draw-free fast path and is
+/// byte-for-byte equivalent to the plain [`Router`].
+///
+/// Each worker owns its own `FaultyRouter` (wrapping a clone of the
+/// shared [`Router`]); since a process is owned by exactly one worker,
+/// the per-edge streams never race.
+///
+/// ```
+/// use crossbeam::channel;
+/// use da_core::channel::ChannelConfig;
+/// use da_runtime::{FaultyRouter, Router, SendFate};
+/// use da_simnet::ProcessId;
+///
+/// let (tx, rx) = channel::unbounded();
+/// let router = Router::new(vec![tx]);
+/// let mut faulty = FaultyRouter::new(router, ChannelConfig::reliable(), 7);
+///
+/// // Two sends in tick 0 coalesce into one channel operation.
+/// faulty.send(ProcessId(0), ProcessId(1), 0, "a");
+/// faulty.send(ProcessId(0), ProcessId(1), 0, "b");
+/// let report = faulty.flush();
+/// assert_eq!((report.batches, report.envelopes), (1, 2));
+/// assert_eq!(rx.recv().unwrap().len(), 2);
+///
+/// // A fully lossy channel drops everything before it reaches the wire.
+/// let (tx, _rx) = channel::unbounded::<da_runtime::Batch<&str>>();
+/// let black_hole = ChannelConfig::reliable().with_success_probability(0.0);
+/// let mut faulty = FaultyRouter::new(Router::new(vec![tx]), black_hole, 7);
+/// let fate = faulty.send(ProcessId(0), ProcessId(1), 0, "gone");
+/// assert_eq!(fate, SendFate::DroppedChannel);
+/// assert_eq!(faulty.flush().envelopes, 0);
+/// ```
+#[derive(Debug)]
+pub struct FaultyRouter<M> {
+    router: Router<M>,
+    channel: ChannelConfig,
+    rngs: EdgeRngs,
+    /// Per-destination-worker coalescing buffers, flushed once per tick.
+    slots: Vec<Vec<Envelope<M>>>,
+}
+
+impl<M> FaultyRouter<M> {
+    /// Wraps `router` with the given channel model; `master_seed` roots
+    /// the per-edge RNG streams (use the runtime's configured seed so
+    /// live fault draws are reproducible).
+    #[must_use]
+    pub fn new(router: Router<M>, channel: ChannelConfig, master_seed: u64) -> Self {
+        let slots = (0..router.workers()).map(|_| Vec::new()).collect();
+        FaultyRouter {
+            router,
+            channel,
+            rngs: EdgeRngs::new(master_seed),
+            slots,
+        }
+    }
+
+    /// The channel model this router applies.
+    #[must_use]
+    pub fn channel(&self) -> &ChannelConfig {
+        &self.channel
+    }
+
+    /// Number of workers behind the wrapped router.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.router.workers()
+    }
+
+    /// Routes one message through the unreliable channel: samples its
+    /// fate on the `from → to` edge stream and, if it survives, buffers
+    /// it for the destination worker until [`FaultyRouter::flush`].
+    pub fn send(&mut self, from: ProcessId, to: ProcessId, sent_tick: u64, msg: M) -> SendFate {
+        let fate = if self.channel.is_perfect() {
+            // Draw-free fast path: no edge-stream lookup on the hot path
+            // of a reliable runtime.
+            ChannelFate::Deliver { latency: 1 }
+        } else {
+            self.channel
+                .sample_fate(self.rngs.rng(u64::from(from.0), u64::from(to.0)))
+        };
+        match fate {
+            ChannelFate::Lost => SendFate::DroppedChannel,
+            ChannelFate::Deliver { latency } => {
+                let due_tick = sent_tick + latency;
+                let worker = self.router.worker_of(to);
+                self.slots[worker].push(Envelope {
+                    from,
+                    to,
+                    sent_tick,
+                    due_tick,
+                    msg,
+                });
+                SendFate::Queued { due_tick }
+            }
+        }
+    }
+
+    /// Hands every buffered envelope to its destination worker — one
+    /// channel operation per non-empty slot. Call once per tick, before
+    /// acking the scheduler barrier, so the batch is in the inbox before
+    /// any worker starts the next tick.
+    pub fn flush(&mut self) -> FlushReport {
+        let mut report = FlushReport::default();
+        for (worker, slot) in self.slots.iter_mut().enumerate() {
+            if slot.is_empty() {
+                continue;
+            }
+            let batch = std::mem::take(slot);
+            let count = batch.len() as u64;
+            report.batches += 1;
+            if self.router.send_batch(worker, batch) {
+                report.envelopes += count;
+            } else {
+                report.dropped_closed += count;
+            }
+        }
+        report
     }
 }
 
@@ -70,12 +347,14 @@ impl<M> Router<M> {
 mod tests {
     use super::*;
     use crossbeam::channel;
+    use da_core::channel::Latency;
 
     fn env(to: u32) -> Envelope<u8> {
         Envelope {
             from: ProcessId(0),
             to: ProcessId(to),
             sent_tick: 0,
+            due_tick: 1,
             msg: 1,
         }
     }
@@ -91,14 +370,190 @@ mod tests {
         assert!(router.send(env(7)));
         assert_eq!(rx0.len(), 1, "pid 4 → worker 0");
         assert_eq!(rx1.len(), 2, "pids 5 and 7 → worker 1");
-        assert_eq!(rx0.recv().unwrap().to, ProcessId(4));
+        let first = rx0.recv().unwrap().into_iter().next().unwrap();
+        assert_eq!(first.to, ProcessId(4));
     }
 
     #[test]
     fn send_to_gone_worker_reports_drop() {
-        let (tx, rx) = channel::unbounded::<Envelope<u8>>();
+        let (tx, rx) = channel::unbounded::<Batch<u8>>();
         let router = Router::new(vec![tx]);
         drop(rx);
         assert!(!router.send(env(0)));
+    }
+
+    #[test]
+    fn batch_iterates_both_shapes() {
+        let one = Batch::One(env(0));
+        assert_eq!(one.len(), 1);
+        assert!(!one.is_empty());
+        assert_eq!(one.into_iter().count(), 1);
+        let many = Batch::Many(vec![env(0), env(1)]);
+        assert_eq!(many.len(), 2);
+        assert_eq!(many.into_iter().count(), 2);
+    }
+
+    /// Satellite requirement: under a perfect channel config the faulty
+    /// path must produce the byte-for-byte event set of the plain
+    /// [`Router`] — same envelopes, same fields, same per-destination
+    /// order.
+    #[test]
+    fn perfect_faulty_router_matches_plain_router_byte_for_byte() {
+        let sends: Vec<(u32, u32, u64, u8)> = vec![
+            (0, 3, 0, 10),
+            (0, 4, 0, 11),
+            (2, 3, 0, 12),
+            (0, 3, 1, 13),
+            (4, 1, 1, 14),
+            (2, 0, 2, 15),
+        ];
+
+        let collect = |batches: Vec<Batch<u8>>| -> Vec<(u32, u32, u64, u64, u8)> {
+            batches
+                .into_iter()
+                .flatten()
+                .map(|e| (e.from.0, e.to.0, e.sent_tick, e.due_tick, e.msg))
+                .collect()
+        };
+
+        // Plain router, one channel send per envelope.
+        let (tx0, rx0) = channel::unbounded();
+        let (tx1, rx1) = channel::unbounded();
+        let plain = Router::new(vec![tx0, tx1]);
+        for &(from, to, tick, msg) in &sends {
+            plain.send(Envelope {
+                from: ProcessId(from),
+                to: ProcessId(to),
+                sent_tick: tick,
+                due_tick: tick + 1,
+                msg,
+            });
+        }
+        drop(plain);
+        let plain_w0 = collect(rx0.try_iter().collect());
+        let plain_w1 = collect(rx1.try_iter().collect());
+
+        // Faulty router with the zero-latency perfect config, flushed
+        // at each tick boundary like the worker loop does.
+        let (tx0, rx0) = channel::unbounded();
+        let (tx1, rx1) = channel::unbounded();
+        let mut faulty = FaultyRouter::new(
+            Router::new(vec![tx0, tx1]),
+            ChannelConfig::reliable().with_latency(Latency::Fixed(1)),
+            99,
+        );
+        let mut last_tick = 0;
+        for &(from, to, tick, msg) in &sends {
+            if tick != last_tick {
+                faulty.flush();
+                last_tick = tick;
+            }
+            let fate = faulty.send(ProcessId(from), ProcessId(to), tick, msg);
+            assert_eq!(fate, SendFate::Queued { due_tick: tick + 1 });
+        }
+        let report = faulty.flush();
+        assert_eq!(report.dropped_closed, 0);
+        drop(faulty);
+        let faulty_w0 = collect(rx0.try_iter().collect());
+        let faulty_w1 = collect(rx1.try_iter().collect());
+
+        assert_eq!(plain_w0, faulty_w0);
+        assert_eq!(plain_w1, faulty_w1);
+    }
+
+    #[test]
+    fn flush_coalesces_per_destination_worker() {
+        let (tx0, rx0) = channel::unbounded::<Batch<u8>>();
+        let (tx1, rx1) = channel::unbounded::<Batch<u8>>();
+        let mut faulty =
+            FaultyRouter::new(Router::new(vec![tx0, tx1]), ChannelConfig::reliable(), 1);
+        for to in [0u32, 1, 2, 3, 4, 5] {
+            faulty.send(ProcessId(9), ProcessId(to), 0, to as u8);
+        }
+        let report = faulty.flush();
+        assert_eq!(report.batches, 2, "one channel op per destination worker");
+        assert_eq!(report.envelopes, 6);
+        assert_eq!(rx0.len(), 1, "worker 0 got one batch");
+        assert_eq!(rx1.len(), 1, "worker 1 got one batch");
+        assert_eq!(rx0.recv().unwrap().len(), 3);
+        assert_eq!(rx1.recv().unwrap().len(), 3);
+        // Nothing buffered afterwards: a second flush is a no-op.
+        assert_eq!(faulty.flush(), FlushReport::default());
+    }
+
+    #[test]
+    fn lossy_channel_drops_roughly_fraction() {
+        let (tx, rx) = channel::unbounded::<Batch<u8>>();
+        let mut faulty = FaultyRouter::new(
+            Router::new(vec![tx]),
+            ChannelConfig::reliable().with_success_probability(0.5),
+            5,
+        );
+        let mut dropped = 0u64;
+        for i in 0..1000u64 {
+            // Spread over many edges so several streams are exercised.
+            let from = ProcessId((i % 10) as u32);
+            if faulty.send(from, ProcessId(((i / 10) % 7) as u32), i, 0) == SendFate::DroppedChannel
+            {
+                dropped += 1;
+            }
+            faulty.flush();
+        }
+        assert!(
+            (350..650).contains(&dropped),
+            "dropped {dropped} of 1000, expected ≈ half"
+        );
+        drop(faulty);
+        let arrived: usize = rx.try_iter().map(|b| b.len()).sum();
+        assert_eq!(arrived as u64 + dropped, 1000);
+    }
+
+    #[test]
+    fn latency_sampling_stamps_due_ticks_in_bounds() {
+        let (tx, rx) = channel::unbounded::<Batch<u8>>();
+        let mut faulty = FaultyRouter::new(
+            Router::new(vec![tx]),
+            ChannelConfig::reliable().with_latency(Latency::UniformRounds { min: 2, max: 4 }),
+            3,
+        );
+        for _ in 0..200 {
+            let fate = faulty.send(ProcessId(0), ProcessId(0), 10, 0);
+            match fate {
+                SendFate::Queued { due_tick } => assert!((12..=14).contains(&due_tick)),
+                SendFate::DroppedChannel => panic!("reliable channel lost a message"),
+            }
+        }
+        faulty.flush();
+        drop(faulty);
+        for batch in rx.try_iter() {
+            for envelope in batch {
+                assert_eq!(envelope.sent_tick, 10);
+                assert!((12..=14).contains(&envelope.due_tick));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_draws_are_reproducible_per_edge() {
+        let run = || {
+            let (tx, _rx) = channel::unbounded::<Batch<u8>>();
+            let mut faulty =
+                FaultyRouter::new(Router::new(vec![tx]), ChannelConfig::paper_default(), 42);
+            (0..64u64)
+                .map(|i| faulty.send(ProcessId(1), ProcessId(2), i, 0) == SendFate::DroppedChannel)
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run(), "same seed, same edge, same fates");
+    }
+
+    #[test]
+    fn flush_counts_closed_workers() {
+        let (tx, rx) = channel::unbounded::<Batch<u8>>();
+        let mut faulty = FaultyRouter::new(Router::new(vec![tx]), ChannelConfig::reliable(), 0);
+        faulty.send(ProcessId(0), ProcessId(0), 0, 1);
+        drop(rx);
+        let report = faulty.flush();
+        assert_eq!(report.dropped_closed, 1);
+        assert_eq!(report.envelopes, 0);
     }
 }

@@ -1,9 +1,21 @@
 //! Offline shim for `bytes`.
 //!
-//! [`Bytes`], [`BytesMut`] and [`BufMut`] implemented over a plain
-//! `Vec<u8>`. The workspace uses these for byte-accurate wire framing in
+//! [`Bytes`], [`BytesMut`] and [`BufMut`] implemented over plain owned
+//! buffers. The workspace uses these for byte-accurate wire framing in
 //! tests, not for zero-copy I/O, so the real crate's refcounted slicing
-//! is unnecessary — `Bytes` here is an immutable owned buffer.
+//! is unnecessary.
+//!
+//! ## Divergences from crates.io
+//!
+//! * [`Bytes`] is an immutable `Arc<[u8]>`: cloning is cheap (refcount
+//!   bump), but there is no `slice`/`split_to` sub-view machinery — a
+//!   slice borrows via `Deref` instead of producing another `Bytes`.
+//! * [`BytesMut`] is a growable `Vec<u8>` with `freeze`; no
+//!   `reserve`/`split` buffer reuse.
+//! * [`BufMut`] provides only what the wire codec uses: `put_u8`,
+//!   `put_u16`, `put_u32`, `put_u64` (big-endian) and `put_slice`,
+//!   implemented for [`BytesMut`] and `Vec<u8>`. The `Buf` reader
+//!   trait, chained buffers, and the `buf::` module are absent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

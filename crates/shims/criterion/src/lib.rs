@@ -3,21 +3,30 @@
 //! A minimal wall-clock bench harness with Criterion's registration API
 //! (`criterion_group!` / `criterion_main!` / `Criterion` /
 //! `BenchmarkId`). Each benchmark is warmed up briefly, then timed for a
-//! fixed wall-clock budget, and the mean ns/iter is printed — no
-//! statistical analysis, HTML reports, or regression detection. CI runs
+//! fixed wall-clock budget, and the mean ns/iter is printed. CI runs
 //! `cargo bench --no-run`, so benches are primarily compile-checked;
 //! `cargo bench` still produces useful local numbers.
 //!
-//! Two extras beyond plain printing (both divergences from crates.io
-//! criterion, which has richer equivalents):
+//! ## Divergences from crates.io
 //!
+//! * **No statistics.** One mean ns/iter per benchmark — no outlier
+//!   analysis, confidence intervals, HTML reports, or regression
+//!   detection against saved baselines.
+//! * **Fixed budgets.** ~50 ms warm-up and ~200 ms measurement per
+//!   benchmark; `Criterion`'s `sample_size`/`measurement_time`
+//!   configuration methods don't exist.
 //! * a `--quick` argument (same spelling as real criterion's) shrinks
 //!   the warm-up/measure budgets ~10×, for CI smoke runs;
 //! * when the `DA_BENCH_JSON` environment variable names a file, every
-//!   finished benchmark appends one JSON line
+//!   finished benchmark **appends** one JSON line
 //!   `{"bench": …, "ns_per_iter": …, "iters": …}` — a machine-readable
 //!   baseline (real criterion writes Criterion-format JSON trees under
-//!   `target/criterion/` instead).
+//!   `target/criterion/` instead). Start from a fresh file when the run
+//!   must hold exactly one baseline.
+//! * Only the registration surface this workspace uses exists:
+//!   `benchmark_group`, `bench_function`, `bench_with_input`,
+//!   `BenchmarkId::{new, from_parameter}`, `group.finish()`. Throughput
+//!   annotations, async benches, and custom measurements are absent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -203,6 +203,13 @@ impl<T> Receiver<T> {
         }))
     }
 
+    /// An iterator yielding messages until the channel is empty or
+    /// disconnected (never blocks) — the non-blocking drain used for
+    /// shutdown accounting.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { receiver: self }
+    }
+
     /// Number of messages currently queued.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -213,6 +220,20 @@ impl<T> Receiver<T> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Iterator of [`Receiver::try_iter`]: drains without blocking.
+#[derive(Debug)]
+pub struct TryIter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.try_recv().ok()
     }
 }
 
@@ -346,6 +367,19 @@ mod tests {
         assert_eq!(rx.len(), 2);
         rx.recv().unwrap();
         assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn try_iter_drains_without_blocking() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let drained: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        // Empty channel: the iterator ends immediately instead of blocking.
+        assert_eq!(rx.try_iter().next(), None);
+        assert!(rx.is_empty());
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //!
 //! `crossbeam::thread::scope` predates `std::thread::scope`; the std
 //! version provides the same borrow-checked scoped spawning, so this shim
-//! is a thin adapter. One behavioral divergence, irrelevant to this
-//! workspace (which joins every handle): a panic in an *unjoined* child
-//! propagates out of [`thread::scope`] instead of surfacing as `Err`.
+//! is a thin adapter. The [`channel`] module mirrors `crossbeam::channel`
+//! over `std::sync::mpsc`; it carries the live runtime's transport
+//! (worker inboxes, control channels, tick acks).
 //!
-//! The [`channel`] module mirrors `crossbeam::channel` over
-//! `std::sync::mpsc`. Divergences from the crates.io crate:
+//! ## Divergences from crates.io
 //!
+//! * **Scoped threads:** a panic in an *unjoined* child propagates out
+//!   of [`thread::scope`] instead of surfacing as `Err` — irrelevant to
+//!   this workspace, which joins every handle.
 //! * **Single consumer.** Real crossbeam channels are MPMC and
 //!   [`channel::Receiver`] is `Clone`; this shim's receiver is the std
 //!   MPSC receiver — one consumer per channel. The workspace's live
@@ -21,10 +23,11 @@
 //!   matching how real crossbeam documents them (a relaxed estimate under
 //!   concurrency).
 //! * Only the surface this workspace uses is provided: `unbounded`,
-//!   `bounded`, `Sender::send`, `Receiver::{recv, try_recv,
-//!   recv_timeout}`, the matching error types, and `len`/`is_empty`.
-//!   `try_send`, `send_timeout`, deadlines, and the `after`/`tick`/
-//!   `never` constructors are absent.
+//!   `bounded` (capacity 0 is a rendezvous channel, like the real
+//!   crate), `Sender::send`, `Receiver::{recv, try_recv, recv_timeout,
+//!   try_iter}`, the matching error types, and `len`/`is_empty`.
+//!   `try_send`, `send_timeout`, deadlines, the blocking `iter`, and
+//!   the `after`/`tick`/`never` constructors are absent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -11,8 +11,22 @@
 //! [`string`]), [`collection::vec`] / [`collection::hash_set`],
 //! [`arbitrary::any`], and [`sample::Index`].
 //!
-//! Deliberately **not** implemented: shrinking. A failing case reports
-//! the generated inputs verbatim instead of a minimized counterexample.
+//! ## Divergences from crates.io
+//!
+//! * **No shrinking.** A failing case reports the generated inputs
+//!   verbatim instead of a minimized counterexample.
+//! * **Deterministic by default.** Real proptest seeds from OS entropy
+//!   and persists failing seeds to `proptest-regressions/` files; this
+//!   shim derives the stream from the test name (stable across runs and
+//!   machines) and has no regression-file machinery — reproduce by name,
+//!   or override with `PROPTEST_SEED`.
+//! * **64 cases per test** by default instead of 256, keeping tier-1
+//!   fast; `PROPTEST_CASES` scales it back up.
+//! * `prop_oneof!` picks arms uniformly — weighted arms
+//!   (`n => strategy`) are not supported.
+//! * Strategy combinators beyond `prop_map`/`boxed` (`prop_filter`,
+//!   `prop_flat_map`, `prop_recursive`, tuples of strategies beyond
+//!   what the macros expand to) are absent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

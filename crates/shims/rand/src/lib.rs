@@ -6,10 +6,22 @@
 //! [`seq::SliceRandom`] (`shuffle`, `choose`). Everything is fully
 //! deterministic per seed — the property the simulation kernel depends on.
 //!
-//! Distribution details differ from the real crate (e.g. bounded integers
-//! use rejection-free multiply-shift reduction), so streams are *not*
-//! byte-compatible with crates.io `rand`; the workspace only requires
-//! determinism under a fixed shim, not cross-crate stream equality.
+//! ## Divergences from crates.io
+//!
+//! * **Streams are not byte-compatible** with crates.io `rand`:
+//!   distribution details differ (e.g. bounded integers use
+//!   rejection-free multiply-shift reduction, `gen_bool` compares one
+//!   `f64` draw). The workspace only requires determinism under a fixed
+//!   shim, not cross-crate stream equality — statistical tests keep
+//!   ≥ 3σ headroom for exactly this reason.
+//! * `SmallRng` is always xoshiro256++; the real crate picks a
+//!   platform-dependent generator, and `seed_from_u64` expansion
+//!   (SplitMix64 here) differs accordingly.
+//! * No `thread_rng`/`OsRng` (nothing in the workspace may draw from
+//!   ambient entropy), no `distributions` module, no `Fill`, no
+//!   `gen_ratio`, and `SliceRandom` offers only `shuffle`/`choose`.
+//! * [`SeedableRng`] exposes only `seed_from_u64` — full-width
+//!   `from_seed` arrays are absent.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,10 +3,19 @@
 //! The workspace builds without registry access, so `serde` resolves to a
 //! marker-trait shim (see `crates/shims/serde`). These derive macros make
 //! `#[derive(Serialize, Deserialize)]` compile by emitting the matching
-//! empty marker impls. `#[serde(...)]` helper attributes are accepted and
-//! ignored. Only the type shapes this workspace uses are supported:
-//! non-generic structs and enums (generic parameters are carried through
-//! without bounds, which is sufficient for marker impls).
+//! empty marker impls.
+//!
+//! ## Divergences from crates.io
+//!
+//! * The derives emit **empty marker impls**, not serialization code —
+//!   there is no format machinery in the offline set to generate code
+//!   for.
+//! * `#[serde(...)]` helper attributes are accepted and ignored (real
+//!   serde_derive changes codegen for rename/skip/default/etc.).
+//! * Only the type shapes this workspace uses are supported: structs
+//!   and enums, with generic parameters carried through **without
+//!   bounds** — sufficient for marker impls, wrong for real codegen
+//!   (real serde adds `T: Serialize` bounds per field use).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

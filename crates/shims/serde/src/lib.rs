@@ -4,15 +4,21 @@
 //! workspace only needs serde for **compile-time conformance**: config and
 //! result types declare `#[derive(Serialize, Deserialize)]` and
 //! `tests/serde_conformance.rs` asserts the bounds hold. This shim keeps
-//! that contract checkable without registry access:
+//! that contract checkable without registry access.
 //!
-//! * [`Serialize`] / [`Deserialize`] are marker traits — **not** blanket
-//!   implemented, so the conformance test still distinguishes types that
-//!   opted in (via the derive) from types that did not;
-//! * the derive macros (from the sibling `serde-derive` shim) emit empty
-//!   marker impls and accept `#[serde(...)]` helper attributes;
+//! ## Divergences from crates.io
+//!
+//! * [`Serialize`] / [`Deserialize`] are **marker traits with no
+//!   methods** — there is no `Serializer`/`Deserializer` machinery, so
+//!   nothing can actually be serialized. They are deliberately *not*
+//!   blanket implemented, so the conformance test still distinguishes
+//!   types that opted in (via the derive) from types that did not.
+//! * The derive macros (from the sibling `serde-derive` shim) emit empty
+//!   marker impls and accept-but-ignore `#[serde(...)]` helper
+//!   attributes.
 //! * [`de::DeserializeOwned`] mirrors real serde's blanket impl over
-//!   `for<'de> Deserialize<'de>`.
+//!   `for<'de> Deserialize<'de>`; the rest of the `de`/`ser` module
+//!   trees is absent.
 //!
 //! Swapping the real `serde` back in is a one-line change in the root
 //! `Cargo.toml`'s `[workspace.dependencies]`; no source changes needed.

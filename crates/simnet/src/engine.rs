@@ -1,12 +1,12 @@
 //! The round-driven simulation engine.
 
-use crate::channel::{ChannelConfig, Latency};
 use crate::event::MessageQueue;
 use crate::failure::{FailureModel, FailurePlan};
 use crate::metrics::Counters;
 use crate::process::{ProcessId, ProcessStatus};
 use crate::rng::{derive_seed, rng_for_process, rng_from_seed};
 use crate::wire::WireSize;
+use da_core::channel::{ChannelConfig, ChannelFate};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -446,8 +446,9 @@ impl<P: Protocol> Engine<P> {
         max_rounds
     }
 
-    /// Routes queued sends through the channel: counts them, samples loss,
-    /// samples latency, and enqueues survivors.
+    /// Routes queued sends through the channel: counts them, samples each
+    /// send's fate from the shared `da_core` channel model (on the
+    /// engine's single RNG stream), and enqueues survivors.
     fn flush_outbox(
         outbox: &mut Vec<(ProcessId, P::Msg)>,
         from: ProcessId,
@@ -462,21 +463,12 @@ impl<P: Protocol> Engine<P> {
             sent += 1;
             counters.bump("sim.sent");
             counters.add_named("sim.bytes_sent", msg.wire_size() as u64);
-            let survives = channel.success_probability >= 1.0
-                || engine_rng.gen_bool(channel.success_probability.max(0.0));
-            if !survives {
-                counters.bump("sim.dropped_channel");
-                continue;
-            }
-            let latency = match channel.latency {
-                Latency::Fixed(l) => l.max(1),
-                Latency::UniformRounds { min, max } => {
-                    let lo = min.max(1);
-                    let hi = max.max(lo);
-                    engine_rng.gen_range(lo..=hi)
+            match channel.sample_fate(engine_rng) {
+                ChannelFate::Lost => counters.bump("sim.dropped_channel"),
+                ChannelFate::Deliver { latency } => {
+                    queue.push(round + latency, from, to, msg);
                 }
-            };
-            queue.push(round + latency, from, to, msg);
+            }
         }
         sent
     }
@@ -485,7 +477,7 @@ impl<P: Protocol> Engine<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::FailureModel;
+    use crate::{FailureModel, Latency};
 
     /// Every process sends its id to the next process each round and
     /// counts receipts.

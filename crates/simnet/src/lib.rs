@@ -8,7 +8,8 @@
 //!
 //! * virtual time measured in gossip rounds,
 //! * unreliable channels (per-send Bernoulli loss, configurable latency in
-//!   rounds),
+//!   rounds — the substrate-neutral model of `da_core::channel`,
+//!   re-exported here and shared with the live runtime),
 //! * process crash/recovery plus the paper's two failure models —
 //!   *stillborn* (Fig. 8–10: state drawn once at simulation start) and
 //!   *per-observer* (Fig. 11: a process "can appear to be failed for a
@@ -52,7 +53,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod channel;
 mod engine;
 mod error;
 mod event;
@@ -63,7 +63,7 @@ mod process;
 mod rng;
 mod wire;
 
-pub use channel::{ChannelConfig, Latency};
+pub use da_core::channel::{ChannelConfig, ChannelFate, Latency};
 pub use engine::{Ctx, Engine, Protocol, RoundReport, SimConfig};
 pub use error::SimError;
 pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};

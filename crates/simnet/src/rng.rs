@@ -3,28 +3,15 @@
 //! Every source of randomness in a simulation run is derived from a single
 //! master seed so that runs are exactly reproducible: identical seeds and
 //! configurations produce identical metrics (an invariant covered by the
-//! integration test suite).
+//! integration test suite). The derivation scheme itself lives in
+//! `da_core::seed` (it is substrate-neutral and also feeds the live
+//! runtime's per-edge channel streams); this module re-exports it and adds
+//! the simulator's process-stream convention.
 
 use crate::ProcessId;
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-/// Mixes `master` and a `stream` discriminator into an independent seed
-/// using the splitmix64 finalizer, which diffuses single-bit differences
-/// across the whole word.
-#[must_use]
-pub fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// A [`SmallRng`] seeded directly from a 64-bit seed.
-#[must_use]
-pub fn rng_from_seed(seed: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed)
-}
+pub use da_core::seed::{derive_seed, rng_from_seed};
 
 /// The RNG stream of process `pid` for a run with the given master seed.
 ///
@@ -40,20 +27,6 @@ pub fn rng_for_process(master: u64, pid: ProcessId) -> SmallRng {
 mod tests {
     use super::*;
     use rand::Rng;
-
-    #[test]
-    fn derive_seed_is_deterministic() {
-        assert_eq!(derive_seed(42, 7), derive_seed(42, 7));
-    }
-
-    #[test]
-    fn derive_seed_separates_streams() {
-        let a = derive_seed(42, 1);
-        let b = derive_seed(42, 2);
-        assert_ne!(a, b);
-        // Nearby masters also diverge.
-        assert_ne!(derive_seed(42, 1), derive_seed(43, 1));
-    }
 
     #[test]
     fn process_rngs_are_reproducible() {
