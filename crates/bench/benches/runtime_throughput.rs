@@ -1,19 +1,35 @@
 //! Criterion bench for the **live runtime**: the same bench-scale
 //! topology the figure benches use (4/20/100), but executed on the
-//! `da-runtime` worker pool instead of the simulator — pool spin-up,
-//! a publication burst driven to quiescence, graceful shutdown. A
-//! simulator reference point with the identical workload makes the
-//! live-vs-sim overhead visible in one printout, and the
-//! `runtime_batching` pair isolates the transport layer: the same
-//! envelope stream pushed one channel send per envelope versus
-//! coalesced into one batch per destination worker per tick (the PR 3
-//! Router hot-path change).
+//! `da-runtime` worker pool instead of the simulator.
+//!
+//! Three kinds of rows:
+//!
+//! * `live_event` — the end-to-end cost of serving one publication:
+//!   pool spin-up, the publication driven to quiescence, graceful
+//!   shutdown, everything timed (topology construction included, as a
+//!   fixed reference cost).
+//! * `live_burst16` / `sim_burst16` — **sustained delivery**: a
+//!   16-event burst driven to quiescence under the bounded-lag
+//!   scheduler, with fixture construction (topology build, pool
+//!   spin-up, publication injection) excluded from the timing via
+//!   `iter_batched` on both substrates, so the row isolates the
+//!   scheduler + transport + protocol hot path the perf work targets.
+//!   The simulator row is the single-threaded reference on the
+//!   identical workload; `live_burst16_w{1,2,4,8}` sweeps the pool
+//!   width so scaling regressions show up in the committed baseline,
+//!   not just absolute times (the headline `live_burst16` row runs at
+//!   4 workers).
+//! * `runtime_batching_*` — transport isolation: the same envelope
+//!   stream pushed one channel send per envelope versus coalesced into
+//!   one batch per destination worker per tick (the PR 3 Router
+//!   hot-path change).
 //!
 //! `DA_BENCH_JSON=BENCH_runtime.json cargo bench -p da-bench --bench
 //! runtime_throughput -- --quick` emits the machine-readable baseline
-//! CI tracks from PR 2 onward.
+//! CI tracks from PR 2 onward (`scripts/bench_gate.sh` diffs a fresh
+//! run against the committed file).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use crossbeam::channel;
 use da_bench::bench_sizes;
 use da_core::channel::ChannelConfig;
@@ -23,6 +39,13 @@ use damulticast::{DaProcess, ParamMap, StaticNetwork};
 use std::hint::black_box;
 
 const MAX_TICKS: u64 = 64;
+
+/// Events per burst in the sustained-delivery rows.
+const BURST: usize = 16;
+
+/// Pool width of the headline `live_burst16` row (also part of the
+/// sweep, so the baseline records it under both names).
+const HEADLINE_WORKERS: usize = 4;
 
 /// Envelopes per simulated tick in the transport pump (the coalescing
 /// window the batched path flushes on).
@@ -73,9 +96,9 @@ fn network(seed: u64) -> StaticNetwork {
         .expect("bench topology is valid")
 }
 
-/// Publishes `events` stories from distinct leaf members and returns the
-/// processes driven to quiescence on the live runtime.
-fn live_run(seed: u64, workers: usize, events: usize) -> u64 {
+/// A live pool with `events` publications already injected from
+/// distinct leaf members — the fixture of the sustained-delivery rows.
+fn live_fixture(seed: u64, workers: usize, events: usize) -> Runtime<DaProcess> {
     let net = network(seed);
     let leaf = net.groups().last().expect("leaf group").members.clone();
     let config = RuntimeConfig::default()
@@ -85,13 +108,11 @@ fn live_run(seed: u64, workers: usize, events: usize) -> u64 {
     for i in 0..events {
         rt.with_process_mut(leaf[i % leaf.len()], |p| p.publish("bench"));
     }
-    rt.run_until_quiescent(MAX_TICKS);
-    let out = rt.shutdown();
-    out.counters.get("rt.delivered")
+    rt
 }
 
-/// The identical workload under the simulator, for the reference row.
-fn sim_run(seed: u64, events: usize) -> u64 {
+/// The identical fixture under the simulator.
+fn sim_fixture(seed: u64, events: usize) -> Engine<DaProcess> {
     let net = network(seed);
     let leaf = net.groups().last().expect("leaf group").members.clone();
     let mut engine: Engine<DaProcess> =
@@ -99,8 +120,16 @@ fn sim_run(seed: u64, events: usize) -> u64 {
     for i in 0..events {
         engine.process_mut(leaf[i % leaf.len()]).publish("bench");
     }
-    engine.run_until_quiescent(MAX_TICKS);
-    engine.counters().get("sim.delivered")
+    engine
+}
+
+/// Publishes one event and drives it to quiescence end-to-end (spin-up
+/// and shutdown included) — the `live_event` row.
+fn live_event_run(seed: u64) -> u64 {
+    let mut rt = live_fixture(seed, 2, 1);
+    rt.run_until_quiescent(MAX_TICKS);
+    let out = rt.shutdown();
+    out.counters.get("rt.delivered")
 }
 
 fn runtime_throughput(c: &mut Criterion) {
@@ -116,35 +145,56 @@ fn runtime_throughput(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed = seed.wrapping_add(1);
-                black_box(live_run(seed, 2, 1))
+                black_box(live_event_run(seed))
             });
         },
     );
 
-    // A 16-event burst: amortises spin-up, measures sustained delivery.
-    group.bench_with_input(
-        BenchmarkId::new("live_burst16", population),
-        &population,
-        |b, _| {
+    // Sustained delivery: a 16-event burst to quiescence, fixture
+    // excluded. The pool (with its threads still up) is returned from
+    // the routine so teardown is excluded from the timing too.
+    let mut live_burst_row = |label: String, workers: usize| {
+        group.bench_with_input(BenchmarkId::new(label, population), &population, |b, _| {
             let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                black_box(live_run(seed, 2, 16))
-            });
-        },
-    );
+            b.iter_batched(
+                || {
+                    seed = seed.wrapping_add(1);
+                    live_fixture(seed, workers, BURST)
+                },
+                |mut rt| {
+                    black_box(rt.run_until_quiescent(MAX_TICKS));
+                    rt
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    };
+    // The ascending sweep runs first so the headline row measures the
+    // warmed steady state rather than paying the suite's one-time
+    // warm-up costs.
+    for workers in [1usize, 2, 4, 8] {
+        live_burst_row(format!("live_burst16_w{workers}"), workers);
+    }
+    live_burst_row("live_burst16".into(), HEADLINE_WORKERS);
 
     // Simulator reference: the same topology and burst, single-threaded
-    // deterministic rounds.
+    // deterministic rounds, fixture equally excluded.
     group.bench_with_input(
         BenchmarkId::new("sim_burst16", population),
         &population,
         |b, _| {
             let mut seed = 0u64;
-            b.iter(|| {
-                seed = seed.wrapping_add(1);
-                black_box(sim_run(seed, 16))
-            });
+            b.iter_batched(
+                || {
+                    seed = seed.wrapping_add(1);
+                    sim_fixture(seed, BURST)
+                },
+                |mut engine| {
+                    black_box(engine.run_until_quiescent(MAX_TICKS));
+                    engine
+                },
+                BatchSize::SmallInput,
+            );
         },
     );
 

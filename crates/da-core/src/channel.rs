@@ -37,6 +37,31 @@ pub enum Latency {
     },
 }
 
+impl Latency {
+    /// The fastest delivery this model can ever sample, in rounds/ticks
+    /// (≥ 1, matching the clamping [`ChannelConfig::sample_fate`]
+    /// applies).
+    ///
+    /// Schedulers use this as a *safety bound*: a receiver that has seen
+    /// every send up to virtual time `t` is guaranteed to already hold
+    /// every message due at or before `t + min_rounds()`, so it may run
+    /// that far ahead of its slowest peer without reordering deliveries.
+    ///
+    /// ```
+    /// use da_core::channel::Latency;
+    /// assert_eq!(Latency::Fixed(3).min_rounds(), 3);
+    /// assert_eq!(Latency::Fixed(0).min_rounds(), 1, "clamped like sampling");
+    /// assert_eq!(Latency::UniformRounds { min: 2, max: 5 }.min_rounds(), 2);
+    /// ```
+    #[must_use]
+    pub fn min_rounds(&self) -> u64 {
+        match self {
+            Latency::Fixed(l) => (*l).max(1),
+            Latency::UniformRounds { min, .. } => (*min).max(1),
+        }
+    }
+}
+
 impl Default for Latency {
     fn default() -> Self {
         Latency::Fixed(1)
@@ -117,6 +142,14 @@ impl ChannelConfig {
     #[must_use]
     pub fn is_perfect(&self) -> bool {
         self.success_probability >= 1.0 && self.latency == Latency::Fixed(1)
+    }
+
+    /// The fastest delivery this channel can ever sample
+    /// ([`Latency::min_rounds`] of its latency model) — the slack a
+    /// bounded-lag scheduler may exploit between workers.
+    #[must_use]
+    pub fn min_latency(&self) -> u64 {
+        self.latency.min_rounds()
     }
 
     /// Draws the fate of one send from `rng`.
@@ -327,6 +360,30 @@ mod tests {
         let mut again = EdgeRngs::new(7);
         let ab2: Vec<u64> = (0..8).map(|_| again.rng(0, 1).gen()).collect();
         assert_eq!(ab, ab2);
+    }
+
+    #[test]
+    fn min_latency_tracks_the_latency_model() {
+        assert_eq!(ChannelConfig::reliable().min_latency(), 1);
+        assert_eq!(
+            ChannelConfig::reliable()
+                .with_latency(Latency::Fixed(4))
+                .min_latency(),
+            4
+        );
+        assert_eq!(
+            ChannelConfig::reliable()
+                .with_latency(Latency::UniformRounds { min: 2, max: 9 })
+                .min_latency(),
+            2
+        );
+        // Degenerate bounds clamp exactly like sample_fate does.
+        assert_eq!(
+            ChannelConfig::reliable()
+                .with_latency(Latency::UniformRounds { min: 0, max: 9 })
+                .min_latency(),
+            1
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@ use da_harness::experiments::live::{
 };
 use da_harness::experiments::Effort;
 use da_harness::results_dir;
+use da_simnet::Latency;
 use damulticast::ParamMap;
 
 fn main() {
@@ -24,29 +25,46 @@ fn main() {
     print!("{}", table.to_markdown());
 
     let probs = reliability_sweep_probabilities();
-    let sweep = run_reliability_sweep(&sizes, &params, &probs, effort.trials(), 0x5EED);
-    print!("\n{}", sweep.to_markdown());
     let mut disagreements = 0u32;
-    for row in &sweep.rows {
-        let (sim, live) = (&row.values[0], &row.values[1]);
-        let agree = ratios_agree_within_3_sigma(sim, live, 0.02);
-        disagreements += u32::from(!agree);
-        println!(
-            "p = {:.2}: sim {:.4} vs live {:.4} — {}",
-            row.x,
-            sim.mean,
-            live.mean,
-            if agree {
-                "within 3σ"
-            } else {
-                "DISAGREE beyond 3σ"
-            }
+    // The PR 3 configuration (one-tick latency, lag 1), then a two-tick
+    // latency floor with a wide lag window so the barrier-free
+    // scheduler's worker drift is exercised by the same sweep.
+    for (latency, max_lag) in [(Latency::Fixed(1), 1u64), (Latency::Fixed(2), 4)] {
+        let sweep = run_reliability_sweep(
+            &sizes,
+            &params,
+            &probs,
+            latency,
+            max_lag,
+            effort.trials(),
+            0x5EED,
         );
+        println!("\nlatency {latency:?}, live max_lag {max_lag}:");
+        print!("{}", sweep.to_markdown());
+        for row in &sweep.rows {
+            let (sim, live) = (&row.values[0], &row.values[1]);
+            let agree = ratios_agree_within_3_sigma(sim, live, 0.02);
+            disagreements += u32::from(!agree);
+            println!(
+                "p = {:.2}: sim {:.4} vs live {:.4} — {}",
+                row.x,
+                sim.mean,
+                live.mean,
+                if agree {
+                    "within 3σ"
+                } else {
+                    "DISAGREE beyond 3σ"
+                }
+            );
+        }
+        if max_lag == 1 {
+            let dir = results_dir();
+            sweep.write_to(&dir).expect("write sweep results");
+        }
     }
 
     let dir = results_dir();
     table.write_to(&dir).expect("write results");
-    sweep.write_to(&dir).expect("write sweep results");
     println!("\nwritten to {}", dir.display());
     if disagreements > 0 {
         eprintln!("{disagreements} sweep point(s) disagree beyond 3σ");

@@ -23,7 +23,7 @@
 use crate::report::{KeyedTable, SeriesTable};
 use crate::stats::Summary;
 use da_runtime::{Runtime, RuntimeConfig};
-use da_simnet::{derive_seed, ChannelConfig, Engine, SimConfig};
+use da_simnet::{derive_seed, ChannelConfig, Engine, Latency, SimConfig};
 use damulticast::{DaProcess, EventId, ParamMap, StaticNetwork};
 
 /// Maximum virtual-time budget per trial (rounds or ticks).
@@ -45,6 +45,7 @@ fn trial_metrics(
     channel: ChannelConfig,
     seed: u64,
     live: bool,
+    live_max_lag: u64,
 ) -> Vec<f64> {
     let net = StaticNetwork::linear(group_sizes, params.clone(), seed)
         .expect("experiment topology must be valid");
@@ -55,6 +56,7 @@ fn trial_metrics(
         let config = RuntimeConfig::default()
             .with_seed(seed)
             .with_workers(2)
+            .with_max_lag(live_max_lag)
             .with_channel(channel);
         let mut rt = Runtime::spawn(config, net.into_processes());
         rt.with_process_mut(publisher, |p| p.publish("live-vs-sim"));
@@ -100,8 +102,9 @@ fn delivery_ratio_trial(
     channel: ChannelConfig,
     seed: u64,
     live: bool,
+    live_max_lag: u64,
 ) -> f64 {
-    let per_level = trial_metrics(group_sizes, params, channel, seed, live);
+    let per_level = trial_metrics(group_sizes, params, channel, seed, live, live_max_lag);
     let population: usize = group_sizes.iter().sum();
     let delivered: f64 = group_sizes
         .iter()
@@ -142,6 +145,7 @@ pub fn run_live_vs_sim(
                     ChannelConfig::reliable(),
                     derive_seed(base_seed, t as u64),
                     live,
+                    1,
                 )
             })
             .collect();
@@ -159,6 +163,12 @@ pub fn run_live_vs_sim(
 /// paper's reliability figures, with the x-axis driven through the
 /// shared `da_core::channel` model.
 ///
+/// `latency` and `live_max_lag` pin the channel's latency model and the
+/// live scheduler's drift window: `(Latency::Fixed(1), 1)` reproduces
+/// the PR 3 sweep exactly, while a latency floor above one tick with a
+/// wider lag lets the barrier-free scheduler actually drift workers
+/// apart during the sweep — the delivery ratios must agree either way.
+///
 /// Trials run serially for the same oversubscription reason as
 /// [`run_live_vs_sim`].
 #[must_use]
@@ -166,6 +176,8 @@ pub fn run_reliability_sweep(
     group_sizes: &[usize],
     params: &ParamMap,
     success_probabilities: &[f64],
+    latency: Latency,
+    live_max_lag: u64,
     trials: usize,
     base_seed: u64,
 ) -> SeriesTable {
@@ -175,7 +187,9 @@ pub fn run_reliability_sweep(
         vec!["delivery_ratio_sim".into(), "delivery_ratio_live".into()],
     );
     for (row, &p) in success_probabilities.iter().enumerate() {
-        let channel = ChannelConfig::reliable().with_success_probability(p);
+        let channel = ChannelConfig::reliable()
+            .with_success_probability(p)
+            .with_latency(latency);
         let mut summaries = Vec::with_capacity(2);
         for live in [false, true] {
             let samples: Vec<f64> = (0..trials)
@@ -184,7 +198,7 @@ pub fn run_reliability_sweep(
                     // trial) point, so sweep points are independent.
                     let stream = (row as u64) * 2 + u64::from(live);
                     let seed = derive_seed(derive_seed(base_seed, stream), t as u64);
-                    delivery_ratio_trial(group_sizes, params, channel, seed, live)
+                    delivery_ratio_trial(group_sizes, params, channel, seed, live, live_max_lag)
                 })
                 .collect();
             summaries.push(Summary::of(&samples));
@@ -243,37 +257,51 @@ mod tests {
         }
     }
 
-    /// The PR 3 acceptance criterion: live and simulated delivery ratios
-    /// agree within 3σ at every swept success probability.
+    /// The PR 3 acceptance criterion, re-run on the barrier-free
+    /// scheduler: live and simulated delivery ratios agree within 3σ at
+    /// every swept success probability — both in the PR 3 configuration
+    /// (one-tick latency, lag window 1) and with a two-tick latency
+    /// floor plus a wide lag window, where workers genuinely drift.
     #[test]
     fn reliability_sweep_substrates_agree_within_3_sigma() {
         let probs = reliability_sweep_probabilities();
         let trials = 6;
-        let table = run_reliability_sweep(&[4, 10, 40], &pinned(), &probs, trials, 0x5EED);
-        assert_eq!(table.rows.len(), probs.len());
-        for row in &table.rows {
-            let (sim, live) = (&row.values[0], &row.values[1]);
-            assert_eq!(sim.count, trials);
-            assert_eq!(live.count, trials);
-            // Pinned-high knobs keep gossip near-atomic even at p = 0.8.
-            assert!(
-                sim.mean > 0.9 && live.mean > 0.9,
-                "p = {}: sim {} / live {} — protocol itself degraded",
-                row.x,
-                sim.mean,
-                live.mean
+        for (latency, live_max_lag) in [(Latency::Fixed(1), 1), (Latency::Fixed(2), 4)] {
+            let table = run_reliability_sweep(
+                &[4, 10, 40],
+                &pinned(),
+                &probs,
+                latency,
+                live_max_lag,
+                trials,
+                0x5EED,
             );
-            // The 0.02 floor covers the zero-variance corner (p = 1.0
-            // delivers everything in every trial on both substrates).
-            assert!(
-                ratios_agree_within_3_sigma(sim, live, 0.02),
-                "p = {}: sim {} ± {} vs live {} ± {} disagree beyond 3σ",
-                row.x,
-                sim.mean,
-                sim.std_dev,
-                live.mean,
-                live.std_dev
-            );
+            assert_eq!(table.rows.len(), probs.len());
+            for row in &table.rows {
+                let (sim, live) = (&row.values[0], &row.values[1]);
+                assert_eq!(sim.count, trials);
+                assert_eq!(live.count, trials);
+                // Pinned-high knobs keep gossip near-atomic even at p = 0.8.
+                assert!(
+                    sim.mean > 0.9 && live.mean > 0.9,
+                    "p = {} ({latency:?}, lag {live_max_lag}): sim {} / live {} — degraded",
+                    row.x,
+                    sim.mean,
+                    live.mean
+                );
+                // The 0.02 floor covers the zero-variance corner (p = 1.0
+                // delivers everything in every trial on both substrates).
+                assert!(
+                    ratios_agree_within_3_sigma(sim, live, 0.02),
+                    "p = {} ({latency:?}, lag {live_max_lag}): sim {} ± {} vs live {} ± {} \
+                     disagree beyond 3σ",
+                    row.x,
+                    sim.mean,
+                    sim.std_dev,
+                    live.mean,
+                    live.std_dev
+                );
+            }
         }
     }
 

@@ -47,6 +47,19 @@ pub struct RuntimeConfig {
     /// tick before declaring the pool wedged (panicking with
     /// a diagnostic rather than hanging CI forever).
     pub tick_timeout_ms: u64,
+    /// How many ticks a fast worker may run ahead of the slowest peer's
+    /// *published* frontier under the bounded-lag scheduler (minimum 1).
+    ///
+    /// The scheduler replaces the global tick barrier with per-edge
+    /// publish watermarks: a worker may execute tick `n` once every peer
+    /// has flushed the outbound batches that could still be due at `n`.
+    /// With one-tick channel latency that pins workers within one tick
+    /// of each other, so `max_lag` has no effect beyond `1`; under
+    /// latency models whose minimum is `k > 1` ticks, workers may drift
+    /// up to `min(max_lag, k)` ticks apart without reordering any
+    /// delivery (see [`RuntimeConfig::effective_lag`]). Larger values
+    /// trade scheduling slack for more in-flight buffering.
+    pub max_lag: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -57,6 +70,7 @@ impl Default for RuntimeConfig {
             channel: ChannelConfig::reliable(),
             mailbox_capacity: None,
             tick_timeout_ms: 60_000,
+            max_lag: 1,
         }
     }
 }
@@ -104,6 +118,45 @@ impl RuntimeConfig {
         self
     }
 
+    /// Replaces the bounded-lag window (clamped to at least 1 when the
+    /// scheduler applies it — see [`RuntimeConfig::effective_lag`]).
+    ///
+    /// ```
+    /// use da_core::channel::{ChannelConfig, Latency};
+    /// use da_runtime::RuntimeConfig;
+    ///
+    /// // Perfect channels deliver next tick, so correctness caps the
+    /// // drift at one tick however large the knob is turned.
+    /// let eager = RuntimeConfig::default().with_max_lag(8);
+    /// assert_eq!(eager.effective_lag(), 1);
+    ///
+    /// // A 3-tick-minimum latency model leaves real slack to exploit.
+    /// let slack = eager.with_channel(
+    ///     ChannelConfig::reliable().with_latency(Latency::Fixed(3)),
+    /// );
+    /// assert_eq!(slack.effective_lag(), 3);
+    /// assert_eq!(slack.with_max_lag(2).effective_lag(), 2);
+    /// ```
+    #[must_use]
+    pub fn with_max_lag(mut self, max_lag: u64) -> Self {
+        self.max_lag = max_lag;
+        self
+    }
+
+    /// The worker-drift bound the scheduler actually enforces:
+    /// `max(1, min(max_lag, channel.min_latency()))`.
+    ///
+    /// A worker may execute tick `n` once every peer has published its
+    /// outbound batches through tick `n - effective_lag()`; anything a
+    /// peer sends later is due strictly after `n` (its latency is at
+    /// least [`da_core::channel::ChannelConfig::min_latency`]), so no
+    /// delivery can be missed. The `max_lag` knob can only tighten this
+    /// bound, never stretch it past what the channel model allows.
+    #[must_use]
+    pub fn effective_lag(&self) -> u64 {
+        self.max_lag.clamp(1, self.channel.min_latency())
+    }
+
     /// The effective pool size for a population: the configured count, or
     /// one worker per CPU when auto-sized — never more workers than
     /// processes, never zero.
@@ -141,12 +194,29 @@ mod tests {
             .with_seed(9)
             .with_channel(ChannelConfig::paper_default())
             .with_mailbox_capacity(128)
-            .with_tick_timeout_ms(5);
+            .with_tick_timeout_ms(5)
+            .with_max_lag(4);
         assert_eq!(c.workers, 3);
         assert_eq!(c.seed, 9);
         assert_eq!(c.channel, ChannelConfig::paper_default());
         assert_eq!(c.mailbox_capacity, Some(128));
         assert_eq!(c.tick_timeout(), Duration::from_millis(5));
+        assert_eq!(c.max_lag, 4);
+    }
+
+    #[test]
+    fn effective_lag_is_channel_capped_and_never_zero() {
+        use da_core::channel::Latency;
+        let base = RuntimeConfig::default();
+        assert_eq!(base.max_lag, 1, "default stays small");
+        assert_eq!(base.effective_lag(), 1);
+        assert_eq!(base.clone().with_max_lag(0).effective_lag(), 1);
+        assert_eq!(base.clone().with_max_lag(16).effective_lag(), 1);
+        let jittery = base.with_channel(
+            ChannelConfig::reliable().with_latency(Latency::UniformRounds { min: 2, max: 6 }),
+        );
+        assert_eq!(jittery.clone().with_max_lag(16).effective_lag(), 2);
+        assert_eq!(jittery.with_max_lag(1).effective_lag(), 1);
     }
 
     #[test]

@@ -17,16 +17,24 @@
 //!   latencies drawn from deterministic per-edge RNG streams, with
 //!   delayed envelopes parked on a per-worker delay wheel until their
 //!   due tick;
-//! * **tick scheduler** — gossip rounds become *ticks*: the coordinator
-//!   broadcasts a tick, every worker drains the messages sent before it,
-//!   runs the round hooks of its processes, and acks; the barrier
-//!   guarantees a message sent in tick `n` is delivered in tick `n+1`,
-//!   preserving the simulator's virtual-time contract while workers run
-//!   concurrently;
-//! * **sharded metrics** — each worker counts into its own
-//!   [`ShardedCounters`] shard (uncontended lock); snapshots merge on
-//!   demand into the same `da_simnet::Counters` registry the harness
-//!   already reads;
+//! * **bounded-lag tick scheduler** — gossip rounds become *ticks*, but
+//!   there is no global barrier: each worker advances its own clock,
+//!   gated only by per-edge atomic publish watermarks
+//!   ([`EdgeWatermarks`]) — it may execute tick `n` once every peer has
+//!   *published* (flushed) the batches that could still be due at `n`.
+//!   A message sent in tick `n` is still delivered exactly at tick
+//!   `n + k` of its sampled latency `k ≥ 1`, preserving the simulator's
+//!   virtual-time contract, while slow workers stop gating fast ones up
+//!   to the [`RuntimeConfig::effective_lag`] drift window (the `max_lag`
+//!   knob, capped by the channel's minimum latency). A coordinator
+//!   observes the reported tick frontier to keep `step_tick` /
+//!   `run_until_quiescent` semantics exact — including never executing
+//!   a tick past the quiescent one;
+//! * **sharded metrics** — each worker counts into a registry it owns
+//!   outright (plain array increments, id-keyed on the transport hot
+//!   path) and publishes per-tick snapshots into [`ShardedCounters`];
+//!   snapshots merge on demand into the same `da_simnet::Counters`
+//!   registry the harness already reads;
 //! * **graceful shutdown** — [`Runtime::shutdown`] stops the pool,
 //!   joins every worker, and hands back the protocol instances for
 //!   inspection, exactly like `Engine::into_processes`.
@@ -72,4 +80,4 @@ mod wheel;
 pub use config::RuntimeConfig;
 pub use metrics::ShardedCounters;
 pub use runtime::{Runtime, Shutdown, TickReport};
-pub use transport::{Batch, Envelope, FaultyRouter, FlushReport, Router, SendFate};
+pub use transport::{Batch, EdgeWatermarks, Envelope, FaultyRouter, FlushReport, Router, SendFate};

@@ -2,23 +2,102 @@
 //!
 //! The simulator owns a single `Counters` registry because it is
 //! single-threaded. Live, every worker counting into one shared registry
-//! would serialise the hot path on a lock; instead each worker gets its
-//! own shard (locked only by that worker during a tick, and briefly by
-//! snapshot readers) and [`ShardedCounters::merged`] folds the shards
-//! into one registry with the same names the harness already reads.
+//! would serialise the hot path on a lock — and even per-worker
+//! `Mutex<Counters>` shards (the PR 2 design) put an atomic
+//! acquire/release plus a shared cache line on every `bump`. Under the
+//! bounded-lag scheduler each worker instead owns a plain, unsynchronised
+//! `Counters` and [publishes](ShardedCounters::publish) a snapshot of it
+//! into its shard once per tick; [`ShardedCounters::merged`] folds the
+//! shards into one registry with the same names the harness already
+//! reads. The hot path is a plain array increment; the per-tick publish
+//! is a value `memcpy` whenever the counter set has not grown
+//! ([`Counters::copy_values_from`]).
 
-use da_simnet::Counters;
+use da_simnet::{CounterId, Counters};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Mutex;
 
-/// Per-worker counter shards with on-demand merging.
+/// A multiply-xor hasher (the rustc-hash / FxHash construction) for the
+/// worker-local label cache: protocol labels are short (`da.intra..t1`),
+/// so hashing them dominates the lookup under the default SipHash. This
+/// is not DoS-resistant — fine for a cache keyed by a protocol's own
+/// static label set, never by external input.
+#[derive(Debug, Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = 0u64;
+            for (i, b) in rest.iter().enumerate() {
+                tail |= u64::from(*b) << (8 * i);
+            }
+            self.mix(tail);
+        }
+        self.mix(bytes.len() as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Worker-local interning of protocol counter labels, so the per-message
+/// `Exec::bump(label)` path costs one fast-hash lookup instead of a
+/// SipHash registration probe in the owned `Counters` registry. Ids are
+/// only meaningful against the registry they were interned into — the
+/// cache lives and dies with its worker.
+#[derive(Debug, Default)]
+pub(crate) struct LabelCache {
+    map: HashMap<String, CounterId, BuildHasherDefault<FxHasher>>,
+}
+
+impl LabelCache {
+    /// The id of `label` in `counters`, interning it on first sight.
+    pub(crate) fn id(&mut self, counters: &mut Counters, label: &str) -> CounterId {
+        if let Some(&id) = self.map.get(label) {
+            return id;
+        }
+        let id = counters.register(label);
+        self.map.insert(label.to_owned(), id);
+        id
+    }
+}
+
+/// Per-worker counter snapshots with on-demand merging.
+///
+/// Workers count into registries they own outright and push snapshots
+/// here at tick boundaries, so a merged read is at most one tick stale
+/// per worker — exact again whenever the pool is idle (between driver
+/// calls, and at shutdown after the final publish).
 ///
 /// ```
 /// use da_runtime::ShardedCounters;
+/// use da_simnet::Counters;
 ///
 /// let sharded = ShardedCounters::new(2);
-/// sharded.shard(0).lock().unwrap().bump("rt.sent");
-/// sharded.shard(1).lock().unwrap().add_named("rt.sent", 2);
-/// assert_eq!(sharded.merged().get("rt.sent"), 3);
+/// let mut local = Counters::new(); // worker 0's owned registry
+/// local.bump("rt.sent");
+/// sharded.publish(0, &local);
+/// local.add_named("rt.sent", 2);
+/// sharded.publish(0, &local);
+/// assert_eq!(sharded.merged().get("rt.sent"), 3, "snapshots replace, not add");
 /// ```
 #[derive(Debug)]
 pub struct ShardedCounters {
@@ -42,18 +121,28 @@ impl ShardedCounters {
         self.shards.len()
     }
 
-    /// The shard behind `index`.
+    /// Replaces shard `worker`'s snapshot with the current state of that
+    /// worker's owned registry. Values are copied in place when the
+    /// counter set has not grown since the last publish (the common
+    /// case: counter names stabilise after the first few ticks), and
+    /// cloned wholesale when it has.
     ///
     /// # Panics
     ///
-    /// Panics when `index` is out of range.
-    #[must_use]
-    pub fn shard(&self, index: usize) -> &Mutex<Counters> {
-        &self.shards[index]
+    /// Panics when `worker` is out of range or a reader died holding the
+    /// shard lock.
+    pub fn publish(&self, worker: usize, local: &Counters) {
+        let mut shard = self.shards[worker].lock().expect("metrics shard poisoned");
+        if shard.len() == local.len() {
+            shard.copy_values_from(local);
+        } else {
+            *shard = local.clone();
+        }
     }
 
-    /// Folds every shard into one registry. A snapshot: shards keep
-    /// counting afterwards.
+    /// Folds every shard into one registry. A snapshot: each worker's
+    /// contribution is its registry as of that worker's most recent
+    /// [`ShardedCounters::publish`].
     ///
     /// # Panics
     ///
@@ -75,8 +164,10 @@ mod tests {
     #[test]
     fn merged_folds_all_shards() {
         let s = ShardedCounters::new(3);
-        for (i, shard) in (0..3).map(|i| (i, s.shard(i))) {
-            shard.lock().unwrap().add_named("x", i as u64 + 1);
+        for i in 0..3 {
+            let mut local = Counters::new();
+            local.add_named("x", i as u64 + 1);
+            s.publish(i, &local);
         }
         assert_eq!(s.merged().get("x"), 6);
         assert_eq!(s.shards(), 3);
@@ -90,24 +181,67 @@ mod tests {
     }
 
     #[test]
-    fn merged_is_a_snapshot() {
+    fn merged_is_a_snapshot_of_last_publishes() {
         let s = ShardedCounters::new(2);
-        s.shard(0).lock().unwrap().bump("a");
+        let mut w0 = Counters::new();
+        w0.bump("a");
+        s.publish(0, &w0);
         let snap = s.merged();
-        s.shard(1).lock().unwrap().bump("a");
+        // Worker 0 keeps counting but has not republished: invisible.
+        w0.bump("a");
+        let mut w1 = Counters::new();
+        w1.bump("a");
+        s.publish(1, &w1);
         assert_eq!(snap.get("a"), 1);
-        assert_eq!(s.merged().get("a"), 2);
+        assert_eq!(s.merged().get("a"), 2, "w0's unpublished bump invisible");
+        s.publish(0, &w0);
+        assert_eq!(s.merged().get("a"), 3);
     }
 
     #[test]
-    fn shards_count_concurrently() {
+    fn publish_handles_growing_counter_sets() {
+        let s = ShardedCounters::new(1);
+        let mut local = Counters::new();
+        local.bump("first");
+        s.publish(0, &local);
+        local.bump("second"); // shape change: clone path
+        local.bump("first");
+        s.publish(0, &local);
+        let merged = s.merged();
+        assert_eq!(merged.get("first"), 2);
+        assert_eq!(merged.get("second"), 1);
+    }
+
+    #[test]
+    fn label_cache_interns_consistently() {
+        let mut counters = Counters::new();
+        let mut cache = LabelCache::default();
+        let a1 = cache.id(&mut counters, "da.intra..t1");
+        let a2 = cache.id(&mut counters, "da.intra..t1");
+        let b = cache.id(&mut counters, "da.inter_out..t1");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        // Ids round-trip through the registry they were interned into.
+        counters.add(a1, 3);
+        counters.add(b, 1);
+        assert_eq!(counters.get("da.intra..t1"), 3);
+        assert_eq!(counters.get("da.inter_out..t1"), 1);
+        // A label registered directly first still resolves to the same id.
+        let direct = counters.register("da.parasite");
+        assert_eq!(cache.id(&mut counters, "da.parasite"), direct);
+    }
+
+    #[test]
+    fn shards_publish_concurrently() {
         let s = std::sync::Arc::new(ShardedCounters::new(4));
         std::thread::scope(|scope| {
             for w in 0..4 {
                 let s = std::sync::Arc::clone(&s);
                 scope.spawn(move || {
+                    let mut local = Counters::new();
                     for _ in 0..1000 {
-                        s.shard(w).lock().unwrap().bump("hits");
+                        local.bump("hits");
+                        s.publish(w, &local);
                     }
                 });
             }

@@ -1,16 +1,99 @@
-//! The worker pool, the tick scheduler, and the live execution context.
+//! The worker pool, the bounded-lag tick scheduler, and the live
+//! execution context.
+//!
+//! ## Scheduling model
+//!
+//! PR 2's scheduler was a global barrier: the coordinator broadcast each
+//! tick and every worker acked it before any worker could start the
+//! next. That serialises the pool on two channel hops plus a coordinator
+//! wake-up per tick, and a single slow worker gates every fast one even
+//! when none of its output could matter yet.
+//!
+//! The bounded-lag scheduler replaces the barrier with two one-way
+//! signals:
+//!
+//! * **Per-edge publish watermarks** ([`crate::EdgeWatermarks`]): after
+//!   flushing tick `t`, a worker bumps an atomic per out-edge. A worker
+//!   may execute tick `n` once every peer has published through tick
+//!   `n − lag`, where `lag = RuntimeConfig::effective_lag()` — anything
+//!   published later is due strictly after `n` (channel latency is at
+//!   least `lag`), so no delivery can be missed and no rendezvous is
+//!   needed.
+//! * **A grant horizon** (one atomic): the coordinator publishes how far
+//!   the pool may run, workers free-run up to it. `run_ticks` grants its
+//!   whole budget upfront; `run_until_quiescent` grants tick `n + 1` as
+//!   soon as tick `n` is *provably* not quiet (any worker reported
+//!   activity, or the delivery ledger shows messages still in flight),
+//!   which keeps the pipeline full during dissemination yet never lets a
+//!   worker execute a tick past the quiescent one.
+//!
+//! Workers report each executed tick on a shared channel (fire and
+//! forget — no round trip); the coordinator folds those into the same
+//! [`TickReport`] the barrier produced, so `step_tick` /
+//! `run_until_quiescent` keep their exact external semantics: a message
+//! sent at tick `n` is still processed at tick `n + k` for its sampled
+//! latency `k`, and quiescence is still "nothing sent, delivered, or in
+//! flight".
 
 use crate::config::RuntimeConfig;
-use crate::metrics::ShardedCounters;
-use crate::transport::{Batch, FaultyRouter, Router, SendFate};
+use crate::metrics::{LabelCache, ShardedCounters};
+use crate::transport::{Batch, EdgeWatermarks, Envelope, FaultyRouter, Router, SendFate};
 use crate::wheel::DelayWheel;
-use crossbeam::channel::{self, Receiver, Sender};
-use da_simnet::{rng_for_process, Counters, ProcessId, WireSize};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use da_simnet::{rng_for_process, CounterId, Counters, ProcessId, WireSize};
 use damulticast::{Exec, ExecProtocol};
 use rand::rngs::SmallRng;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Pre-registered ids for the counters the transport hot path touches on
+/// every message, so a send costs array increments instead of string
+/// hashes (the protocol's own labels stay name-keyed, as on the
+/// simulator).
+#[derive(Debug, Clone, Copy)]
+struct HotIds {
+    sent: CounterId,
+    bytes_sent: CounterId,
+    delivered: CounterId,
+    dropped_channel: CounterId,
+    dropped_closed: CounterId,
+    dropped_shutdown: CounterId,
+}
+
+impl HotIds {
+    fn register(counters: &mut Counters) -> Self {
+        HotIds {
+            sent: counters.register("rt.sent"),
+            bytes_sent: counters.register("rt.bytes_sent"),
+            delivered: counters.register("rt.delivered"),
+            dropped_channel: counters.register("rt.dropped_channel"),
+            dropped_closed: counters.register("rt.dropped_closed"),
+            dropped_shutdown: counters.register("rt.dropped_shutdown"),
+        }
+    }
+}
+
+/// The scheduler state shared by the coordinator and every worker: the
+/// grant horizon, the per-edge publish watermarks, and the parked flags
+/// of the horizon wait protocol.
+#[derive(Debug)]
+struct SchedulerState {
+    /// First tick the pool may NOT execute yet; workers run while their
+    /// local clock is below it (and their watermark gate passes).
+    horizon: AtomicU64,
+    /// Per-edge publish watermarks (see [`EdgeWatermarks`]).
+    marks: EdgeWatermarks,
+    /// `parked[w]` is set by worker `w` before it blocks on its control
+    /// channel waiting for a grant; the coordinator swaps it back and
+    /// sends a [`Control::Sync`] wake-up. Dekker-style: the worker
+    /// re-checks the horizon between setting its flag and blocking, and
+    /// the coordinator stores the horizon before reading flags, so a
+    /// wake-up can never be lost (both sides use `SeqCst`).
+    parked: Vec<AtomicBool>,
+}
 
 /// The live execution context handed to protocol hooks — the runtime's
 /// counterpart of `da_simnet::Ctx`, implementing the same
@@ -20,8 +103,11 @@ struct LiveCtx<'a, M> {
     tick: u64,
     rng: &'a mut SmallRng,
     counters: &'a mut Counters,
+    ids: &'a HotIds,
+    labels: &'a mut LabelCache,
     router: &'a mut FaultyRouter<M>,
     sent: &'a mut u64,
+    queued: &'a mut u64,
 }
 
 impl<M: WireSize> Exec for LiveCtx<'_, M> {
@@ -37,12 +123,12 @@ impl<M: WireSize> Exec for LiveCtx<'_, M> {
 
     fn send(&mut self, to: ProcessId, msg: M) {
         *self.sent += 1;
-        self.counters.bump("rt.sent");
+        self.counters.add(self.ids.sent, 1);
         self.counters
-            .add_named("rt.bytes_sent", msg.wire_size() as u64);
+            .add(self.ids.bytes_sent, msg.wire_size() as u64);
         match self.router.send(self.me, to, self.tick, msg) {
-            SendFate::Queued { .. } => {}
-            SendFate::DroppedChannel => self.counters.bump("rt.dropped_channel"),
+            SendFate::Queued { .. } => *self.queued += 1,
+            SendFate::DroppedChannel => self.counters.add(self.ids.dropped_channel, 1),
         }
     }
 
@@ -51,35 +137,55 @@ impl<M: WireSize> Exec for LiveCtx<'_, M> {
     }
 
     fn bump(&mut self, label: &str) {
-        self.counters.bump(label);
+        let id = self.labels.id(self.counters, label);
+        self.counters.add(id, 1);
     }
 
     fn add(&mut self, label: &str, delta: u64) {
-        self.counters.add_named(label, delta);
+        let id = self.labels.id(self.counters, label);
+        self.counters.add(id, delta);
     }
 }
 
 /// Coordinator → worker commands.
 enum Control<P> {
-    /// Run one tick of the given number.
-    Tick(u64),
     /// Run a closure against one owned process (state injection /
     /// inspection between ticks).
     Apply {
         pid: ProcessId,
         f: Box<dyn FnOnce(&mut P) + Send>,
     },
+    /// The horizon moved while this worker was (or was about to be)
+    /// parked — wake up and re-read it. Stray syncs are harmless.
+    Sync,
     /// Drain down and return the owned processes.
     Stop,
 }
 
-/// Per-worker tick accounting, aggregated by the coordinator into a
-/// [`TickReport`].
+/// One worker's account of one executed tick, pushed to the coordinator
+/// fire-and-forget and folded into a [`TickReport`].
 #[derive(Debug, Clone, Copy)]
 struct WorkerReport {
+    tick: u64,
     sent: u64,
+    /// Sends that survived the channel (queued toward an inbox) — the
+    /// coordinator's delivery ledger adds these and subtracts
+    /// `delivered`/`dropped_closed` to know, exactly, whether anything
+    /// is still in flight when a tick looks quiet.
+    queued: u64,
     delivered: u64,
+    dropped_closed: u64,
     pending: u64,
+}
+
+impl WorkerReport {
+    /// True when this worker's slice of the tick shows any sign of life.
+    /// Any loud report proves the whole tick non-quiet, which is what
+    /// lets the coordinator grant the next tick before the slowest
+    /// worker has reported.
+    fn is_loud(&self) -> bool {
+        self.sent > 0 || self.delivered > 0 || self.pending > 0 || self.queued > 0
+    }
 }
 
 /// Aggregate summary of one executed tick — the live counterpart of
@@ -93,7 +199,12 @@ pub struct TickReport {
     pub sent: u64,
     /// Messages handed to `on_message` during this tick.
     pub delivered: u64,
-    /// Messages parked in delay wheels, due in a later tick.
+    /// Messages parked in delay wheels, due in a later tick. With
+    /// `max_lag > 1` an envelope can be in flight between a fast
+    /// sender and a lagging receiver's wheel when the receiver reports,
+    /// so this count may transiently miss it; quiescence detection does
+    /// not rely on it (the coordinator keeps an exact ledger of
+    /// queued − delivered envelopes).
     pub pending: u64,
 }
 
@@ -106,10 +217,36 @@ impl TickReport {
     }
 }
 
+/// Partially aggregated reports for one tick, while the coordinator
+/// waits for the rest of the pool to reach it.
+#[derive(Debug, Default, Clone, Copy)]
+struct PartialTick {
+    reports: usize,
+    sent: u64,
+    queued: u64,
+    delivered: u64,
+    dropped_closed: u64,
+    pending: u64,
+    loud: bool,
+}
+
+impl PartialTick {
+    fn absorb(&mut self, r: WorkerReport) {
+        self.reports += 1;
+        self.sent += r.sent;
+        self.queued += r.queued;
+        self.delivered += r.delivered;
+        self.dropped_closed += r.dropped_closed;
+        self.pending += r.pending;
+        self.loud |= r.is_loud();
+    }
+}
+
 /// One worker thread: owns a stripe of processes (`pid ≡ id mod stride`),
 /// their RNG streams, its inbox, its outgoing [`FaultyRouter`] (with the
-/// per-tick coalescing buffers), and its delay wheel; executes ticks on
-/// command.
+/// per-tick coalescing buffers), its delay wheel, and its own metrics
+/// registry; advances its local tick clock through the shared horizon
+/// and watermark gates.
 struct Worker<P: ExecProtocol> {
     id: usize,
     stride: usize,
@@ -119,10 +256,21 @@ struct Worker<P: ExecProtocol> {
     inbox: Receiver<Batch<P::Msg>>,
     faulty: FaultyRouter<P::Msg>,
     reports: Sender<WorkerReport>,
-    counters: Arc<ShardedCounters>,
+    shards: Arc<ShardedCounters>,
+    /// This worker's owned metrics registry — no lock on the hot path;
+    /// snapshotted into `shards` once per tick.
+    counters: Counters,
+    ids: HotIds,
+    labels: LabelCache,
     /// Envelopes that survived the channel but carry latency > 1: parked
-    /// here until the scheduler reaches their due tick.
+    /// here until the local clock reaches their due tick.
     wheel: DelayWheel<P::Msg>,
+    sched: Arc<SchedulerState>,
+    /// `RuntimeConfig::effective_lag()` — how far the local clock may
+    /// run ahead of the slowest in-edge's publish watermark.
+    lag: u64,
+    /// The next tick this worker will execute (its local clock).
+    next_tick: u64,
     started: bool,
 }
 
@@ -140,24 +288,33 @@ where
         (pid.index() - self.id) / self.stride
     }
 
-    /// The worker main loop: block on control, execute, ack.
+    fn apply(&mut self, pid: ProcessId, f: Box<dyn FnOnce(&mut P) + Send>) {
+        let local = self.local_index(pid);
+        f(&mut self.procs[local]);
+    }
+
+    /// The worker main loop: execute every granted-and-gated tick, park
+    /// when the horizon is exhausted, stop on command.
     fn run(mut self) -> Vec<(ProcessId, P)> {
-        loop {
-            match self.control.recv() {
-                Ok(Control::Tick(tick)) => {
-                    let report = self.run_tick(tick);
-                    if self.reports.send(report).is_err() {
-                        break; // Coordinator is gone: shut down.
-                    }
+        'main: loop {
+            while self.next_tick < self.sched.horizon.load(Ordering::SeqCst) {
+                let tick = self.next_tick;
+                if !self.await_watermarks(tick) {
+                    break 'main;
                 }
-                Ok(Control::Apply { pid, f }) => {
-                    let local = self.local_index(pid);
-                    f(&mut self.procs[local]);
+                let report = self.run_tick(tick);
+                self.next_tick = tick + 1;
+                self.shards.publish(self.id, &self.counters);
+                if self.reports.send(report).is_err() {
+                    break 'main; // Coordinator is gone: shut down.
                 }
-                Ok(Control::Stop) | Err(_) => break,
+            }
+            if !self.park() {
+                break 'main;
             }
         }
         self.account_shutdown_in_flight();
+        self.shards.publish(self.id, &self.counters);
         let (id, stride) = (self.id, self.stride);
         self.procs
             .into_iter()
@@ -166,39 +323,102 @@ where
             .collect()
     }
 
+    /// Spins (yielding) until every peer has published the watermarks
+    /// tick `tick` needs: all batches that could still be due at `tick`
+    /// must be in this worker's inbox before it drains. Returns `false`
+    /// when a stop command arrives mid-wait (e.g. the coordinator
+    /// panicked and is unwinding while a peer is wedged).
+    fn await_watermarks(&mut self, tick: u64) -> bool {
+        let need = (tick + 1).saturating_sub(self.lag);
+        if need == 0 {
+            return true; // The first `lag` ticks gate on nothing.
+        }
+        let mut spins = 0u32;
+        while !self.sched.marks.all_published(self.id, need) {
+            match self.control.try_recv() {
+                Ok(Control::Apply { pid, f }) => self.apply(pid, f),
+                Ok(Control::Sync) => {}
+                Ok(Control::Stop) | Err(TryRecvError::Disconnected) => return false,
+                Err(TryRecvError::Empty) => {}
+            }
+            spins = spins.saturating_add(1);
+            if spins < 32 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        true
+    }
+
+    /// Blocks on the control channel until the coordinator extends the
+    /// horizon (or stops the pool). Returns `false` on stop.
+    fn park(&mut self) -> bool {
+        self.sched.parked[self.id].store(true, Ordering::SeqCst);
+        // Re-check after raising the flag: a grant that raced us has
+        // either seen the flag (a Sync is on its way) or happened before
+        // the store, in which case this load sees the new horizon.
+        if self.next_tick < self.sched.horizon.load(Ordering::SeqCst) {
+            self.sched.parked[self.id].store(false, Ordering::SeqCst);
+            return true;
+        }
+        loop {
+            match self.control.recv() {
+                Ok(Control::Sync) => return true,
+                Ok(Control::Apply { pid, f }) => self.apply(pid, f),
+                Ok(Control::Stop) | Err(_) => {
+                    self.sched.parked[self.id].store(false, Ordering::SeqCst);
+                    return false;
+                }
+            }
+        }
+    }
+
     /// Messages still travelling when the pool stops (parked in the
     /// wheel, or in the inbox with a future due tick) are accounted as
     /// `rt.dropped_shutdown` rather than silently vanishing — the live
     /// analogue of the simulator's in-flight queue being discarded.
     ///
-    /// The drain is complete: Stop is only sent between ticks, when every
-    /// worker is parked on its control channel and all per-tick batches
-    /// have been flushed.
+    /// The drain is complete: Stop is only sent between driver calls,
+    /// when every worker has executed and flushed every granted tick, so
+    /// nothing can race into the inbox after `try_recv` starts draining,
+    /// and each in-flight envelope is counted exactly once (it is either
+    /// on this worker's wheel or in this worker's inbox, never both).
     fn account_shutdown_in_flight(&mut self) {
         let mut in_flight = self.wheel.discard_all() as u64;
         while let Ok(batch) = self.inbox.try_recv() {
             in_flight += batch.len() as u64;
         }
         if in_flight > 0 {
-            let shard = Arc::clone(&self.counters);
-            shard
-                .shard(self.id)
-                .lock()
-                .expect("metrics shard poisoned")
-                .add_named("rt.dropped_shutdown", in_flight);
+            self.counters.add(self.ids.dropped_shutdown, in_flight);
         }
+    }
+
+    /// Hands one due envelope to its owner's `on_message` hook.
+    fn deliver(&mut self, env: Envelope<P::Msg>, tick: u64, sent: &mut u64, queued: &mut u64) {
+        let local = self.local_index(env.to);
+        self.counters.add(self.ids.delivered, 1);
+        let mut ctx = LiveCtx {
+            me: env.to,
+            tick,
+            rng: &mut self.rngs[local],
+            counters: &mut self.counters,
+            ids: &self.ids,
+            labels: &mut self.labels,
+            router: &mut self.faulty,
+            sent,
+            queued,
+        };
+        self.procs[local].on_message(env.from, env.msg, &mut ctx);
     }
 
     /// One tick: release delay-wheel messages due now, drain the inbox
     /// (delivering due envelopes, parking delayed ones), run the round
-    /// hooks, then flush this tick's coalesced outgoing batches before
-    /// acking. The coordinator's barrier guarantees every batch sent
-    /// during tick `n` is in its destination inbox before tick `n + 1`
-    /// starts.
+    /// hooks, flush this tick's coalesced outgoing batches, then publish
+    /// the watermarks that let receivers advance past it.
     fn run_tick(&mut self, tick: u64) -> WorkerReport {
-        let shard = Arc::clone(&self.counters);
-        let mut counters = shard.shard(self.id).lock().expect("metrics shard poisoned");
         let mut sent = 0u64;
+        let mut queued = 0u64;
         let mut delivered = 0u64;
 
         if !self.started {
@@ -209,45 +429,43 @@ where
                     me,
                     tick,
                     rng: &mut self.rngs[i],
-                    counters: &mut counters,
+                    counters: &mut self.counters,
+                    ids: &self.ids,
+                    labels: &mut self.labels,
                     router: &mut self.faulty,
                     sent: &mut sent,
+                    queued: &mut queued,
                 };
                 self.procs[i].on_start(&mut ctx);
             }
         }
 
-        // Collect this tick's deliveries: whatever the wheel owes now,
-        // plus every inbox envelope that is already due. Envelopes with
-        // a later due tick are parked on the wheel — that covers both
-        // sampled latencies above one tick and the same-tick race where
-        // a faster worker already flushed the tick being drained (its
-        // output is due next tick by construction).
-        let mut due = self.wheel.take_due(tick);
+        // Deliver this tick's dues: whatever the wheel owes now, then
+        // every inbox envelope already due (the watermark gate guarantees
+        // they all arrived). Envelopes with a later due tick are parked
+        // on the wheel — that covers both sampled latencies above one
+        // tick and batches from peers whose clock runs ahead of ours
+        // (their output is due later than the tick being drained, by the
+        // watermark invariant).
+        for env in self.wheel.take_due(tick) {
+            delivered += 1;
+            self.deliver(env, tick, &mut sent, &mut queued);
+        }
         while let Ok(batch) = self.inbox.try_recv() {
             for env in batch {
-                debug_assert!(env.sent_tick <= tick, "envelope from the future");
+                debug_assert!(env.due_tick > env.sent_tick, "latency is at least one tick");
                 if env.due_tick <= tick {
-                    due.push(env);
+                    debug_assert!(
+                        env.due_tick == tick,
+                        "due tick {} missed at local tick {tick}",
+                        env.due_tick
+                    );
+                    delivered += 1;
+                    self.deliver(env, tick, &mut sent, &mut queued);
                 } else {
                     self.wheel.schedule(env);
                 }
             }
-        }
-
-        for env in due {
-            let local = self.local_index(env.to);
-            delivered += 1;
-            counters.bump("rt.delivered");
-            let mut ctx = LiveCtx {
-                me: env.to,
-                tick,
-                rng: &mut self.rngs[local],
-                counters: &mut counters,
-                router: &mut self.faulty,
-                sent: &mut sent,
-            };
-            self.procs[local].on_message(env.from, env.msg, &mut ctx);
         }
 
         // Round hooks, in pid order within the stripe.
@@ -257,32 +475,42 @@ where
                 me,
                 tick,
                 rng: &mut self.rngs[i],
-                counters: &mut counters,
+                counters: &mut self.counters,
+                ids: &self.ids,
+                labels: &mut self.labels,
                 router: &mut self.faulty,
                 sent: &mut sent,
+                queued: &mut queued,
             };
             self.procs[i].on_round(tick, &mut ctx);
         }
 
-        // Ship this tick's output: one coalesced batch per destination
-        // worker, inside the barrier so receivers see it next tick.
+        // Ship this tick's output — one coalesced batch per destination
+        // worker — and only then raise the watermarks: a peer that
+        // observes them is guaranteed to find the batches in its inbox.
         let flush = self.faulty.flush();
         if flush.dropped_closed > 0 {
-            counters.add_named("rt.dropped_closed", flush.dropped_closed);
+            self.counters
+                .add(self.ids.dropped_closed, flush.dropped_closed);
         }
+        self.sched.marks.publish(self.id, tick + 1);
 
         WorkerReport {
+            tick,
             sent,
+            queued,
             delivered,
+            dropped_closed: flush.dropped_closed,
             pending: self.wheel.len() as u64,
         }
     }
 }
 
 /// The live runtime: a pool of worker threads executing
-/// [`ExecProtocol`] processes as actors under a barrier-synchronised
-/// tick scheduler, with the shared `da_core` channel fault model applied
-/// by the transport.
+/// [`ExecProtocol`] processes as actors under a bounded-lag tick
+/// scheduler (per-edge publish watermarks instead of a global barrier),
+/// with the shared `da_core` channel fault model applied by the
+/// transport.
 ///
 /// The API mirrors `da_simnet::Engine` where the concepts coincide
 /// (`step_tick`/`run_ticks`/`run_until_quiescent`, `counters`), and
@@ -310,8 +538,19 @@ pub struct Runtime<P: ExecProtocol> {
     reports: Receiver<WorkerReport>,
     handles: Vec<JoinHandle<Vec<(ProcessId, P)>>>,
     counters: Arc<ShardedCounters>,
+    sched: Arc<SchedulerState>,
     population: usize,
+    /// The next tick to hand the caller (every tick below it is
+    /// finalized: all workers reported it).
     tick: u64,
+    /// Coordinator-side mirror of the shared horizon.
+    granted: u64,
+    /// Reports for granted-but-not-yet-finalized ticks.
+    backlog: BTreeMap<u64, PartialTick>,
+    /// Envelopes queued on the transport and not yet delivered (or
+    /// dropped on a closed inbox) as of the finalized frontier — the
+    /// exact in-flight ledger behind quiescence detection.
+    in_flight: u64,
     tick_timeout: Duration,
 }
 
@@ -356,6 +595,11 @@ where
         }
         let router = Router::new(inbox_txs);
         let counters = Arc::new(ShardedCounters::new(workers));
+        let sched = Arc::new(SchedulerState {
+            horizon: AtomicU64::new(0),
+            marks: EdgeWatermarks::new(workers),
+            parked: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+        });
         let (report_tx, report_rx) = channel::unbounded();
 
         // Stripe processes and their seeded RNG streams across workers.
@@ -375,6 +619,8 @@ where
             .enumerate()
         {
             let (control_tx, control_rx) = channel::unbounded();
+            let mut local = Counters::new();
+            let ids = HotIds::register(&mut local);
             let worker = Worker {
                 id,
                 stride: workers,
@@ -384,8 +630,14 @@ where
                 inbox,
                 faulty: FaultyRouter::new(router.clone(), config.channel, config.seed),
                 reports: report_tx.clone(),
-                counters: Arc::clone(&counters),
+                shards: Arc::clone(&counters),
+                counters: local,
+                ids,
+                labels: LabelCache::default(),
                 wheel: DelayWheel::new(),
+                sched: Arc::clone(&sched),
+                lag: config.effective_lag(),
+                next_tick: 0,
                 started: false,
             };
             let handle = std::thread::Builder::new()
@@ -401,8 +653,12 @@ where
             reports: report_rx,
             handles,
             counters,
+            sched,
             population,
             tick: 0,
+            granted: 0,
+            backlog: BTreeMap::new(),
+            in_flight: 0,
             tick_timeout: config.tick_timeout(),
         }
     }
@@ -425,48 +681,134 @@ where
         self.tick
     }
 
+    /// Extends the grant horizon and wakes any worker that parked
+    /// waiting for it. Monotonic and idempotent.
+    fn grant(&mut self, horizon: u64) {
+        if horizon <= self.granted {
+            return;
+        }
+        self.granted = horizon;
+        self.sched.horizon.store(horizon, Ordering::SeqCst);
+        for (w, flag) in self.sched.parked.iter().enumerate() {
+            if flag.swap(false, Ordering::SeqCst) {
+                let _ = self.controls[w].send(Control::Sync);
+            }
+        }
+    }
+
+    /// Blocks until every worker has reported `tick`, folding reports
+    /// into the backlog as they arrive, then finalizes the tick: folds
+    /// it out of the backlog, settles the in-flight ledger, and returns
+    /// the aggregate. `lookahead_cap`, when set, lets the collector
+    /// grant `tick + 2` the moment `tick` is proven loud (capped), which
+    /// is how `run_until_quiescent` keeps workers a tick ahead of report
+    /// collection without ever overshooting the quiescent tick.
+    ///
+    /// The wait polls in short slices so a worker that *died* (panicked
+    /// out of its thread) is diagnosed promptly instead of after the
+    /// full tick timeout — with no per-tick coordinator→worker send
+    /// left to fail fast, the join handles are the only death signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a worker has died, or fails to report within the
+    /// tick timeout.
+    fn collect_tick(&mut self, tick: u64, lookahead_cap: Option<u64>) -> TickReport {
+        let workers = self.controls.len();
+        let deadline = std::time::Instant::now() + self.tick_timeout;
+        const DEATH_POLL: Duration = Duration::from_millis(100);
+        loop {
+            if let Some(cap) = lookahead_cap {
+                if self.backlog.get(&tick).is_some_and(|t| t.loud) {
+                    self.grant((tick + 2).min(cap));
+                }
+            }
+            if self.backlog.get(&tick).map(|t| t.reports) == Some(workers) {
+                break;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match self.reports.recv_timeout(remaining.min(DEATH_POLL)) {
+                Ok(report) => {
+                    self.backlog.entry(report.tick).or_default().absorb(report);
+                }
+                Err(e) => {
+                    if let Some(w) = self.handles.iter().position(JoinHandle::is_finished) {
+                        // The thread is gone but its tick never arrived:
+                        // it panicked (a clean stop always reports first).
+                        panic!("runtime worker {w} died before acking tick {tick}");
+                    }
+                    assert!(
+                        remaining > DEATH_POLL,
+                        "worker failed to ack tick {tick}: {e}"
+                    );
+                }
+            }
+        }
+        let agg = self.backlog.remove(&tick).expect("tick was just finalized");
+        self.in_flight = (self.in_flight + agg.queued)
+            .checked_sub(agg.delivered + agg.dropped_closed)
+            .expect("delivery ledger went negative");
+        TickReport {
+            tick,
+            sent: agg.sent,
+            delivered: agg.delivered,
+            pending: agg.pending,
+        }
+    }
+
     /// Executes one tick across the pool and aggregates the workers'
     /// reports.
     ///
     /// # Panics
     ///
-    /// Panics when a worker has died or fails to ack within the
+    /// Panics when a worker has died or fails to report within the
     /// configured tick timeout.
     pub fn step_tick(&mut self) -> TickReport {
         let tick = self.tick;
-        for control in &self.controls {
-            control
-                .send(Control::Tick(tick))
-                .unwrap_or_else(|_| panic!("runtime worker terminated before tick {tick}"));
-        }
-        let mut agg = TickReport {
-            tick,
-            ..TickReport::default()
-        };
-        for _ in 0..self.controls.len() {
-            let report = self
-                .reports
-                .recv_timeout(self.tick_timeout)
-                .unwrap_or_else(|e| panic!("worker failed to ack tick {tick}: {e}"));
-            agg.sent += report.sent;
-            agg.delivered += report.delivered;
-            agg.pending += report.pending;
-        }
+        self.grant(tick + 1);
+        let report = self.collect_tick(tick, None);
         self.tick += 1;
-        agg
+        report
     }
 
-    /// Runs exactly `ticks` ticks and returns their reports.
+    /// Runs exactly `ticks` ticks and returns their reports. The whole
+    /// budget is granted upfront, so workers free-run through it gated
+    /// only by the watermark lag while this call collects the reports.
     pub fn run_ticks(&mut self, ticks: u64) -> Vec<TickReport> {
-        (0..ticks).map(|_| self.step_tick()).collect()
+        let first = self.tick;
+        self.grant(first + ticks);
+        (0..ticks)
+            .map(|i| {
+                let report = self.collect_tick(first + i, None);
+                self.tick += 1;
+                report
+            })
+            .collect()
     }
 
     /// Runs until a tick is globally quiet (nothing sent, delivered, or
-    /// pending) or `max_ticks` have executed. Returns the number of
-    /// ticks executed.
+    /// still in flight) or `max_ticks` have executed. Returns the number
+    /// of ticks executed.
+    ///
+    /// Ticks are granted as their predecessor is *proven* non-quiet (a
+    /// loud worker report, or queued envelopes still undelivered on the
+    /// coordinator's ledger), so the pool pipelines through active
+    /// dissemination but never executes a tick past the quiescent one —
+    /// exactly the barrier scheduler's observable behaviour.
     pub fn run_until_quiescent(&mut self, max_ticks: u64) -> u64 {
+        let first = self.tick;
+        let cap = first + max_ticks;
         for executed in 0..max_ticks {
-            if self.step_tick().is_quiet() {
+            let tick = first + executed;
+            self.grant(tick + 1);
+            if self.in_flight > 0 {
+                // Something is still travelling, so `tick` cannot be the
+                // quiescent one: let the pool run one tick ahead.
+                self.grant((tick + 2).min(cap));
+            }
+            let report = self.collect_tick(tick, Some(cap));
+            self.tick += 1;
+            if report.is_quiet() && self.in_flight == 0 {
                 return executed + 1;
             }
         }
@@ -502,7 +844,9 @@ where
         rx.recv().expect("runtime worker dropped an apply")
     }
 
-    /// Merged metrics snapshot across all worker shards.
+    /// Merged metrics snapshot across all worker shards, each as of that
+    /// worker's most recently completed tick (exact whenever the pool is
+    /// idle between driver calls).
     #[must_use]
     pub fn counters(&self) -> Counters {
         self.counters.merged()
@@ -640,6 +984,45 @@ mod tests {
         assert_eq!(out.counters.get("rt.dropped_shutdown"), 0);
         let total: usize = out.processes.iter().map(|p| p.received.len()).sum();
         assert_eq!(total, 50);
+    }
+
+    /// The quiescent tick is never overshot: no worker executes a round
+    /// hook past the tick `run_until_quiescent` reports, however far the
+    /// pipelined grants ran. A protocol that would send again *after*
+    /// the quiet tick must not get the chance on either substrate.
+    #[test]
+    fn quiescence_never_overshoots() {
+        struct Sleeper {
+            rounds_seen: u64,
+        }
+        #[derive(Clone, Debug)]
+        struct M;
+        impl WireSize for M {
+            fn wire_size(&self) -> usize {
+                1
+            }
+        }
+        impl ExecProtocol for Sleeper {
+            type Msg = M;
+            fn on_message<X: Exec<Msg = M>>(&mut self, _f: ProcessId, _m: M, _c: &mut X) {}
+            fn on_round<X: Exec<Msg = M>>(&mut self, round: u64, ctx: &mut X) {
+                self.rounds_seen = round + 1;
+                // Would wake the pool again — but quiescence at tick 0
+                // must stop the run long before.
+                if round == 30 {
+                    ctx.send(ctx.me(), M);
+                }
+            }
+        }
+        let procs = (0..6).map(|_| Sleeper { rounds_seen: 0 }).collect();
+        let mut rt = Runtime::spawn(RuntimeConfig::default().with_workers(3).with_seed(1), procs);
+        let executed = rt.run_until_quiescent(64);
+        assert_eq!(executed, 1, "tick 0 is already quiet");
+        let out = rt.shutdown();
+        for p in &out.processes {
+            assert_eq!(p.rounds_seen, 1, "no hook ran past the quiet tick");
+        }
+        assert_eq!(out.counters.get("rt.sent"), 0);
     }
 
     #[test]
@@ -798,6 +1181,37 @@ mod tests {
         assert_eq!(out.counters.get("rt.dropped_shutdown"), sent);
     }
 
+    /// Satellite requirement (dropped_shutdown audit): with workers
+    /// drifting under a nonzero lag window, a mid-flight shutdown must
+    /// still account every queued envelope exactly once — whether it is
+    /// parked on a receiver's wheel, sitting in an inbox behind a
+    /// watermark, or already delivered.
+    #[test]
+    fn shutdown_accounting_is_exact_at_nonzero_lag() {
+        for (run_ticks, max_lag) in [(1, 4), (2, 4), (4, 2), (7, 3)] {
+            let config = RuntimeConfig::default()
+                .with_workers(3)
+                .with_seed(run_ticks * 31 + max_lag)
+                .with_max_lag(max_lag)
+                .with_channel(ChannelConfig::reliable().with_latency(Latency::Fixed(3)));
+            assert!(config.effective_lag() > 1, "the lag window must be real");
+            let mut rt = Runtime::spawn(config, relay_procs(9));
+            rt.run_ticks(run_ticks);
+            let out = rt.shutdown();
+            let sent = out.counters.get("rt.sent");
+            let delivered = out.counters.get("rt.delivered");
+            let dropped = out.counters.get("rt.dropped_shutdown");
+            assert_eq!(sent, 9 * run_ticks.min(5), "run={run_ticks}");
+            assert_eq!(
+                delivered + dropped,
+                sent,
+                "run={run_ticks} lag={max_lag}: every envelope exactly once"
+            );
+            let received: u64 = out.processes.iter().map(|p| p.received.len() as u64).sum();
+            assert_eq!(received, delivered, "processes agree with the counters");
+        }
+    }
+
     #[test]
     fn lossy_channel_drops_and_still_quiesces() {
         let config = RuntimeConfig::default()
@@ -817,6 +1231,45 @@ mod tests {
             (10..40).contains(&dropped),
             "dropped {dropped} of {sent}, expected ≈ half"
         );
+    }
+
+    /// A latency floor above one tick opens a real drift window: the
+    /// delivered outcome must not depend on how wide it is.
+    #[test]
+    fn outcome_is_stable_across_lag_windows() {
+        let run = |max_lag: u64| {
+            let config = RuntimeConfig::default()
+                .with_workers(4)
+                .with_seed(5)
+                .with_max_lag(max_lag)
+                .with_channel(
+                    ChannelConfig::reliable()
+                        .with_success_probability(0.8)
+                        .with_latency(Latency::UniformRounds { min: 2, max: 4 }),
+                );
+            let mut rt = Runtime::spawn(config, relay_procs(12));
+            rt.run_until_quiescent(64);
+            let out = rt.shutdown();
+            let mut receipts: Vec<Vec<u64>> = out
+                .processes
+                .into_iter()
+                .map(|p| {
+                    let mut r = p.received;
+                    r.sort_unstable();
+                    r
+                })
+                .collect();
+            receipts.sort();
+            (
+                receipts,
+                out.counters.get("rt.delivered"),
+                out.counters.get("rt.dropped_channel"),
+            )
+        };
+        // Fates are per-edge and receipt ticks are due-tick-exact, so
+        // the entire observable outcome is lag-invariant.
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(4));
     }
 
     #[test]
@@ -851,6 +1304,42 @@ mod tests {
         // Must panic promptly — and the unwinding Drop must NOT block on
         // joining the wedged worker (that would hang this test).
         rt.step_tick();
+    }
+
+    /// A worker that panics out of a protocol hook must be diagnosed
+    /// promptly (the join handle is the only death signal left — no
+    /// per-tick coordinator→worker send exists to fail fast), not after
+    /// sitting out the full tick watchdog.
+    #[test]
+    #[should_panic(expected = "died before acking tick")]
+    fn dead_worker_is_diagnosed_promptly() {
+        struct Bomb;
+        #[derive(Clone, Debug)]
+        struct Never;
+        impl WireSize for Never {
+            fn wire_size(&self) -> usize {
+                0
+            }
+        }
+        impl ExecProtocol for Bomb {
+            type Msg = Never;
+            fn on_message<X: Exec<Msg = Never>>(&mut self, _f: ProcessId, _m: Never, _c: &mut X) {}
+            fn on_round<X: Exec<Msg = Never>>(&mut self, round: u64, ctx: &mut X) {
+                if round == 1 && ctx.me() == ProcessId(0) {
+                    panic!("protocol bug");
+                }
+            }
+        }
+        // The watchdog is far out (5 s): only the prompt death check can
+        // produce the expected panic; a regression to timeout-only
+        // detection fails this test on the message after 5 s.
+        let mut rt = Runtime::spawn(
+            RuntimeConfig::default()
+                .with_workers(2)
+                .with_tick_timeout_ms(5_000),
+            vec![Bomb, Bomb],
+        );
+        rt.run_ticks(2);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! The in-memory transport: envelopes, per-tick batches, the
-//! worker-addressed [`Router`], and the fault-injecting [`FaultyRouter`].
+//! worker-addressed [`Router`], the fault-injecting [`FaultyRouter`],
+//! and the [`EdgeWatermarks`] publish grid the bounded-lag scheduler
+//! reads instead of a barrier.
 //!
 //! Two transport layers share the same inboxes:
 //!
@@ -11,10 +13,17 @@
 //!   after a sampled latency — is drawn from a deterministic per-edge
 //!   RNG stream, and survivors are coalesced per destination worker so
 //!   one tick costs at most one channel send per worker pair.
+//!
+//! A batch handed to an inbox is only *visible* to the scheduler once
+//! the sending worker bumps its watermarks: [`EdgeWatermarks::publish`]
+//! (a release store per edge) is the transport's "everything through
+//! tick `t` is in your inbox" signal, and a receiver's acquire load of
+//! its in-edges is what replaces the global tick barrier.
 
 use crossbeam::channel::Sender;
 use da_core::channel::{ChannelConfig, ChannelFate, EdgeRngs};
 use da_simnet::ProcessId;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One in-flight message on the live transport.
 #[derive(Debug, Clone)]
@@ -343,6 +352,112 @@ impl<M> FaultyRouter<M> {
     }
 }
 
+/// One atomic on its own cache line, so per-edge watermark traffic never
+/// false-shares between workers.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedAtomicU64(AtomicU64);
+
+/// The per-edge publish watermarks that replace the global tick barrier.
+///
+/// Entry `(sender, receiver)` counts how many ticks `sender` has fully
+/// *published* toward `receiver`: after flushing tick `t`'s coalesced
+/// batches, a sender stores `t + 1` on each of its out-edges (release),
+/// promising "every envelope I will ever hand you from ticks `0..=t` is
+/// already in your inbox". A receiver that wants to execute tick `n`
+/// acquires its in-edges and waits until each shows at least
+/// `n + 1 − lag` published ticks, where `lag` is the scheduler's
+/// effective drift bound (`RuntimeConfig::effective_lag`): anything a
+/// peer sends later is due strictly after `n`, so no delivery can be
+/// missed and no barrier is needed.
+///
+/// ```
+/// use da_runtime::EdgeWatermarks;
+///
+/// let marks = EdgeWatermarks::new(3);
+/// assert!(marks.all_published(1, 0), "tick 0 needs nothing published");
+/// marks.publish(0, 1); // worker 0 flushed tick 0 on every out-edge
+/// marks.publish(2, 1);
+/// assert!(marks.all_published(1, 1), "both peers published tick 0");
+/// assert!(!marks.all_published(0, 1), "worker 2 still waits on worker 1");
+/// assert_eq!(marks.published(0, 1), 1);
+/// ```
+#[derive(Debug)]
+pub struct EdgeWatermarks {
+    workers: usize,
+    /// Row-major `(sender, receiver)` grid.
+    marks: Vec<PaddedAtomicU64>,
+}
+
+impl EdgeWatermarks {
+    /// An all-zero grid (nothing published) over a `workers`-wide pool.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        EdgeWatermarks {
+            workers,
+            marks: (0..workers * workers)
+                .map(|_| PaddedAtomicU64::default())
+                .collect(),
+        }
+    }
+
+    /// Number of workers the grid spans.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Records that `sender` has flushed every outbound batch of ticks
+    /// `0..ticks` on every out-edge. Release stores: a receiver that
+    /// acquires the new value also sees the flushed batches in its
+    /// inbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sender` is out of range.
+    pub fn publish(&self, sender: usize, ticks: u64) {
+        assert!(sender < self.workers, "sender {sender} out of range");
+        for receiver in 0..self.workers {
+            self.marks[sender * self.workers + receiver]
+                .0
+                .store(ticks, Ordering::Release);
+        }
+    }
+
+    /// How many ticks `sender` has published toward `receiver`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of range.
+    #[must_use]
+    pub fn published(&self, sender: usize, receiver: usize) -> u64 {
+        assert!(sender < self.workers && receiver < self.workers);
+        self.marks[sender * self.workers + receiver]
+            .0
+            .load(Ordering::Acquire)
+    }
+
+    /// True when every *peer* of `receiver` has published at least
+    /// `ticks` ticks toward it (a worker never waits on itself — its own
+    /// output is flushed before it could matter).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `receiver` is out of range.
+    #[must_use]
+    pub fn all_published(&self, receiver: usize, ticks: u64) -> bool {
+        assert!(receiver < self.workers, "receiver {receiver} out of range");
+        (0..self.workers).all(|sender| {
+            sender == receiver
+                || self.marks[sender * self.workers + receiver]
+                    .0
+                    .load(Ordering::Acquire)
+                    >= ticks
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +659,59 @@ mod tests {
                 .collect::<Vec<bool>>()
         };
         assert_eq!(run(), run(), "same seed, same edge, same fates");
+    }
+
+    #[test]
+    fn watermarks_gate_per_receiver() {
+        let marks = EdgeWatermarks::new(2);
+        assert_eq!(marks.workers(), 2);
+        assert!(marks.all_published(0, 0));
+        assert!(!marks.all_published(0, 1));
+        marks.publish(1, 3);
+        assert!(marks.all_published(0, 3));
+        assert!(!marks.all_published(0, 4));
+        assert_eq!(marks.published(1, 0), 3);
+        // Worker 1 still waits on worker 0's publishes.
+        assert!(!marks.all_published(1, 1));
+        assert_eq!(marks.published(0, 1), 0);
+    }
+
+    #[test]
+    fn single_worker_grid_never_waits() {
+        let marks = EdgeWatermarks::new(1);
+        assert!(marks.all_published(0, u64::MAX));
+    }
+
+    #[test]
+    fn watermarks_synchronise_with_inbox_contents() {
+        // The release/acquire contract: once a receiver observes the
+        // watermark, the flushed batch must already be in its inbox.
+        let (tx, rx) = channel::unbounded::<Batch<u64>>();
+        let router = Router::new(vec![tx.clone(), tx]);
+        let marks = std::sync::Arc::new(EdgeWatermarks::new(2));
+        let sender_marks = std::sync::Arc::clone(&marks);
+        let handle = std::thread::spawn(move || {
+            for tick in 0..200u64 {
+                router.send(Envelope {
+                    from: ProcessId(1),
+                    to: ProcessId(0),
+                    sent_tick: tick,
+                    due_tick: tick + 1,
+                    msg: tick,
+                });
+                sender_marks.publish(1, tick + 1);
+            }
+        });
+        let mut seen = 0u64;
+        while seen < 200 {
+            if marks.published(1, 0) > seen {
+                let batch = rx.try_recv().expect("published batch must be visible");
+                seen += batch.len() as u64;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        handle.join().unwrap();
     }
 
     #[test]

@@ -1,13 +1,18 @@
 //! The per-worker delay wheel: envelopes that survived the channel but
-//! carry a latency greater than one tick park here until they fall due.
+//! are not yet due park here until the owning worker's clock reaches
+//! their due tick.
 //!
-//! The wheel is keyed off the barrier scheduler's tick counter: a worker
-//! drains its inbox at the start of tick `t` and schedules every
-//! envelope whose `due_tick > t`; [`DelayWheel::take_due`] then releases
-//! exactly the messages the channel contract owes that tick. Slots are a
-//! `BTreeMap` keyed by due tick — per-tick volumes are what one worker
-//! stripe receives, so ordered-map overhead is noise next to the
-//! protocol hooks.
+//! The wheel is keyed off the worker's *local* clock — under the
+//! bounded-lag scheduler there is no global tick counter. A worker
+//! drains its inbox at the start of its tick `t` and schedules every
+//! envelope whose `due_tick > t`: that covers both sampled latencies
+//! above one tick and batches from peer workers whose clocks run ahead
+//! of this one (their output is due strictly later than `t` by the
+//! watermark invariant, so it parks rather than delivering early).
+//! [`DelayWheel::take_due`] then releases exactly the messages the
+//! channel contract owes that tick. Slots are a `BTreeMap` keyed by due
+//! tick — per-tick volumes are what one worker stripe receives, so
+//! ordered-map overhead is noise next to the protocol hooks.
 
 use crate::transport::Envelope;
 use std::collections::BTreeMap;

@@ -27,6 +27,10 @@
 //!   `benchmark_group`, `bench_function`, `bench_with_input`,
 //!   `BenchmarkId::{new, from_parameter}`, `group.finish()`. Throughput
 //!   annotations, async benches, and custom measurements are absent.
+//! * [`Bencher::iter_batched`] times each routine call individually and
+//!   sums the segments (setup and output-drop excluded per call), where
+//!   real criterion times whole batches between clock reads; the
+//!   [`BatchSize`] argument is accepted for API parity and ignored.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -210,6 +214,51 @@ impl Bencher {
     }
 }
 
+/// Batch sizing hint for [`Bencher::iter_batched`] (API parity with
+/// criterion; the shim times per call, so the hint is ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine outputs (the only hint this workspace uses).
+    SmallInput,
+    /// Larger outputs; treated the same by the shim.
+    LargeInput,
+    /// Outputs that must be dropped eagerly; treated the same.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Measures `routine` over inputs produced by `setup`, excluding
+    /// both the setup call and the drop of the routine's output from the
+    /// measurement — for workloads whose fixture construction (topology
+    /// build, pool spin-up) would otherwise drown the effect being
+    /// measured.
+    ///
+    /// Divergence: real criterion times whole batches between clock
+    /// reads; this shim times each routine call with its own
+    /// `Instant` pair and sums the segments, which is exact for the
+    /// multi-microsecond routines this workspace benches.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up: establish caches without counting setup time.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < warmup_budget() {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        while self.elapsed < measure_budget() {
+            let input = setup();
+            let start = Instant::now();
+            let output = routine(input);
+            self.elapsed += start.elapsed();
+            drop(std::hint::black_box(output));
+            self.iters += 1;
+        }
+    }
+}
+
 fn run_one<F>(label: &str, f: &mut F)
 where
     F: FnMut(&mut Bencher),
@@ -260,6 +309,18 @@ mod tests {
     fn bench_function_runs_and_counts() {
         let mut c = Criterion::default();
         c.bench_function("smoke", |b| b.iter(|| 1u64 + 1));
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::default();
+        b.iter_batched(
+            || vec![1u64; 64],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters > 0);
+        assert!(b.elapsed <= measure_budget() * 2, "setup time not counted");
     }
 
     #[test]

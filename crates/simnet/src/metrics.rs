@@ -105,6 +105,31 @@ impl Counters {
         }
     }
 
+    /// Overwrites this registry's values with `other`'s, without
+    /// touching names — the allocation-free path for republishing a
+    /// snapshot of a registry this one was cloned from.
+    ///
+    /// Counters are append-only, so two registries with equal lengths
+    /// that share a lineage (one was cloned from the other, or both from
+    /// a common ancestor) are guaranteed to agree name-for-name; the
+    /// name check is therefore a debug assertion, not a runtime cost.
+    /// Registries of different lengths (new counters appeared since the
+    /// last snapshot) must fall back to a full clone.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the registries have different lengths (and, under
+    /// debug assertions, when their registration orders diverge).
+    pub fn copy_values_from(&mut self, other: &Counters) {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "copy_values_from requires identical registration sets"
+        );
+        debug_assert_eq!(self.names, other.names, "registries diverged");
+        self.values.copy_from_slice(&other.values);
+    }
+
     /// Sum over counters whose name starts with `prefix`.
     #[must_use]
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
@@ -202,6 +227,28 @@ mod tests {
         // Merging an empty registry changes nothing.
         a.merge_from(&Counters::new());
         assert_eq!(a.sum_prefix(""), 13);
+    }
+
+    #[test]
+    fn copy_values_from_overwrites_in_place() {
+        let mut live = Counters::new();
+        live.add_named("a", 3);
+        live.add_named("b", 5);
+        let mut snap = live.clone();
+        live.add_named("a", 4);
+        snap.copy_values_from(&live);
+        assert_eq!(snap.get("a"), 7);
+        assert_eq!(snap.get("b"), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical registration sets")]
+    fn copy_values_from_rejects_shape_changes() {
+        let mut a = Counters::new();
+        a.bump("x");
+        let mut b = a.clone();
+        b.bump("grew");
+        a.copy_values_from(&b);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Advisory performance gate for the live-runtime benches.
+#
+# Runs `runtime_throughput` in --quick mode with DA_BENCH_JSON pointed at
+# a fresh file, then diffs every row's ns_per_iter against the committed
+# baseline (BENCH_runtime.json at the repo root). Rows regressing by more
+# than the threshold are flagged.
+#
+# The gate is ADVISORY by default: it always exits 0, because the shim
+# bench harness takes single-shot wall-clock means and CI machines are
+# noisy — a >25% swing is worth a look, not a red build. Pass --strict to
+# turn flagged regressions into a nonzero exit (for local perf work).
+#
+# Usage: scripts/bench_gate.sh [--strict] [--out FILE] [--threshold PCT]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STRICT=0
+THRESHOLD=25
+OUT=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --strict) STRICT=1 ;;
+    --out) OUT="${2:?--out needs a file path}"; shift ;;
+    --threshold) THRESHOLD="${2:?--threshold needs a percentage}"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+BASELINE="BENCH_runtime.json"
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_gate: no committed baseline at $BASELINE — nothing to diff" >&2
+  exit 0
+fi
+
+if [ -z "$OUT" ]; then
+  OUT="$(mktemp)"
+  trap 'rm -f "$OUT"' EXIT
+fi
+
+rm -f "$OUT"
+echo "bench_gate: running runtime_throughput (--quick) → $OUT"
+DA_BENCH_JSON="$OUT" cargo bench -p da-bench --bench runtime_throughput -- --quick
+
+echo
+echo "bench_gate: fresh run vs committed $BASELINE (threshold ${THRESHOLD}%)"
+# The JSON is one flat object per line with fixed keys, written by the
+# criterion shim — field extraction by delimiter is exact, no jq needed.
+TABLE=$(awk -v threshold="$THRESHOLD" -F'"' '
+  function ns(line,   parts) {
+    split(line, parts, /"ns_per_iter":/)
+    sub(/[,}].*/, "", parts[2])
+    return parts[2] + 0
+  }
+  FNR == NR { base[$4] = ns($0); next }
+  {
+    name = $4
+    fresh = ns($0)
+    if (!(name in base)) {
+      printf "  %-55s %14.1f ns/iter  (new row, no baseline)\n", name, fresh
+      next
+    }
+    delta = (fresh - base[name]) / base[name] * 100
+    flag = ""
+    if (delta > threshold) { flag = "  <- REGRESSION" }
+    else if (delta < -threshold) { flag = "  (improved)" }
+    printf "  %-55s %14.1f -> %14.1f ns/iter  %+7.1f%%%s\n", \
+           name, base[name], fresh, delta, flag
+    seen[name] = 1
+  }
+  END {
+    for (name in base) if (!(name in seen))
+      printf "  %-55s baseline row missing from fresh run\n", name
+  }
+' "$BASELINE" "$OUT")
+echo "$TABLE"
+BAD=$(printf '%s\n' "$TABLE" | grep -c -- '<- REGRESSION' || true)
+
+if [ "$BAD" -gt 0 ]; then
+  echo
+  echo "bench_gate: $BAD row(s) regressed beyond ${THRESHOLD}% (advisory)"
+  if [ "$STRICT" = "1" ]; then
+    exit 1
+  fi
+else
+  echo
+  echo "bench_gate: no row regressed beyond ${THRESHOLD}%"
+fi
+exit 0

@@ -13,8 +13,9 @@
 //! thread interleaving (miss probability ≈ e^{-12} per event).
 
 use da_runtime::{Runtime, RuntimeConfig};
-use da_simnet::{Engine, ProcessId, SimConfig};
+use da_simnet::{ChannelConfig, Engine, Latency, ProcessId, SimConfig};
 use damulticast::{DaProcess, EventId, ParamMap, StaticNetwork, TopicParams};
+use proptest::prelude::*;
 
 /// The paper's Sec. VII-A topology with pinned-high trade-off knobs.
 const SIZES: [usize; 3] = [10, 100, 1000];
@@ -145,4 +146,90 @@ fn live_outcome_is_stable_across_pool_shapes() {
     assert_eq!(p1, 0);
     assert_eq!(p8, 0);
     assert_eq!(one, eight, "worker count changed the delivered event sets");
+}
+
+/// A smaller chain for the property sweep below — each case runs the
+/// full workload on both substrates, so the topology is kept modest.
+const PROP_SIZES: [usize; 3] = [4, 10, 40];
+
+/// One publication per level driven to quiescence on the given
+/// substrate over a lossy, possibly multi-tick-latency channel.
+/// Returns per-process delivered sets plus the parasite count.
+fn run_lossy(
+    seed: u64,
+    channel: ChannelConfig,
+    live: Option<RuntimeConfig>,
+) -> (Vec<Vec<EventId>>, u64) {
+    let net = StaticNetwork::linear(&PROP_SIZES, pinned_params(), seed).expect("valid topology");
+    let pubs = publishers(&net);
+    match live {
+        Some(config) => {
+            let mut rt = Runtime::spawn(
+                config.with_seed(seed).with_channel(channel),
+                net.into_processes(),
+            );
+            for (level, pid) in pubs.into_iter().enumerate() {
+                rt.with_process_mut(pid, move |p| p.publish(format!("event-{level}")));
+            }
+            rt.run_until_quiescent(192);
+            let out = rt.shutdown();
+            (
+                delivered_sets(&out.processes),
+                out.counters.get("da.parasite"),
+            )
+        }
+        None => {
+            let config = SimConfig::default().with_seed(seed).with_channel(channel);
+            let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
+            for (level, pid) in pubs.into_iter().enumerate() {
+                engine.process_mut(pid).publish(format!("event-{level}"));
+            }
+            engine.run_until_quiescent(192);
+            let parasites = engine.counters().get("da.parasite");
+            (delivered_sets(&engine.into_processes()), parasites)
+        }
+    }
+}
+
+proptest! {
+    // Each case is two full multi-substrate runs; 12 cases keep the
+    // sweep well under a second while covering the workers × max_lag ×
+    // latency grid several times over.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite requirement: delivered-event-set parity between the
+    /// barrier-free runtime and the simulator across pool widths, lag
+    /// windows, and lossy channels. The channel loses 10% of sends and
+    /// may hold survivors for several ticks (which is what opens a real
+    /// worker-drift window at `max_lag > 1`); the pinned-high trade-off
+    /// knobs make gossip effectively atomic despite the loss, so both
+    /// substrates must still deliver every event to its exact audience
+    /// — byte-for-byte equal delivered sets.
+    #[test]
+    fn barrier_free_runtime_matches_simulator_under_loss(
+        seed in 1u64..100_000,
+        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
+        max_lag in prop_oneof![Just(1u64), Just(2), Just(4)],
+        min_latency in 1u64..=3,
+    ) {
+        let channel = ChannelConfig::reliable()
+            .with_success_probability(0.9)
+            .with_latency(Latency::Fixed(min_latency));
+        let (sim_sets, sim_parasites) = run_lossy(seed, channel, None);
+        let live_config = RuntimeConfig::default()
+            .with_workers(workers)
+            .with_max_lag(max_lag);
+        let (live_sets, live_parasites) = run_lossy(seed, channel, Some(live_config));
+
+        prop_assert_eq!(sim_parasites, 0, "simulator saw a parasite");
+        prop_assert_eq!(live_parasites, 0, "live runtime saw a parasite");
+        prop_assert_eq!(sim_sets.len(), live_sets.len());
+        for (pid, (sim, live)) in sim_sets.iter().zip(&live_sets).enumerate() {
+            prop_assert_eq!(
+                sim, live,
+                "process {} delivered different event sets (workers={}, max_lag={}, latency={})",
+                pid, workers, max_lag, min_latency
+            );
+        }
+    }
 }
