@@ -18,7 +18,9 @@
 //!   identical workload; `live_burst16_w{1,2,4,8}` sweeps the pool
 //!   width so scaling regressions show up in the committed baseline,
 //!   not just absolute times (the headline `live_burst16` row runs at
-//!   4 workers).
+//!   4 workers). `live_churn16` / `sim_churn16` repeat the burst with
+//!   the shared churn failure plan active, so the lifecycle scan and
+//!   the crashed-inbox drain stay visible in the committed baseline.
 //! * `runtime_batching_*` — transport isolation: the same envelope
 //!   stream pushed one channel send per envelope versus coalesced into
 //!   one batch per destination worker per tick (the PR 3 Router
@@ -33,6 +35,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use crossbeam::channel;
 use da_bench::bench_sizes;
 use da_core::channel::ChannelConfig;
+use da_core::failure::FailureModel;
 use da_runtime::{Batch, Envelope, FaultyRouter, Router, Runtime, RuntimeConfig};
 use da_simnet::{Engine, ProcessId, SimConfig};
 use damulticast::{DaProcess, ParamMap, StaticNetwork};
@@ -96,14 +99,31 @@ fn network(seed: u64) -> StaticNetwork {
         .expect("bench topology is valid")
 }
 
+/// The churn model of the `*_churn16` rows: gentle (1% crash / 20%
+/// recover per tick, ≈95% stationary aliveness), enough to keep the
+/// per-tick lifecycle scan and the crashed-inbox drain on the measured
+/// path.
+fn bench_churn() -> FailureModel {
+    FailureModel::Churn {
+        crash_probability: 0.01,
+        recover_probability: 0.2,
+    }
+}
+
 /// A live pool with `events` publications already injected from
 /// distinct leaf members — the fixture of the sustained-delivery rows.
-fn live_fixture(seed: u64, workers: usize, events: usize) -> Runtime<DaProcess> {
+fn live_fixture(
+    seed: u64,
+    workers: usize,
+    events: usize,
+    failure: FailureModel,
+) -> Runtime<DaProcess> {
     let net = network(seed);
     let leaf = net.groups().last().expect("leaf group").members.clone();
     let config = RuntimeConfig::default()
         .with_seed(seed)
-        .with_workers(workers);
+        .with_workers(workers)
+        .with_failures(failure);
     let mut rt = Runtime::spawn(config, net.into_processes());
     for i in 0..events {
         rt.with_process_mut(leaf[i % leaf.len()], |p| p.publish("bench"));
@@ -112,11 +132,11 @@ fn live_fixture(seed: u64, workers: usize, events: usize) -> Runtime<DaProcess> 
 }
 
 /// The identical fixture under the simulator.
-fn sim_fixture(seed: u64, events: usize) -> Engine<DaProcess> {
+fn sim_fixture(seed: u64, events: usize, failure: FailureModel) -> Engine<DaProcess> {
     let net = network(seed);
     let leaf = net.groups().last().expect("leaf group").members.clone();
-    let mut engine: Engine<DaProcess> =
-        Engine::new(SimConfig::default().with_seed(seed), net.into_processes());
+    let config = SimConfig::default().with_seed(seed).with_failure(failure);
+    let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
     for i in 0..events {
         engine.process_mut(leaf[i % leaf.len()]).publish("bench");
     }
@@ -126,7 +146,7 @@ fn sim_fixture(seed: u64, events: usize) -> Engine<DaProcess> {
 /// Publishes one event and drives it to quiescence end-to-end (spin-up
 /// and shutdown included) — the `live_event` row.
 fn live_event_run(seed: u64) -> u64 {
-    let mut rt = live_fixture(seed, 2, 1);
+    let mut rt = live_fixture(seed, 2, 1, FailureModel::None);
     rt.run_until_quiescent(MAX_TICKS);
     let out = rt.shutdown();
     out.counters.get("rt.delivered")
@@ -153,13 +173,13 @@ fn runtime_throughput(c: &mut Criterion) {
     // Sustained delivery: a 16-event burst to quiescence, fixture
     // excluded. The pool (with its threads still up) is returned from
     // the routine so teardown is excluded from the timing too.
-    let mut live_burst_row = |label: String, workers: usize| {
+    let mut live_burst_row = |label: String, workers: usize, failure: fn() -> FailureModel| {
         group.bench_with_input(BenchmarkId::new(label, population), &population, |b, _| {
             let mut seed = 0u64;
             b.iter_batched(
                 || {
                     seed = seed.wrapping_add(1);
-                    live_fixture(seed, workers, BURST)
+                    live_fixture(seed, workers, BURST, failure())
                 },
                 |mut rt| {
                     black_box(rt.run_until_quiescent(MAX_TICKS));
@@ -173,21 +193,26 @@ fn runtime_throughput(c: &mut Criterion) {
     // warmed steady state rather than paying the suite's one-time
     // warm-up costs.
     for workers in [1usize, 2, 4, 8] {
-        live_burst_row(format!("live_burst16_w{workers}"), workers);
+        live_burst_row(format!("live_burst16_w{workers}"), workers, || {
+            FailureModel::None
+        });
     }
-    live_burst_row("live_burst16".into(), HEADLINE_WORKERS);
+    live_burst_row("live_burst16".into(), HEADLINE_WORKERS, || {
+        FailureModel::None
+    });
+    // The same burst with the lifecycle controller live: per-tick churn
+    // draws, crashed-inbox drains, recovery hooks all on the hot path.
+    live_burst_row("live_churn16".into(), HEADLINE_WORKERS, bench_churn);
 
     // Simulator reference: the same topology and burst, single-threaded
     // deterministic rounds, fixture equally excluded.
-    group.bench_with_input(
-        BenchmarkId::new("sim_burst16", population),
-        &population,
-        |b, _| {
+    let mut sim_burst_row = |label: &'static str, failure: fn() -> FailureModel| {
+        group.bench_with_input(BenchmarkId::new(label, population), &population, |b, _| {
             let mut seed = 0u64;
             b.iter_batched(
                 || {
                     seed = seed.wrapping_add(1);
-                    sim_fixture(seed, BURST)
+                    sim_fixture(seed, BURST, failure())
                 },
                 |mut engine| {
                     black_box(engine.run_until_quiescent(MAX_TICKS));
@@ -195,8 +220,10 @@ fn runtime_throughput(c: &mut Criterion) {
                 },
                 BatchSize::SmallInput,
             );
-        },
-    );
+        });
+    };
+    sim_burst_row("sim_burst16", || FailureModel::None);
+    sim_burst_row("sim_churn16", bench_churn);
 
     // Transport isolation: the same 8192-envelope stream to a 4-worker
     // pool, per-envelope channel sends vs per-tick coalesced batches —

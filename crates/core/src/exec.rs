@@ -112,6 +112,16 @@ pub trait ExecProtocol {
     fn on_round<X: Exec<Msg = Self::Msg>>(&mut self, round: u64, ctx: &mut X) {
         let _ = (round, ctx);
     }
+
+    /// Called when the substrate's failure plan recovers this process
+    /// (it was crashed and comes back), at the start of the recovery
+    /// round/tick and before any delivery. The protocol's re-entry
+    /// path: [`crate::DaProcess`] restarts its super-contact bootstrap
+    /// here, since its tables may have gone stale while it was down.
+    /// Default: no-op.
+    fn on_recover<X: Exec<Msg = Self::Msg>>(&mut self, ctx: &mut X) {
+        let _ = ctx;
+    }
 }
 
 #[cfg(test)]

@@ -674,6 +674,19 @@ impl ExecProtocol for DaProcess {
             }
         }
     }
+
+    fn on_recover<X: Exec<Msg = DaMsg>>(&mut self, ctx: &mut X) {
+        // Re-entry after a crash (dynamic mode): whatever the tables held
+        // before the crash may point at processes that moved on, so
+        // restart FIND_SUPER_CONTACT immediately rather than waiting for
+        // the maintenance task to notice dead links. Static mode keeps
+        // its fixed tables — a recovered static member just resumes.
+        if let Some(task) = self.bootstrap.as_mut() {
+            if let BootstrapAction::SendRequest { req_id, topics } = task.start(ctx.round()) {
+                self.flood_request(req_id, topics, ctx);
+            }
+        }
+    }
 }
 
 /// Simulator adapter: the whole protocol lives in the substrate-generic
@@ -692,6 +705,10 @@ impl Protocol for DaProcess {
 
     fn on_round(&mut self, round: u64, ctx: &mut Ctx<'_, DaMsg>) {
         ExecProtocol::on_round(self, round, ctx);
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, DaMsg>) {
+        ExecProtocol::on_recover(self, ctx);
     }
 }
 

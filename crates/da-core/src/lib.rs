@@ -2,29 +2,39 @@
 //!
 //! The pieces of the daMulticast reproduction that belong to *neither*
 //! substrate: the unreliable-channel fault model (Sec. III-A of the
-//! paper) and the deterministic seed-derivation scheme every RNG stream
-//! hangs off.
+//! paper), the process failure models (Sec. VII), the process identity
+//! vocabulary, and the deterministic seed-derivation scheme every RNG
+//! stream hangs off.
 //!
 //! Both execution substrates consume this crate:
 //!
 //! * `da_simnet::Engine` samples loss and latency for every queued send
 //!   through [`channel::ChannelConfig::sample_fate`] on its own engine
-//!   RNG stream — single-threaded, globally ordered draws;
-//! * `da_runtime`'s `FaultyRouter` samples the *same* model per send,
-//!   but on [`channel::EdgeRngs`] — one deterministic stream per
-//!   directed process pair — so the draws a message experiences do not
-//!   depend on how processes are striped across worker threads.
+//!   RNG stream — single-threaded, globally ordered draws — and applies
+//!   a [`failure::FailurePlan`] at the start of every round;
+//! * `da_runtime`'s `FaultyRouter` samples the *same* channel model per
+//!   send, but on [`channel::EdgeRngs`] — one deterministic stream per
+//!   directed process pair — and its `LifecycleController` applies the
+//!   *same* failure plan per worker stripe. Plan fates are drawn from
+//!   stateless `(pid, round)` hashes ([`failure::FailurePlan::churn_flips`]),
+//!   so neither draws nor fates depend on how processes are striped
+//!   across worker threads.
 //!
 //! `da_simnet` re-exports [`channel::ChannelConfig`], [`channel::Latency`],
-//! [`seed::derive_seed`] and [`seed::rng_from_seed`] under their
-//! pre-existing paths, so simulator-facing code is unaffected by the
-//! extraction.
+//! [`failure::FailureModel`], [`failure::FailurePlan`],
+//! [`process::ProcessId`], [`seed::derive_seed`] and the rest of this
+//! crate's surface under their pre-existing paths, so simulator-facing
+//! code is unaffected by the extraction.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod failure;
+pub mod process;
 pub mod seed;
 
 pub use channel::{ChannelConfig, ChannelFate, EdgeRngs, Latency};
-pub use seed::{derive_seed, rng_from_seed};
+pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};
+pub use process::{ProcessId, ProcessStatus};
+pub use seed::{derive_seed, rng_for_process, rng_from_seed};

@@ -1,0 +1,105 @@
+//! Process identity and liveness — the vocabulary both substrates (and
+//! the failure model below them) share.
+//!
+//! Moved here from `da_simnet` so that [`crate::failure`] can script
+//! fates without depending on a substrate; `da_simnet` re-exports both
+//! types under their original paths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a process (`pl` in the paper).
+///
+/// Ids are dense indices into the engine's (or runtime's) process table.
+///
+/// ```
+/// use da_core::ProcessId;
+/// let p = ProcessId(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The raw dense index of this process.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ProcessId(u32::try_from(index).expect("process index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Liveness of a process.
+///
+/// The paper's model (Sec. III-A): "processes might crash and recover (a
+/// process that is not crashed is said to be alive)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessStatus {
+    /// The process executes round hooks and receives messages.
+    Alive,
+    /// The process is crashed: it neither executes nor receives.
+    Crashed,
+}
+
+impl ProcessStatus {
+    /// True when the process is [`ProcessStatus::Alive`].
+    #[must_use]
+    pub fn is_alive(self) -> bool {
+        matches!(self, ProcessStatus::Alive)
+    }
+}
+
+impl fmt::Display for ProcessStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessStatus::Alive => f.write_str("alive"),
+            ProcessStatus::Crashed => f.write_str("crashed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in [0usize, 5, 1000] {
+            assert_eq!(ProcessId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ProcessId(9).to_string(), "p9");
+        assert_eq!(ProcessStatus::Alive.to_string(), "alive");
+        assert_eq!(ProcessStatus::Crashed.to_string(), "crashed");
+    }
+
+    #[test]
+    fn status_predicate() {
+        assert!(ProcessStatus::Alive.is_alive());
+        assert!(!ProcessStatus::Crashed.is_alive());
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(ProcessId(1) < ProcessId(2));
+    }
+}

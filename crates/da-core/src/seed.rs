@@ -31,6 +31,18 @@ pub fn rng_from_seed(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
 }
 
+/// The RNG stream of process `pid` for a run with the given master seed
+/// — the convention **both substrates** use, so a process keeps its
+/// stream whether it executes under the simulator or the live runtime.
+///
+/// Streams of different processes are independent, and independent of
+/// the engine's own channel/failure stream (stream 0 is reserved for
+/// the engine; processes are offset by 1).
+#[must_use]
+pub fn rng_for_process(master: u64, pid: crate::process::ProcessId) -> SmallRng {
+    rng_from_seed(derive_seed(master, u64::from(pid.0) + 1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,8 +9,8 @@
 //! [--quick]`
 
 use da_harness::experiments::live::{
-    ratios_agree_within_3_sigma, reliability_sweep_probabilities, run_live_vs_sim,
-    run_reliability_sweep,
+    churn_sweep_crash_rates, ratios_agree_within_3_sigma, reliability_sweep_probabilities,
+    run_churn_sweep, run_live_vs_sim, run_reliability_sweep,
 };
 use da_harness::experiments::Effort;
 use da_harness::results_dir;
@@ -63,7 +63,37 @@ fn main() {
         }
     }
 
+    // The churn sweep: the same comparison with the process failure
+    // plan (crash/recovery fates shared across substrates) as the axis.
+    let churn = run_churn_sweep(
+        &sizes,
+        &params,
+        &churn_sweep_crash_rates(),
+        0.3,
+        effort.trials(),
+        0xC4A0,
+    );
+    println!("\nchurn sweep (recover probability 0.3):");
+    print!("{}", churn.to_markdown());
+    for row in &churn.rows {
+        let (sim, live) = (&row.values[0], &row.values[1]);
+        let agree = ratios_agree_within_3_sigma(sim, live, 0.02);
+        disagreements += u32::from(!agree);
+        println!(
+            "crash = {:.2}: sim {:.4} vs live {:.4} — {}",
+            row.x,
+            sim.mean,
+            live.mean,
+            if agree {
+                "within 3σ"
+            } else {
+                "DISAGREE beyond 3σ"
+            }
+        );
+    }
+
     let dir = results_dir();
+    churn.write_to(&dir).expect("write churn sweep results");
     table.write_to(&dir).expect("write results");
     println!("\nwritten to {}", dir.display());
     if disagreements > 0 {

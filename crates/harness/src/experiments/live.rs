@@ -23,7 +23,7 @@
 use crate::report::{KeyedTable, SeriesTable};
 use crate::stats::Summary;
 use da_runtime::{Runtime, RuntimeConfig};
-use da_simnet::{derive_seed, ChannelConfig, Engine, Latency, SimConfig};
+use da_simnet::{derive_seed, ChannelConfig, Engine, FailureModel, Latency, SimConfig};
 use damulticast::{DaProcess, EventId, ParamMap, StaticNetwork};
 
 /// Maximum virtual-time budget per trial (rounds or ticks).
@@ -37,12 +37,21 @@ pub fn reliability_sweep_probabilities() -> Vec<f64> {
     vec![1.0, 0.95, 0.9, 0.8]
 }
 
+/// The per-tick crash probabilities the churn sweep covers: the
+/// no-failure corner, gentle churn, and the harsh rate the acceptance
+/// criterion names.
+#[must_use]
+pub fn churn_sweep_crash_rates() -> Vec<f64> {
+    vec![0.0, 0.01, 0.05]
+}
+
 /// One seeded trial on one substrate: per-level delivered fraction, then
 /// parasites, then event messages.
 fn trial_metrics(
     group_sizes: &[usize],
     params: &ParamMap,
     channel: ChannelConfig,
+    failure: &FailureModel,
     seed: u64,
     live: bool,
     live_max_lag: u64,
@@ -57,14 +66,18 @@ fn trial_metrics(
             .with_seed(seed)
             .with_workers(2)
             .with_max_lag(live_max_lag)
-            .with_channel(channel);
+            .with_channel(channel)
+            .with_failures(failure.clone());
         let mut rt = Runtime::spawn(config, net.into_processes());
         rt.with_process_mut(publisher, |p| p.publish("live-vs-sim"));
         rt.run_until_quiescent(MAX_TIME);
         let out = rt.shutdown();
         (out.processes, out.counters)
     } else {
-        let config = SimConfig::default().with_seed(seed).with_channel(channel);
+        let config = SimConfig::default()
+            .with_seed(seed)
+            .with_channel(channel)
+            .with_failure(failure.clone());
         let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
         engine.process_mut(publisher).publish("live-vs-sim");
         engine.run_until_quiescent(MAX_TIME);
@@ -100,11 +113,20 @@ fn delivery_ratio_trial(
     group_sizes: &[usize],
     params: &ParamMap,
     channel: ChannelConfig,
+    failure: &FailureModel,
     seed: u64,
     live: bool,
     live_max_lag: u64,
 ) -> f64 {
-    let per_level = trial_metrics(group_sizes, params, channel, seed, live, live_max_lag);
+    let per_level = trial_metrics(
+        group_sizes,
+        params,
+        channel,
+        failure,
+        seed,
+        live,
+        live_max_lag,
+    );
     let population: usize = group_sizes.iter().sum();
     let delivered: f64 = group_sizes
         .iter()
@@ -143,6 +165,7 @@ pub fn run_live_vs_sim(
                     group_sizes,
                     params,
                     ChannelConfig::reliable(),
+                    &FailureModel::None,
                     derive_seed(base_seed, t as u64),
                     live,
                     1,
@@ -198,12 +221,80 @@ pub fn run_reliability_sweep(
                     // trial) point, so sweep points are independent.
                     let stream = (row as u64) * 2 + u64::from(live);
                     let seed = derive_seed(derive_seed(base_seed, stream), t as u64);
-                    delivery_ratio_trial(group_sizes, params, channel, seed, live, live_max_lag)
+                    delivery_ratio_trial(
+                        group_sizes,
+                        params,
+                        channel,
+                        &FailureModel::None,
+                        seed,
+                        live,
+                        live_max_lag,
+                    )
                 })
                 .collect();
             summaries.push(Summary::of(&samples));
         }
         table.push_row(p, summaries);
+    }
+    table
+}
+
+/// Sweeps the per-tick churn crash probability and tabulates the
+/// overall delivery ratio on both substrates — the dynamic-failure
+/// counterpart of [`run_reliability_sweep`], with the x-axis driven
+/// through the shared `da_core::failure` model that both substrates
+/// consume.
+///
+/// Within one trial, sim and live share the **same seed**, hence the
+/// same materialised `FailurePlan`: the crash/recovery schedule is
+/// fate-matched across substrates, so the comparison isolates what the
+/// substrates may legitimately differ on (thread interleaving), not the
+/// luck of which processes churned. Channels stay perfect so churn is
+/// the only fault axis.
+///
+/// Trials run serially for the same oversubscription reason as
+/// [`run_live_vs_sim`].
+#[must_use]
+pub fn run_churn_sweep(
+    group_sizes: &[usize],
+    params: &ParamMap,
+    crash_rates: &[f64],
+    recover_probability: f64,
+    trials: usize,
+    base_seed: u64,
+) -> SeriesTable {
+    let mut table = SeriesTable::new(
+        "Delivery ratio under continuous churn, live vs simulated",
+        "crash_probability",
+        vec!["delivery_ratio_sim".into(), "delivery_ratio_live".into()],
+    );
+    for (row, &crash) in crash_rates.iter().enumerate() {
+        let failure = FailureModel::Churn {
+            crash_probability: crash,
+            recover_probability,
+        };
+        let mut summaries = Vec::with_capacity(2);
+        for live in [false, true] {
+            let samples: Vec<f64> = (0..trials)
+                .map(|t| {
+                    // Same (rate, trial) seed on both substrates: the
+                    // FailurePlan — and with it every crash/recovery
+                    // fate — is identical across the pair.
+                    let seed = derive_seed(derive_seed(base_seed, row as u64), t as u64);
+                    delivery_ratio_trial(
+                        group_sizes,
+                        params,
+                        ChannelConfig::reliable(),
+                        &failure,
+                        seed,
+                        live,
+                        1,
+                    )
+                })
+                .collect();
+            summaries.push(Summary::of(&samples));
+        }
+        table.push_row(crash, summaries);
     }
     table
 }
@@ -302,6 +393,46 @@ mod tests {
                     live.std_dev
                 );
             }
+        }
+    }
+
+    /// Tentpole acceptance: live and simulated delivery ratios agree
+    /// within 3σ at every swept churn crash rate — the dynamic-failure
+    /// analogue of the reliability criterion, over the shared
+    /// `da_core::failure` plan (fate-matched pairs per trial).
+    #[test]
+    fn churn_sweep_substrates_agree_within_3_sigma() {
+        let rates = churn_sweep_crash_rates();
+        let trials = 6;
+        let table = run_churn_sweep(&[4, 10, 40], &pinned(), &rates, 0.3, trials, 0xC4A0);
+        assert_eq!(table.rows.len(), rates.len());
+        for row in &table.rows {
+            let (sim, live) = (&row.values[0], &row.values[1]);
+            assert_eq!(sim.count, trials);
+            assert_eq!(live.count, trials);
+            // Churned processes legitimately miss events, but the
+            // stationary aliveness (0.3 / (crash + 0.3)) stays ≥ 85%
+            // across the swept rates, so the bulk still delivers.
+            assert!(
+                sim.mean > 0.6 && live.mean > 0.6,
+                "crash = {}: sim {} / live {} — degraded",
+                row.x,
+                sim.mean,
+                live.mean
+            );
+            if row.x == 0.0 {
+                assert!(sim.mean > 0.999 && live.mean > 0.999, "no churn, no loss");
+            }
+            // The 0.02 floor covers the zero-variance no-churn corner.
+            assert!(
+                ratios_agree_within_3_sigma(sim, live, 0.02),
+                "crash = {}: sim {} ± {} vs live {} ± {} disagree beyond 3σ",
+                row.x,
+                sim.mean,
+                sim.std_dev,
+                live.mean,
+                live.std_dev
+            );
         }
     }
 

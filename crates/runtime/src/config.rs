@@ -1,6 +1,7 @@
 //! Runtime configuration.
 
 use da_core::channel::ChannelConfig;
+use da_core::failure::FailureModel;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -37,6 +38,11 @@ pub struct RuntimeConfig {
     /// ([`crate::FaultyRouter`]). The default is a perfect channel:
     /// nothing lost, one-tick latency — the PR 2 behaviour.
     pub channel: ChannelConfig,
+    /// Process failure model applied by the per-worker
+    /// [`crate::LifecycleController`] — the same `da_core::failure`
+    /// model the simulator materialises, so one seed yields identical
+    /// fates on both substrates. The default is no failures.
+    pub failure: FailureModel,
     /// Per-worker inbox capacity. `None` (the default) is unbounded;
     /// `Some(n)` applies send-side backpressure at `n` queued batches.
     /// Bounded inboxes can deadlock a tick when workers flood each other
@@ -68,6 +74,7 @@ impl Default for RuntimeConfig {
             workers: 0,
             seed: 0,
             channel: ChannelConfig::reliable(),
+            failure: FailureModel::default(),
             mailbox_capacity: None,
             tick_timeout_ms: 60_000,
             max_lag: 1,
@@ -101,6 +108,38 @@ impl RuntimeConfig {
     #[must_use]
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
         self.channel = channel;
+        self
+    }
+
+    /// Replaces the process failure model — stillborn fractions,
+    /// per-observer sampling, scripted fates, or continuous churn,
+    /// exactly as accepted by `da_simnet::SimConfig::with_failure`. The
+    /// plan is materialised once at [`crate::Runtime::spawn`] and
+    /// applied per worker stripe by a [`crate::LifecycleController`];
+    /// because every liveness draw is keyed on `(pid, tick)` rather
+    /// than a shared stream, the same seed produces the same
+    /// crash/recovery schedule here as under the simulator, at any
+    /// worker count. (Per-observer draws are per transmission by
+    /// definition and come from per-worker observation streams —
+    /// statistically the paper's Fig. 11 model, with only the
+    /// meaningless global draw order differing from the simulator's.)
+    ///
+    /// ```
+    /// use da_core::failure::FailureModel;
+    /// use da_runtime::RuntimeConfig;
+    ///
+    /// let config = RuntimeConfig::default().with_seed(7).with_failures(
+    ///     FailureModel::Churn {
+    ///         crash_probability: 0.01,
+    ///         recover_probability: 0.2,
+    ///     },
+    /// );
+    /// assert!(matches!(config.failure, FailureModel::Churn { .. }));
+    /// assert_eq!(RuntimeConfig::default().failure, FailureModel::None);
+    /// ```
+    #[must_use]
+    pub fn with_failures(mut self, failure: FailureModel) -> Self {
+        self.failure = failure;
         self
     }
 
@@ -195,13 +234,22 @@ mod tests {
             .with_channel(ChannelConfig::paper_default())
             .with_mailbox_capacity(128)
             .with_tick_timeout_ms(5)
-            .with_max_lag(4);
+            .with_max_lag(4)
+            .with_failures(FailureModel::Stillborn {
+                alive_fraction: 0.9,
+            });
         assert_eq!(c.workers, 3);
         assert_eq!(c.seed, 9);
         assert_eq!(c.channel, ChannelConfig::paper_default());
         assert_eq!(c.mailbox_capacity, Some(128));
         assert_eq!(c.tick_timeout(), Duration::from_millis(5));
         assert_eq!(c.max_lag, 4);
+        assert_eq!(
+            c.failure,
+            FailureModel::Stillborn {
+                alive_fraction: 0.9
+            }
+        );
     }
 
     #[test]

@@ -30,14 +30,26 @@
 //!   observes the reported tick frontier to keep `step_tick` /
 //!   `run_until_quiescent` semantics exact — including never executing
 //!   a tick past the quiescent one;
+//! * **process failures** — a per-worker [`LifecycleController`]
+//!   applies the same `da_core::failure` plan the simulator
+//!   materialises (configured via [`RuntimeConfig::with_failures`]):
+//!   stillborn processes never start, scripted fates and churn draws
+//!   crash/recover processes at the start of their tick, messages owed
+//!   to a crashed process are consumed as `rt.dropped_crashed`,
+//!   per-observer transmissions drop as `rt.dropped_observed_failed`,
+//!   and a recovered process re-enters through its `on_recover` hook
+//!   (the protocol's bootstrap path). All liveness draws are keyed on
+//!   `(pid, tick)`, so one seed yields the identical crash/recovery
+//!   schedule on both substrates at any worker count;
 //! * **sharded metrics** — each worker counts into a registry it owns
 //!   outright (plain array increments, id-keyed on the transport hot
 //!   path) and publishes per-tick snapshots into [`ShardedCounters`];
 //!   snapshots merge on demand into the same `da_simnet::Counters`
 //!   registry the harness already reads;
 //! * **graceful shutdown** — [`Runtime::shutdown`] stops the pool,
-//!   joins every worker, and hands back the protocol instances for
-//!   inspection, exactly like `Engine::into_processes`.
+//!   joins every worker, and hands back the protocol instances (plus
+//!   their final liveness) for inspection, exactly like
+//!   `Engine::into_processes`.
 //!
 //! Delivery order *within* a tick is whatever the threads produce — the
 //! substrate is concurrent, not deterministic — but the protocol's
@@ -72,12 +84,14 @@
 #![warn(missing_docs)]
 
 mod config;
+mod lifecycle;
 mod metrics;
 mod runtime;
 mod transport;
 mod wheel;
 
 pub use config::RuntimeConfig;
+pub use lifecycle::{LifecycleController, LifecycleTransitions};
 pub use metrics::ShardedCounters;
 pub use runtime::{Runtime, Shutdown, TickReport};
 pub use transport::{Batch, EdgeWatermarks, Envelope, FaultyRouter, FlushReport, Router, SendFate};

@@ -13,72 +13,8 @@
 //! is a value `memcpy` whenever the counter set has not grown
 //! ([`Counters::copy_values_from`]).
 
-use da_simnet::{CounterId, Counters};
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use da_simnet::Counters;
 use std::sync::Mutex;
-
-/// A multiply-xor hasher (the rustc-hash / FxHash construction) for the
-/// worker-local label cache: protocol labels are short (`da.intra..t1`),
-/// so hashing them dominates the lookup under the default SipHash. This
-/// is not DoS-resistant — fine for a cache keyed by a protocol's own
-/// static label set, never by external input.
-#[derive(Debug, Default)]
-struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-    fn mix(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut tail = 0u64;
-            for (i, b) in rest.iter().enumerate() {
-                tail |= u64::from(*b) << (8 * i);
-            }
-            self.mix(tail);
-        }
-        self.mix(bytes.len() as u64);
-    }
-
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
-/// Worker-local interning of protocol counter labels, so the per-message
-/// `Exec::bump(label)` path costs one fast-hash lookup instead of a
-/// SipHash registration probe in the owned `Counters` registry. Ids are
-/// only meaningful against the registry they were interned into — the
-/// cache lives and dies with its worker.
-#[derive(Debug, Default)]
-pub(crate) struct LabelCache {
-    map: HashMap<String, CounterId, BuildHasherDefault<FxHasher>>,
-}
-
-impl LabelCache {
-    /// The id of `label` in `counters`, interning it on first sight.
-    pub(crate) fn id(&mut self, counters: &mut Counters, label: &str) -> CounterId {
-        if let Some(&id) = self.map.get(label) {
-            return id;
-        }
-        let id = counters.register(label);
-        self.map.insert(label.to_owned(), id);
-        id
-    }
-}
 
 /// Per-worker counter snapshots with on-demand merging.
 ///
@@ -210,25 +146,6 @@ mod tests {
         let merged = s.merged();
         assert_eq!(merged.get("first"), 2);
         assert_eq!(merged.get("second"), 1);
-    }
-
-    #[test]
-    fn label_cache_interns_consistently() {
-        let mut counters = Counters::new();
-        let mut cache = LabelCache::default();
-        let a1 = cache.id(&mut counters, "da.intra..t1");
-        let a2 = cache.id(&mut counters, "da.intra..t1");
-        let b = cache.id(&mut counters, "da.inter_out..t1");
-        assert_eq!(a1, a2);
-        assert_ne!(a1, b);
-        // Ids round-trip through the registry they were interned into.
-        counters.add(a1, 3);
-        counters.add(b, 1);
-        assert_eq!(counters.get("da.intra..t1"), 3);
-        assert_eq!(counters.get("da.inter_out..t1"), 1);
-        // A label registered directly first still resolves to the same id.
-        let direct = counters.register("da.parasite");
-        assert_eq!(cache.id(&mut counters, "da.parasite"), direct);
     }
 
     #[test]

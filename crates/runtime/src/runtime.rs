@@ -36,11 +36,12 @@
 //! flight".
 
 use crate::config::RuntimeConfig;
-use crate::metrics::{LabelCache, ShardedCounters};
+use crate::lifecycle::LifecycleController;
+use crate::metrics::ShardedCounters;
 use crate::transport::{Batch, EdgeWatermarks, Envelope, FaultyRouter, Router, SendFate};
 use crate::wheel::DelayWheel;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
-use da_simnet::{rng_for_process, CounterId, Counters, ProcessId, WireSize};
+use da_simnet::{rng_for_process, CounterId, Counters, ProcessId, ProcessStatus, WireSize};
 use damulticast::{Exec, ExecProtocol};
 use rand::rngs::SmallRng;
 use std::collections::BTreeMap;
@@ -61,6 +62,10 @@ struct HotIds {
     dropped_channel: CounterId,
     dropped_closed: CounterId,
     dropped_shutdown: CounterId,
+    dropped_crashed: CounterId,
+    dropped_observed: CounterId,
+    churn_crashes: CounterId,
+    churn_recoveries: CounterId,
 }
 
 impl HotIds {
@@ -72,6 +77,10 @@ impl HotIds {
             dropped_channel: counters.register("rt.dropped_channel"),
             dropped_closed: counters.register("rt.dropped_closed"),
             dropped_shutdown: counters.register("rt.dropped_shutdown"),
+            dropped_crashed: counters.register("rt.dropped_crashed"),
+            dropped_observed: counters.register("rt.dropped_observed_failed"),
+            churn_crashes: counters.register("rt.churn_crashes"),
+            churn_recoveries: counters.register("rt.churn_recoveries"),
         }
     }
 }
@@ -104,7 +113,6 @@ struct LiveCtx<'a, M> {
     rng: &'a mut SmallRng,
     counters: &'a mut Counters,
     ids: &'a HotIds,
-    labels: &'a mut LabelCache,
     router: &'a mut FaultyRouter<M>,
     sent: &'a mut u64,
     queued: &'a mut u64,
@@ -137,12 +145,12 @@ impl<M: WireSize> Exec for LiveCtx<'_, M> {
     }
 
     fn bump(&mut self, label: &str) {
-        let id = self.labels.id(self.counters, label);
+        let id = self.counters.register(label);
         self.counters.add(id, 1);
     }
 
     fn add(&mut self, label: &str, delta: u64) {
-        let id = self.labels.id(self.counters, label);
+        let id = self.counters.register(label);
         self.counters.add(id, delta);
     }
 }
@@ -170,11 +178,15 @@ struct WorkerReport {
     sent: u64,
     /// Sends that survived the channel (queued toward an inbox) — the
     /// coordinator's delivery ledger adds these and subtracts
-    /// `delivered`/`dropped_closed` to know, exactly, whether anything
-    /// is still in flight when a tick looks quiet.
+    /// `delivered`/`dropped_closed`/`dropped_crashed` to know, exactly,
+    /// whether anything is still in flight when a tick looks quiet.
     queued: u64,
     delivered: u64,
     dropped_closed: u64,
+    /// Envelopes consumed from flight at their due tick without being
+    /// delivered: the destination was crashed (`rt.dropped_crashed`) or
+    /// the per-observer draw failed (`rt.dropped_observed_failed`).
+    undeliverable: u64,
     pending: u64,
 }
 
@@ -226,6 +238,7 @@ struct PartialTick {
     queued: u64,
     delivered: u64,
     dropped_closed: u64,
+    undeliverable: u64,
     pending: u64,
     loud: bool,
 }
@@ -237,6 +250,7 @@ impl PartialTick {
         self.queued += r.queued;
         self.delivered += r.delivered;
         self.dropped_closed += r.dropped_closed;
+        self.undeliverable += r.undeliverable;
         self.pending += r.pending;
         self.loud |= r.is_loud();
     }
@@ -261,7 +275,8 @@ struct Worker<P: ExecProtocol> {
     /// snapshotted into `shards` once per tick.
     counters: Counters,
     ids: HotIds,
-    labels: LabelCache,
+    /// Liveness of the owned stripe under the shared failure plan.
+    lifecycle: LifecycleController,
     /// Envelopes that survived the channel but carry latency > 1: parked
     /// here until the local clock reaches their due tick.
     wheel: DelayWheel<P::Msg>,
@@ -295,7 +310,7 @@ where
 
     /// The worker main loop: execute every granted-and-gated tick, park
     /// when the horizon is exhausted, stop on command.
-    fn run(mut self) -> Vec<(ProcessId, P)> {
+    fn run(mut self) -> Vec<(ProcessId, P, ProcessStatus)> {
         'main: loop {
             while self.next_tick < self.sched.horizon.load(Ordering::SeqCst) {
                 let tick = self.next_tick;
@@ -316,10 +331,17 @@ where
         self.account_shutdown_in_flight();
         self.shards.publish(self.id, &self.counters);
         let (id, stride) = (self.id, self.stride);
+        let lifecycle = self.lifecycle;
         self.procs
             .into_iter()
             .enumerate()
-            .map(|(i, p)| (ProcessId::from_index(id + i * stride), p))
+            .map(|(i, p)| {
+                (
+                    ProcessId::from_index(id + i * stride),
+                    p,
+                    lifecycle.status(i),
+                )
+            })
             .collect()
     }
 
@@ -394,9 +416,28 @@ where
         }
     }
 
-    /// Hands one due envelope to its owner's `on_message` hook.
-    fn deliver(&mut self, env: Envelope<P::Msg>, tick: u64, sent: &mut u64, queued: &mut u64) {
+    /// Hands one due envelope to its owner's `on_message` hook — unless
+    /// the owner is crashed (consumed as `rt.dropped_crashed`, the live
+    /// analogue of the simulator's `sim.dropped_dead`) or the
+    /// per-observer model draws the target as failed for this
+    /// transmission (`rt.dropped_observed_failed`). Returns `true` when
+    /// the message was delivered.
+    fn deliver(
+        &mut self,
+        env: Envelope<P::Msg>,
+        tick: u64,
+        sent: &mut u64,
+        queued: &mut u64,
+    ) -> bool {
         let local = self.local_index(env.to);
+        if !self.lifecycle.is_alive(local) {
+            self.counters.add(self.ids.dropped_crashed, 1);
+            return false;
+        }
+        if !self.lifecycle.observes_alive() {
+            self.counters.add(self.ids.dropped_observed, 1);
+            return false;
+        }
         self.counters.add(self.ids.delivered, 1);
         let mut ctx = LiveCtx {
             me: env.to,
@@ -404,26 +445,61 @@ where
             rng: &mut self.rngs[local],
             counters: &mut self.counters,
             ids: &self.ids,
-            labels: &mut self.labels,
             router: &mut self.faulty,
             sent,
             queued,
         };
         self.procs[local].on_message(env.from, env.msg, &mut ctx);
+        true
     }
 
-    /// One tick: release delay-wheel messages due now, drain the inbox
-    /// (delivering due envelopes, parking delayed ones), run the round
-    /// hooks, flush this tick's coalesced outgoing batches, then publish
-    /// the watermarks that let receivers advance past it.
+    /// One tick: apply the failure plan's transitions (running
+    /// `on_recover` for processes that came back), release delay-wheel
+    /// messages due now, drain the inbox (delivering due envelopes,
+    /// parking delayed ones, dropping ones owed to crashed processes),
+    /// run the round hooks for alive processes, flush this tick's
+    /// coalesced outgoing batches, then publish the watermarks that let
+    /// receivers advance past it.
     fn run_tick(&mut self, tick: u64) -> WorkerReport {
         let mut sent = 0u64;
         let mut queued = 0u64;
         let mut delivered = 0u64;
+        let mut undeliverable = 0u64;
+
+        // Liveness transitions apply at the start of the tick, exactly
+        // where the simulator applies them in `step_round`; recovered
+        // processes re-enter through their `on_recover` hook before any
+        // delivery of the tick.
+        let transitions = self.lifecycle.begin_tick(tick);
+        if transitions.churn_crashes > 0 {
+            self.counters
+                .add(self.ids.churn_crashes, transitions.churn_crashes);
+        }
+        if transitions.churn_recoveries > 0 {
+            self.counters
+                .add(self.ids.churn_recoveries, transitions.churn_recoveries);
+        }
+        for i in transitions.recovered {
+            let me = self.pid_of(i);
+            let mut ctx = LiveCtx {
+                me,
+                tick,
+                rng: &mut self.rngs[i],
+                counters: &mut self.counters,
+                ids: &self.ids,
+                router: &mut self.faulty,
+                sent: &mut sent,
+                queued: &mut queued,
+            };
+            self.procs[i].on_recover(&mut ctx);
+        }
 
         if !self.started {
             self.started = true;
             for i in 0..self.procs.len() {
+                if !self.lifecycle.is_alive(i) {
+                    continue; // stillborn (or crashed at tick 0)
+                }
                 let me = self.pid_of(i);
                 let mut ctx = LiveCtx {
                     me,
@@ -431,7 +507,6 @@ where
                     rng: &mut self.rngs[i],
                     counters: &mut self.counters,
                     ids: &self.ids,
-                    labels: &mut self.labels,
                     router: &mut self.faulty,
                     sent: &mut sent,
                     queued: &mut queued,
@@ -448,8 +523,11 @@ where
         // (their output is due later than the tick being drained, by the
         // watermark invariant).
         for env in self.wheel.take_due(tick) {
-            delivered += 1;
-            self.deliver(env, tick, &mut sent, &mut queued);
+            if self.deliver(env, tick, &mut sent, &mut queued) {
+                delivered += 1;
+            } else {
+                undeliverable += 1;
+            }
         }
         while let Ok(batch) = self.inbox.try_recv() {
             for env in batch {
@@ -460,16 +538,22 @@ where
                         "due tick {} missed at local tick {tick}",
                         env.due_tick
                     );
-                    delivered += 1;
-                    self.deliver(env, tick, &mut sent, &mut queued);
+                    if self.deliver(env, tick, &mut sent, &mut queued) {
+                        delivered += 1;
+                    } else {
+                        undeliverable += 1;
+                    }
                 } else {
                     self.wheel.schedule(env);
                 }
             }
         }
 
-        // Round hooks, in pid order within the stripe.
+        // Round hooks for alive processes, in pid order within the stripe.
         for i in 0..self.procs.len() {
+            if !self.lifecycle.is_alive(i) {
+                continue;
+            }
             let me = self.pid_of(i);
             let mut ctx = LiveCtx {
                 me,
@@ -477,7 +561,6 @@ where
                 rng: &mut self.rngs[i],
                 counters: &mut self.counters,
                 ids: &self.ids,
-                labels: &mut self.labels,
                 router: &mut self.faulty,
                 sent: &mut sent,
                 queued: &mut queued,
@@ -501,6 +584,7 @@ where
             queued,
             delivered,
             dropped_closed: flush.dropped_closed,
+            undeliverable,
             pending: self.wheel.len() as u64,
         }
     }
@@ -536,7 +620,7 @@ where
 pub struct Runtime<P: ExecProtocol> {
     controls: Vec<Sender<Control<P>>>,
     reports: Receiver<WorkerReport>,
-    handles: Vec<JoinHandle<Vec<(ProcessId, P)>>>,
+    handles: Vec<JoinHandle<Vec<(ProcessId, P, ProcessStatus)>>>,
     counters: Arc<ShardedCounters>,
     sched: Arc<SchedulerState>,
     population: usize,
@@ -560,6 +644,9 @@ pub struct Shutdown<P> {
     /// Every protocol instance, in pid order — the live counterpart of
     /// `Engine::into_processes`.
     pub processes: Vec<P>,
+    /// Final liveness of every process under the failure plan, in pid
+    /// order — the live counterpart of `Engine::status`.
+    pub statuses: Vec<ProcessStatus>,
     /// Final merged metrics snapshot. Messages still in flight when the
     /// pool stopped (possible under latency models above one tick) are
     /// counted under `rt.dropped_shutdown`.
@@ -602,6 +689,11 @@ where
         });
         let (report_tx, report_rx) = channel::unbounded();
 
+        // One materialisation of the failure plan, shared by every
+        // worker's LifecycleController: same seed, same fates — and the
+        // same fates the simulator would draw.
+        let plan = Arc::new(config.failure.materialize(population, config.seed));
+
         // Stripe processes and their seeded RNG streams across workers.
         let mut proc_stripes: Vec<Vec<P>> = (0..workers).map(|_| Vec::new()).collect();
         let mut rng_stripes: Vec<Vec<SmallRng>> = (0..workers).map(|_| Vec::new()).collect();
@@ -621,6 +713,7 @@ where
             let (control_tx, control_rx) = channel::unbounded();
             let mut local = Counters::new();
             let ids = HotIds::register(&mut local);
+            let lifecycle = LifecycleController::new(Arc::clone(&plan), id, workers, procs.len());
             let worker = Worker {
                 id,
                 stride: workers,
@@ -633,7 +726,7 @@ where
                 shards: Arc::clone(&counters),
                 counters: local,
                 ids,
-                labels: LabelCache::default(),
+                lifecycle,
                 wheel: DelayWheel::new(),
                 sched: Arc::clone(&sched),
                 lag: config.effective_lag(),
@@ -746,7 +839,7 @@ where
         }
         let agg = self.backlog.remove(&tick).expect("tick was just finalized");
         self.in_flight = (self.in_flight + agg.queued)
-            .checked_sub(agg.delivered + agg.dropped_closed)
+            .checked_sub(agg.delivered + agg.dropped_closed + agg.undeliverable)
             .expect("delivery ledger went negative");
         TickReport {
             tick,
@@ -865,14 +958,21 @@ where
         for control in &self.controls {
             let _ = control.send(Control::Stop);
         }
-        let mut tagged: Vec<(ProcessId, P)> = self
+        let mut tagged: Vec<(ProcessId, P, ProcessStatus)> = self
             .handles
             .drain(..)
             .flat_map(|h| h.join().expect("runtime worker panicked"))
             .collect();
-        tagged.sort_by_key(|(pid, _)| *pid);
+        tagged.sort_by_key(|(pid, _, _)| *pid);
+        let mut processes = Vec::with_capacity(tagged.len());
+        let mut statuses = Vec::with_capacity(tagged.len());
+        for (_, p, status) in tagged {
+            processes.push(p);
+            statuses.push(status);
+        }
         Shutdown {
-            processes: tagged.into_iter().map(|(_, p)| p).collect(),
+            processes,
+            statuses,
             counters: self.counters.merged(),
         }
     }
@@ -1377,6 +1477,213 @@ mod tests {
         // The stream belongs to the process, not the worker: regrouping
         // the pool must not change the first draw of any process.
         assert_eq!(run(2), run(4));
+    }
+
+    /// A protocol probe recording exactly which rounds it executed and
+    /// how often it was recovered — the full observable lifecycle
+    /// schedule of a process.
+    #[derive(Clone, Debug, Default)]
+    struct LifeProbe {
+        rounds: Vec<u64>,
+        started: bool,
+        recoveries: u64,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Nix;
+    impl WireSize for Nix {
+        fn wire_size(&self) -> usize {
+            0
+        }
+    }
+
+    impl ExecProtocol for LifeProbe {
+        type Msg = Nix;
+        fn on_start<X: Exec<Msg = Nix>>(&mut self, _ctx: &mut X) {
+            self.started = true;
+        }
+        fn on_message<X: Exec<Msg = Nix>>(&mut self, _f: ProcessId, _m: Nix, _c: &mut X) {}
+        fn on_round<X: Exec<Msg = Nix>>(&mut self, round: u64, _ctx: &mut X) {
+            self.rounds.push(round);
+        }
+        fn on_recover<X: Exec<Msg = Nix>>(&mut self, _ctx: &mut X) {
+            self.recoveries += 1;
+        }
+    }
+
+    impl da_simnet::Protocol for LifeProbe {
+        type Msg = Nix;
+        fn on_start(&mut self, ctx: &mut da_simnet::Ctx<'_, Nix>) {
+            ExecProtocol::on_start(self, ctx);
+        }
+        fn on_message(&mut self, f: ProcessId, m: Nix, c: &mut da_simnet::Ctx<'_, Nix>) {
+            ExecProtocol::on_message(self, f, m, c);
+        }
+        fn on_round(&mut self, round: u64, ctx: &mut da_simnet::Ctx<'_, Nix>) {
+            ExecProtocol::on_round(self, round, ctx);
+        }
+        fn on_recover(&mut self, ctx: &mut da_simnet::Ctx<'_, Nix>) {
+            ExecProtocol::on_recover(self, ctx);
+        }
+    }
+
+    /// Tentpole acceptance: the same seed materialises the same
+    /// `FailurePlan` fates on the simulator and on the runtime,
+    /// regardless of worker count — every process executes the exact
+    /// same set of rounds, is recovered the same number of times, and
+    /// ends in the same status.
+    #[test]
+    fn failure_fates_match_the_simulator_at_any_worker_count() {
+        use da_core::failure::FailureModel;
+        const N: usize = 12;
+        const TICKS: u64 = 40;
+        let model = || FailureModel::Churn {
+            crash_probability: 0.15,
+            recover_probability: 0.3,
+        };
+
+        let mut engine = da_simnet::Engine::new(
+            da_simnet::SimConfig::default()
+                .with_seed(11)
+                .with_failure(model()),
+            (0..N).map(|_| LifeProbe::default()).collect(),
+        );
+        engine.run_rounds(TICKS);
+        let sim_statuses: Vec<bool> = (0..N)
+            .map(|i| engine.status(ProcessId::from_index(i)).is_alive())
+            .collect();
+        let sim_crashes = engine.counters().get("sim.churn_crashes");
+        let sim_recoveries = engine.counters().get("sim.churn_recoveries");
+        let sim_probes: Vec<LifeProbe> = engine.into_processes();
+
+        for workers in [1usize, 4] {
+            let config = RuntimeConfig::default()
+                .with_workers(workers)
+                .with_seed(11)
+                .with_failures(model());
+            let mut rt = Runtime::spawn(config, (0..N).map(|_| LifeProbe::default()).collect());
+            rt.run_ticks(TICKS);
+            let out = rt.shutdown();
+            for (pid, (sim, live)) in sim_probes.iter().zip(&out.processes).enumerate() {
+                assert_eq!(
+                    sim.rounds, live.rounds,
+                    "process {pid} executed different rounds at {workers} workers"
+                );
+                assert_eq!(sim.recoveries, live.recoveries, "process {pid} recoveries");
+            }
+            let live_statuses: Vec<bool> = out.statuses.iter().map(|s| s.is_alive()).collect();
+            assert_eq!(
+                sim_statuses, live_statuses,
+                "{workers} workers: final liveness"
+            );
+            assert_eq!(out.counters.get("rt.churn_crashes"), sim_crashes);
+            assert_eq!(out.counters.get("rt.churn_recoveries"), sim_recoveries);
+        }
+        assert!(sim_crashes > 0 && sim_recoveries > 0, "the run saw churn");
+    }
+
+    /// Stillborn processes are applied at spawn: they never run
+    /// `on_start`, never execute a round — and the crashed set is the
+    /// plan's, identical to the simulator's.
+    #[test]
+    fn stillborn_processes_never_start() {
+        use da_core::failure::FailureModel;
+        let config = RuntimeConfig::default()
+            .with_workers(3)
+            .with_seed(5)
+            .with_failures(FailureModel::Stillborn {
+                alive_fraction: 0.5,
+            });
+        let plan = FailureModel::Stillborn {
+            alive_fraction: 0.5,
+        }
+        .materialize(10, 5);
+        let mut rt = Runtime::spawn(config, (0..10).map(|_| LifeProbe::default()).collect());
+        rt.run_ticks(5);
+        let out = rt.shutdown();
+        for (i, p) in out.processes.iter().enumerate() {
+            let crashed = plan.is_initially_crashed(ProcessId::from_index(i));
+            assert_eq!(p.started, !crashed, "process {i} started");
+            assert_eq!(p.rounds.is_empty(), crashed, "process {i} rounds");
+            assert_eq!(out.statuses[i].is_alive(), !crashed);
+        }
+        assert_eq!(out.counters.get("rt.dropped_crashed"), 0);
+    }
+
+    /// Mid-flight crash accounting is exact: envelopes owed to a crashed
+    /// process drain to `rt.dropped_crashed`, quiescence is still
+    /// reached, and every envelope ends in exactly one of delivered /
+    /// `rt.dropped_channel` / `rt.dropped_crashed` /
+    /// `rt.dropped_shutdown`.
+    #[test]
+    fn crashed_inbox_drains_to_dropped_crashed() {
+        use da_core::failure::{FailureModel, Fate};
+        for (workers, max_lag, latency) in [(2, 1, 1), (3, 3, 3)] {
+            let config = RuntimeConfig::default()
+                .with_workers(workers)
+                .with_seed(3)
+                .with_max_lag(max_lag)
+                .with_channel(ChannelConfig::reliable().with_latency(Latency::Fixed(latency)))
+                .with_failures(FailureModel::Schedule(vec![Fate {
+                    round: 2,
+                    pid: ProcessId(1),
+                    crash: true,
+                }]));
+            let mut rt = Runtime::spawn(config, relay_procs(6));
+            let executed = rt.run_until_quiescent(64);
+            assert!(executed < 64, "crashed receivers must not wedge the run");
+            let out = rt.shutdown();
+            let sent = out.counters.get("rt.sent");
+            let delivered = out.counters.get("rt.delivered");
+            let dropped_crashed = out.counters.get("rt.dropped_crashed");
+            let dropped_shutdown = out.counters.get("rt.dropped_shutdown");
+            // p1 crashes at tick 2, so it only sends in ticks 0 and 1:
+            // 5 x 5 + 2 sends in total.
+            assert_eq!(sent, 27, "crashed processes stop sending");
+            assert!(
+                dropped_crashed > 0,
+                "p1's inbox must drain to rt.dropped_crashed"
+            );
+            assert_eq!(
+                delivered + dropped_crashed + dropped_shutdown,
+                sent,
+                "workers={workers} lag={max_lag}: every envelope exactly once"
+            );
+            assert!(!out.statuses[1].is_alive());
+            let received: u64 = out.processes.iter().map(|p| p.received.len() as u64).sum();
+            assert_eq!(received, delivered);
+        }
+    }
+
+    /// The per-observer model (paper Fig. 11) live: every transmission
+    /// independently observes its target as failed with probability
+    /// `1 - alive_fraction`, nobody is globally crashed, and the
+    /// envelope accounting stays exact.
+    #[test]
+    fn per_observer_drops_fraction_live() {
+        use da_core::failure::FailureModel;
+        let config = RuntimeConfig::default()
+            .with_workers(3)
+            .with_seed(13)
+            .with_failures(FailureModel::PerObserver {
+                alive_fraction: 0.7,
+            });
+        let mut rt = Runtime::spawn(config, relay_procs(10));
+        let executed = rt.run_until_quiescent(64);
+        assert!(executed < 64);
+        let out = rt.shutdown();
+        let sent = out.counters.get("rt.sent");
+        let delivered = out.counters.get("rt.delivered");
+        let observed = out.counters.get("rt.dropped_observed_failed");
+        assert_eq!(sent, 50, "10 senders x ticks 0..5");
+        assert_eq!(delivered + observed, sent, "every envelope accounted");
+        assert!(
+            (5..25).contains(&observed),
+            "observer drops {observed}/{sent}, expected ≈ 15"
+        );
+        // Nobody is actually crashed in this model.
+        assert!(out.statuses.iter().all(|s| s.is_alive()));
+        assert_eq!(out.counters.get("rt.dropped_crashed"), 0);
     }
 
     /// Channel fates key off the edge, not the worker: the multiset of

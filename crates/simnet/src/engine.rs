@@ -2,13 +2,12 @@
 
 use crate::event::MessageQueue;
 use crate::failure::{FailureModel, FailurePlan};
-use crate::metrics::Counters;
+use crate::metrics::{CounterId, Counters};
 use crate::process::{ProcessId, ProcessStatus};
 use crate::rng::{derive_seed, rng_for_process, rng_from_seed};
 use crate::wire::WireSize;
 use da_core::channel::{ChannelConfig, ChannelFate};
 use rand::rngs::SmallRng;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A protocol running at every simulated process.
@@ -35,6 +34,15 @@ pub trait Protocol {
     /// that round. Default: no-op.
     fn on_round(&mut self, round: u64, ctx: &mut Ctx<'_, Self::Msg>) {
         let _ = (round, ctx);
+    }
+
+    /// Called when the failure plan recovers this process (a scripted
+    /// [`crate::Fate`] or a churn draw), at the start of the recovery
+    /// round and before any delivery — the protocol's chance to re-enter
+    /// via its bootstrap path. Not invoked by the manual
+    /// [`Engine::recover`] escape hatch. Default: no-op.
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
     }
 }
 
@@ -143,6 +151,37 @@ impl RoundReport {
     }
 }
 
+/// Pre-registered ids for the counters the engine hot path touches on
+/// every send and delivery, so simulating a message costs array
+/// increments instead of string-keyed map probes — the same fast path
+/// the live runtime's transport uses.
+#[derive(Debug, Clone, Copy)]
+struct SimHotIds {
+    sent: CounterId,
+    bytes_sent: CounterId,
+    delivered: CounterId,
+    dropped_channel: CounterId,
+    dropped_dead: CounterId,
+    dropped_observed_failed: CounterId,
+    churn_crashes: CounterId,
+    churn_recoveries: CounterId,
+}
+
+impl SimHotIds {
+    fn register(counters: &mut Counters) -> Self {
+        SimHotIds {
+            sent: counters.register("sim.sent"),
+            bytes_sent: counters.register("sim.bytes_sent"),
+            delivered: counters.register("sim.delivered"),
+            dropped_channel: counters.register("sim.dropped_channel"),
+            dropped_dead: counters.register("sim.dropped_dead"),
+            dropped_observed_failed: counters.register("sim.dropped_observed_failed"),
+            churn_crashes: counters.register("sim.churn_crashes"),
+            churn_recoveries: counters.register("sim.churn_recoveries"),
+        }
+    }
+}
+
 /// The round-driven simulation engine.
 ///
 /// Owns one [`Protocol`] instance per process (`ProcessId` = index), the
@@ -154,6 +193,7 @@ pub struct Engine<P: Protocol> {
     rngs: Vec<SmallRng>,
     queue: MessageQueue<P::Msg>,
     counters: Counters,
+    hot: SimHotIds,
     channel: ChannelConfig,
     plan: FailurePlan,
     engine_rng: SmallRng,
@@ -178,12 +218,15 @@ impl<P: Protocol> Engine<P> {
         let rngs = (0..population)
             .map(|i| rng_for_process(config.seed, ProcessId::from_index(i)))
             .collect();
+        let mut counters = Counters::new();
+        let hot = SimHotIds::register(&mut counters);
         Engine {
             processes,
             status,
             rngs,
             queue: MessageQueue::new(),
-            counters: Counters::new(),
+            counters,
+            hot,
             channel: config.channel,
             observer_rng: rng_from_seed(plan.observation_seed()),
             plan,
@@ -297,9 +340,10 @@ impl<P: Protocol> Engine<P> {
         self.queue.next_round()
     }
 
-    /// Runs one round: applies scheduled fates, calls `on_start` hooks
-    /// (first round only), delivers all messages due, then runs
-    /// `on_round` for every alive process in pid order.
+    /// Runs one round: applies scheduled fates and churn draws (invoking
+    /// [`Protocol::on_recover`] for plan-driven recoveries), calls
+    /// `on_start` hooks (first round only), delivers all messages due,
+    /// then runs `on_round` for every alive process in pid order.
     pub fn step_round(&mut self) -> RoundReport {
         let round = self.round;
         let mut report = RoundReport {
@@ -309,30 +353,71 @@ impl<P: Protocol> Engine<P> {
 
         // Scripted fates apply at the start of the round.
         let fates: Vec<_> = self.plan.fates_at(round).copied().collect();
+        let mut recovered: Vec<usize> = Vec::new();
         for fate in fates {
-            self.status[fate.pid.index()] = if fate.crash {
-                ProcessStatus::Crashed
+            let i = fate.pid.index();
+            if fate.crash {
+                self.status[i] = ProcessStatus::Crashed;
             } else {
-                ProcessStatus::Alive
-            };
+                if !self.status[i].is_alive() {
+                    recovered.push(i);
+                }
+                self.status[i] = ProcessStatus::Alive;
+            }
         }
 
-        // Continuous churn: independent crash/recovery draws per process.
-        if let Some(rates) = self.plan.churn() {
-            for status in &mut self.status {
-                if status.is_alive() {
-                    if rates.crash > 0.0 && self.engine_rng.gen_bool(rates.crash) {
-                        *status = ProcessStatus::Crashed;
-                        self.counters.bump("sim.churn_crashes");
+        // Continuous churn: stateless per-(pid, round) draws from the
+        // shared plan — the exact fates the live runtime reproduces.
+        if self.plan.churn().is_some() {
+            for i in 0..self.status.len() {
+                let alive = self.status[i].is_alive();
+                if self
+                    .plan
+                    .churn_flips(ProcessId::from_index(i), round, alive)
+                {
+                    if alive {
+                        self.status[i] = ProcessStatus::Crashed;
+                        self.counters.add(self.hot.churn_crashes, 1);
+                    } else {
+                        self.status[i] = ProcessStatus::Alive;
+                        self.counters.add(self.hot.churn_recoveries, 1);
+                        recovered.push(i);
                     }
-                } else if rates.recover > 0.0 && self.engine_rng.gen_bool(rates.recover) {
-                    *status = ProcessStatus::Alive;
-                    self.counters.bump("sim.churn_recoveries");
                 }
             }
         }
 
         let mut outbox: Vec<(ProcessId, P::Msg)> = Vec::new();
+
+        // Recovery re-entry, before any delivery of the round: processes
+        // the plan just brought back run their `on_recover` hook (the
+        // protocol's bootstrap re-entry path), in pid order.
+        recovered.sort_unstable();
+        recovered.dedup();
+        for i in recovered {
+            if !self.status[i].is_alive() {
+                continue; // re-crashed in the same round
+            }
+            let me = ProcessId::from_index(i);
+            let mut ctx = Ctx {
+                me,
+                round,
+                rng: &mut self.rngs[i],
+                counters: &mut self.counters,
+                outbox: &mut outbox,
+            };
+            self.processes[i].on_recover(&mut ctx);
+            report.sent += Self::flush_outbox(
+                &mut outbox,
+                me,
+                round,
+                &self.channel,
+                &self.hot,
+                &mut self.engine_rng,
+                &mut self.queue,
+                &mut self.counters,
+            );
+        }
 
         if !self.started {
             self.started = true;
@@ -354,6 +439,7 @@ impl<P: Protocol> Engine<P> {
                     me,
                     round,
                     &self.channel,
+                    &self.hot,
                     &mut self.engine_rng,
                     &mut self.queue,
                     &mut self.counters,
@@ -367,17 +453,17 @@ impl<P: Protocol> Engine<P> {
         while let Some(m) = self.queue.pop_due(round) {
             let to = m.to;
             if !self.status[to.index()].is_alive() {
-                self.counters.bump("sim.dropped_dead");
+                self.counters.add(self.hot.dropped_dead, 1);
                 continue;
             }
             // Per-observer failure model: the target appears failed for
             // this particular transmission.
             if !self.plan.observes_alive(&mut self.observer_rng) {
-                self.counters.bump("sim.dropped_observed_failed");
+                self.counters.add(self.hot.dropped_observed_failed, 1);
                 continue;
             }
             report.delivered += 1;
-            self.counters.bump("sim.delivered");
+            self.counters.add(self.hot.delivered, 1);
             let mut ctx = Ctx {
                 me: to,
                 round,
@@ -391,6 +477,7 @@ impl<P: Protocol> Engine<P> {
                 to,
                 round,
                 &self.channel,
+                &self.hot,
                 &mut self.engine_rng,
                 &mut self.queue,
                 &mut self.counters,
@@ -417,6 +504,7 @@ impl<P: Protocol> Engine<P> {
                 me,
                 round,
                 &self.channel,
+                &self.hot,
                 &mut self.engine_rng,
                 &mut self.queue,
                 &mut self.counters,
@@ -449,11 +537,13 @@ impl<P: Protocol> Engine<P> {
     /// Routes queued sends through the channel: counts them, samples each
     /// send's fate from the shared `da_core` channel model (on the
     /// engine's single RNG stream), and enqueues survivors.
+    #[allow(clippy::too_many_arguments)]
     fn flush_outbox(
         outbox: &mut Vec<(ProcessId, P::Msg)>,
         from: ProcessId,
         round: u64,
         channel: &ChannelConfig,
+        hot: &SimHotIds,
         engine_rng: &mut SmallRng,
         queue: &mut MessageQueue<P::Msg>,
         counters: &mut Counters,
@@ -461,10 +551,10 @@ impl<P: Protocol> Engine<P> {
         let mut sent = 0;
         for (to, msg) in outbox.drain(..) {
             sent += 1;
-            counters.bump("sim.sent");
-            counters.add_named("sim.bytes_sent", msg.wire_size() as u64);
+            counters.add(hot.sent, 1);
+            counters.add(hot.bytes_sent, msg.wire_size() as u64);
             match channel.sample_fate(engine_rng) {
-                ChannelFate::Lost => counters.bump("sim.dropped_channel"),
+                ChannelFate::Lost => counters.add(hot.dropped_channel, 1),
                 ChannelFate::Deliver { latency } => {
                     queue.push(round + latency, from, to, msg);
                 }

@@ -1,344 +1,10 @@
 //! Failure models.
 //!
-//! The paper evaluates two regimes (Sec. VII):
-//!
-//! * **stillborn** (Figs. 8–10): "the state of a process (alive/failed) is
-//!   set at the beginning of the simulation and does not change" — a fixed
-//!   fraction of processes is crashed before round 0;
-//! * **per-observer** (Fig. 11): "a process can appear to be failed for a
-//!   process while appearing alive for another one (to simulate a weakly
-//!   consistent membership algorithm)" — aliveness is sampled
-//!   independently per transmission, so failures are uncorrelated across
-//!   observers.
-//!
-//! [`FailureModel`] is the declarative description; [`FailurePlan`] is its
-//! materialisation for one seeded run.
+//! The model moved to `da_core::failure`, one layer below the simulator,
+//! so the live runtime's `LifecycleController` can materialise and apply
+//! the *identical* [`FailurePlan`] (same seed ⇒ same fates on both
+//! substrates). This module re-exports the whole surface under its
+//! original `da_simnet` paths; the engine consumes the shared plan
+//! unchanged.
 
-use crate::{derive_seed, rng_from_seed, ProcessId};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
-
-/// A scripted liveness transition used by [`FailureModel::Schedule`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Fate {
-    /// Round at the start of which the transition applies.
-    pub round: u64,
-    /// The affected process.
-    pub pid: ProcessId,
-    /// `true` = crash, `false` = recover.
-    pub crash: bool,
-}
-
-/// Declarative failure model of a simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[non_exhaustive]
-#[derive(Default)]
-pub enum FailureModel {
-    /// All processes stay alive for the whole run.
-    #[default]
-    None,
-    /// A uniformly random `1 - alive_fraction` of the population is crashed
-    /// before round 0 and never recovers (paper Figs. 8–10).
-    Stillborn {
-        /// Fraction of processes that remain alive, in `[0, 1]`.
-        alive_fraction: f64,
-    },
-    /// Every transmission independently observes its target as failed with
-    /// probability `1 - alive_fraction` (paper Fig. 11). No process is
-    /// globally crashed.
-    PerObserver {
-        /// Per-observation probability that the target appears alive.
-        alive_fraction: f64,
-    },
-    /// Scripted crash/recovery events, applied at the start of their round.
-    Schedule(Vec<Fate>),
-    /// Continuous churn (the paper's model assumption: "processes might
-    /// crash and recover", Sec. III-A): at the start of every round each
-    /// alive process crashes with `crash_probability` and each crashed
-    /// process recovers with `recover_probability`. The stationary alive
-    /// fraction is `recover / (crash + recover)`.
-    Churn {
-        /// Per-round probability that an alive process crashes.
-        crash_probability: f64,
-        /// Per-round probability that a crashed process recovers.
-        recover_probability: f64,
-    },
-}
-
-impl FailureModel {
-    /// Materialises the model for a run over `population` processes,
-    /// deriving all randomness from `seed`.
-    #[must_use]
-    pub fn materialize(&self, population: usize, seed: u64) -> FailurePlan {
-        match self {
-            FailureModel::None => FailurePlan {
-                initially_crashed: Vec::new(),
-                observer_alive_probability: None,
-                schedule: Vec::new(),
-                churn: None,
-                observation_seed: seed,
-            },
-            FailureModel::Stillborn { alive_fraction } => {
-                let alive_fraction = alive_fraction.clamp(0.0, 1.0);
-                let mut rng = rng_from_seed(derive_seed(seed, 0xFA11));
-                let mut ids: Vec<ProcessId> = (0..population).map(ProcessId::from_index).collect();
-                ids.shuffle(&mut rng);
-                // Round half-up so alive_fraction=1.0 keeps everyone alive
-                // and 0.0 crashes everyone.
-                let crashed = population - (alive_fraction * population as f64).round() as usize;
-                ids.truncate(crashed);
-                FailurePlan {
-                    initially_crashed: ids,
-                    observer_alive_probability: None,
-                    schedule: Vec::new(),
-                    churn: None,
-                    observation_seed: seed,
-                }
-            }
-            FailureModel::PerObserver { alive_fraction } => FailurePlan {
-                initially_crashed: Vec::new(),
-                observer_alive_probability: Some(alive_fraction.clamp(0.0, 1.0)),
-                schedule: Vec::new(),
-                churn: None,
-                observation_seed: derive_seed(seed, 0x0B5E),
-            },
-            FailureModel::Schedule(fates) => {
-                let mut schedule = fates.clone();
-                schedule.sort_by_key(|f| (f.round, f.pid));
-                FailurePlan {
-                    initially_crashed: Vec::new(),
-                    observer_alive_probability: None,
-                    schedule,
-                    churn: None,
-                    observation_seed: seed,
-                }
-            }
-            FailureModel::Churn {
-                crash_probability,
-                recover_probability,
-            } => FailurePlan {
-                initially_crashed: Vec::new(),
-                observer_alive_probability: None,
-                schedule: Vec::new(),
-                churn: Some(ChurnRates {
-                    crash: crash_probability.clamp(0.0, 1.0),
-                    recover: recover_probability.clamp(0.0, 1.0),
-                }),
-                observation_seed: seed,
-            },
-        }
-    }
-}
-
-/// Per-round crash/recovery probabilities of the churn model.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ChurnRates {
-    /// Per-round crash probability of alive processes.
-    pub crash: f64,
-    /// Per-round recovery probability of crashed processes.
-    pub recover: f64,
-}
-
-/// A materialised failure plan for one seeded run. Produced by
-/// [`FailureModel::materialize`]; consumed by the engine.
-#[derive(Debug, Clone)]
-pub struct FailurePlan {
-    initially_crashed: Vec<ProcessId>,
-    observer_alive_probability: Option<f64>,
-    schedule: Vec<Fate>,
-    churn: Option<ChurnRates>,
-    observation_seed: u64,
-}
-
-impl FailurePlan {
-    /// Processes crashed before round 0.
-    #[must_use]
-    pub fn initially_crashed(&self) -> &[ProcessId] {
-        &self.initially_crashed
-    }
-
-    /// Per-observation aliveness probability, if the model is
-    /// [`FailureModel::PerObserver`].
-    #[must_use]
-    pub fn observer_alive_probability(&self) -> Option<f64> {
-        self.observer_alive_probability
-    }
-
-    /// The churn rates, when the model is [`FailureModel::Churn`].
-    #[must_use]
-    pub fn churn(&self) -> Option<ChurnRates> {
-        self.churn
-    }
-
-    /// Scripted transitions applying at the start of `round`.
-    pub fn fates_at(&self, round: u64) -> impl Iterator<Item = &Fate> {
-        self.schedule.iter().filter(move |f| f.round == round)
-    }
-
-    /// Samples whether one particular transmission observes its target as
-    /// alive. Deterministic in `(seed, sequence)` so replays agree.
-    #[must_use]
-    pub fn observes_alive<R: Rng>(&self, rng: &mut R) -> bool {
-        match self.observer_alive_probability {
-            None => true,
-            Some(p) => rng.gen_bool(p),
-        }
-    }
-
-    /// Seed reserved for observation sampling.
-    #[must_use]
-    pub fn observation_seed(&self) -> u64 {
-        self.observation_seed
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn none_crashes_nobody() {
-        let plan = FailureModel::None.materialize(100, 1);
-        assert!(plan.initially_crashed().is_empty());
-        assert_eq!(plan.observer_alive_probability(), None);
-    }
-
-    #[test]
-    fn stillborn_crashes_expected_count() {
-        let plan = FailureModel::Stillborn {
-            alive_fraction: 0.7,
-        }
-        .materialize(1000, 1);
-        assert_eq!(plan.initially_crashed().len(), 300);
-    }
-
-    #[test]
-    fn stillborn_extremes() {
-        let all_alive = FailureModel::Stillborn {
-            alive_fraction: 1.0,
-        }
-        .materialize(50, 9);
-        assert!(all_alive.initially_crashed().is_empty());
-        let all_dead = FailureModel::Stillborn {
-            alive_fraction: 0.0,
-        }
-        .materialize(50, 9);
-        assert_eq!(all_dead.initially_crashed().len(), 50);
-    }
-
-    #[test]
-    fn stillborn_is_seed_deterministic() {
-        let m = FailureModel::Stillborn {
-            alive_fraction: 0.5,
-        };
-        let a = m.materialize(100, 7);
-        let b = m.materialize(100, 7);
-        assert_eq!(a.initially_crashed(), b.initially_crashed());
-        let c = m.materialize(100, 8);
-        assert_ne!(a.initially_crashed(), c.initially_crashed());
-    }
-
-    #[test]
-    fn per_observer_samples_with_probability() {
-        let plan = FailureModel::PerObserver {
-            alive_fraction: 0.5,
-        }
-        .materialize(10, 3);
-        let mut rng = rng_from_seed(plan.observation_seed());
-        let alive = (0..10_000)
-            .filter(|_| plan.observes_alive(&mut rng))
-            .count();
-        assert!((4_500..5_500).contains(&alive), "got {alive}");
-    }
-
-    #[test]
-    fn per_observer_one_always_observes_alive() {
-        let plan = FailureModel::PerObserver {
-            alive_fraction: 1.0,
-        }
-        .materialize(10, 3);
-        let mut rng = rng_from_seed(0);
-        assert!((0..100).all(|_| plan.observes_alive(&mut rng)));
-    }
-
-    #[test]
-    fn schedule_sorted_and_filtered() {
-        let plan = FailureModel::Schedule(vec![
-            Fate {
-                round: 5,
-                pid: ProcessId(1),
-                crash: true,
-            },
-            Fate {
-                round: 2,
-                pid: ProcessId(0),
-                crash: true,
-            },
-            Fate {
-                round: 5,
-                pid: ProcessId(0),
-                crash: false,
-            },
-        ])
-        .materialize(10, 0);
-        assert_eq!(plan.fates_at(2).count(), 1);
-        assert_eq!(plan.fates_at(5).count(), 2);
-        assert_eq!(plan.fates_at(9).count(), 0);
-    }
-
-    #[test]
-    fn clamps_out_of_range_fractions() {
-        let plan = FailureModel::Stillborn {
-            alive_fraction: 2.0,
-        }
-        .materialize(10, 0);
-        assert!(plan.initially_crashed().is_empty());
-        let plan = FailureModel::PerObserver {
-            alive_fraction: -1.0,
-        }
-        .materialize(10, 0);
-        assert_eq!(plan.observer_alive_probability(), Some(0.0));
-    }
-}
-
-#[cfg(test)]
-mod churn_tests {
-    use super::*;
-
-    #[test]
-    fn churn_materialises_rates() {
-        let plan = FailureModel::Churn {
-            crash_probability: 0.1,
-            recover_probability: 0.4,
-        }
-        .materialize(10, 1);
-        let rates = plan.churn().expect("churn rates present");
-        assert!((rates.crash - 0.1).abs() < 1e-12);
-        assert!((rates.recover - 0.4).abs() < 1e-12);
-        assert!(plan.initially_crashed().is_empty());
-    }
-
-    #[test]
-    fn churn_rates_clamped() {
-        let plan = FailureModel::Churn {
-            crash_probability: 2.0,
-            recover_probability: -1.0,
-        }
-        .materialize(10, 1);
-        let rates = plan.churn().unwrap();
-        assert_eq!(rates.crash, 1.0);
-        assert_eq!(rates.recover, 0.0);
-    }
-
-    #[test]
-    fn non_churn_models_have_no_rates() {
-        assert!(FailureModel::None.materialize(5, 0).churn().is_none());
-        assert!(FailureModel::Stillborn {
-            alive_fraction: 0.5
-        }
-        .materialize(5, 0)
-        .churn()
-        .is_none());
-    }
-}
+pub use da_core::failure::{ChurnRates, FailureModel, FailurePlan, Fate};

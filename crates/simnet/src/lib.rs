@@ -67,7 +67,7 @@ pub use da_core::channel::{ChannelConfig, ChannelFate, Latency};
 pub use engine::{Ctx, Engine, Protocol, RoundReport, SimConfig};
 pub use error::SimError;
 pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};
-pub use metrics::{CounterId, Counters};
+pub use metrics::{CounterId, Counters, FxBuildHasher, FxHasher};
 pub use overlay::Overlay;
 pub use process::{ProcessId, ProcessStatus};
 pub use rng::{derive_seed, rng_for_process, rng_from_seed};

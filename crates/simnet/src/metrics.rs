@@ -2,11 +2,59 @@
 //!
 //! Protocols label their traffic (e.g. `intra.t2`, `inter.t2->t1`) and the
 //! harness reads the counters back after a run. Counter names are interned
-//! to [`CounterId`]s so the per-message hot path is an array increment.
+//! to [`CounterId`]s so the per-message hot path is an array increment;
+//! name-keyed lookups ([`Counters::register`], [`Counters::bump`]) go
+//! through an FxHash-indexed map, so even the lazy label path costs a
+//! multiply-xor hash rather than SipHash — the interned-label API both
+//! substrates share.
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiply-xor hasher (the rustc-hash / FxHash construction) for the
+/// label index: counter labels are short (`da.intra..t1`), so hashing
+/// them dominates the lookup under the default SipHash. This is not
+/// DoS-resistant — fine for a registry keyed by a protocol's own static
+/// label set, never by external input.
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = 0u64;
+            for (i, b) in rest.iter().enumerate() {
+                tail |= u64::from(*b) << (8 * i);
+            }
+            self.mix(tail);
+        }
+        self.mix(bytes.len() as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// The [`BuildHasherDefault`] alias for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// Handle to a registered counter. Obtained from [`Counters::register`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -27,7 +75,7 @@ pub struct CounterId(u32);
 pub struct Counters {
     values: Vec<u64>,
     names: Vec<String>,
-    index: HashMap<String, CounterId>,
+    index: HashMap<String, CounterId, FxBuildHasher>,
 }
 
 impl Counters {

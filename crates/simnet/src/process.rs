@@ -1,98 +1,7 @@
-use serde::{Deserialize, Serialize};
-use std::fmt;
+//! Process identity and liveness.
+//!
+//! [`ProcessId`] and [`ProcessStatus`] moved to `da_core::process` (the
+//! failure models below both substrates script fates in terms of them);
+//! this module re-exports them under their original `da_simnet` paths.
 
-/// Identifier of a simulated process (`pl` in the paper).
-///
-/// Ids are dense indices into the engine's process table.
-///
-/// ```
-/// use da_simnet::ProcessId;
-/// let p = ProcessId(3);
-/// assert_eq!(p.index(), 3);
-/// assert_eq!(p.to_string(), "p3");
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct ProcessId(pub u32);
-
-impl ProcessId {
-    /// The raw dense index of this process.
-    #[must_use]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-
-    /// Builds an id from a dense index.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` exceeds `u32::MAX`.
-    #[must_use]
-    pub fn from_index(index: usize) -> Self {
-        ProcessId(u32::try_from(index).expect("process index exceeds u32::MAX"))
-    }
-}
-
-impl fmt::Display for ProcessId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "p{}", self.0)
-    }
-}
-
-/// Liveness of a simulated process.
-///
-/// The paper's model (Sec. III-A): "processes might crash and recover (a
-/// process that is not crashed is said to be alive)".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ProcessStatus {
-    /// The process executes round hooks and receives messages.
-    Alive,
-    /// The process is crashed: it neither executes nor receives.
-    Crashed,
-}
-
-impl ProcessStatus {
-    /// True when the process is [`ProcessStatus::Alive`].
-    #[must_use]
-    pub fn is_alive(self) -> bool {
-        matches!(self, ProcessStatus::Alive)
-    }
-}
-
-impl fmt::Display for ProcessStatus {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProcessStatus::Alive => f.write_str("alive"),
-            ProcessStatus::Crashed => f.write_str("crashed"),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn index_roundtrip() {
-        for i in [0usize, 5, 1000] {
-            assert_eq!(ProcessId::from_index(i).index(), i);
-        }
-    }
-
-    #[test]
-    fn display() {
-        assert_eq!(ProcessId(9).to_string(), "p9");
-        assert_eq!(ProcessStatus::Alive.to_string(), "alive");
-        assert_eq!(ProcessStatus::Crashed.to_string(), "crashed");
-    }
-
-    #[test]
-    fn status_predicate() {
-        assert!(ProcessStatus::Alive.is_alive());
-        assert!(!ProcessStatus::Crashed.is_alive());
-    }
-
-    #[test]
-    fn ordering_is_by_index() {
-        assert!(ProcessId(1) < ProcessId(2));
-    }
-}
+pub use da_core::process::{ProcessId, ProcessStatus};

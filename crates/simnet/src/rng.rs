@@ -3,29 +3,17 @@
 //! Every source of randomness in a simulation run is derived from a single
 //! master seed so that runs are exactly reproducible: identical seeds and
 //! configurations produce identical metrics (an invariant covered by the
-//! integration test suite). The derivation scheme itself lives in
-//! `da_core::seed` (it is substrate-neutral and also feeds the live
-//! runtime's per-edge channel streams); this module re-exports it and adds
-//! the simulator's process-stream convention.
+//! integration test suite). The derivation scheme — including the
+//! per-process stream convention, which the live runtime shares — lives
+//! in `da_core::seed`; this module re-exports it under the original
+//! `da_simnet` paths.
 
-use crate::ProcessId;
-use rand::rngs::SmallRng;
-
-pub use da_core::seed::{derive_seed, rng_from_seed};
-
-/// The RNG stream of process `pid` for a run with the given master seed.
-///
-/// Streams of different processes are independent, and independent of the
-/// engine's own channel/failure stream.
-#[must_use]
-pub fn rng_for_process(master: u64, pid: ProcessId) -> SmallRng {
-    // Stream 0 is reserved for the engine itself; offset by 1.
-    rng_from_seed(derive_seed(master, u64::from(pid.0) + 1))
-}
+pub use da_core::seed::{derive_seed, rng_for_process, rng_from_seed};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ProcessId;
     use rand::Rng;
 
     #[test]

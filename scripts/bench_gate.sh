@@ -3,8 +3,12 @@
 #
 # Runs `runtime_throughput` in --quick mode with DA_BENCH_JSON pointed at
 # a fresh file, then diffs every row's ns_per_iter against the committed
-# baseline (BENCH_runtime.json at the repo root). Rows regressing by more
-# than the threshold are flagged.
+# baseline (BENCH_runtime.json at the repo root) — the burst/batching
+# rows and, since PR 5, the `live_churn16`/`sim_churn16` rows measuring
+# the failure-plan lifecycle path on both substrates. Rows regressing by
+# more than the threshold are flagged, as are baseline rows that vanish
+# from the fresh run (a renamed or dropped bench silently escapes the
+# gate otherwise).
 #
 # The gate is ADVISORY by default: it always exits 0, because the shim
 # bench harness takes single-shot wall-clock means and CI machines are
@@ -72,7 +76,7 @@ TABLE=$(awk -v threshold="$THRESHOLD" -F'"' '
   }
   END {
     for (name in base) if (!(name in seen))
-      printf "  %-55s baseline row missing from fresh run\n", name
+      printf "  %-55s baseline row MISSING from fresh run  <- REGRESSION\n", name
   }
 ' "$BASELINE" "$OUT")
 echo "$TABLE"

@@ -2,6 +2,7 @@
 //! survives processes crashing and recovering every round, keeps its
 //! invariants, and still delivers.
 
+use da_runtime::{Runtime, RuntimeConfig};
 use da_simnet::{Engine, FailureModel, ProcessId, SimConfig};
 use damulticast::{DynamicNetwork, EventId, ParamMap, TopicParams};
 
@@ -117,6 +118,103 @@ fn churn_chaos_deterministic() {
     };
     assert_eq!(fingerprint(3), fingerprint(3));
     assert_ne!(fingerprint(3), fingerprint(4));
+}
+
+/// The same chaos scenario on the **live runtime**: the full dynamic
+/// stack (bootstrap + membership + maintenance) executes on the worker
+/// pool while the shared failure plan crashes and recovers processes
+/// mid-flight. Invariants must hold exactly as under the simulator —
+/// zero parasites, no duplicate deliveries — and mid-flight crash
+/// accounting must be exact: every envelope ends in exactly one of
+/// delivered / `rt.dropped_channel` / `rt.dropped_crashed` /
+/// `rt.dropped_shutdown`.
+#[test]
+fn live_runtime_survives_churn_chaos() {
+    let params = TopicParams {
+        maintenance_period: 5,
+        ping_timeout: 2,
+        g: 15.0,
+        a: 3.0,
+        ..TopicParams::paper_default()
+    };
+    let failure = FailureModel::Churn {
+        crash_probability: 0.02,
+        recover_probability: 0.2,
+    };
+    let net = DynamicNetwork::linear(&[8, 40], ParamMap::uniform(params), 3, 4, 7).unwrap();
+    let members: Vec<Vec<ProcessId>> = net.groups().iter().map(|g| g.members.clone()).collect();
+
+    // Replay the plan's aliveness trajectory (the stateless draws the
+    // runtime will make) so publishers can be picked alive at their
+    // publish tick — the live analogue of checking `engine.status`.
+    let plan = failure.materialize(48, 7);
+    let alive_at = |pid: ProcessId, at_tick: u64| plan.alive_at(pid, at_tick);
+
+    let config = RuntimeConfig::default()
+        .with_workers(3)
+        .with_seed(7)
+        .with_failures(failure);
+    let mut rt = Runtime::spawn(config, net.into_processes());
+    rt.run_ticks(40);
+    let mut ids = Vec::new();
+    let mut tick = 40;
+    for i in 0..6 {
+        if let Some(&p) = members[1].iter().skip(i * 5).find(|&&p| alive_at(p, tick)) {
+            ids.push(rt.with_process_mut(p, move |proc| proc.publish(format!("live evt {i}"))));
+        }
+        rt.run_ticks(8);
+        tick += 8;
+    }
+    rt.run_ticks(30);
+    let out = rt.shutdown();
+
+    // Invariants, live: no parasite ever, no double delivery.
+    assert_eq!(out.counters.get("da.parasite"), 0);
+    for (pid, p) in out.processes.iter().enumerate() {
+        assert_eq!(p.parasite_count(), 0, "p{pid} parasite");
+        let mut got: Vec<EventId> = p.delivered().iter().map(|e| e.id()).collect();
+        let before = got.len();
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), before, "p{pid} duplicate delivery");
+    }
+
+    // The run saw genuine churn in both directions.
+    assert!(out.counters.get("rt.churn_crashes") > 10);
+    assert!(out.counters.get("rt.churn_recoveries") > 10);
+
+    // Exact mid-flight crash accounting.
+    let sent = out.counters.get("rt.sent");
+    let accounted = out.counters.get("rt.delivered")
+        + out.counters.get("rt.dropped_channel")
+        + out.counters.get("rt.dropped_crashed")
+        + out.counters.get("rt.dropped_shutdown")
+        + out.counters.get("rt.dropped_closed");
+    assert_eq!(accounted, sent, "every envelope in exactly one bucket");
+    assert!(
+        out.counters.get("rt.dropped_crashed") > 0,
+        "chaos must exercise the crashed-inbox drain"
+    );
+
+    // Delivery still works through the chaos: most publications blanket
+    // the surviving leaves.
+    assert!(!ids.is_empty());
+    let alive_leaves: Vec<ProcessId> = members[1]
+        .iter()
+        .copied()
+        .filter(|&p| out.statuses[p.index()].is_alive())
+        .collect();
+    assert!(!alive_leaves.is_empty());
+    let mut total = 0.0;
+    for &id in &ids {
+        total += alive_leaves
+            .iter()
+            .filter(|&&p| out.processes[p.index()].has_delivered(id))
+            .count() as f64
+            / alive_leaves.len() as f64;
+    }
+    let mean = total / ids.len() as f64;
+    assert!(mean > 0.5, "mean live delivery among survivors {mean}");
 }
 
 /// A process that crashes mid-dissemination and later recovers can still

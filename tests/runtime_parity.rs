@@ -13,7 +13,7 @@
 //! thread interleaving (miss probability ≈ e^{-12} per event).
 
 use da_runtime::{Runtime, RuntimeConfig};
-use da_simnet::{ChannelConfig, Engine, Latency, ProcessId, SimConfig};
+use da_simnet::{ChannelConfig, Engine, FailureModel, Latency, ProcessId, SimConfig};
 use damulticast::{DaProcess, EventId, ParamMap, StaticNetwork, TopicParams};
 use proptest::prelude::*;
 
@@ -191,6 +191,74 @@ fn run_lossy(
     }
 }
 
+/// One publication per level over `ticks` fixed rounds/ticks (no
+/// quiescence cut-off, so the churn horizon is identical on both
+/// substrates) under a failure model. Returns per-process delivered
+/// sets plus the parasite count.
+fn run_churned(
+    seed: u64,
+    channel: ChannelConfig,
+    failure: &FailureModel,
+    ticks: u64,
+    live: Option<RuntimeConfig>,
+) -> (Vec<Vec<EventId>>, u64) {
+    let net = StaticNetwork::linear(&PROP_SIZES, pinned_params(), seed).expect("valid topology");
+    let pubs = publishers(&net);
+    match live {
+        Some(config) => {
+            let mut rt = Runtime::spawn(
+                config
+                    .with_seed(seed)
+                    .with_channel(channel)
+                    .with_failures(failure.clone()),
+                net.into_processes(),
+            );
+            for (level, pid) in pubs.into_iter().enumerate() {
+                rt.with_process_mut(pid, move |p| p.publish(format!("event-{level}")));
+            }
+            rt.run_ticks(ticks);
+            let out = rt.shutdown();
+            (
+                delivered_sets(&out.processes),
+                out.counters.get("da.parasite"),
+            )
+        }
+        None => {
+            let config = SimConfig::default()
+                .with_seed(seed)
+                .with_channel(channel)
+                .with_failure(failure.clone());
+            let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
+            for (level, pid) in pubs.into_iter().enumerate() {
+                engine.process_mut(pid).publish(format!("event-{level}"));
+            }
+            engine.run_rounds(ticks);
+            let parasites = engine.counters().get("da.parasite");
+            (delivered_sets(&engine.into_processes()), parasites)
+        }
+    }
+}
+
+/// Which processes stay alive for the whole horizon under the (shared)
+/// churn plan — computed by replaying the plan's stateless transitions
+/// (`FailurePlan::step_alive`), which is exactly what both substrates
+/// execute.
+fn never_crashed(seed: u64, population: usize, ticks: u64, failure: &FailureModel) -> Vec<bool> {
+    let plan = failure.materialize(population, seed);
+    (0..population)
+        .map(|i| {
+            let pid = ProcessId::from_index(i);
+            let mut alive = !plan.is_initially_crashed(pid);
+            let mut always = alive;
+            for t in 0..ticks {
+                alive = plan.step_alive(pid, t, alive);
+                always &= alive;
+            }
+            always
+        })
+        .collect()
+}
+
 proptest! {
     // Each case is two full multi-substrate runs; 12 cases keep the
     // sweep well under a second while covering the workers × max_lag ×
@@ -229,6 +297,66 @@ proptest! {
                 sim, live,
                 "process {} delivered different event sets (workers={}, max_lag={}, latency={})",
                 pid, workers, max_lag, min_latency
+            );
+        }
+    }
+}
+
+proptest! {
+    // Each case is again two full runs; 8 cases cover the churn ×
+    // loss × lag grid the tentpole names while keeping the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Satellite requirement: delivered-set parity under **combined
+    /// churn × 10% loss × `max_lag ∈ {1, 4}`**. Both substrates
+    /// materialise the identical `FailurePlan` from the shared seed, so
+    /// the crash/recovery schedule is the same tick-for-tick; processes
+    /// that stay alive for the whole horizon must then deliver
+    /// byte-for-byte equal event sets (the pinned-high knobs make gossip
+    /// effectively atomic for the surviving cohort despite the loss).
+    /// Processes that spent time crashed are excluded from the
+    /// comparison: their receipt windows legitimately differ with the
+    /// substrates' differing channel-draw sequences.
+    #[test]
+    fn churned_runtime_matches_simulator_for_surviving_cohort(
+        seed in 1u64..100_000,
+        workers in prop_oneof![Just(2usize), Just(4)],
+        max_lag in prop_oneof![Just(1u64), Just(4)],
+    ) {
+        // 64 ticks: ample for dissemination (the quiescence budget other
+        // suites use) while P(never crashed) = 0.99^64 ≈ 0.53 keeps the
+        // surviving cohort large.
+        const TICKS: u64 = 64;
+        let channel = ChannelConfig::reliable()
+            .with_success_probability(0.9)
+            .with_latency(Latency::Fixed(2));
+        let failure = FailureModel::Churn {
+            crash_probability: 0.01,
+            recover_probability: 0.3,
+        };
+        let (sim_sets, sim_parasites) = run_churned(seed, channel, &failure, TICKS, None);
+        let live_config = RuntimeConfig::default()
+            .with_workers(workers)
+            .with_max_lag(max_lag);
+        let (live_sets, live_parasites) =
+            run_churned(seed, channel, &failure, TICKS, Some(live_config));
+
+        prop_assert_eq!(sim_parasites, 0, "simulator saw a parasite");
+        prop_assert_eq!(live_parasites, 0, "live runtime saw a parasite");
+        prop_assert_eq!(sim_sets.len(), live_sets.len());
+        let population: usize = PROP_SIZES.iter().sum();
+        let survivors = never_crashed(seed, population, TICKS, &failure);
+        let surviving = survivors.iter().filter(|&&s| s).count();
+        prop_assert!(surviving * 5 > population, "churn left too few survivors");
+        for (pid, (sim, live)) in sim_sets.iter().zip(&live_sets).enumerate() {
+            if !survivors[pid] {
+                continue;
+            }
+            prop_assert_eq!(
+                sim, live,
+                "surviving process {} delivered different event sets \
+                 (workers={}, max_lag={})",
+                pid, workers, max_lag
             );
         }
     }
