@@ -135,7 +135,7 @@ fn live_fixture(
 fn sim_fixture(seed: u64, events: usize, failure: FailureModel) -> Engine<DaProcess> {
     let net = network(seed);
     let leaf = net.groups().last().expect("leaf group").members.clone();
-    let config = SimConfig::default().with_seed(seed).with_failure(failure);
+    let config = SimConfig::default().with_seed(seed).with_failures(failure);
     let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
     for i in 0..events {
         engine.process_mut(leaf[i % leaf.len()]).publish("bench");

@@ -2,9 +2,12 @@
 //!
 //! The pieces of the daMulticast reproduction that belong to *neither*
 //! substrate: the unreliable-channel fault model (Sec. III-A of the
-//! paper), the process failure models (Sec. VII), the process identity
-//! vocabulary, and the deterministic seed-derivation scheme every RNG
-//! stream hangs off.
+//! paper), the [`topology`] layer that generalises it (named nodes,
+//! per-link channel overrides, scripted partitions — see
+//! [`topology::NetworkModel`]), the process failure models (Sec. VII),
+//! the process identity vocabulary, the deterministic seed-derivation
+//! scheme every RNG stream hangs off, and the unified
+//! [`fault::FaultConfig`] builder both substrates' configs embed.
 //!
 //! Both execution substrates consume this crate:
 //!
@@ -31,10 +34,14 @@
 
 pub mod channel;
 pub mod failure;
+pub mod fault;
 pub mod process;
 pub mod seed;
+pub mod topology;
 
 pub use channel::{ChannelConfig, ChannelFate, EdgeRngs, Latency};
 pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};
+pub use fault::FaultConfig;
 pub use process::{ProcessId, ProcessStatus};
 pub use seed::{derive_seed, rng_for_process, rng_from_seed};
+pub use topology::{NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, Topology};

@@ -3,19 +3,43 @@
 //! `da_simnet::Engine` and `da_runtime::Runtime` — first over perfect
 //! channels (per-level delivered fractions, parasites, event-message
 //! volume), then as a reliability sweep over the per-link success
-//! probability, checking the substrates agree within 3σ at every point.
+//! probability, a churn sweep over the per-tick crash probability, and
+//! a partition sweep over the cut-and-heal tick, checking the
+//! substrates agree within 3σ at every point. Every sweep drives both
+//! substrates through the unified `FaultConfig`.
 //!
 //! Usage: `cargo run --release -p da-harness --bin live_vs_sim
 //! [--quick]`
 
 use da_harness::experiments::live::{
-    churn_sweep_crash_rates, ratios_agree_within_3_sigma, reliability_sweep_probabilities,
-    run_churn_sweep, run_live_vs_sim, run_reliability_sweep,
+    churn_sweep_crash_rates, partition_sweep_heal_ticks, ratios_agree_within_3_sigma,
+    reliability_sweep_probabilities, run_churn_sweep, run_live_vs_sim, run_partition_sweep,
+    run_reliability_sweep,
 };
 use da_harness::experiments::Effort;
+use da_harness::report::SeriesTable;
 use da_harness::results_dir;
-use da_simnet::Latency;
+use da_simnet::{ChannelConfig, FailureModel, FaultConfig, Latency};
 use damulticast::ParamMap;
+
+fn check_rows(table: &SeriesTable, label: &str, disagreements: &mut u32) {
+    for row in &table.rows {
+        let (sim, live) = (&row.values[0], &row.values[1]);
+        let agree = ratios_agree_within_3_sigma(sim, live, 0.02);
+        *disagreements += u32::from(!agree);
+        println!(
+            "{label} = {:.2}: sim {:.4} vs live {:.4} — {}",
+            row.x,
+            sim.mean,
+            live.mean,
+            if agree {
+                "within 3σ"
+            } else {
+                "DISAGREE beyond 3σ"
+            }
+        );
+    }
+}
 
 fn main() {
     let effort = Effort::from_args();
@@ -30,33 +54,19 @@ fn main() {
     // latency floor with a wide lag window so the barrier-free
     // scheduler's worker drift is exercised by the same sweep.
     for (latency, max_lag) in [(Latency::Fixed(1), 1u64), (Latency::Fixed(2), 4)] {
+        let base = FaultConfig::new().with_channel(ChannelConfig::reliable().with_latency(latency));
         let sweep = run_reliability_sweep(
             &sizes,
             &params,
             &probs,
-            latency,
+            &base,
             max_lag,
             effort.trials(),
             0x5EED,
         );
         println!("\nlatency {latency:?}, live max_lag {max_lag}:");
         print!("{}", sweep.to_markdown());
-        for row in &sweep.rows {
-            let (sim, live) = (&row.values[0], &row.values[1]);
-            let agree = ratios_agree_within_3_sigma(sim, live, 0.02);
-            disagreements += u32::from(!agree);
-            println!(
-                "p = {:.2}: sim {:.4} vs live {:.4} — {}",
-                row.x,
-                sim.mean,
-                live.mean,
-                if agree {
-                    "within 3σ"
-                } else {
-                    "DISAGREE beyond 3σ"
-                }
-            );
-        }
+        check_rows(&sweep, "p", &mut disagreements);
         if max_lag == 1 {
             let dir = results_dir();
             sweep.write_to(&dir).expect("write sweep results");
@@ -65,34 +75,41 @@ fn main() {
 
     // The churn sweep: the same comparison with the process failure
     // plan (crash/recovery fates shared across substrates) as the axis.
+    let churn_base = FaultConfig::new().with_failures(FailureModel::Churn {
+        crash_probability: 0.0,
+        recover_probability: 0.3,
+    });
     let churn = run_churn_sweep(
         &sizes,
         &params,
         &churn_sweep_crash_rates(),
-        0.3,
+        &churn_base,
         effort.trials(),
         0xC4A0,
     );
     println!("\nchurn sweep (recover probability 0.3):");
     print!("{}", churn.to_markdown());
-    for row in &churn.rows {
-        let (sim, live) = (&row.values[0], &row.values[1]);
-        let agree = ratios_agree_within_3_sigma(sim, live, 0.02);
-        disagreements += u32::from(!agree);
-        println!(
-            "crash = {:.2}: sim {:.4} vs live {:.4} — {}",
-            row.x,
-            sim.mean,
-            live.mean,
-            if agree {
-                "within 3σ"
-            } else {
-                "DISAGREE beyond 3σ"
-            }
-        );
-    }
+    check_rows(&churn, "crash", &mut disagreements);
+
+    // The partition sweep: a two-island cut healing at the swept tick
+    // (x = -1 never heals), with per-trial bit-identical mainland
+    // delivered sets enforced inside the experiment.
+    let partition_base = FaultConfig::new();
+    let partitions = run_partition_sweep(
+        &sizes,
+        &params,
+        &partition_sweep_heal_ticks(),
+        &partition_base,
+        1,
+        effort.trials(),
+        0x9A27,
+    );
+    println!("\npartition sweep (heal tick; -1 = never heals):");
+    print!("{}", partitions.to_markdown());
+    check_rows(&partitions, "heal", &mut disagreements);
 
     let dir = results_dir();
+    partitions.write_to(&dir).expect("write partition sweep");
     churn.write_to(&dir).expect("write churn sweep results");
     table.write_to(&dir).expect("write results");
     println!("\nwritten to {}", dir.display());

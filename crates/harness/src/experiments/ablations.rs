@@ -150,7 +150,7 @@ pub fn ablation_maintenance(periods: &[u64], trials: usize, seed: u64) -> Series
             .collect();
         let sim = SimConfig::default()
             .with_seed(trial_seed)
-            .with_failure(FailureModel::Schedule(fates));
+            .with_failures(FailureModel::Schedule(fates));
         let mut engine = Engine::new(sim, net.into_processes());
         engine.run_rounds(publish_round);
 

@@ -108,7 +108,7 @@ pub fn run_churn(crash_rates: &[f64], trials: usize, seed: u64) -> SeriesTable {
         let groups = net.groups().to_vec();
         let sim = SimConfig::default()
             .with_seed(trial_seed)
-            .with_failure(FailureModel::Churn {
+            .with_failures(FailureModel::Churn {
                 crash_probability: crash,
                 recover_probability: recover,
             });

@@ -3,7 +3,7 @@
 //!
 //! The paper's evaluation is simulator-only; the live runtime
 //! (`da-runtime`) must not change the protocol's observable behaviour.
-//! Two experiments check that:
+//! Three experiments check that:
 //!
 //! * [`run_live_vs_sim`] publishes one event in the bottom group over
 //!   perfect channels and compares, across seeded trials, the per-level
@@ -14,7 +14,16 @@
 //!   central axis — through the shared `da_core::channel` model that
 //!   both substrates consume. Live and simulated delivery ratios must
 //!   agree within noise ([`ratios_agree_within_3_sigma`]) at every
-//!   swept probability.
+//!   swept probability;
+//! * [`run_partition_sweep`] cuts the network in two with a first-class
+//!   [`PartitionSchedule`] and sweeps the heal tick, comparing delivery
+//!   ratios across cut-and-heal scenarios and insisting the
+//!   never-partitioned cohort's delivered sets are *bit-identical*
+//!   across substrates from one seed.
+//!
+//! Every experiment drives both substrates through the unified
+//! [`FaultConfig`] (channel + failure + topology in one struct), so the
+//! swept axis is always an override on a caller-supplied base config.
 //!
 //! The live substrate is concurrent (per-trial numbers fluctuate with
 //! thread interleaving), so all comparisons are statistical: matching
@@ -23,7 +32,10 @@
 use crate::report::{KeyedTable, SeriesTable};
 use crate::stats::Summary;
 use da_runtime::{Runtime, RuntimeConfig};
-use da_simnet::{derive_seed, ChannelConfig, Engine, FailureModel, Latency, SimConfig};
+use da_simnet::{
+    derive_seed, Engine, FailureModel, FaultConfig, NodeId, Partition, PartitionSchedule,
+    ProcessId, SimConfig, Topology,
+};
 use damulticast::{DaProcess, EventId, ParamMap, StaticNetwork};
 
 /// Maximum virtual-time budget per trial (rounds or ticks).
@@ -45,13 +57,25 @@ pub fn churn_sweep_crash_rates() -> Vec<f64> {
     vec![0.0, 0.01, 0.05]
 }
 
+/// The heal ticks the partition sweep covers: a heal while the
+/// mainland event's infect-and-die wave is still in flight (each
+/// process disseminates exactly once on first reception, so the wave
+/// only lasts a handful of ticks — the island is re-infected on
+/// re-merge), a heal long after the wave has died out (the island stays
+/// permanently short one event), and a cut that never heals within the
+/// horizon. Mid-wave is tick 2 under the default one-tick channel
+/// latency; scale it with the latency (e.g. 4 under `Latency::Fixed(2)`).
+#[must_use]
+pub fn partition_sweep_heal_ticks() -> Vec<Option<u64>> {
+    vec![Some(2), Some(24), None]
+}
+
 /// One seeded trial on one substrate: per-level delivered fraction, then
 /// parasites, then event messages.
 fn trial_metrics(
     group_sizes: &[usize],
     params: &ParamMap,
-    channel: ChannelConfig,
-    failure: &FailureModel,
+    faults: &FaultConfig,
     seed: u64,
     live: bool,
     live_max_lag: u64,
@@ -66,8 +90,7 @@ fn trial_metrics(
             .with_seed(seed)
             .with_workers(2)
             .with_max_lag(live_max_lag)
-            .with_channel(channel)
-            .with_failures(failure.clone());
+            .with_faults(faults.clone());
         let mut rt = Runtime::spawn(config, net.into_processes());
         rt.with_process_mut(publisher, |p| p.publish("live-vs-sim"));
         rt.run_until_quiescent(MAX_TIME);
@@ -76,8 +99,7 @@ fn trial_metrics(
     } else {
         let config = SimConfig::default()
             .with_seed(seed)
-            .with_channel(channel)
-            .with_failure(failure.clone());
+            .with_faults(faults.clone());
         let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
         engine.process_mut(publisher).publish("live-vs-sim");
         engine.run_until_quiescent(MAX_TIME);
@@ -112,21 +134,12 @@ fn trial_metrics(
 fn delivery_ratio_trial(
     group_sizes: &[usize],
     params: &ParamMap,
-    channel: ChannelConfig,
-    failure: &FailureModel,
+    faults: &FaultConfig,
     seed: u64,
     live: bool,
     live_max_lag: u64,
 ) -> f64 {
-    let per_level = trial_metrics(
-        group_sizes,
-        params,
-        channel,
-        failure,
-        seed,
-        live,
-        live_max_lag,
-    );
+    let per_level = trial_metrics(group_sizes, params, faults, seed, live, live_max_lag);
     let population: usize = group_sizes.iter().sum();
     let delivered: f64 = group_sizes
         .iter()
@@ -158,14 +171,14 @@ pub fn run_live_vs_sim(
         columns,
     );
 
+    let faults = FaultConfig::default();
     for (key, live) in [("simulator", false), ("live runtime", true)] {
         let samples: Vec<Vec<f64>> = (0..trials)
             .map(|t| {
                 trial_metrics(
                     group_sizes,
                     params,
-                    ChannelConfig::reliable(),
-                    &FailureModel::None,
+                    &faults,
                     derive_seed(base_seed, t as u64),
                     live,
                     1,
@@ -186,8 +199,10 @@ pub fn run_live_vs_sim(
 /// paper's reliability figures, with the x-axis driven through the
 /// shared `da_core::channel` model.
 ///
-/// `latency` and `live_max_lag` pin the channel's latency model and the
-/// live scheduler's drift window: `(Latency::Fixed(1), 1)` reproduces
+/// `base` is the fault config every sweep point starts from; each row
+/// overrides only the success probability on its channel. The base
+/// channel's latency model and `live_max_lag` together pin the live
+/// scheduler's drift window: a one-tick latency with lag 1 reproduces
 /// the PR 3 sweep exactly, while a latency floor above one tick with a
 /// wider lag lets the barrier-free scheduler actually drift workers
 /// apart during the sweep — the delivery ratios must agree either way.
@@ -199,7 +214,7 @@ pub fn run_reliability_sweep(
     group_sizes: &[usize],
     params: &ParamMap,
     success_probabilities: &[f64],
-    latency: Latency,
+    base: &FaultConfig,
     live_max_lag: u64,
     trials: usize,
     base_seed: u64,
@@ -210,9 +225,9 @@ pub fn run_reliability_sweep(
         vec!["delivery_ratio_sim".into(), "delivery_ratio_live".into()],
     );
     for (row, &p) in success_probabilities.iter().enumerate() {
-        let channel = ChannelConfig::reliable()
-            .with_success_probability(p)
-            .with_latency(latency);
+        let faults = base
+            .clone()
+            .with_channel(base.channel().with_success_probability(p));
         let mut summaries = Vec::with_capacity(2);
         for live in [false, true] {
             let samples: Vec<f64> = (0..trials)
@@ -221,15 +236,7 @@ pub fn run_reliability_sweep(
                     // trial) point, so sweep points are independent.
                     let stream = (row as u64) * 2 + u64::from(live);
                     let seed = derive_seed(derive_seed(base_seed, stream), t as u64);
-                    delivery_ratio_trial(
-                        group_sizes,
-                        params,
-                        channel,
-                        &FailureModel::None,
-                        seed,
-                        live,
-                        live_max_lag,
-                    )
+                    delivery_ratio_trial(group_sizes, params, &faults, seed, live, live_max_lag)
                 })
                 .collect();
             summaries.push(Summary::of(&samples));
@@ -245,34 +252,55 @@ pub fn run_reliability_sweep(
 /// through the shared `da_core::failure` model that both substrates
 /// consume.
 ///
+/// `base` is the fault config every sweep point starts from; its
+/// failure model must be [`FailureModel::Churn`], whose recover
+/// probability is shared by every row while the crash probability is
+/// overridden per row.
+///
 /// Within one trial, sim and live share the **same seed**, hence the
 /// same materialised `FailurePlan`: the crash/recovery schedule is
 /// fate-matched across substrates, so the comparison isolates what the
 /// substrates may legitimately differ on (thread interleaving), not the
-/// luck of which processes churned. Channels stay perfect so churn is
-/// the only fault axis.
+/// luck of which processes churned.
 ///
 /// Trials run serially for the same oversubscription reason as
 /// [`run_live_vs_sim`].
+///
+/// # Panics
+///
+/// Panics when `base.failure` is not [`FailureModel::Churn`] — the
+/// sweep's x-axis is the churn crash probability, so there is no
+/// meaningful way to run it over another failure model.
 #[must_use]
 pub fn run_churn_sweep(
     group_sizes: &[usize],
     params: &ParamMap,
     crash_rates: &[f64],
-    recover_probability: f64,
+    base: &FaultConfig,
     trials: usize,
     base_seed: u64,
 ) -> SeriesTable {
+    let FailureModel::Churn {
+        recover_probability,
+        ..
+    } = base.failure
+    else {
+        panic!(
+            "run_churn_sweep requires a base FaultConfig whose failure model is \
+             FailureModel::Churn (the recover probability is read from it), got {:?}",
+            base.failure
+        );
+    };
     let mut table = SeriesTable::new(
         "Delivery ratio under continuous churn, live vs simulated",
         "crash_probability",
         vec!["delivery_ratio_sim".into(), "delivery_ratio_live".into()],
     );
     for (row, &crash) in crash_rates.iter().enumerate() {
-        let failure = FailureModel::Churn {
+        let faults = base.clone().with_failures(FailureModel::Churn {
             crash_probability: crash,
             recover_probability,
-        };
+        });
         let mut summaries = Vec::with_capacity(2);
         for live in [false, true] {
             let samples: Vec<f64> = (0..trials)
@@ -281,20 +309,198 @@ pub fn run_churn_sweep(
                     // FailurePlan — and with it every crash/recovery
                     // fate — is identical across the pair.
                     let seed = derive_seed(derive_seed(base_seed, row as u64), t as u64);
-                    delivery_ratio_trial(
-                        group_sizes,
-                        params,
-                        ChannelConfig::reliable(),
-                        &failure,
-                        seed,
-                        live,
-                        1,
-                    )
+                    delivery_ratio_trial(group_sizes, params, &faults, seed, live, 1)
                 })
                 .collect();
             summaries.push(Summary::of(&samples));
         }
         table.push_row(crash, summaries);
+    }
+    table
+}
+
+/// How many leaf-group members the partition sweep places on the minor
+/// island (node `"b"`); everyone else stays on node `"a"`.
+const ISLAND: usize = 8;
+
+/// The tick every partition-sweep cut opens at.
+const CUT_AT: u64 = 0;
+
+/// Builds the two-node fault config for one partition-sweep scenario:
+/// the given island pids on node `"b"`, everyone else on node `"a"`,
+/// a cut between the nodes from [`CUT_AT`], healing at `heal` (never,
+/// if `None`), over the caller's base channel.
+fn partition_faults(base: &FaultConfig, island: &[ProcessId], heal: Option<u64>) -> FaultConfig {
+    let mut topology = Topology::with_nodes(["a", "b"]);
+    for &pid in island {
+        topology = topology.with_placement(pid, NodeId(1));
+    }
+    let mut cut = Partition::cut(vec![vec![NodeId(0)], vec![NodeId(1)]], CUT_AT);
+    if let Some(tick) = heal {
+        cut = cut.heal_at(tick);
+    }
+    base.clone()
+        .with_topology(topology)
+        .with_partitions(PartitionSchedule::none().with_partition(cut))
+}
+
+/// One seeded partition trial on one substrate. Publishes one event
+/// from the mainland at tick 0 and one from the island after the heal
+/// (or mid-cut, for a cut that never heals), runs a fixed [`MAX_TIME`]
+/// horizon so both substrates see the identical schedule, and returns
+/// the overall delivery ratio across both events, the sorted delivered
+/// sets of the never-partitioned (mainland) cohort, and the parasite
+/// count.
+fn partition_trial(
+    group_sizes: &[usize],
+    params: &ParamMap,
+    base: &FaultConfig,
+    heal: Option<u64>,
+    seed: u64,
+    live: bool,
+    live_max_lag: u64,
+) -> (f64, Vec<Vec<EventId>>, u64) {
+    let net = StaticNetwork::linear(group_sizes, params.clone(), seed)
+        .expect("experiment topology must be valid");
+    let leaf = net.groups().last().expect("at least one group").clone();
+    assert!(
+        leaf.members.len() >= 2 * ISLAND,
+        "the bottom group must dominate its {ISLAND}-member island"
+    );
+    let island = leaf.members[leaf.members.len() - ISLAND..].to_vec();
+    let mainland_publisher = leaf.members[0];
+    let island_publisher = *leaf.members.last().expect("non-empty group");
+    let faults = partition_faults(base, &island, heal);
+    // Two ticks after the heal the overlay is reachable again; a cut
+    // that never heals publishes mid-cut at the latest heal's slot so
+    // the scenarios stay comparable.
+    let island_publish_tick = heal.map_or(26, |tick| tick + 2);
+
+    let (procs, counters) = if live {
+        let config = RuntimeConfig::default()
+            .with_seed(seed)
+            .with_workers(2)
+            .with_max_lag(live_max_lag)
+            .with_faults(faults);
+        let mut rt = Runtime::spawn(config, net.into_processes());
+        rt.with_process_mut(mainland_publisher, |p| p.publish("mainland"));
+        rt.run_ticks(island_publish_tick);
+        rt.with_process_mut(island_publisher, |p| p.publish("island"));
+        rt.run_ticks(MAX_TIME - island_publish_tick);
+        let out = rt.shutdown();
+        (out.processes, out.counters)
+    } else {
+        let config = SimConfig::default().with_seed(seed).with_faults(faults);
+        let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
+        engine.process_mut(mainland_publisher).publish("mainland");
+        engine.run_rounds(island_publish_tick);
+        engine.process_mut(island_publisher).publish("island");
+        engine.run_rounds(MAX_TIME - island_publish_tick);
+        let counters = engine.counters().clone();
+        (engine.into_processes(), counters)
+    };
+
+    let severed = counters.get(if live {
+        "rt.dropped_partitioned"
+    } else {
+        "sim.dropped_partitioned"
+    });
+    assert!(
+        severed > 0,
+        "the cut-at-{CUT_AT} partition must sever cross-island gossip"
+    );
+
+    let events = [mainland_publisher, island_publisher].map(|publisher| EventId {
+        publisher,
+        sequence: 0,
+    });
+    let population: usize = group_sizes.iter().sum();
+    let delivered: usize = events
+        .iter()
+        .map(|&id| procs.iter().filter(|p| p.has_delivered(id)).count())
+        .sum();
+    let ratio = delivered as f64 / (events.len() * population) as f64;
+
+    let mainland_sets: Vec<Vec<EventId>> = procs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !island.contains(&ProcessId::from_index(*i)))
+        .map(|(_, p)| {
+            let mut ids: Vec<EventId> = p.delivered().iter().map(|e| e.id()).collect();
+            ids.sort();
+            ids
+        })
+        .collect();
+    (ratio, mainland_sets, counters.get("da.parasite"))
+}
+
+/// Sweeps the heal tick of a two-island network partition and tabulates
+/// the overall delivery ratio (across one mainland and one island
+/// publication) on both substrates — the topology-fault counterpart of
+/// [`run_reliability_sweep`], with the x-axis driven through the shared
+/// `da_core::topology` model.
+///
+/// The last eight members of the bottom group live on node `"b"`;
+/// a [`Partition`] cuts `"b"` off from tick 0 and heals at the swept
+/// tick (`None` = never, tabulated as `x = -1`). `base` supplies the
+/// channel under the cut (keep it lossless to isolate the partition
+/// axis).
+///
+/// Within one trial, sim and live share the **same seed**: the
+/// partition severs the identical sends on both substrates (the severed
+/// check is a pure function consuming no randomness), so beyond the
+/// statistical 3σ ratio agreement the never-partitioned cohort must
+/// deliver **bit-identical** event sets — which this function asserts
+/// per trial, alongside a hard zero for parasites.
+///
+/// Trials run serially for the same oversubscription reason as
+/// [`run_live_vs_sim`].
+///
+/// # Panics
+///
+/// Panics when a trial sees a parasite delivery, when a cut fails to
+/// sever any send, or when the never-partitioned cohort's delivered
+/// sets diverge between the substrates — each a violation of the
+/// cross-substrate contract this experiment exists to enforce.
+#[must_use]
+pub fn run_partition_sweep(
+    group_sizes: &[usize],
+    params: &ParamMap,
+    heal_ticks: &[Option<u64>],
+    base: &FaultConfig,
+    live_max_lag: u64,
+    trials: usize,
+    base_seed: u64,
+) -> SeriesTable {
+    let mut table = SeriesTable::new(
+        "Delivery ratio across partition cut-and-heal scenarios, live vs simulated",
+        "heal_tick",
+        vec!["delivery_ratio_sim".into(), "delivery_ratio_live".into()],
+    );
+    for (row, &heal) in heal_ticks.iter().enumerate() {
+        let mut sim_ratios = Vec::with_capacity(trials);
+        let mut live_ratios = Vec::with_capacity(trials);
+        for t in 0..trials {
+            // Same (scenario, trial) seed on both substrates: link
+            // fates are pinned, so the mainland outcome must match
+            // exactly, not just statistically.
+            let seed = derive_seed(derive_seed(base_seed, row as u64), t as u64);
+            let (sim_ratio, sim_sets, sim_parasites) =
+                partition_trial(group_sizes, params, base, heal, seed, false, live_max_lag);
+            let (live_ratio, live_sets, live_parasites) =
+                partition_trial(group_sizes, params, base, heal, seed, true, live_max_lag);
+            assert_eq!(sim_parasites, 0, "heal {heal:?} trial {t}: sim parasites");
+            assert_eq!(live_parasites, 0, "heal {heal:?} trial {t}: live parasites");
+            assert_eq!(
+                sim_sets, live_sets,
+                "heal {heal:?} trial {t}: the never-partitioned cohort delivered \
+                 different event sets across substrates"
+            );
+            sim_ratios.push(sim_ratio);
+            live_ratios.push(live_ratio);
+        }
+        let x = heal.map_or(-1.0, |tick| tick as f64);
+        table.push_row(x, vec![Summary::of(&sim_ratios), Summary::of(&live_ratios)]);
     }
     table
 }
@@ -317,6 +523,7 @@ pub fn ratios_agree_within_3_sigma(sim: &Summary, live: &Summary, floor: f64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
+    use da_simnet::{ChannelConfig, Latency};
     use damulticast::TopicParams;
 
     /// Pinned-high knobs (as in the e2e suites) so the assertions are
@@ -328,6 +535,12 @@ mod tests {
                 .with_a(3.0)
                 .with_fanout(da_membership::FanoutRule::LnPlusC { c: 10.0 }),
         )
+    }
+
+    /// A lossless base config whose channel carries the given latency —
+    /// the starting point the sweeps override per row.
+    fn reliable_base(latency: Latency) -> FaultConfig {
+        FaultConfig::new().with_channel(ChannelConfig::reliable().with_latency(latency))
     }
 
     #[test]
@@ -362,7 +575,7 @@ mod tests {
                 &[4, 10, 40],
                 &pinned(),
                 &probs,
-                latency,
+                &reliable_base(latency),
                 live_max_lag,
                 trials,
                 0x5EED,
@@ -396,15 +609,19 @@ mod tests {
         }
     }
 
-    /// Tentpole acceptance: live and simulated delivery ratios agree
-    /// within 3σ at every swept churn crash rate — the dynamic-failure
-    /// analogue of the reliability criterion, over the shared
-    /// `da_core::failure` plan (fate-matched pairs per trial).
+    /// Live and simulated delivery ratios agree within 3σ at every
+    /// swept churn crash rate — the dynamic-failure analogue of the
+    /// reliability criterion, over the shared `da_core::failure` plan
+    /// (fate-matched pairs per trial).
     #[test]
     fn churn_sweep_substrates_agree_within_3_sigma() {
         let rates = churn_sweep_crash_rates();
         let trials = 6;
-        let table = run_churn_sweep(&[4, 10, 40], &pinned(), &rates, 0.3, trials, 0xC4A0);
+        let base = FaultConfig::new().with_failures(FailureModel::Churn {
+            crash_probability: 0.0,
+            recover_probability: 0.3,
+        });
+        let table = run_churn_sweep(&[4, 10, 40], &pinned(), &rates, &base, trials, 0xC4A0);
         assert_eq!(table.rows.len(), rates.len());
         for row in &table.rows {
             let (sim, live) = (&row.values[0], &row.values[1]);
@@ -433,6 +650,84 @@ mod tests {
                 live.mean,
                 live.std_dev
             );
+        }
+    }
+
+    #[test]
+    fn churn_sweep_rejects_a_churnless_base() {
+        let result = std::panic::catch_unwind(|| {
+            run_churn_sweep(&[4], &pinned(), &[0.0], &FaultConfig::new(), 1, 1)
+        });
+        assert!(result.is_err(), "a non-Churn base must be rejected");
+    }
+
+    /// Tentpole acceptance: across ≥ 3 partition cut-and-heal scenarios
+    /// the live and simulated delivery ratios agree within 3σ — and
+    /// (asserted inside [`run_partition_sweep`], per trial) the
+    /// never-partitioned cohort's delivered sets are bit-identical
+    /// across substrates from one seed, with zero parasites. Run both
+    /// in the tight configuration and with a two-tick latency floor
+    /// plus a wide lag window, where workers genuinely drift.
+    #[test]
+    fn partition_sweep_substrates_agree_and_mainland_sets_match() {
+        let trials = 4;
+        // The mid-wave heal tick scales with the channel latency: the
+        // infect-and-die wave's senders fire every `latency` ticks.
+        for (latency, live_max_lag, early) in
+            [(Latency::Fixed(1), 1, 2u64), (Latency::Fixed(2), 4, 4u64)]
+        {
+            let heals = vec![Some(early), Some(24), None];
+            let table = run_partition_sweep(
+                &[4, 10, 40],
+                &pinned(),
+                &heals,
+                &reliable_base(latency),
+                live_max_lag,
+                trials,
+                0x9A27,
+            );
+            assert_eq!(table.rows.len(), heals.len());
+            for (row, &heal) in table.rows.iter().zip(&heals) {
+                let (sim, live) = (&row.values[0], &row.values[1]);
+                assert_eq!(sim.count, trials);
+                assert_eq!(live.count, trials);
+                assert!(
+                    ratios_agree_within_3_sigma(sim, live, 0.02),
+                    "heal {heal:?} ({latency:?}, lag {live_max_lag}): sim {} ± {} vs \
+                     live {} ± {} disagree beyond 3σ",
+                    sim.mean,
+                    sim.std_dev,
+                    live.mean,
+                    live.std_dev
+                );
+                // The scenarios must actually be distinct: a mid-wave
+                // heal re-merges the overlay while the mainland event is
+                // still being gossiped (full recovery); a late heal loses
+                // that event on the island but the post-heal island event
+                // still blankets everyone; a permanent cut strands the
+                // island event on its side.
+                match heal {
+                    Some(tick) if tick == early => assert!(
+                        sim.mean > 0.95 && live.mean > 0.95,
+                        "early heal must recover fully: sim {} / live {}",
+                        sim.mean,
+                        live.mean
+                    ),
+                    Some(_) => assert!(
+                        sim.mean > 0.8 && sim.mean < 0.999 && live.mean > 0.8,
+                        "late heal must lose the mainland event on the island only: \
+                         sim {} / live {}",
+                        sim.mean,
+                        live.mean
+                    ),
+                    None => assert!(
+                        sim.mean < 0.6 && live.mean < 0.6,
+                        "a permanent cut must strand the island: sim {} / live {}",
+                        sim.mean,
+                        live.mean
+                    ),
+                }
+            }
         }
     }
 

@@ -297,7 +297,7 @@ pub fn run_reliability_table(
         // Baselines: publish at the first alive leaf; measure the fraction
         // of alive interested processes that delivered.
         let baseline = |which: &str, s: u64| -> f64 {
-            let sim = SimConfig::default().with_seed(s).with_failure(
+            let sim = SimConfig::default().with_seed(s).with_failures(
                 da_simnet::FailureModel::Stillborn {
                     alive_fraction: alive,
                 },

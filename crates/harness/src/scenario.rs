@@ -185,7 +185,7 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> ScenarioOutcome {
     let sim = SimConfig::default()
         .with_seed(seed)
         .with_channel(ChannelConfig::default().with_success_probability(config.p_succ))
-        .with_failure(config.failure.model(config.alive_fraction));
+        .with_failures(config.failure.model(config.alive_fraction));
     let mut engine = Engine::new(sim, net.into_processes());
 
     // First alive member of the publish group.

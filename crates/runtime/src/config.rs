@@ -2,15 +2,18 @@
 
 use da_core::channel::ChannelConfig;
 use da_core::failure::FailureModel;
+use da_core::fault::FaultConfig;
+use da_core::topology::{NetworkModel, PartitionSchedule, Topology};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Configuration of one live runtime.
 ///
 /// Mirrors `da_simnet::SimConfig`'s builder style; `new()` delegates to
-/// the derived `Default`. The [`ChannelConfig`] is the same
-/// substrate-neutral model the simulator uses, so a reliability sweep
-/// carries one config across both substrates:
+/// the derived `Default`. The embedded [`FaultConfig`] is the same
+/// unified fault surface (network model + failure model) the simulator's
+/// config embeds, so one value carries a whole fault scenario across
+/// both substrates:
 ///
 /// ```
 /// use da_core::channel::ChannelConfig;
@@ -21,7 +24,7 @@ use std::time::Duration;
 ///     .with_workers(2)
 ///     .with_seed(42)
 ///     .with_channel(lossy);
-/// assert!((config.channel.success_probability - 0.85).abs() < 1e-12);
+/// assert!((config.channel().success_probability - 0.85).abs() < 1e-12);
 /// assert_eq!(RuntimeConfig::new(), RuntimeConfig::default());
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,17 +35,15 @@ pub struct RuntimeConfig {
     /// Master seed from which every process' RNG stream is derived —
     /// the same derivation as the simulator, so a process keeps its
     /// stream across substrates. Also roots the per-edge channel fault
-    /// streams when the channel model is not perfect.
+    /// streams when the network model is not perfect.
     pub seed: u64,
-    /// Channel loss/latency model applied by the transport
-    /// ([`crate::FaultyRouter`]). The default is a perfect channel:
-    /// nothing lost, one-tick latency — the PR 2 behaviour.
-    pub channel: ChannelConfig,
-    /// Process failure model applied by the per-worker
-    /// [`crate::LifecycleController`] — the same `da_core::failure`
-    /// model the simulator materialises, so one seed yields identical
-    /// fates on both substrates. The default is no failures.
-    pub failure: FailureModel,
+    /// The unified fault surface applied by the transport
+    /// ([`crate::FaultyRouter`] consumes `faults.network`: default
+    /// channel, per-link topology overrides, partition schedule) and by
+    /// the per-worker [`crate::LifecycleController`] (`faults.failure`).
+    /// The default is the absence of faults — perfect channels, no
+    /// topology, no partitions, no crashes — the PR 2 behaviour.
+    pub faults: FaultConfig,
     /// Per-worker inbox capacity. `None` (the default) is unbounded;
     /// `Some(n)` applies send-side backpressure at `n` queued batches.
     /// Bounded inboxes can deadlock a tick when workers flood each other
@@ -73,8 +74,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             workers: 0,
             seed: 0,
-            channel: ChannelConfig::reliable(),
-            failure: FailureModel::default(),
+            faults: FaultConfig::default(),
             mailbox_capacity: None,
             tick_timeout_ms: 60_000,
             max_lag: 1,
@@ -104,16 +104,41 @@ impl RuntimeConfig {
         self
     }
 
-    /// Replaces the channel loss/latency model.
+    /// Replaces the whole fault surface in one step — handy when a
+    /// harness built one [`FaultConfig`] for both substrates.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the network model's default channel, keeping any
+    /// topology and partition schedule.
     #[must_use]
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
-        self.channel = channel;
+        self.faults.network.channel = channel;
+        self
+    }
+
+    /// Installs a topology (process→node placement plus per-link
+    /// channel overrides) on the network model.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.faults.network.topology = Some(topology);
+        self
+    }
+
+    /// Installs a partition schedule (scripted split-brain windows) on
+    /// the network model.
+    #[must_use]
+    pub fn with_partitions(mut self, partitions: PartitionSchedule) -> Self {
+        self.faults.network.partitions = partitions;
         self
     }
 
     /// Replaces the process failure model — stillborn fractions,
     /// per-observer sampling, scripted fates, or continuous churn,
-    /// exactly as accepted by `da_simnet::SimConfig::with_failure`. The
+    /// exactly as accepted by `da_simnet::SimConfig::with_failures`. The
     /// plan is materialised once at [`crate::Runtime::spawn`] and
     /// applied per worker stripe by a [`crate::LifecycleController`];
     /// because every liveness draw is keyed on `(pid, tick)` rather
@@ -134,12 +159,12 @@ impl RuntimeConfig {
     ///         recover_probability: 0.2,
     ///     },
     /// );
-    /// assert!(matches!(config.failure, FailureModel::Churn { .. }));
-    /// assert_eq!(RuntimeConfig::default().failure, FailureModel::None);
+    /// assert!(matches!(config.faults.failure, FailureModel::Churn { .. }));
+    /// assert_eq!(*RuntimeConfig::default().failure(), FailureModel::None);
     /// ```
     #[must_use]
     pub fn with_failures(mut self, failure: FailureModel) -> Self {
-        self.failure = failure;
+        self.faults.failure = failure;
         self
     }
 
@@ -182,18 +207,38 @@ impl RuntimeConfig {
         self
     }
 
+    /// The network model's default channel (convenience accessor).
+    #[must_use]
+    pub fn channel(&self) -> ChannelConfig {
+        self.faults.network.channel
+    }
+
+    /// The process failure model (convenience accessor).
+    #[must_use]
+    pub fn failure(&self) -> &FailureModel {
+        &self.faults.failure
+    }
+
+    /// The full network model the transport consumes.
+    #[must_use]
+    pub fn network(&self) -> &NetworkModel {
+        &self.faults.network
+    }
+
     /// The worker-drift bound the scheduler actually enforces:
-    /// `max(1, min(max_lag, channel.min_latency()))`.
+    /// `max(1, min(max_lag, network.min_latency()))`.
     ///
     /// A worker may execute tick `n` once every peer has published its
     /// outbound batches through tick `n - effective_lag()`; anything a
     /// peer sends later is due strictly after `n` (its latency is at
-    /// least [`da_core::channel::ChannelConfig::min_latency`]), so no
-    /// delivery can be missed. The `max_lag` knob can only tighten this
-    /// bound, never stretch it past what the channel model allows.
+    /// least [`da_core::topology::NetworkModel::min_latency`] — the
+    /// minimum over the default channel *and* every per-link override),
+    /// so no delivery can be missed. The `max_lag` knob can only
+    /// tighten this bound, never stretch it past what the network model
+    /// allows.
     #[must_use]
     pub fn effective_lag(&self) -> u64 {
-        self.max_lag.clamp(1, self.channel.min_latency())
+        self.max_lag.clamp(1, self.faults.network.min_latency())
     }
 
     /// The effective pool size for a population: the configured count, or
@@ -223,7 +268,8 @@ mod tests {
     #[test]
     fn new_equals_default() {
         assert_eq!(RuntimeConfig::new(), RuntimeConfig::default());
-        assert!(RuntimeConfig::default().channel.is_perfect());
+        assert!(RuntimeConfig::default().channel().is_perfect());
+        assert!(RuntimeConfig::default().network().is_perfect());
     }
 
     #[test]
@@ -240,16 +286,32 @@ mod tests {
             });
         assert_eq!(c.workers, 3);
         assert_eq!(c.seed, 9);
-        assert_eq!(c.channel, ChannelConfig::paper_default());
+        assert_eq!(c.channel(), ChannelConfig::paper_default());
         assert_eq!(c.mailbox_capacity, Some(128));
         assert_eq!(c.tick_timeout(), Duration::from_millis(5));
         assert_eq!(c.max_lag, 4);
         assert_eq!(
-            c.failure,
+            c.faults.failure,
             FailureModel::Stillborn {
                 alive_fraction: 0.9
             }
         );
+    }
+
+    #[test]
+    fn topology_and_partition_builders_share_the_sim_shape() {
+        use da_core::topology::{NodeId, Partition, Topology};
+        let topo = Topology::with_nodes(["a", "b"]).with_placement_range(0..2, NodeId(1));
+        let cuts = PartitionSchedule::none()
+            .with_partition(Partition::cut(vec![vec![NodeId(0)], vec![NodeId(1)]], 4).heal_at(9));
+        let c = RuntimeConfig::default()
+            .with_topology(topo.clone())
+            .with_partitions(cuts.clone());
+        assert_eq!(c.faults.network.topology, Some(topo));
+        assert_eq!(c.faults.network.partitions, cuts);
+        // The identical FaultConfig drops into the simulator's config.
+        let sim = da_simnet::SimConfig::default().with_faults(c.faults.clone());
+        assert_eq!(sim.faults, c.faults);
     }
 
     #[test]
@@ -264,7 +326,17 @@ mod tests {
             ChannelConfig::reliable().with_latency(Latency::UniformRounds { min: 2, max: 6 }),
         );
         assert_eq!(jittery.clone().with_max_lag(16).effective_lag(), 2);
-        assert_eq!(jittery.with_max_lag(1).effective_lag(), 1);
+        assert_eq!(jittery.clone().with_max_lag(1).effective_lag(), 1);
+        // A faster per-link override tightens the bound below the
+        // default channel's floor: the wheel must honour the quickest
+        // link anywhere in the topology.
+        use da_core::topology::{NodeId, Topology};
+        let fast_link = jittery.with_topology(Topology::with_nodes(["a", "b"]).with_link(
+            NodeId(0),
+            NodeId(1),
+            ChannelConfig::reliable().with_latency(Latency::Fixed(1)),
+        ));
+        assert_eq!(fast_link.with_max_lag(16).effective_lag(), 1);
     }
 
     #[test]

@@ -10,13 +10,18 @@
 //!   (the crossbeam shim): each worker owns one inbox; sends are
 //!   address-hashed to the owning worker, coalesced per destination
 //!   worker into one [`Batch`] per tick, and never copied twice;
-//! * **channel faults** — the [`FaultyRouter`] applies the same
-//!   substrate-neutral loss/latency model the simulator uses
-//!   (`da_core::channel`, configured via
-//!   [`RuntimeConfig::with_channel`]): Bernoulli loss and sampled
-//!   latencies drawn from deterministic per-edge RNG streams, with
+//! * **network faults** — the [`FaultyRouter`] applies the same
+//!   substrate-neutral [`NetworkModel`] the simulator uses
+//!   (`da_core::topology`, configured via the unified
+//!   [`RuntimeConfig::with_channel`] / [`RuntimeConfig::with_topology`] /
+//!   [`RuntimeConfig::with_partitions`] builders on the shared
+//!   [`FaultConfig`]): Bernoulli loss and sampled latencies drawn from
+//!   deterministic per-edge RNG streams on each link's channel, with
 //!   delayed envelopes parked on a per-worker delay wheel until their
-//!   due tick;
+//!   due tick. Sends crossing an active [`PartitionSchedule`] cut are
+//!   dropped at send time (`rt.dropped_partitioned`) — a pure decision
+//!   consuming zero randomness, so both substrates sever the same
+//!   sends;
 //! * **bounded-lag tick scheduler** — gossip rounds become *ticks*, but
 //!   there is no global barrier: each worker advances its own clock,
 //!   gated only by per-edge atomic publish watermarks
@@ -91,6 +96,10 @@ mod transport;
 mod wheel;
 
 pub use config::RuntimeConfig;
+pub use da_core::fault::FaultConfig;
+pub use da_core::topology::{
+    NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, Topology,
+};
 pub use lifecycle::{LifecycleController, LifecycleTransitions};
 pub use metrics::ShardedCounters;
 pub use runtime::{Runtime, Shutdown, TickReport};

@@ -60,6 +60,7 @@ struct HotIds {
     bytes_sent: CounterId,
     delivered: CounterId,
     dropped_channel: CounterId,
+    dropped_partitioned: CounterId,
     dropped_closed: CounterId,
     dropped_shutdown: CounterId,
     dropped_crashed: CounterId,
@@ -75,6 +76,7 @@ impl HotIds {
             bytes_sent: counters.register("rt.bytes_sent"),
             delivered: counters.register("rt.delivered"),
             dropped_channel: counters.register("rt.dropped_channel"),
+            dropped_partitioned: counters.register("rt.dropped_partitioned"),
             dropped_closed: counters.register("rt.dropped_closed"),
             dropped_shutdown: counters.register("rt.dropped_shutdown"),
             dropped_crashed: counters.register("rt.dropped_crashed"),
@@ -137,6 +139,7 @@ impl<M: WireSize> Exec for LiveCtx<'_, M> {
         match self.router.send(self.me, to, self.tick, msg) {
             SendFate::Queued { .. } => *self.queued += 1,
             SendFate::DroppedChannel => self.counters.add(self.ids.dropped_channel, 1),
+            SendFate::DroppedPartitioned => self.counters.add(self.ids.dropped_partitioned, 1),
         }
     }
 
@@ -692,7 +695,7 @@ where
         // One materialisation of the failure plan, shared by every
         // worker's LifecycleController: same seed, same fates — and the
         // same fates the simulator would draw.
-        let plan = Arc::new(config.failure.materialize(population, config.seed));
+        let plan = Arc::new(config.faults.failure.materialize(population, config.seed));
 
         // Stripe processes and their seeded RNG streams across workers.
         let mut proc_stripes: Vec<Vec<P>> = (0..workers).map(|_| Vec::new()).collect();
@@ -721,7 +724,11 @@ where
                 rngs,
                 control: control_rx,
                 inbox,
-                faulty: FaultyRouter::new(router.clone(), config.channel, config.seed),
+                faulty: FaultyRouter::new(
+                    router.clone(),
+                    config.faults.network.clone(),
+                    config.seed,
+                ),
                 reports: report_tx.clone(),
                 shards: Arc::clone(&counters),
                 counters: local,
@@ -1545,7 +1552,7 @@ mod tests {
         let mut engine = da_simnet::Engine::new(
             da_simnet::SimConfig::default()
                 .with_seed(11)
-                .with_failure(model()),
+                .with_failures(model()),
             (0..N).map(|_| LifeProbe::default()).collect(),
         );
         engine.run_rounds(TICKS);
@@ -1650,6 +1657,68 @@ mod tests {
                 "workers={workers} lag={max_lag}: every envelope exactly once"
             );
             assert!(!out.statuses[1].is_alive());
+            let received: u64 = out.processes.iter().map(|p| p.received.len() as u64).sum();
+            assert_eq!(received, delivered);
+        }
+    }
+
+    /// Satellite requirement: with a partition window, loss, latency,
+    /// and a mid-run crash all active at once, the envelope ledger is
+    /// exact at max_lag ∈ {1, 4} — every send ends in exactly one of
+    /// delivered / dropped_channel / dropped_partitioned /
+    /// dropped_crashed / dropped_observed_failed / dropped_shutdown /
+    /// dropped_closed. Partition drops happen at send time (they never
+    /// enter flight), so the coordinator's in-flight ledger needs no
+    /// special case.
+    #[test]
+    fn partition_accounting_is_exact_across_lag_windows() {
+        use da_core::failure::{FailureModel, Fate};
+        use da_core::topology::{NodeId, Partition, PartitionSchedule, Topology};
+        for (workers, max_lag, latency) in [(2, 1, 1), (3, 4, 4)] {
+            let config = RuntimeConfig::default()
+                .with_workers(workers)
+                .with_seed(3)
+                .with_max_lag(max_lag)
+                .with_channel(
+                    ChannelConfig::reliable()
+                        .with_success_probability(0.7)
+                        .with_latency(Latency::Fixed(latency)),
+                )
+                .with_topology(
+                    // Ring 0→1→…→5→0 with pids 3..6 on node B: the 2→3
+                    // and 5→0 hops cross the cut.
+                    Topology::with_nodes(["a", "b"]).with_placement_range(3..6, NodeId(1)),
+                )
+                .with_partitions(PartitionSchedule::none().with_partition(
+                    Partition::cut(vec![vec![NodeId(0)], vec![NodeId(1)]], 1).heal_at(3),
+                ))
+                .with_failures(FailureModel::Schedule(vec![Fate {
+                    round: 2,
+                    pid: ProcessId(1),
+                    crash: true,
+                }]));
+            let mut rt = Runtime::spawn(config, relay_procs(6));
+            let executed = rt.run_until_quiescent(64);
+            assert!(executed < 64, "partitions must not wedge the run");
+            let out = rt.shutdown();
+            let sent = out.counters.get("rt.sent");
+            let delivered = out.counters.get("rt.delivered");
+            let dropped_partitioned = out.counters.get("rt.dropped_partitioned");
+            assert!(
+                dropped_partitioned > 0,
+                "the cross-node hops at ticks 1..3 must be severed"
+            );
+            let accounted = delivered
+                + out.counters.get("rt.dropped_channel")
+                + dropped_partitioned
+                + out.counters.get("rt.dropped_crashed")
+                + out.counters.get("rt.dropped_observed_failed")
+                + out.counters.get("rt.dropped_shutdown")
+                + out.counters.get("rt.dropped_closed");
+            assert_eq!(
+                accounted, sent,
+                "workers={workers} lag={max_lag}: every envelope exactly once"
+            );
             let received: u64 = out.processes.iter().map(|p| p.received.len() as u64).sum();
             assert_eq!(received, delivered);
         }

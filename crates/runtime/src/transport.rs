@@ -8,11 +8,15 @@
 //! * [`Router`] is the perfect wire: it hands envelopes (or whole
 //!   batches of them) to the inbox of the worker owning the destination
 //!   process, never losing or delaying anything.
-//! * [`FaultyRouter`] layers the substrate-neutral channel fault model
-//!   (`da_core::channel`) on top: each send's fate — lost, or delivered
-//!   after a sampled latency — is drawn from a deterministic per-edge
-//!   RNG stream, and survivors are coalesced per destination worker so
-//!   one tick costs at most one channel send per worker pair.
+//! * [`FaultyRouter`] layers the substrate-neutral network fault model
+//!   (`da_core::topology::NetworkModel`: default channel, per-link
+//!   topology overrides, partition schedule) on top: a send crossing an
+//!   active partition cut is dropped outright (a pure decision — no
+//!   randomness), every other send's fate — lost, or delivered after a
+//!   sampled latency — is drawn from a deterministic per-edge RNG
+//!   stream on its link's channel, and survivors are coalesced per
+//!   destination worker so one tick costs at most one channel send per
+//!   worker pair.
 //!
 //! A batch handed to an inbox is only *visible* to the scheduler once
 //! the sending worker bumps its watermarks: [`EdgeWatermarks::publish`]
@@ -21,7 +25,8 @@
 //! its in-edges is what replaces the global tick barrier.
 
 use crossbeam::channel::Sender;
-use da_core::channel::{ChannelConfig, ChannelFate, EdgeRngs};
+use da_core::channel::{ChannelConfig, EdgeRngs};
+use da_core::topology::{NetFate, NetworkModel};
 use da_simnet::ProcessId;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -210,6 +215,10 @@ pub enum SendFate {
     },
     /// The channel lost the message (Bernoulli loss draw failed).
     DroppedChannel,
+    /// A partition cut severed the sender's node from the receiver's
+    /// node at the send tick (a pure schedule lookup — no randomness
+    /// was consumed).
+    DroppedPartitioned,
 }
 
 /// What one [`FaultyRouter::flush`] moved and lost.
@@ -224,16 +233,21 @@ pub struct FlushReport {
     pub dropped_closed: u64,
 }
 
-/// A [`Router`] behind an unreliable channel: drops and delays envelopes
-/// according to a [`ChannelConfig`], and coalesces the survivors of each
-/// tick into one batch per destination worker.
+/// A [`Router`] behind an unreliable network: drops and delays
+/// envelopes according to a [`NetworkModel`] (default channel, per-link
+/// topology overrides, partition schedule), and coalesces the survivors
+/// of each tick into one batch per destination worker. A bare
+/// [`ChannelConfig`] converts into the uniform model, so the common
+/// case reads exactly as before.
 ///
-/// Loss and latency draws come from `da_core`'s deterministic per-edge
-/// RNG streams, so the fate of "the k-th message from process 3 to
-/// process 9" does not depend on how processes are striped across
-/// worker threads. A perfect configuration
-/// ([`ChannelConfig::is_perfect`]) takes a draw-free fast path and is
-/// byte-for-byte equivalent to the plain [`Router`].
+/// Partition cuts are decided from the schedule alone — a pure function
+/// of the two placements and the send tick, consuming zero randomness —
+/// so both substrates sever the same sends. Loss and latency draws come
+/// from `da_core`'s deterministic per-edge RNG streams, so the fate of
+/// "the k-th message from process 3 to process 9" does not depend on
+/// how processes are striped across worker threads. A perfect
+/// configuration ([`NetworkModel::is_perfect`]) takes a draw-free fast
+/// path and is byte-for-byte equivalent to the plain [`Router`].
 ///
 /// Each worker owns its own `FaultyRouter` (wrapping a clone of the
 /// shared [`Router`]); since a process is owned by exactly one worker,
@@ -267,31 +281,44 @@ pub struct FlushReport {
 #[derive(Debug)]
 pub struct FaultyRouter<M> {
     router: Router<M>,
-    channel: ChannelConfig,
+    network: NetworkModel,
+    /// `network.is_perfect()`, cached at construction so the reliable
+    /// hot path costs one branch instead of a model walk per send.
+    perfect: bool,
     rngs: EdgeRngs,
     /// Per-destination-worker coalescing buffers, flushed once per tick.
     slots: Vec<Vec<Envelope<M>>>,
 }
 
 impl<M> FaultyRouter<M> {
-    /// Wraps `router` with the given channel model; `master_seed` roots
-    /// the per-edge RNG streams (use the runtime's configured seed so
-    /// live fault draws are reproducible).
+    /// Wraps `router` with the given network model (a bare
+    /// [`ChannelConfig`] converts into the uniform model); `master_seed`
+    /// roots the per-edge RNG streams (use the runtime's configured seed
+    /// so live fault draws are reproducible).
     #[must_use]
-    pub fn new(router: Router<M>, channel: ChannelConfig, master_seed: u64) -> Self {
+    pub fn new(router: Router<M>, network: impl Into<NetworkModel>, master_seed: u64) -> Self {
+        let network = network.into();
         let slots = (0..router.workers()).map(|_| Vec::new()).collect();
         FaultyRouter {
             router,
-            channel,
+            perfect: network.is_perfect(),
+            network,
             rngs: EdgeRngs::new(master_seed),
             slots,
         }
     }
 
-    /// The channel model this router applies.
+    /// The network model's default channel (the whole model in the
+    /// uniform case).
     #[must_use]
     pub fn channel(&self) -> &ChannelConfig {
-        &self.channel
+        &self.network.channel
+    }
+
+    /// The full network model this router applies.
+    #[must_use]
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
     }
 
     /// Number of workers behind the wrapped router.
@@ -300,21 +327,28 @@ impl<M> FaultyRouter<M> {
         self.router.workers()
     }
 
-    /// Routes one message through the unreliable channel: samples its
-    /// fate on the `from → to` edge stream and, if it survives, buffers
-    /// it for the destination worker until [`FaultyRouter::flush`].
+    /// Routes one message through the unreliable network: checks the
+    /// partition schedule (pure, draw-free), samples the surviving
+    /// send's fate on the `from → to` edge stream using its link's
+    /// channel, and, if it survives, buffers it for the destination
+    /// worker until [`FaultyRouter::flush`].
     pub fn send(&mut self, from: ProcessId, to: ProcessId, sent_tick: u64, msg: M) -> SendFate {
-        let fate = if self.channel.is_perfect() {
+        let fate = if self.perfect {
             // Draw-free fast path: no edge-stream lookup on the hot path
             // of a reliable runtime.
-            ChannelFate::Deliver { latency: 1 }
+            NetFate::Deliver { latency: 1 }
         } else {
-            self.channel
-                .sample_fate(self.rngs.rng(u64::from(from.0), u64::from(to.0)))
+            self.network.sample_fate(
+                from,
+                to,
+                sent_tick,
+                self.rngs.rng(u64::from(from.0), u64::from(to.0)),
+            )
         };
         match fate {
-            ChannelFate::Lost => SendFate::DroppedChannel,
-            ChannelFate::Deliver { latency } => {
+            NetFate::Severed => SendFate::DroppedPartitioned,
+            NetFate::Lost => SendFate::DroppedChannel,
+            NetFate::Deliver { latency } => {
                 let due_tick = sent_tick + latency;
                 let worker = self.router.worker_of(to);
                 self.slots[worker].push(Envelope {
@@ -636,6 +670,7 @@ mod tests {
             match fate {
                 SendFate::Queued { due_tick } => assert!((12..=14).contains(&due_tick)),
                 SendFate::DroppedChannel => panic!("reliable channel lost a message"),
+                SendFate::DroppedPartitioned => panic!("no partition is scripted"),
             }
         }
         faulty.flush();
@@ -659,6 +694,53 @@ mod tests {
                 .collect::<Vec<bool>>()
         };
         assert_eq!(run(), run(), "same seed, same edge, same fates");
+    }
+
+    #[test]
+    fn partition_cut_severs_then_heals_without_consuming_draws() {
+        use da_core::topology::{NetworkModel, NodeId, Partition, PartitionSchedule, Topology};
+        let network = |partitions| {
+            NetworkModel::uniform(ChannelConfig::paper_default())
+                .with_topology(
+                    Topology::with_nodes(["a", "b"]).with_placement(ProcessId(1), NodeId(1)),
+                )
+                .with_partitions(partitions)
+        };
+        let cut = PartitionSchedule::none()
+            .with_partition(Partition::cut(vec![vec![NodeId(0)], vec![NodeId(1)]], 10).heal_at(20));
+
+        // Encode each fate latency-relative so runs at different ticks
+        // compare: Severed → -2, Lost → -1, Deliver → its latency.
+        let run = |partitions: PartitionSchedule| {
+            let (tx, _rx) = channel::unbounded::<Batch<u8>>();
+            let mut faulty = FaultyRouter::new(Router::new(vec![tx]), network(partitions), 42);
+            (0..30u64)
+                .map(
+                    |tick| match faulty.send(ProcessId(0), ProcessId(1), tick, 0) {
+                        SendFate::DroppedPartitioned => -2i64,
+                        SendFate::DroppedChannel => -1,
+                        SendFate::Queued { due_tick } => (due_tick - tick) as i64,
+                    },
+                )
+                .collect::<Vec<i64>>()
+        };
+        let severed = run(cut);
+        let open = run(PartitionSchedule::none());
+
+        assert!(
+            severed[10..20].iter().all(|&f| f == -2),
+            "every send inside the window is severed"
+        );
+        assert_eq!(
+            severed[..10],
+            open[..10],
+            "fates before the cut are untouched"
+        );
+        // Severed sends consume no edge draws, so post-heal fates
+        // continue the edge stream exactly where the cut paused it: the
+        // 10 severed sends left draws 10.. unconsumed.
+        assert_eq!(severed[20..30], open[10..20]);
+        assert!(severed[20..].iter().all(|&f| f != -2));
     }
 
     #[test]

@@ -6,7 +6,9 @@ use crate::metrics::{CounterId, Counters};
 use crate::process::{ProcessId, ProcessStatus};
 use crate::rng::{derive_seed, rng_for_process, rng_from_seed};
 use crate::wire::WireSize;
-use da_core::channel::{ChannelConfig, ChannelFate};
+use da_core::channel::ChannelConfig;
+use da_core::fault::FaultConfig;
+use da_core::topology::{NetFate, NetworkModel, PartitionSchedule, Topology};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 
@@ -48,16 +50,17 @@ pub trait Protocol {
 
 /// Configuration of one simulation run.
 ///
-/// The derived `Default` (seed 0, reliable channels, no failures) is the
-/// single source of truth; [`SimConfig::new`] delegates to it.
+/// The derived `Default` (seed 0, faultless [`FaultConfig`]: reliable
+/// channels, no topology, no partitions, no failures) is the single
+/// source of truth; [`SimConfig::new`] delegates to it.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Master seed from which every RNG stream is derived.
     pub seed: u64,
-    /// Channel loss/latency model.
-    pub channel: ChannelConfig,
-    /// Failure model applied to the population.
-    pub failure: FailureModel,
+    /// The unified fault surface: network model (channel + topology +
+    /// partitions) and process failure model — the same
+    /// `da_core::fault::FaultConfig` the live runtime's config embeds.
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -74,18 +77,59 @@ impl SimConfig {
         self
     }
 
-    /// Replaces the channel configuration.
+    /// Replaces the whole fault surface in one step.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the default channel configuration.
     #[must_use]
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
-        self.channel = channel;
+        self.faults.network.channel = channel;
+        self
+    }
+
+    /// Replaces the failure model (named to match
+    /// `RuntimeConfig::with_failures`).
+    #[must_use]
+    pub fn with_failures(mut self, failure: FailureModel) -> Self {
+        self.faults.failure = failure;
         self
     }
 
     /// Replaces the failure model.
+    #[deprecated(since = "0.6.0", note = "renamed to `with_failures`")]
     #[must_use]
-    pub fn with_failure(mut self, failure: FailureModel) -> Self {
-        self.failure = failure;
+    pub fn with_failure(self, failure: FailureModel) -> Self {
+        self.with_failures(failure)
+    }
+
+    /// Installs a topology (placement + per-link channel overrides).
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.faults.network.topology = Some(topology);
         self
+    }
+
+    /// Installs a partition schedule.
+    #[must_use]
+    pub fn with_partitions(mut self, partitions: PartitionSchedule) -> Self {
+        self.faults.network.partitions = partitions;
+        self
+    }
+
+    /// The network model's default channel.
+    #[must_use]
+    pub fn channel(&self) -> ChannelConfig {
+        self.faults.network.channel
+    }
+
+    /// The process failure model.
+    #[must_use]
+    pub fn failure(&self) -> &FailureModel {
+        &self.faults.failure
     }
 }
 
@@ -161,6 +205,7 @@ struct SimHotIds {
     bytes_sent: CounterId,
     delivered: CounterId,
     dropped_channel: CounterId,
+    dropped_partitioned: CounterId,
     dropped_dead: CounterId,
     dropped_observed_failed: CounterId,
     churn_crashes: CounterId,
@@ -174,6 +219,7 @@ impl SimHotIds {
             bytes_sent: counters.register("sim.bytes_sent"),
             delivered: counters.register("sim.delivered"),
             dropped_channel: counters.register("sim.dropped_channel"),
+            dropped_partitioned: counters.register("sim.dropped_partitioned"),
             dropped_dead: counters.register("sim.dropped_dead"),
             dropped_observed_failed: counters.register("sim.dropped_observed_failed"),
             churn_crashes: counters.register("sim.churn_crashes"),
@@ -194,7 +240,7 @@ pub struct Engine<P: Protocol> {
     queue: MessageQueue<P::Msg>,
     counters: Counters,
     hot: SimHotIds,
-    channel: ChannelConfig,
+    network: NetworkModel,
     plan: FailurePlan,
     engine_rng: SmallRng,
     observer_rng: SmallRng,
@@ -210,7 +256,7 @@ impl<P: Protocol> Engine<P> {
     #[must_use]
     pub fn new(config: SimConfig, processes: Vec<P>) -> Self {
         let population = processes.len();
-        let plan = config.failure.materialize(population, config.seed);
+        let plan = config.faults.failure.materialize(population, config.seed);
         let mut status = vec![ProcessStatus::Alive; population];
         for pid in plan.initially_crashed() {
             status[pid.index()] = ProcessStatus::Crashed;
@@ -227,7 +273,7 @@ impl<P: Protocol> Engine<P> {
             queue: MessageQueue::new(),
             counters,
             hot,
-            channel: config.channel,
+            network: config.faults.network,
             observer_rng: rng_from_seed(plan.observation_seed()),
             plan,
             engine_rng: rng_from_seed(derive_seed(config.seed, 0)),
@@ -411,7 +457,7 @@ impl<P: Protocol> Engine<P> {
                 &mut outbox,
                 me,
                 round,
-                &self.channel,
+                &self.network,
                 &self.hot,
                 &mut self.engine_rng,
                 &mut self.queue,
@@ -438,7 +484,7 @@ impl<P: Protocol> Engine<P> {
                     &mut outbox,
                     me,
                     round,
-                    &self.channel,
+                    &self.network,
                     &self.hot,
                     &mut self.engine_rng,
                     &mut self.queue,
@@ -476,7 +522,7 @@ impl<P: Protocol> Engine<P> {
                 &mut outbox,
                 to,
                 round,
-                &self.channel,
+                &self.network,
                 &self.hot,
                 &mut self.engine_rng,
                 &mut self.queue,
@@ -503,7 +549,7 @@ impl<P: Protocol> Engine<P> {
                 &mut outbox,
                 me,
                 round,
-                &self.channel,
+                &self.network,
                 &self.hot,
                 &mut self.engine_rng,
                 &mut self.queue,
@@ -534,15 +580,17 @@ impl<P: Protocol> Engine<P> {
         max_rounds
     }
 
-    /// Routes queued sends through the channel: counts them, samples each
-    /// send's fate from the shared `da_core` channel model (on the
-    /// engine's single RNG stream), and enqueues survivors.
+    /// Routes queued sends through the network model: counts them,
+    /// checks the partition schedule (a pure severed/not decision that
+    /// consumes no randomness), samples each surviving send's fate from
+    /// the shared `da_core` channel model of its link (on the engine's
+    /// single RNG stream), and enqueues survivors.
     #[allow(clippy::too_many_arguments)]
     fn flush_outbox(
         outbox: &mut Vec<(ProcessId, P::Msg)>,
         from: ProcessId,
         round: u64,
-        channel: &ChannelConfig,
+        network: &NetworkModel,
         hot: &SimHotIds,
         engine_rng: &mut SmallRng,
         queue: &mut MessageQueue<P::Msg>,
@@ -553,9 +601,10 @@ impl<P: Protocol> Engine<P> {
             sent += 1;
             counters.add(hot.sent, 1);
             counters.add(hot.bytes_sent, msg.wire_size() as u64);
-            match channel.sample_fate(engine_rng) {
-                ChannelFate::Lost => counters.add(hot.dropped_channel, 1),
-                ChannelFate::Deliver { latency } => {
+            match network.sample_fate(from, to, round, engine_rng) {
+                NetFate::Severed => counters.add(hot.dropped_partitioned, 1),
+                NetFate::Lost => counters.add(hot.dropped_channel, 1),
+                NetFate::Deliver { latency } => {
                     queue.push(round + latency, from, to, msg);
                 }
             }
@@ -611,9 +660,22 @@ mod tests {
     #[test]
     fn sim_config_new_equals_default() {
         assert_eq!(SimConfig::new(), SimConfig::default());
-        assert_eq!(SimConfig::new().channel, ChannelConfig::reliable());
-        assert_eq!(SimConfig::new().failure, FailureModel::None);
+        assert_eq!(SimConfig::new().channel(), ChannelConfig::reliable());
+        assert_eq!(*SimConfig::new().failure(), FailureModel::None);
+        assert!(SimConfig::new().faults.network.is_perfect());
         assert_ne!(SimConfig::new(), SimConfig::new().with_seed(1));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_failure_alias_delegates() {
+        let model = FailureModel::Stillborn {
+            alive_fraction: 0.5,
+        };
+        assert_eq!(
+            SimConfig::new().with_failure(model.clone()),
+            SimConfig::new().with_failures(model)
+        );
     }
 
     #[test]
@@ -667,7 +729,7 @@ mod tests {
     fn stillborn_processes_never_run() {
         let config = SimConfig::default()
             .with_seed(1)
-            .with_failure(FailureModel::Stillborn {
+            .with_failures(FailureModel::Stillborn {
                 alive_fraction: 0.5,
             });
         let mut e = relay_engine(config, 10);
@@ -706,7 +768,7 @@ mod tests {
     fn per_observer_drops_fraction() {
         let config = SimConfig::default()
             .with_seed(11)
-            .with_failure(FailureModel::PerObserver {
+            .with_failures(FailureModel::PerObserver {
                 alive_fraction: 0.5,
             });
         let mut e = relay_engine(config, 10);
@@ -726,7 +788,7 @@ mod tests {
             let config = SimConfig::default()
                 .with_seed(seed)
                 .with_channel(ChannelConfig::paper_default())
-                .with_failure(FailureModel::Stillborn {
+                .with_failures(FailureModel::Stillborn {
                     alive_fraction: 0.8,
                 });
             let mut e = relay_engine(config, 20);
@@ -770,7 +832,7 @@ mod tests {
     #[test]
     fn scheduled_fates_apply() {
         use crate::Fate;
-        let config = SimConfig::default().with_failure(FailureModel::Schedule(vec![
+        let config = SimConfig::default().with_failures(FailureModel::Schedule(vec![
             Fate {
                 round: 2,
                 pid: ProcessId(0),
@@ -806,6 +868,36 @@ mod tests {
             e.counters().get("sim.sent")
         );
     }
+
+    #[test]
+    fn partitions_sever_and_heal() {
+        use da_core::topology::{NodeId, Partition, PartitionSchedule, Topology};
+        // Relay ring over 3 processes: 0 and 1 on node a, 2 on node b, so
+        // exactly the 1→2 and 2→0 hops cross the cut. Split for rounds 2..5.
+        let config = SimConfig::default()
+            .with_topology(Topology::with_nodes(["a", "b"]).with_placement(ProcessId(2), NodeId(1)))
+            .with_partitions(PartitionSchedule::none().with_partition(
+                Partition::cut(vec![vec![NodeId(0)], vec![NodeId(1)]], 2).heal_at(5),
+            ));
+        let mut e = relay_engine(config, 3);
+        e.run_rounds(2);
+        assert_eq!(e.counters().get("sim.dropped_partitioned"), 0);
+        e.run_rounds(3); // rounds 2..4: two cross-island sends severed per round
+        assert_eq!(e.counters().get("sim.dropped_partitioned"), 6);
+        let before = e.process(ProcessId(2)).received;
+        e.run_rounds(3);
+        assert!(
+            e.process(ProcessId(2)).received > before,
+            "traffic flows again after the heal"
+        );
+        // Every send is delivered, severed, or still in flight.
+        assert_eq!(
+            e.counters().get("sim.delivered")
+                + e.counters().get("sim.dropped_partitioned")
+                + e.in_flight() as u64,
+            e.counters().get("sim.sent")
+        );
+    }
 }
 
 #[cfg(test)]
@@ -831,7 +923,7 @@ mod churn_engine_tests {
         // crash 0.05 / recover 0.15 → stationary alive = 0.75.
         let config = SimConfig::default()
             .with_seed(5)
-            .with_failure(FailureModel::Churn {
+            .with_failures(FailureModel::Churn {
                 crash_probability: 0.05,
                 recover_probability: 0.15,
             });
@@ -856,7 +948,7 @@ mod churn_engine_tests {
         let run = || {
             let config = SimConfig::default()
                 .with_seed(9)
-                .with_failure(FailureModel::Churn {
+                .with_failures(FailureModel::Churn {
                     crash_probability: 0.1,
                     recover_probability: 0.1,
                 });
@@ -873,7 +965,7 @@ mod churn_engine_tests {
 
     #[test]
     fn zero_rates_are_inert() {
-        let config = SimConfig::default().with_failure(FailureModel::Churn {
+        let config = SimConfig::default().with_failures(FailureModel::Churn {
             crash_probability: 0.0,
             recover_probability: 0.0,
         });

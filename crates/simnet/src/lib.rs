@@ -64,6 +64,10 @@ mod rng;
 mod wire;
 
 pub use da_core::channel::{ChannelConfig, ChannelFate, Latency};
+pub use da_core::fault::FaultConfig;
+pub use da_core::topology::{
+    NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, Topology,
+};
 pub use engine::{Ctx, Engine, Protocol, RoundReport, SimConfig};
 pub use error::SimError;
 pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};

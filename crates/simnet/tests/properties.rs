@@ -68,7 +68,7 @@ proptest! {
         let config = SimConfig::default()
             .with_seed(seed)
             .with_channel(ChannelConfig::default().with_success_probability(p_succ))
-            .with_failure(FailureModel::Stillborn { alive_fraction: alive });
+            .with_failures(FailureModel::Stillborn { alive_fraction: alive });
         let mut e = chatter_engine(config, n);
         e.run_rounds(rounds);
         let c = e.counters();
@@ -103,7 +103,7 @@ proptest! {
         alive in 0.0f64..=1.0,
         seed in 0u64..10_000,
     ) {
-        let config = SimConfig::default().with_seed(seed).with_failure(
+        let config = SimConfig::default().with_seed(seed).with_failures(
             FailureModel::Stillborn { alive_fraction: alive },
         );
         let mut e = chatter_engine(config, n);
@@ -152,7 +152,7 @@ proptest! {
         alive in 0.0f64..=1.0,
         seed in 0u64..10_000,
     ) {
-        let config = SimConfig::default().with_seed(seed).with_failure(
+        let config = SimConfig::default().with_seed(seed).with_failures(
             FailureModel::PerObserver { alive_fraction: alive },
         );
         let mut e = chatter_engine(config, n);

@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let sim = SimConfig::default()
         .with_seed(99)
-        .with_failure(FailureModel::Schedule(fates));
+        .with_failures(FailureModel::Schedule(fates));
     let mut engine = Engine::new(sim, net.into_processes());
 
     engine.run_rounds(30); // healthy warm-up

@@ -46,7 +46,10 @@ pub use damulticast;
 pub mod prelude {
     pub use da_membership::FanoutRule;
     pub use da_runtime::{Runtime, RuntimeConfig};
-    pub use da_simnet::{ChannelConfig, Engine, FailureModel, ProcessId, SimConfig};
+    pub use da_simnet::{
+        ChannelConfig, Engine, FailureModel, FaultConfig, NetworkModel, NodeId, Partition,
+        PartitionSchedule, ProcessId, SimConfig, Topology,
+    };
     pub use da_topics::{TopicHierarchy, TopicId};
     pub use damulticast::{
         DaError, DaProcess, DynamicNetwork, Event, EventId, Exec, ExecProtocol, ParamMap,

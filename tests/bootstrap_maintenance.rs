@@ -81,7 +81,7 @@ fn maintenance_repairs_after_crash_wave() {
         .collect();
     let sim = SimConfig::default()
         .with_seed(12)
-        .with_failure(FailureModel::Schedule(fates));
+        .with_failures(FailureModel::Schedule(fates));
     let mut engine = Engine::new(sim, net.into_processes());
     engine.run_rounds(110); // warm-up, crash at 30, repair afterwards
 
@@ -170,7 +170,7 @@ fn dead_entries_eventually_dropped() {
         .collect();
     let sim = SimConfig::default()
         .with_seed(14)
-        .with_failure(FailureModel::Schedule(fates));
+        .with_failures(FailureModel::Schedule(fates));
     let mut engine = Engine::new(sim, net.into_processes());
     engine.run_rounds(140);
     // No leaf supertable should still be dominated by dead entries.

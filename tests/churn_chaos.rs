@@ -22,7 +22,7 @@ fn churn_engine(
     let members: Vec<Vec<ProcessId>> = net.groups().iter().map(|g| g.members.clone()).collect();
     let sim = SimConfig::default()
         .with_seed(seed)
-        .with_failure(FailureModel::Churn {
+        .with_failures(FailureModel::Churn {
             crash_probability: crash,
             recover_probability: recover,
         });

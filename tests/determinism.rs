@@ -12,7 +12,7 @@ fn static_fingerprint(seed: u64) -> Vec<(String, u64)> {
     let sim = SimConfig::default()
         .with_seed(seed)
         .with_channel(ChannelConfig::paper_default())
-        .with_failure(FailureModel::Stillborn {
+        .with_failures(FailureModel::Stillborn {
             alive_fraction: 0.8,
         });
     let mut engine = Engine::new(sim, net.into_processes());

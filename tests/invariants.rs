@@ -40,7 +40,7 @@ proptest! {
         let sim = SimConfig::default()
             .with_seed(seed)
             .with_channel(ChannelConfig::default().with_success_probability(p_succ))
-            .with_failure(FailureModel::Stillborn { alive_fraction: alive });
+            .with_failures(FailureModel::Stillborn { alive_fraction: alive });
         let mut engine = Engine::new(sim, net.into_processes());
         let level = ((publish_level_frac * sizes.len() as f64) as usize).min(sizes.len() - 1);
         if let Some(&publisher) = groups[level].members.first() {
@@ -120,7 +120,7 @@ proptest! {
         let groups = net.groups().to_vec();
         let sim = SimConfig::default()
             .with_seed(seed)
-            .with_failure(FailureModel::Stillborn { alive_fraction: alive });
+            .with_failures(FailureModel::Stillborn { alive_fraction: alive });
         let mut engine = Engine::new(sim, net.into_processes());
         let leaf = groups.last().unwrap();
         if let Some(&publisher) = leaf

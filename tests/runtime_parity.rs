@@ -227,7 +227,7 @@ fn run_churned(
             let config = SimConfig::default()
                 .with_seed(seed)
                 .with_channel(channel)
-                .with_failure(failure.clone());
+                .with_failures(failure.clone());
             let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
             for (level, pid) in pubs.into_iter().enumerate() {
                 engine.process_mut(pid).publish(format!("event-{level}"));

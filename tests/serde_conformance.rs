@@ -24,6 +24,16 @@ fn simnet_types_are_serde() {
 }
 
 #[test]
+fn fault_and_topology_types_are_serde() {
+    is_serde::<da_simnet::FaultConfig>();
+    is_serde::<da_simnet::NetworkModel>();
+    is_serde::<da_simnet::Topology>();
+    is_serde::<da_simnet::NodeId>();
+    is_serde::<da_simnet::Partition>();
+    is_serde::<da_simnet::PartitionSchedule>();
+}
+
+#[test]
 fn membership_types_are_serde() {
     is_serde::<da_membership::MembershipParams>();
     is_serde::<da_membership::FanoutRule>();
