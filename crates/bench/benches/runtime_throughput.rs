@@ -21,6 +21,10 @@
 //!   4 workers). `live_churn16` / `sim_churn16` repeat the burst with
 //!   the shared churn failure plan active, so the lifecycle scan and
 //!   the crashed-inbox drain stay visible in the committed baseline.
+//!   `trace_overhead_off` / `trace_overhead_full` rerun the headline
+//!   burst with the flight recorder disabled vs capturing every
+//!   envelope verdict, so the recorder's zero-cost-when-off claim and
+//!   its full-capture price are both tracked rows.
 //! * `runtime_batching_*` — transport isolation: the same envelope
 //!   stream pushed one channel send per envelope versus coalesced into
 //!   one batch per destination worker per tick (the PR 3 Router
@@ -36,7 +40,7 @@ use crossbeam::channel;
 use da_bench::bench_sizes;
 use da_core::channel::ChannelConfig;
 use da_core::failure::FailureModel;
-use da_runtime::{Batch, Envelope, FaultyRouter, Router, Runtime, RuntimeConfig};
+use da_runtime::{Batch, Envelope, FaultyRouter, Router, Runtime, RuntimeConfig, TraceConfig};
 use da_simnet::{Engine, ProcessId, SimConfig};
 use damulticast::{DaProcess, ParamMap, StaticNetwork};
 use std::hint::black_box;
@@ -117,13 +121,15 @@ fn live_fixture(
     workers: usize,
     events: usize,
     failure: FailureModel,
+    trace: TraceConfig,
 ) -> Runtime<DaProcess> {
     let net = network(seed);
     let leaf = net.groups().last().expect("leaf group").members.clone();
     let config = RuntimeConfig::default()
         .with_seed(seed)
         .with_workers(workers)
-        .with_failures(failure);
+        .with_failures(failure)
+        .with_trace(trace);
     let mut rt = Runtime::spawn(config, net.into_processes());
     for i in 0..events {
         rt.with_process_mut(leaf[i % leaf.len()], |p| p.publish("bench"));
@@ -146,7 +152,7 @@ fn sim_fixture(seed: u64, events: usize, failure: FailureModel) -> Engine<DaProc
 /// Publishes one event and drives it to quiescence end-to-end (spin-up
 /// and shutdown included) — the `live_event` row.
 fn live_event_run(seed: u64) -> u64 {
-    let mut rt = live_fixture(seed, 2, 1, FailureModel::None);
+    let mut rt = live_fixture(seed, 2, 1, FailureModel::None, TraceConfig::off());
     rt.run_until_quiescent(MAX_TICKS);
     let out = rt.shutdown();
     out.counters.get("rt.delivered")
@@ -173,13 +179,16 @@ fn runtime_throughput(c: &mut Criterion) {
     // Sustained delivery: a 16-event burst to quiescence, fixture
     // excluded. The pool (with its threads still up) is returned from
     // the routine so teardown is excluded from the timing too.
-    let mut live_burst_row = |label: String, workers: usize, failure: fn() -> FailureModel| {
+    let mut live_burst_row = |label: String,
+                              workers: usize,
+                              failure: fn() -> FailureModel,
+                              trace: fn() -> TraceConfig| {
         group.bench_with_input(BenchmarkId::new(label, population), &population, |b, _| {
             let mut seed = 0u64;
             b.iter_batched(
                 || {
                     seed = seed.wrapping_add(1);
-                    live_fixture(seed, workers, BURST, failure())
+                    live_fixture(seed, workers, BURST, failure(), trace())
                 },
                 |mut rt| {
                     black_box(rt.run_until_quiescent(MAX_TICKS));
@@ -193,16 +202,44 @@ fn runtime_throughput(c: &mut Criterion) {
     // warmed steady state rather than paying the suite's one-time
     // warm-up costs.
     for workers in [1usize, 2, 4, 8] {
-        live_burst_row(format!("live_burst16_w{workers}"), workers, || {
-            FailureModel::None
-        });
+        live_burst_row(
+            format!("live_burst16_w{workers}"),
+            workers,
+            || FailureModel::None,
+            TraceConfig::off,
+        );
     }
-    live_burst_row("live_burst16".into(), HEADLINE_WORKERS, || {
-        FailureModel::None
-    });
+    live_burst_row(
+        "live_burst16".into(),
+        HEADLINE_WORKERS,
+        || FailureModel::None,
+        TraceConfig::off,
+    );
     // The same burst with the lifecycle controller live: per-tick churn
     // draws, crashed-inbox drains, recovery hooks all on the hot path.
-    live_burst_row("live_churn16".into(), HEADLINE_WORKERS, bench_churn);
+    live_burst_row(
+        "live_churn16".into(),
+        HEADLINE_WORKERS,
+        bench_churn,
+        TraceConfig::off,
+    );
+    // Flight-recorder overhead on the headline burst: `_off` is the
+    // shipped default (a `None` branch on the hot path — the baseline
+    // diff against `live_burst16` tracks the "zero cost when off"
+    // claim), `_full` pays per-envelope ring-buffer appends plus the
+    // tick-boundary shard publishes.
+    live_burst_row(
+        "trace_overhead_off".into(),
+        HEADLINE_WORKERS,
+        || FailureModel::None,
+        TraceConfig::off,
+    );
+    live_burst_row(
+        "trace_overhead_full".into(),
+        HEADLINE_WORKERS,
+        || FailureModel::None,
+        TraceConfig::full,
+    );
 
     // Simulator reference: the same topology and burst, single-threaded
     // deterministic rounds, fixture equally excluded.

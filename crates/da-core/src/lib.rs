@@ -38,6 +38,7 @@ pub mod fault;
 pub mod process;
 pub mod seed;
 pub mod topology;
+pub mod trace;
 
 pub use channel::{ChannelConfig, ChannelFate, EdgeRngs, Latency};
 pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};
@@ -45,3 +46,7 @@ pub use fault::FaultConfig;
 pub use process::{ProcessId, ProcessStatus};
 pub use seed::{derive_seed, rng_for_process, rng_from_seed};
 pub use topology::{NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, Topology};
+pub use trace::{
+    canonicalize, first_divergence, TraceCategory, TraceConfig, TraceDivergence, TraceEvent,
+    TraceMode, TraceRecorder, TraceVerdict,
+};

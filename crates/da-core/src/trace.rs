@@ -1,0 +1,786 @@
+//! The deterministic flight recorder's vocabulary: causal trace events,
+//! the recording configuration both substrates' config builders embed,
+//! and the canonical ordering + first-divergence diagnosis the harness
+//! uses to explain parity failures.
+//!
+//! A [`TraceEvent`] records one decision the substrate made about one
+//! message (or one lifecycle transition of one process): the tick it
+//! happened on, the edge it concerns, a payload id, and a
+//! [`TraceVerdict`] mirroring the envelope-ledger counter categories
+//! exactly (`sim.dropped_dead` and `rt.dropped_crashed` are the *same*
+//! verdict, [`TraceVerdict::DroppedCrashed`], so streams from the two
+//! substrates compare directly).
+//!
+//! Recording is zero-cost when off: both engines hold an
+//! `Option<TraceRecorder>`-shaped slot that is `None` unless the
+//! [`TraceConfig`] enables tracing, so the hot path pays one branch.
+//! When enabled, [`TraceRecorder::record`] is an unsynchronised append
+//! into a bounded per-worker buffer (overflow is counted, never
+//! blocking), published at tick boundaries like the sharded counters.
+//!
+//! Diagnosis: [`canonicalize`] sorts a stream into the substrate-neutral
+//! order (tick, verdict, from, to, payload) — erasing the live runtime's
+//! nondeterministic within-tick delivery interleaving — and
+//! [`first_divergence`] reports the first event where two canonical
+//! streams disagree.
+
+use crate::process::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default per-recorder event capacity (events beyond this are counted
+/// in [`TraceRecorder::dropped`] rather than stored).
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 16;
+
+/// What happened to one message (or one process) — the trace-side twin
+/// of the envelope-ledger counters.
+///
+/// The variant order is the canonical tie-break order used by
+/// [`canonicalize`]: within a tick, sends sort before deliveries, which
+/// sort before drops, which sort before lifecycle transitions.
+///
+/// ```
+/// use da_core::trace::TraceVerdict;
+/// assert_eq!(TraceVerdict::DroppedCrashed.label(), "dropped_crashed");
+/// assert!(TraceVerdict::Sent < TraceVerdict::Delivered);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TraceVerdict {
+    /// The protocol handed the message to the transport
+    /// (`sim.sent` / `rt.sent`).
+    Sent,
+    /// The message reached its destination's protocol hook
+    /// (`sim.delivered` / `rt.delivered`).
+    Delivered,
+    /// The channel's Bernoulli loss draw failed
+    /// (`sim.dropped_channel` / `rt.dropped_channel`).
+    DroppedChannel,
+    /// A partition cut severed the edge at the send tick
+    /// (`sim.dropped_partitioned` / `rt.dropped_partitioned`).
+    DroppedPartitioned,
+    /// The destination was crashed at delivery time
+    /// (`sim.dropped_dead` / `rt.dropped_crashed` — one verdict, so the
+    /// substrates' streams compare directly).
+    DroppedCrashed,
+    /// A per-observer failure draw made the destination treat the sender
+    /// as failed (`sim.dropped_observed_failed` /
+    /// `rt.dropped_observed_failed`).
+    DroppedObserved,
+    /// The destination worker had already shut down
+    /// (`rt.dropped_closed`; the simulator never emits this).
+    DroppedClosed,
+    /// The message was still in flight when the runtime shut down
+    /// (`rt.dropped_shutdown`; the simulator never emits this).
+    DroppedShutdown,
+    /// The process crashed this tick (`sim.churn_crashes` /
+    /// `rt.churn_crashes`, plus scripted crashes).
+    Crashed,
+    /// The process recovered this tick (`sim.churn_recoveries` /
+    /// `rt.churn_recoveries`, plus scripted recoveries).
+    Recovered,
+}
+
+impl TraceVerdict {
+    /// Number of verdict variants (the size of a per-verdict count
+    /// table).
+    pub const COUNT: usize = 10;
+
+    /// Every verdict, in canonical order.
+    pub const ALL: [TraceVerdict; TraceVerdict::COUNT] = [
+        TraceVerdict::Sent,
+        TraceVerdict::Delivered,
+        TraceVerdict::DroppedChannel,
+        TraceVerdict::DroppedPartitioned,
+        TraceVerdict::DroppedCrashed,
+        TraceVerdict::DroppedObserved,
+        TraceVerdict::DroppedClosed,
+        TraceVerdict::DroppedShutdown,
+        TraceVerdict::Crashed,
+        TraceVerdict::Recovered,
+    ];
+
+    /// Dense index of this verdict (its position in
+    /// [`TraceVerdict::ALL`]).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The snake_case name used in JSONL exports and count tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceVerdict::Sent => "sent",
+            TraceVerdict::Delivered => "delivered",
+            TraceVerdict::DroppedChannel => "dropped_channel",
+            TraceVerdict::DroppedPartitioned => "dropped_partitioned",
+            TraceVerdict::DroppedCrashed => "dropped_crashed",
+            TraceVerdict::DroppedObserved => "dropped_observed_failed",
+            TraceVerdict::DroppedClosed => "dropped_closed",
+            TraceVerdict::DroppedShutdown => "dropped_shutdown",
+            TraceVerdict::Crashed => "crashed",
+            TraceVerdict::Recovered => "recovered",
+        }
+    }
+
+    /// The filter category this verdict belongs to.
+    #[must_use]
+    pub fn category(self) -> TraceCategory {
+        match self {
+            TraceVerdict::Sent => TraceCategory::Send,
+            TraceVerdict::Delivered => TraceCategory::Delivery,
+            TraceVerdict::DroppedChannel
+            | TraceVerdict::DroppedPartitioned
+            | TraceVerdict::DroppedCrashed
+            | TraceVerdict::DroppedObserved
+            | TraceVerdict::DroppedClosed
+            | TraceVerdict::DroppedShutdown => TraceCategory::Drop,
+            TraceVerdict::Crashed | TraceVerdict::Recovered => TraceCategory::Lifecycle,
+        }
+    }
+}
+
+impl fmt::Display for TraceVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Coarse event families a [`TraceConfig`] can filter on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceCategory {
+    /// Transport-send decisions ([`TraceVerdict::Sent`]).
+    Send,
+    /// Successful deliveries ([`TraceVerdict::Delivered`]).
+    Delivery,
+    /// Every `Dropped*` verdict.
+    Drop,
+    /// Crash and recovery transitions.
+    Lifecycle,
+}
+
+impl TraceCategory {
+    /// Every category.
+    pub const ALL: [TraceCategory; 4] = [
+        TraceCategory::Send,
+        TraceCategory::Delivery,
+        TraceCategory::Drop,
+        TraceCategory::Lifecycle,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            TraceCategory::Send => 1,
+            TraceCategory::Delivery => 2,
+            TraceCategory::Drop => 4,
+            TraceCategory::Lifecycle => 8,
+        }
+    }
+
+    /// The snake_case name of this category.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceCategory::Send => "send",
+            TraceCategory::Delivery => "delivery",
+            TraceCategory::Drop => "drop",
+            TraceCategory::Lifecycle => "lifecycle",
+        }
+    }
+}
+
+const ALL_CATEGORIES: u8 = 1 | 2 | 4 | 8;
+
+/// How much the flight recorder captures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// No recorder is allocated; the hot path pays one branch on a
+    /// `None`.
+    #[default]
+    Off,
+    /// Per-verdict counts (and the trace histograms) only — no event
+    /// buffer.
+    CountersOnly,
+    /// Counts plus the bounded causal event stream.
+    Full,
+}
+
+/// Flight-recorder configuration, hung off both substrates' config
+/// builders (`SimConfig::with_trace` / `RuntimeConfig::with_trace`).
+///
+/// ```
+/// use da_core::trace::{TraceCategory, TraceConfig, TraceVerdict};
+///
+/// let cfg = TraceConfig::full()
+///     .with_capacity(1024)
+///     .with_categories(&[TraceCategory::Delivery, TraceCategory::Drop]);
+/// assert!(cfg.records_events());
+/// assert!(!cfg.wants(TraceVerdict::Sent));
+/// assert!(cfg.wants(TraceVerdict::DroppedChannel));
+/// assert!(!TraceConfig::off().is_enabled());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Recording mode (default [`TraceMode::Off`]).
+    pub mode: TraceMode,
+    /// Per-recorder event capacity; overflow is counted, not stored.
+    pub capacity: usize,
+    categories: u8,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::off()
+    }
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default): no recorder is allocated.
+    #[must_use]
+    pub fn off() -> Self {
+        TraceConfig {
+            mode: TraceMode::Off,
+            capacity: DEFAULT_TRACE_CAPACITY,
+            categories: ALL_CATEGORIES,
+        }
+    }
+
+    /// Per-verdict counts and histograms, no event buffer.
+    #[must_use]
+    pub fn counters_only() -> Self {
+        TraceConfig {
+            mode: TraceMode::CountersOnly,
+            ..TraceConfig::off()
+        }
+    }
+
+    /// Full causal event recording.
+    #[must_use]
+    pub fn full() -> Self {
+        TraceConfig {
+            mode: TraceMode::Full,
+            ..TraceConfig::off()
+        }
+    }
+
+    /// Replaces the per-recorder event capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    /// Restricts recording to the given categories (the default records
+    /// all of them).
+    #[must_use]
+    pub fn with_categories(mut self, categories: &[TraceCategory]) -> Self {
+        self.categories = categories.iter().fold(0, |mask, c| mask | c.bit());
+        self
+    }
+
+    /// True unless the mode is [`TraceMode::Off`].
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.mode != TraceMode::Off
+    }
+
+    /// True when the mode stores the event stream itself
+    /// ([`TraceMode::Full`]).
+    #[must_use]
+    pub fn records_events(&self) -> bool {
+        self.mode == TraceMode::Full
+    }
+
+    /// True when events with `verdict` pass the category filter.
+    #[must_use]
+    pub fn wants(&self, verdict: TraceVerdict) -> bool {
+        self.categories & verdict.category().bit() != 0
+    }
+}
+
+/// One recorded decision: what happened to one message on one edge at
+/// one tick (or, for lifecycle verdicts, to one process — then `from`
+/// and `to` are both that process and `payload` is zero).
+///
+/// `payload` is the message's wire size in bytes — the only payload
+/// identity both substrates can agree on without touching the protocol's
+/// message type.
+///
+/// ```
+/// use da_core::trace::{TraceEvent, TraceVerdict};
+/// use da_core::ProcessId;
+///
+/// let e = TraceEvent {
+///     tick: 3,
+///     from: ProcessId(0),
+///     to: ProcessId(7),
+///     payload: 12,
+///     verdict: TraceVerdict::Delivered,
+/// };
+/// assert_eq!(e.to_string(), "t3 p0→p7 delivered [12B]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Round (simulator) or tick (runtime) the decision was made on.
+    /// Drop-at-delivery verdicts stamp the *delivery* tick.
+    pub tick: u64,
+    /// Sending process (for lifecycle verdicts: the process itself).
+    pub from: ProcessId,
+    /// Destination process (for lifecycle verdicts: the process itself).
+    pub to: ProcessId,
+    /// Wire size of the message in bytes (zero for lifecycle verdicts).
+    pub payload: u64,
+    /// What happened.
+    pub verdict: TraceVerdict,
+}
+
+impl TraceEvent {
+    /// A lifecycle event (crash or recovery) for `pid` at `tick`.
+    #[must_use]
+    pub fn lifecycle(tick: u64, pid: ProcessId, verdict: TraceVerdict) -> Self {
+        TraceEvent {
+            tick,
+            from: pid,
+            to: pid,
+            payload: 0,
+            verdict,
+        }
+    }
+
+    /// The canonical sort key: (tick, verdict, from, to, payload). Ticks
+    /// order causally; everything after erases scheduler-dependent
+    /// within-tick interleaving.
+    #[must_use]
+    pub fn sort_key(&self) -> (u64, usize, u32, u32, u64) {
+        (
+            self.tick,
+            self.verdict.index(),
+            self.from.0,
+            self.to.0,
+            self.payload,
+        )
+    }
+
+    /// One JSONL line (no trailing newline): the hand-rolled export the
+    /// offline serde shim cannot provide.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"tick\":{},\"from\":{},\"to\":{},\"payload\":{},\"verdict\":\"{}\"}}",
+            self.tick,
+            self.from.0,
+            self.to.0,
+            self.payload,
+            self.verdict.label()
+        )
+    }
+}
+
+impl PartialOrd for TraceEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TraceEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sort_key().cmp(&other.sort_key())
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t{} {}→{} {} [{}B]",
+            self.tick, self.from, self.to, self.verdict, self.payload
+        )
+    }
+}
+
+/// The first position where two canonical trace streams disagree.
+///
+/// `left`/`right` are the events at [`TraceDivergence::index`] in each
+/// stream; `None` means that stream ended first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceDivergence {
+    /// Index into both canonical streams.
+    pub index: usize,
+    /// The left stream's event at `index`, if any.
+    pub left: Option<TraceEvent>,
+    /// The right stream's event at `index`, if any.
+    pub right: Option<TraceEvent>,
+}
+
+impl fmt::Display for TraceDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let side = |e: &Option<TraceEvent>| match e {
+            Some(e) => e.to_string(),
+            None => "<stream ended>".to_string(),
+        };
+        write!(
+            f,
+            "first divergence at event {}: left {} vs right {}",
+            self.index,
+            side(&self.left),
+            side(&self.right)
+        )
+    }
+}
+
+/// Sorts a stream into the canonical substrate-neutral order
+/// ([`TraceEvent::sort_key`]).
+pub fn canonicalize(events: &mut [TraceEvent]) {
+    events.sort_unstable();
+}
+
+/// Reports the first event where two *canonical* streams disagree, or
+/// `None` when they are identical. Canonicalize both sides first.
+#[must_use]
+pub fn first_divergence(left: &[TraceEvent], right: &[TraceEvent]) -> Option<TraceDivergence> {
+    let shared = left.len().min(right.len());
+    for index in 0..shared {
+        if left[index] != right[index] {
+            return Some(TraceDivergence {
+                index,
+                left: Some(left[index]),
+                right: Some(right[index]),
+            });
+        }
+    }
+    if left.len() != right.len() {
+        return Some(TraceDivergence {
+            index: shared,
+            left: left.get(shared).copied(),
+            right: right.get(shared).copied(),
+        });
+    }
+    None
+}
+
+/// Renders a stream as JSONL: one [`TraceEvent::to_json`] object per
+/// line, trailing newline included when non-empty.
+#[must_use]
+pub fn events_to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a stream in the Chrome tracing (`chrome://tracing`,
+/// Perfetto) JSON array format: one instant event per trace event, with
+/// `ts` = tick, `pid` = sender, `tid` = destination.
+#[must_use]
+pub fn events_to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"g\",\
+             \"args\":{{\"payload\":{}}}}}",
+            event.verdict.label(),
+            event.tick,
+            event.from.0,
+            event.to.0,
+            event.payload
+        ));
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// The per-worker (or per-engine) recording buffer: an unsynchronised
+/// append on the hot path, bounded by the configured capacity, with
+/// per-verdict counts maintained even in
+/// [`TraceMode::CountersOnly`].
+///
+/// Construct through [`TraceRecorder::new`], which returns `None` for a
+/// disabled config — the substrates store that `Option` directly, so
+/// disabled tracing costs one branch per decision.
+///
+/// ```
+/// use da_core::trace::{TraceConfig, TraceEvent, TraceRecorder, TraceVerdict};
+/// use da_core::ProcessId;
+///
+/// assert!(TraceRecorder::new(&TraceConfig::off()).is_none());
+///
+/// let mut rec = TraceRecorder::new(&TraceConfig::full()).unwrap();
+/// rec.record(TraceEvent {
+///     tick: 0,
+///     from: ProcessId(0),
+///     to: ProcessId(1),
+///     payload: 4,
+///     verdict: TraceVerdict::Sent,
+/// });
+/// assert_eq!(rec.count(TraceVerdict::Sent), 1);
+/// assert_eq!(rec.take_events().len(), 1);
+/// assert!(rec.events().is_empty(), "take drains the buffer");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    config: TraceConfig,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    counts: [u64; TraceVerdict::COUNT],
+}
+
+impl TraceRecorder {
+    /// A recorder for `config`, or `None` when tracing is off.
+    #[must_use]
+    pub fn new(config: &TraceConfig) -> Option<Self> {
+        if !config.is_enabled() {
+            return None;
+        }
+        Some(TraceRecorder {
+            config: *config,
+            events: Vec::new(),
+            dropped: 0,
+            counts: [0; TraceVerdict::COUNT],
+        })
+    }
+
+    /// Records one event: bumps its verdict count and, in
+    /// [`TraceMode::Full`], appends it to the buffer (counting overflow
+    /// beyond the capacity instead of storing it). Events whose category
+    /// is filtered out are ignored entirely.
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.config.wants(event.verdict) {
+            return;
+        }
+        self.counts[event.verdict.index()] += 1;
+        if self.config.records_events() {
+            if self.events.len() < self.config.capacity {
+                self.events.push(event);
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Bumps a verdict count by `n` without storing events — for bulk
+    /// accounting where per-envelope identity is gone (batched
+    /// closed-worker drops, shutdown drains).
+    pub fn count_only(&mut self, verdict: TraceVerdict, n: u64) {
+        if self.config.wants(verdict) {
+            self.counts[verdict.index()] += n;
+        }
+    }
+
+    /// The buffered events (empty in [`TraceMode::CountersOnly`]).
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Drains and returns the buffered events — the tick-boundary
+    /// publish used by the live workers.
+    #[must_use]
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Count of events recorded with `verdict` (including any the
+    /// capacity bound dropped).
+    #[must_use]
+    pub fn count(&self, verdict: TraceVerdict) -> u64 {
+        self.counts[verdict.index()]
+    }
+
+    /// The full per-verdict count table, indexed by
+    /// [`TraceVerdict::index`].
+    #[must_use]
+    pub fn counts(&self) -> &[u64; TraceVerdict::COUNT] {
+        &self.counts
+    }
+
+    /// Events lost to the capacity bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configuration this recorder was built from.
+    #[must_use]
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64, from: u32, to: u32, payload: u64, verdict: TraceVerdict) -> TraceEvent {
+        TraceEvent {
+            tick,
+            from: ProcessId(from),
+            to: ProcessId(to),
+            payload,
+            verdict,
+        }
+    }
+
+    #[test]
+    fn verdict_table_is_dense_and_labelled() {
+        for (i, v) in TraceVerdict::ALL.iter().enumerate() {
+            assert_eq!(v.index(), i);
+            assert!(!v.label().is_empty());
+        }
+        assert_eq!(TraceVerdict::ALL.len(), TraceVerdict::COUNT);
+    }
+
+    #[test]
+    fn verdicts_map_to_ledger_categories() {
+        assert_eq!(TraceVerdict::Sent.category(), TraceCategory::Send);
+        assert_eq!(TraceVerdict::Delivered.category(), TraceCategory::Delivery);
+        assert_eq!(
+            TraceVerdict::DroppedShutdown.category(),
+            TraceCategory::Drop
+        );
+        assert_eq!(TraceVerdict::Recovered.category(), TraceCategory::Lifecycle);
+        assert_eq!(
+            TraceVerdict::DroppedObserved.label(),
+            "dropped_observed_failed",
+            "labels match the counter ledger suffixes"
+        );
+    }
+
+    #[test]
+    fn config_defaults_to_off_with_all_categories() {
+        let cfg = TraceConfig::default();
+        assert!(!cfg.is_enabled());
+        assert!(!cfg.records_events());
+        for v in TraceVerdict::ALL {
+            assert!(cfg.wants(v), "default filter records every category");
+        }
+        assert_eq!(cfg.capacity, DEFAULT_TRACE_CAPACITY);
+    }
+
+    #[test]
+    fn category_filter_masks_whole_families() {
+        let cfg = TraceConfig::full().with_categories(&[TraceCategory::Drop]);
+        assert!(!cfg.wants(TraceVerdict::Sent));
+        assert!(!cfg.wants(TraceVerdict::Delivered));
+        assert!(!cfg.wants(TraceVerdict::Crashed));
+        assert!(cfg.wants(TraceVerdict::DroppedChannel));
+        assert!(cfg.wants(TraceVerdict::DroppedShutdown));
+    }
+
+    #[test]
+    fn counters_only_counts_without_buffering() {
+        let mut rec = TraceRecorder::new(&TraceConfig::counters_only()).unwrap();
+        rec.record(ev(0, 0, 1, 4, TraceVerdict::Sent));
+        rec.record(ev(1, 0, 1, 4, TraceVerdict::Delivered));
+        assert_eq!(rec.count(TraceVerdict::Sent), 1);
+        assert_eq!(rec.count(TraceVerdict::Delivered), 1);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_overflow_is_counted_not_stored() {
+        let mut rec = TraceRecorder::new(&TraceConfig::full().with_capacity(2)).unwrap();
+        for tick in 0..5 {
+            rec.record(ev(tick, 0, 1, 4, TraceVerdict::Sent));
+        }
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(rec.count(TraceVerdict::Sent), 5, "counts see every event");
+    }
+
+    #[test]
+    fn filtered_events_are_invisible() {
+        let cfg = TraceConfig::full().with_categories(&[TraceCategory::Delivery]);
+        let mut rec = TraceRecorder::new(&cfg).unwrap();
+        rec.record(ev(0, 0, 1, 4, TraceVerdict::Sent));
+        rec.count_only(TraceVerdict::Sent, 10);
+        assert_eq!(rec.count(TraceVerdict::Sent), 0);
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn canonical_order_erases_interleaving() {
+        let mut a = vec![
+            ev(1, 3, 0, 4, TraceVerdict::Delivered),
+            ev(0, 0, 3, 4, TraceVerdict::Sent),
+            ev(1, 1, 0, 4, TraceVerdict::Delivered),
+        ];
+        let mut b = vec![
+            ev(1, 1, 0, 4, TraceVerdict::Delivered),
+            ev(1, 3, 0, 4, TraceVerdict::Delivered),
+            ev(0, 0, 3, 4, TraceVerdict::Sent),
+        ];
+        canonicalize(&mut a);
+        canonicalize(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a[0].verdict, TraceVerdict::Sent, "tick 0 first");
+    }
+
+    #[test]
+    fn first_divergence_pinpoints_the_difference() {
+        let base = vec![
+            ev(0, 0, 1, 4, TraceVerdict::Sent),
+            ev(1, 0, 1, 4, TraceVerdict::Delivered),
+        ];
+        assert_eq!(first_divergence(&base, &base), None);
+
+        let mut lossy = base.clone();
+        lossy[1].verdict = TraceVerdict::DroppedChannel;
+        let d = first_divergence(&base, &lossy).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left.unwrap().verdict, TraceVerdict::Delivered);
+        assert_eq!(d.right.unwrap().verdict, TraceVerdict::DroppedChannel);
+
+        let shorter = &base[..1];
+        let d = first_divergence(shorter, &base).unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left, None);
+        assert_eq!(d.right, Some(base[1]));
+    }
+
+    #[test]
+    fn jsonl_export_is_one_object_per_line() {
+        let events = vec![
+            ev(0, 0, 1, 4, TraceVerdict::Sent),
+            ev(1, 0, 1, 4, TraceVerdict::Delivered),
+        ];
+        let jsonl = events_to_jsonl(&events);
+        assert_eq!(
+            jsonl,
+            "{\"tick\":0,\"from\":0,\"to\":1,\"payload\":4,\"verdict\":\"sent\"}\n\
+             {\"tick\":1,\"from\":0,\"to\":1,\"payload\":4,\"verdict\":\"delivered\"}\n"
+        );
+        assert!(events_to_jsonl(&[]).is_empty());
+    }
+
+    #[test]
+    fn chrome_export_is_a_json_array_of_instants() {
+        let events = vec![ev(2, 1, 3, 8, TraceVerdict::Delivered)];
+        let json = events_to_chrome_trace(&events);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"name\":\"delivered\""));
+        assert!(json.contains("\"ts\":2"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"tid\":3"));
+        assert_eq!(events_to_chrome_trace(&[]), "[\n]");
+    }
+
+    #[test]
+    fn divergence_display_reads_both_sides() {
+        let d = TraceDivergence {
+            index: 5,
+            left: Some(ev(2, 0, 1, 4, TraceVerdict::Delivered)),
+            right: None,
+        };
+        let text = d.to_string();
+        assert!(text.contains("event 5"));
+        assert!(text.contains("t2 p0→p1 delivered [4B]"));
+        assert!(text.contains("<stream ended>"));
+    }
+}

@@ -6,28 +6,36 @@
 //! probability, a churn sweep over the per-tick crash probability, and
 //! a partition sweep over the cut-and-heal tick, checking the
 //! substrates agree within 3σ at every point. Every sweep drives both
-//! substrates through the unified `FaultConfig`.
+//! substrates through the unified `FaultConfig`. A flight-recorder
+//! trace diff closes the run: the same-seed sim/live canonical event
+//! streams must be bit-identical, and a deliberately lossy pair must
+//! report a correct first-divergent event.
 //!
 //! Usage: `cargo run --release -p da-harness --bin live_vs_sim
-//! [--quick]`
+//! [--quick] [--json]`
+//!
+//! `--json` prints every table as one machine-readable JSON document on
+//! stdout (for CI artifacts) instead of the Markdown renderings; the
+//! per-row 3σ verdicts move to stderr so stdout stays pure JSON.
 
 use da_harness::experiments::live::{
     churn_sweep_crash_rates, partition_sweep_heal_ticks, ratios_agree_within_3_sigma,
     reliability_sweep_probabilities, run_churn_sweep, run_live_vs_sim, run_partition_sweep,
     run_reliability_sweep,
 };
+use da_harness::experiments::trace::run_trace_diff;
 use da_harness::experiments::Effort;
-use da_harness::report::SeriesTable;
+use da_harness::report::{KeyedTable, SeriesTable};
 use da_harness::results_dir;
 use da_simnet::{ChannelConfig, FailureModel, FaultConfig, Latency};
 use damulticast::ParamMap;
 
-fn check_rows(table: &SeriesTable, label: &str, disagreements: &mut u32) {
+fn check_rows(table: &SeriesTable, label: &str, json: bool, disagreements: &mut u32) {
     for row in &table.rows {
         let (sim, live) = (&row.values[0], &row.values[1]);
         let agree = ratios_agree_within_3_sigma(sim, live, 0.02);
         *disagreements += u32::from(!agree);
-        println!(
+        let line = format!(
             "{label} = {:.2}: sim {:.4} vs live {:.4} — {}",
             row.x,
             sim.mean,
@@ -38,18 +46,28 @@ fn check_rows(table: &SeriesTable, label: &str, disagreements: &mut u32) {
                 "DISAGREE beyond 3σ"
             }
         );
+        // Keep stdout pure JSON in --json mode.
+        if json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
     }
 }
 
 fn main() {
     let effort = Effort::from_args();
+    let json = std::env::args().any(|a| a == "--json");
     let sizes = effort.scenario().group_sizes;
     let params = ParamMap::uniform(effort.scenario().params);
     let table = run_live_vs_sim(&sizes, &params, effort.trials(), 0x11FE);
-    print!("{}", table.to_markdown());
+    if !json {
+        print!("{}", table.to_markdown());
+    }
 
     let probs = reliability_sweep_probabilities();
     let mut disagreements = 0u32;
+    let mut sweeps: Vec<SeriesTable> = Vec::new();
     // The PR 3 configuration (one-tick latency, lag 1), then a two-tick
     // latency floor with a wide lag window so the barrier-free
     // scheduler's worker drift is exercised by the same sweep.
@@ -64,13 +82,16 @@ fn main() {
             effort.trials(),
             0x5EED,
         );
-        println!("\nlatency {latency:?}, live max_lag {max_lag}:");
-        print!("{}", sweep.to_markdown());
-        check_rows(&sweep, "p", &mut disagreements);
+        if !json {
+            println!("\nlatency {latency:?}, live max_lag {max_lag}:");
+            print!("{}", sweep.to_markdown());
+        }
+        check_rows(&sweep, "p", json, &mut disagreements);
         if max_lag == 1 {
             let dir = results_dir();
             sweep.write_to(&dir).expect("write sweep results");
         }
+        sweeps.push(sweep);
     }
 
     // The churn sweep: the same comparison with the process failure
@@ -87,9 +108,11 @@ fn main() {
         effort.trials(),
         0xC4A0,
     );
-    println!("\nchurn sweep (recover probability 0.3):");
-    print!("{}", churn.to_markdown());
-    check_rows(&churn, "crash", &mut disagreements);
+    if !json {
+        println!("\nchurn sweep (recover probability 0.3):");
+        print!("{}", churn.to_markdown());
+    }
+    check_rows(&churn, "crash", json, &mut disagreements);
 
     // The partition sweep: a two-island cut healing at the swept tick
     // (x = -1 never heals), with per-trial bit-identical mainland
@@ -104,15 +127,41 @@ fn main() {
         effort.trials(),
         0x9A27,
     );
-    println!("\npartition sweep (heal tick; -1 = never heals):");
-    print!("{}", partitions.to_markdown());
-    check_rows(&partitions, "heal", &mut disagreements);
+    if !json {
+        println!("\npartition sweep (heal tick; -1 = never heals):");
+        print!("{}", partitions.to_markdown());
+    }
+    check_rows(&partitions, "heal", json, &mut disagreements);
+
+    // The flight-recorder diff: asserts bit-identical same-seed streams
+    // (and a correctly reported first divergence on a lossy pair)
+    // inside the experiment.
+    let population = sizes.iter().sum::<usize>().min(24) as u32;
+    let trace_base =
+        FaultConfig::new().with_channel(ChannelConfig::reliable().with_latency(Latency::Fixed(1)));
+    let trace_diff: KeyedTable = run_trace_diff(population, &trace_base, 0xD1FF, 2, 1);
+    if !json {
+        println!("\nflight-recorder trace diff (first_divergence -1 = streams identical):");
+        print!("{}", trace_diff.to_markdown());
+    }
 
     let dir = results_dir();
     partitions.write_to(&dir).expect("write partition sweep");
     churn.write_to(&dir).expect("write churn sweep results");
+    trace_diff.write_to(&dir).expect("write trace diff");
     table.write_to(&dir).expect("write results");
-    println!("\nwritten to {}", dir.display());
+
+    if json {
+        let mut tables: Vec<String> = vec![table.to_json()];
+        tables.extend(sweeps.iter().map(SeriesTable::to_json));
+        tables.push(churn.to_json());
+        tables.push(partitions.to_json());
+        tables.push(trace_diff.to_json());
+        println!("{{\"tables\":[{}]}}", tables.join(","));
+        eprintln!("written to {}", dir.display());
+    } else {
+        println!("\nwritten to {}", dir.display());
+    }
     if disagreements > 0 {
         eprintln!("{disagreements} sweep point(s) disagree beyond 3σ");
         std::process::exit(1);

@@ -9,6 +9,7 @@ pub mod live;
 pub mod parasites;
 pub mod scaling;
 pub mod tables;
+pub mod trace;
 
 /// Shared sweep axis of Figs. 8–11: the fraction of alive processes,
 /// 0.0 to 1.0 in steps of 0.05 (the paper's x-axis).

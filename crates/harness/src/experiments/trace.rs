@@ -1,0 +1,379 @@
+//! First-divergence diagnosis between two flight-recorder streams — the
+//! observability counterpart of the live-vs-sim reliability sweeps.
+//!
+//! Both substrates record the same compact `TraceEvent` stream (one
+//! event per send / delivery / drop / lifecycle transition, mirroring
+//! the envelope-ledger counters). After [canonical
+//! ordering](da_simnet::canonicalize) — which erases the live runtime's
+//! legitimate within-tick interleaving — a same-seed pair over
+//! *deterministic* faults (reliable channels with a fixed latency;
+//! scripted or churn process failures, whose draws are `(pid, tick)`
+//! hashes shared by both substrates) must be **bit-identical**. When two
+//! streams differ, [`first_divergence`]
+//! pinpoints the earliest canonical event where they part ways — the
+//! exact message (edge, tick, verdict) one substrate saw and the other
+//! did not — which is a far sharper diagnostic than two disagreeing
+//! counter totals.
+//!
+//! [`run_trace_diff`] packages the check: a same-seed sim/live pair
+//! that must not diverge, and a deliberately lossy-vs-lossless sim pair
+//! that must diverge at its first dropped envelope, proving the
+//! diagnosis reports real divergences rather than vacuously passing.
+
+use crate::report::KeyedTable;
+use crate::stats::Summary;
+use da_runtime::{Runtime, RuntimeConfig};
+use da_simnet::{
+    first_divergence, Ctx, Engine, FaultConfig, ProcessId, Protocol, SimConfig, TraceConfig,
+    TraceDivergence, TraceEvent, TraceLog, TraceVerdict, WireSize,
+};
+use damulticast::{Exec, ExecProtocol};
+
+/// Rounds during which the probe keeps sending; the run's horizon leaves
+/// enough tail for every in-flight envelope to land (no
+/// `dropped_shutdown` noise in the stream).
+const PROBE_SEND_ROUNDS: u64 = 6;
+
+/// Virtual-time horizon of every trace-diff trial.
+const PROBE_TICKS: u64 = 16;
+
+/// A deterministic ring-relay probe that runs unchanged on both
+/// substrates: each alive process sends one token to the next pid in
+/// the first `PROBE_SEND_ROUNDS` (6) rounds. No RNG draws and no
+/// order-sensitive state, so its trace stream depends only on the fault
+/// config and the seed — the workload under which the substrates'
+/// canonical streams must coincide exactly.
+#[derive(Debug, Clone)]
+pub struct TraceProbe {
+    population: u32,
+    delivered: u64,
+}
+
+impl TraceProbe {
+    /// A probe for a `population`-process ring.
+    #[must_use]
+    pub fn new(population: u32) -> Self {
+        TraceProbe {
+            population,
+            delivered: 0,
+        }
+    }
+}
+
+/// The probe's fixed-size token.
+#[derive(Debug, Clone)]
+pub struct ProbeToken;
+
+impl WireSize for ProbeToken {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+impl ExecProtocol for TraceProbe {
+    type Msg = ProbeToken;
+
+    fn on_message<X: Exec<Msg = ProbeToken>>(
+        &mut self,
+        _from: ProcessId,
+        _msg: ProbeToken,
+        _ctx: &mut X,
+    ) {
+        self.delivered += 1;
+    }
+
+    fn on_round<X: Exec<Msg = ProbeToken>>(&mut self, round: u64, ctx: &mut X) {
+        if round < PROBE_SEND_ROUNDS {
+            let next = ProcessId((ctx.me().0 + 1) % self.population);
+            ctx.send(next, ProbeToken);
+        }
+    }
+}
+
+impl Protocol for TraceProbe {
+    type Msg = ProbeToken;
+
+    fn on_message(&mut self, from: ProcessId, msg: ProbeToken, ctx: &mut Ctx<'_, ProbeToken>) {
+        ExecProtocol::on_message(self, from, msg, ctx);
+    }
+
+    fn on_round(&mut self, round: u64, ctx: &mut Ctx<'_, ProbeToken>) {
+        ExecProtocol::on_round(self, round, ctx);
+    }
+}
+
+/// Runs the probe on the simulator under `faults` and returns its trace.
+#[must_use]
+pub fn sim_probe_trace(population: u32, faults: &FaultConfig, seed: u64) -> TraceLog {
+    let config = SimConfig::default()
+        .with_seed(seed)
+        .with_faults(faults.clone())
+        .with_trace(TraceConfig::full());
+    let mut engine = Engine::new(
+        config,
+        (0..population)
+            .map(|_| TraceProbe::new(population))
+            .collect(),
+    );
+    engine.run_rounds(PROBE_TICKS);
+    engine.trace_log().expect("tracing was enabled")
+}
+
+/// Runs the probe on the live runtime under `faults` and returns its
+/// merged trace.
+#[must_use]
+pub fn live_probe_trace(
+    population: u32,
+    faults: &FaultConfig,
+    seed: u64,
+    workers: usize,
+    max_lag: u64,
+) -> TraceLog {
+    let config = RuntimeConfig::default()
+        .with_seed(seed)
+        .with_workers(workers)
+        .with_max_lag(max_lag)
+        .with_faults(faults.clone())
+        .with_trace(TraceConfig::full());
+    let mut rt = Runtime::spawn(
+        config,
+        (0..population)
+            .map(|_| TraceProbe::new(population))
+            .collect(),
+    );
+    rt.run_ticks(PROBE_TICKS);
+    let out = rt.shutdown();
+    out.trace.expect("tracing was enabled")
+}
+
+/// The outcome of diffing two canonicalised trace streams.
+#[derive(Debug, Clone)]
+pub struct TraceDiff {
+    /// Events in the left stream.
+    pub left_events: usize,
+    /// Events in the right stream.
+    pub right_events: usize,
+    /// The first canonical event where the streams part ways — `None`
+    /// when they are bit-identical.
+    pub divergence: Option<TraceDivergence>,
+}
+
+impl TraceDiff {
+    /// True when the streams are bit-identical after canonical ordering.
+    #[must_use]
+    pub fn streams_match(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Canonically orders both logs' event streams and reports their first
+/// divergence.
+#[must_use]
+pub fn diff_traces(left: &TraceLog, right: &TraceLog) -> TraceDiff {
+    let left_events = left.canonical_events();
+    let right_events = right.canonical_events();
+    TraceDiff {
+        left_events: left_events.len(),
+        right_events: right_events.len(),
+        divergence: first_divergence(&left_events, &right_events),
+    }
+}
+
+/// One line of context for a parity-test failure message: where two
+/// same-seed streams first diverge, or confirmation that they do not.
+/// Proptest shrinkers call this to turn "delivered sets differ" into
+/// "the first divergent envelope is `t3 p0→p7 dropped_channel [12B]`".
+#[must_use]
+pub fn describe_divergence(left: &TraceLog, right: &TraceLog) -> String {
+    match diff_traces(left, right).divergence {
+        None => "trace streams are identical after canonical ordering".to_owned(),
+        Some(d) => format!("trace {d}"),
+    }
+}
+
+/// Runs the full trace-diff check and tabulates it.
+///
+/// Row `same_seed_sim_vs_live`: the probe under `faults` (which must be
+/// deterministic — fixed-latency reliable channels; process failures
+/// are fine) on both substrates from one seed. The canonical streams
+/// must be bit-identical.
+///
+/// Row `lossless_vs_lossy_sim`: the same workload on the simulator,
+/// lossless vs 30%-loss channels. The streams must diverge, and the
+/// first divergent event must be the lossy run's earliest drop (or the
+/// extra envelope a dropped token's absence suppressed) — evidence the
+/// diagnosis fires on real differences.
+///
+/// Columns: events on each side, and the first divergence index
+/// (`-1` when the streams match).
+///
+/// # Panics
+///
+/// Panics when the same-seed pair diverges or the lossy pair does not —
+/// each a violation of the cross-substrate tracing contract.
+#[must_use]
+pub fn run_trace_diff(
+    population: u32,
+    faults: &FaultConfig,
+    seed: u64,
+    workers: usize,
+    max_lag: u64,
+) -> KeyedTable {
+    let mut table = KeyedTable::new(
+        "Flight recorder trace diff, live vs simulated",
+        "pair",
+        vec![
+            "events_left".into(),
+            "events_right".into(),
+            "first_divergence".into(),
+        ],
+    );
+
+    let sim = sim_probe_trace(population, faults, seed);
+    let live = live_probe_trace(population, faults, seed, workers, max_lag);
+    let diff = diff_traces(&sim, &live);
+    assert!(
+        diff.streams_match(),
+        "same-seed sim/live streams diverged: {}",
+        describe_divergence(&sim, &live)
+    );
+    push_diff_row(&mut table, "same_seed_sim_vs_live", &diff);
+
+    let lossy_faults = faults
+        .clone()
+        .with_channel(faults.channel().with_success_probability(0.7));
+    let lossy = sim_probe_trace(population, &lossy_faults, seed);
+    let diff = diff_traces(&sim, &lossy);
+    let divergence = diff
+        .divergence
+        .as_ref()
+        .expect("a 30%-loss run must diverge from the lossless one");
+    // In canonical order the streams agree up to the first envelope the
+    // lossy channel treated differently, so at least one side of the
+    // divergence must carry a drop verdict or a now-missing event.
+    let involves_loss = [&divergence.left, &divergence.right]
+        .into_iter()
+        .flatten()
+        .any(|e| e.verdict == TraceVerdict::DroppedChannel)
+        || divergence.left.is_none()
+        || divergence.right.is_none()
+        || divergence.left.as_ref().map(TraceEvent::sort_key)
+            != divergence.right.as_ref().map(TraceEvent::sort_key);
+    assert!(
+        involves_loss,
+        "the lossless/lossy divergence must surface the channel's work: {divergence}"
+    );
+    push_diff_row(&mut table, "lossless_vs_lossy_sim", &diff);
+    table
+}
+
+fn push_diff_row(table: &mut KeyedTable, key: &str, diff: &TraceDiff) {
+    table.push_row(
+        key,
+        vec![
+            Summary::exact(diff.left_events as f64),
+            Summary::exact(diff.right_events as f64),
+            Summary::exact(diff.divergence.as_ref().map_or(-1.0, |d| d.index as f64)),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use da_simnet::{ChannelConfig, FailureModel, Fate, Latency};
+
+    fn deterministic_faults() -> FaultConfig {
+        FaultConfig::new().with_channel(ChannelConfig::reliable().with_latency(Latency::Fixed(1)))
+    }
+
+    #[test]
+    fn same_seed_streams_are_bit_identical_across_substrates() {
+        for (workers, max_lag) in [(1usize, 1u64), (3, 1), (4, 4)] {
+            let sim = sim_probe_trace(12, &deterministic_faults(), 42);
+            let live = live_probe_trace(12, &deterministic_faults(), 42, workers, max_lag);
+            let diff = diff_traces(&sim, &live);
+            assert!(
+                diff.streams_match(),
+                "workers={workers} lag={max_lag}: {}",
+                describe_divergence(&sim, &live)
+            );
+            assert!(diff.left_events > 0, "the probe produced traffic");
+            assert_eq!(diff.left_events, diff.right_events);
+        }
+    }
+
+    #[test]
+    fn scripted_crashes_stay_fate_matched_in_the_stream() {
+        let faults = deterministic_faults().with_failures(FailureModel::Schedule(vec![
+            Fate {
+                round: 2,
+                pid: ProcessId(3),
+                crash: true,
+            },
+            Fate {
+                round: 5,
+                pid: ProcessId(3),
+                crash: false,
+            },
+        ]));
+        let sim = sim_probe_trace(10, &faults, 7);
+        let live = live_probe_trace(10, &faults, 7, 3, 1);
+        assert!(
+            diff_traces(&sim, &live).streams_match(),
+            "{}",
+            describe_divergence(&sim, &live)
+        );
+        assert_eq!(sim.count(TraceVerdict::Crashed), 1);
+        assert_eq!(sim.count(TraceVerdict::Recovered), 1);
+        assert!(sim.count(TraceVerdict::DroppedCrashed) > 0);
+    }
+
+    #[test]
+    fn churn_draws_are_shared_too() {
+        let faults = deterministic_faults().with_failures(FailureModel::Churn {
+            crash_probability: 0.1,
+            recover_probability: 0.4,
+        });
+        let sim = sim_probe_trace(12, &faults, 99);
+        let live = live_probe_trace(12, &faults, 99, 4, 1);
+        assert!(
+            diff_traces(&sim, &live).streams_match(),
+            "{}",
+            describe_divergence(&sim, &live)
+        );
+        assert!(sim.count(TraceVerdict::Crashed) > 0, "the run saw churn");
+    }
+
+    #[test]
+    fn trace_diff_table_reports_match_and_divergence() {
+        let table = run_trace_diff(12, &deterministic_faults(), 0xD1FF, 3, 1);
+        assert_eq!(table.rows.len(), 2);
+        let (key, values) = &table.rows[0];
+        assert_eq!(key, "same_seed_sim_vs_live");
+        assert_eq!(values[2].mean, -1.0, "no divergence on the matched pair");
+        let (key, values) = &table.rows[1];
+        assert_eq!(key, "lossless_vs_lossy_sim");
+        assert!(values[2].mean >= 0.0, "the lossy pair must diverge");
+    }
+
+    #[test]
+    fn describe_divergence_names_the_event() {
+        let sim = sim_probe_trace(8, &deterministic_faults(), 5);
+        let lossy = sim_probe_trace(
+            8,
+            &deterministic_faults()
+                .with_channel(ChannelConfig::reliable().with_success_probability(0.5)),
+            5,
+        );
+        let text = describe_divergence(&sim, &lossy);
+        assert!(
+            text.contains("first divergence"),
+            "diagnostic names the divergence: {text}"
+        );
+        assert_eq!(
+            describe_divergence(&sim, &sim),
+            "trace streams are identical after canonical ordering"
+        );
+    }
+}

@@ -103,6 +103,33 @@ impl SeriesTable {
         out
     }
 
+    /// Renders the table as a single JSON object — the machine-readable
+    /// form CI artifacts consume (`live_vs_sim --json`). Hand-rolled
+    /// (the workspace serde shim is marker-only), schema:
+    /// `{"title", "x_label", "columns", "rows": [{"x", "values": [summary…]}]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"title\":{},\"x_label\":{},\"columns\":[",
+            json_string(&self.title),
+            json_string(&self.x_label)
+        );
+        let _ = write!(out, "{}", json_string_list(&self.columns));
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"x\":{},\"values\":[", json_num(row.x));
+            push_summaries(&mut out, &row.values);
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Writes `<stem>.csv` and `<stem>.md` under `dir`, creating the
     /// directory if needed. The stem is the lowercased title with
     /// non-alphanumerics collapsed to `_`.
@@ -217,6 +244,31 @@ impl KeyedTable {
         out
     }
 
+    /// Renders the table as a single JSON object (same shape as
+    /// [`SeriesTable::to_json`], with `"key"` in place of `"x"`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"title\":{},\"key_label\":{},\"columns\":[",
+            json_string(&self.title),
+            json_string(&self.key_label)
+        );
+        let _ = write!(out, "{}", json_string_list(&self.columns));
+        out.push_str("],\"rows\":[");
+        for (i, (key, values)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"key\":{},\"values\":[", json_string(key));
+            push_summaries(&mut out, values);
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Writes `<stem>.csv` and `<stem>.md` under `dir`.
     ///
     /// # Errors
@@ -228,6 +280,62 @@ impl KeyedTable {
         std::fs::write(dir.join(format!("{stem}.csv")), self.to_csv())?;
         std::fs::write(dir.join(format!("{stem}.md")), self.to_markdown())?;
         Ok(())
+    }
+}
+
+/// JSON string literal with the escapes the table fields can contain.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_list(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|s| json_string(s))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Finite floats print naturally; non-finite values (never produced by
+/// the experiments, but `f64` admits them) degrade to `null`.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn push_summaries(out: &mut String, values: &[Summary]) {
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"mean\":{},\"std_dev\":{},\"min\":{},\"max\":{}}}",
+            v.count,
+            json_num(v.mean),
+            json_num(v.std_dev),
+            json_num(v.min),
+            json_num(v.max)
+        );
     }
 }
 
@@ -350,6 +458,33 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.starts_with("algorithm,measured_mean,measured_std"));
         assert!(csv.contains("daMulticast,100,0,110,0"));
+    }
+
+    #[test]
+    fn series_json_is_well_formed() {
+        let json = sample_table().to_json();
+        assert!(json.starts_with("{\"title\":\"Fig 8: events per group\""));
+        assert!(json.contains("\"x_label\":\"alive_fraction\""));
+        assert!(json.contains("\"columns\":[\"T2\",\"T1\"]"));
+        assert!(json.contains("{\"x\":0.5,\"values\":[{\"count\":2,\"mean\":11,"));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("{\"x\":").count(), 2, "one object per row");
+    }
+
+    #[test]
+    fn keyed_json_escapes_strings() {
+        let mut t = KeyedTable::new("a \"quoted\"\ntitle", "k", vec!["v".into()]);
+        t.push_row("row\\one", vec![Summary::exact(1.5)]);
+        let json = t.to_json();
+        assert!(json.contains("\"title\":\"a \\\"quoted\\\"\\ntitle\""));
+        assert!(json.contains("{\"key\":\"row\\\\one\",\"values\":[{\"count\":1,\"mean\":1.5,"));
+    }
+
+    #[test]
+    fn json_numbers_degrade_nonfinite_to_null() {
+        assert_eq!(json_num(2.25), "2.25");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
     }
 
     #[test]

@@ -4,6 +4,7 @@ use da_core::channel::ChannelConfig;
 use da_core::failure::FailureModel;
 use da_core::fault::FaultConfig;
 use da_core::topology::{NetworkModel, PartitionSchedule, Topology};
+use da_core::trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -67,6 +68,11 @@ pub struct RuntimeConfig {
     /// delivery (see [`RuntimeConfig::effective_lag`]). Larger values
     /// trade scheduling slack for more in-flight buffering.
     pub max_lag: u64,
+    /// Flight-recorder configuration (default: off — workers hold no
+    /// recorder and every hot-path trace hook is one branch on a
+    /// `None`). Same shape as `da_simnet::SimConfig::trace`, so one
+    /// trace setting drives both substrates.
+    pub trace: TraceConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -78,6 +84,7 @@ impl Default for RuntimeConfig {
             mailbox_capacity: None,
             tick_timeout_ms: 60_000,
             max_lag: 1,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -207,6 +214,14 @@ impl RuntimeConfig {
         self
     }
 
+    /// Replaces the flight-recorder configuration (same shape as
+    /// `da_simnet::SimConfig::with_trace`).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// The network model's default channel (convenience accessor).
     #[must_use]
     pub fn channel(&self) -> ChannelConfig {
@@ -281,6 +296,7 @@ mod tests {
             .with_mailbox_capacity(128)
             .with_tick_timeout_ms(5)
             .with_max_lag(4)
+            .with_trace(TraceConfig::full())
             .with_failures(FailureModel::Stillborn {
                 alive_fraction: 0.9,
             });
@@ -290,6 +306,8 @@ mod tests {
         assert_eq!(c.mailbox_capacity, Some(128));
         assert_eq!(c.tick_timeout(), Duration::from_millis(5));
         assert_eq!(c.max_lag, 4);
+        assert_eq!(c.trace, TraceConfig::full());
+        assert!(!RuntimeConfig::default().trace.is_enabled());
         assert_eq!(
             c.faults.failure,
             FailureModel::Stillborn {

@@ -51,6 +51,14 @@
 //!   path) and publishes per-tick snapshots into [`ShardedCounters`];
 //!   snapshots merge on demand into the same `da_simnet::Counters`
 //!   registry the harness already reads;
+//! * **flight recorder** — with [`RuntimeConfig::with_trace`] enabled,
+//!   every send, delivery, drop, and lifecycle transition is appended
+//!   (unsynchronised) to the worker's own `da_core::trace` recorder and
+//!   drained into a shared [`TraceSink`] at tick boundaries, alongside
+//!   delivery-latency / wheel-occupancy / watermark-lag histograms; the
+//!   merged `TraceLog` canonicalizes into the exact stream the simulator
+//!   records for the same seed. Off by default: the hot-path cost of
+//!   disabled tracing is one branch on a `None`;
 //! * **graceful shutdown** — [`Runtime::shutdown`] stops the pool,
 //!   joins every worker, and hands back the protocol instances (plus
 //!   their final liveness) for inspection, exactly like
@@ -100,7 +108,12 @@ pub use da_core::fault::FaultConfig;
 pub use da_core::topology::{
     NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, Topology,
 };
+pub use da_core::trace::{
+    canonicalize, first_divergence, TraceCategory, TraceConfig, TraceDivergence, TraceEvent,
+    TraceMode, TraceRecorder, TraceVerdict,
+};
+pub use da_simnet::{Histogram, TraceLog};
 pub use lifecycle::{LifecycleController, LifecycleTransitions};
-pub use metrics::ShardedCounters;
+pub use metrics::{ShardOutOfRange, ShardedCounters, TraceSink};
 pub use runtime::{Runtime, Shutdown, TickReport};
 pub use transport::{Batch, EdgeWatermarks, Envelope, FaultyRouter, FlushReport, Router, SendFate};

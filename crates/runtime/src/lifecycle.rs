@@ -32,6 +32,10 @@ pub struct LifecycleTransitions {
     /// — scripted or churn-driven — and is still alive after all
     /// transitions applied. The worker runs their `on_recover` hooks.
     pub recovered: Vec<usize>,
+    /// Local (stripe) indices of every process that went down this tick
+    /// — scripted or churn-driven. The worker's flight recorder stamps
+    /// them as `Crashed` lifecycle events.
+    pub crashed: Vec<usize>,
 }
 
 /// Applies a [`FailurePlan`] to one worker's stripe of processes.
@@ -181,9 +185,8 @@ impl LifecycleController {
             return out;
         }
         for slot in 0..self.status.len() {
-            let t = self
-                .plan
-                .transition(self.pid_of(slot), tick, self.status[slot].is_alive());
+            let was_alive = self.status[slot].is_alive();
+            let t = self.plan.transition(self.pid_of(slot), tick, was_alive);
             self.status[slot] = if t.alive {
                 ProcessStatus::Alive
             } else {
@@ -193,6 +196,9 @@ impl LifecycleController {
             out.churn_recoveries += u64::from(t.churn_recovered);
             if t.recovered {
                 out.recovered.push(slot);
+            }
+            if was_alive && !t.alive {
+                out.crashed.push(slot);
             }
         }
         out
@@ -316,9 +322,15 @@ mod tests {
             0,
         );
         let mut lc = LifecycleController::new(p, 0, 1, 2);
-        assert_eq!(lc.begin_tick(0).recovered, Vec::<usize>::new());
-        assert_eq!(lc.begin_tick(1).recovered, Vec::<usize>::new());
-        assert_eq!(lc.begin_tick(2).recovered, vec![0]);
+        let t0 = lc.begin_tick(0);
+        assert_eq!(t0.recovered, Vec::<usize>::new());
+        assert_eq!(t0.crashed, vec![0], "scripted crash reported");
+        let t1 = lc.begin_tick(1);
+        assert_eq!(t1.recovered, Vec::<usize>::new());
+        assert_eq!(t1.crashed, Vec::<usize>::new(), "no re-report while down");
+        let t2 = lc.begin_tick(2);
+        assert_eq!(t2.recovered, vec![0]);
+        assert_eq!(t2.crashed, Vec::<usize>::new());
     }
 
     #[test]

@@ -37,11 +37,14 @@
 
 use crate::config::RuntimeConfig;
 use crate::lifecycle::LifecycleController;
-use crate::metrics::ShardedCounters;
+use crate::metrics::{ShardedCounters, TraceSink, WorkerTrace};
 use crate::transport::{Batch, EdgeWatermarks, Envelope, FaultyRouter, Router, SendFate};
 use crate::wheel::DelayWheel;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
-use da_simnet::{rng_for_process, CounterId, Counters, ProcessId, ProcessStatus, WireSize};
+use da_core::trace::{TraceEvent, TraceVerdict};
+use da_simnet::{
+    rng_for_process, CounterId, Counters, ProcessId, ProcessStatus, TraceLog, WireSize,
+};
 use damulticast::{Exec, ExecProtocol};
 use rand::rngs::SmallRng;
 use std::collections::BTreeMap;
@@ -118,6 +121,9 @@ struct LiveCtx<'a, M> {
     router: &'a mut FaultyRouter<M>,
     sent: &'a mut u64,
     queued: &'a mut u64,
+    /// The worker's flight recorder — `None` when tracing is off, so the
+    /// send path pays one branch.
+    trace: &'a mut Option<WorkerTrace>,
 }
 
 impl<M: WireSize> Exec for LiveCtx<'_, M> {
@@ -133,13 +139,39 @@ impl<M: WireSize> Exec for LiveCtx<'_, M> {
 
     fn send(&mut self, to: ProcessId, msg: M) {
         *self.sent += 1;
+        let size = msg.wire_size() as u64;
         self.counters.add(self.ids.sent, 1);
-        self.counters
-            .add(self.ids.bytes_sent, msg.wire_size() as u64);
-        match self.router.send(self.me, to, self.tick, msg) {
+        self.counters.add(self.ids.bytes_sent, size);
+        let fate = self.router.send(self.me, to, self.tick, msg);
+        match fate {
             SendFate::Queued { .. } => *self.queued += 1,
             SendFate::DroppedChannel => self.counters.add(self.ids.dropped_channel, 1),
             SendFate::DroppedPartitioned => self.counters.add(self.ids.dropped_partitioned, 1),
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.recorder.record(TraceEvent {
+                tick: self.tick,
+                from: self.me,
+                to,
+                payload: size,
+                verdict: TraceVerdict::Sent,
+            });
+            // Send-time drops stamp the send tick — mirroring the
+            // simulator, where these fates also resolve at send time.
+            let dropped = match fate {
+                SendFate::Queued { .. } => None,
+                SendFate::DroppedChannel => Some(TraceVerdict::DroppedChannel),
+                SendFate::DroppedPartitioned => Some(TraceVerdict::DroppedPartitioned),
+            };
+            if let Some(verdict) = dropped {
+                trace.recorder.record(TraceEvent {
+                    tick: self.tick,
+                    from: self.me,
+                    to,
+                    payload: size,
+                    verdict,
+                });
+            }
         }
     }
 
@@ -283,6 +315,9 @@ struct Worker<P: ExecProtocol> {
     /// Envelopes that survived the channel but carry latency > 1: parked
     /// here until the local clock reaches their due tick.
     wheel: DelayWheel<P::Msg>,
+    /// Flight recorder plus trace histograms — `None` when tracing is
+    /// off, which keeps every hot-path trace hook a branch on a `None`.
+    trace: Option<WorkerTrace>,
     sched: Arc<SchedulerState>,
     /// `RuntimeConfig::effective_lag()` — how far the local clock may
     /// run ahead of the slowest in-edge's publish watermark.
@@ -322,7 +357,10 @@ where
                 }
                 let report = self.run_tick(tick);
                 self.next_tick = tick + 1;
-                self.shards.publish(self.id, &self.counters);
+                self.shards
+                    .publish(self.id, &self.counters)
+                    .expect("worker id is in range");
+                self.publish_trace(tick);
                 if self.reports.send(report).is_err() {
                     break 'main; // Coordinator is gone: shut down.
                 }
@@ -332,7 +370,12 @@ where
             }
         }
         self.account_shutdown_in_flight();
-        self.shards.publish(self.id, &self.counters);
+        self.shards
+            .publish(self.id, &self.counters)
+            .expect("worker id is in range");
+        if let Some(trace) = self.trace.as_mut() {
+            trace.publish(self.id);
+        }
         let (id, stride) = (self.id, self.stride);
         let lifecycle = self.lifecycle;
         self.procs
@@ -346,6 +389,25 @@ where
                 )
             })
             .collect()
+    }
+
+    /// Tick-boundary trace publish: samples how far this worker's clock
+    /// ran ahead of its slowest in-edge's published frontier (0 on a
+    /// single-worker pool) into the `watermark_lag` histogram, then
+    /// drains the recorder into the shared sink — the trace twin of the
+    /// `ShardedCounters` publish it sits next to.
+    fn publish_trace(&mut self, tick: u64) {
+        let Some(trace) = self.trace.as_mut() else {
+            return;
+        };
+        let workers = self.sched.parked.len();
+        let lag = (0..workers)
+            .filter(|&peer| peer != self.id)
+            .map(|peer| self.sched.marks.published(peer, self.id))
+            .min()
+            .map_or(0, |slowest| (tick + 1).saturating_sub(slowest));
+        trace.watermark_lag.record(lag);
+        trace.publish(self.id);
     }
 
     /// Spins (yielding) until every peer has published the watermarks
@@ -416,6 +478,13 @@ where
         }
         if in_flight > 0 {
             self.counters.add(self.ids.dropped_shutdown, in_flight);
+            if let Some(trace) = self.trace.as_mut() {
+                // No per-envelope tick to stamp (the pool is stopping),
+                // so the ledger is kept by count alone.
+                trace
+                    .recorder
+                    .count_only(TraceVerdict::DroppedShutdown, in_flight);
+            }
         }
     }
 
@@ -433,15 +502,35 @@ where
         queued: &mut u64,
     ) -> bool {
         let local = self.local_index(env.to);
+        let size = env.msg.wire_size() as u64;
+        // Delivery-point verdicts stamp the delivery tick — the moment
+        // the envelope's fate resolved, as on the simulator.
+        let verdict = |trace: &mut Option<WorkerTrace>, v: TraceVerdict| {
+            if let Some(trace) = trace.as_mut() {
+                trace.recorder.record(TraceEvent {
+                    tick,
+                    from: env.from,
+                    to: env.to,
+                    payload: size,
+                    verdict: v,
+                });
+            }
+        };
         if !self.lifecycle.is_alive(local) {
             self.counters.add(self.ids.dropped_crashed, 1);
+            verdict(&mut self.trace, TraceVerdict::DroppedCrashed);
             return false;
         }
         if !self.lifecycle.observes_alive() {
             self.counters.add(self.ids.dropped_observed, 1);
+            verdict(&mut self.trace, TraceVerdict::DroppedObserved);
             return false;
         }
         self.counters.add(self.ids.delivered, 1);
+        verdict(&mut self.trace, TraceVerdict::Delivered);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.delivery_latency.record(tick - env.sent_tick);
+        }
         let mut ctx = LiveCtx {
             me: env.to,
             tick,
@@ -451,6 +540,7 @@ where
             router: &mut self.faulty,
             sent,
             queued,
+            trace: &mut self.trace,
         };
         self.procs[local].on_message(env.from, env.msg, &mut ctx);
         true
@@ -482,6 +572,20 @@ where
             self.counters
                 .add(self.ids.churn_recoveries, transitions.churn_recoveries);
         }
+        if let Some(trace) = self.trace.as_mut() {
+            for &slot in &transitions.crashed {
+                let pid = ProcessId::from_index(self.id + slot * self.stride);
+                trace
+                    .recorder
+                    .record(TraceEvent::lifecycle(tick, pid, TraceVerdict::Crashed));
+            }
+            for &slot in &transitions.recovered {
+                let pid = ProcessId::from_index(self.id + slot * self.stride);
+                trace
+                    .recorder
+                    .record(TraceEvent::lifecycle(tick, pid, TraceVerdict::Recovered));
+            }
+        }
         for i in transitions.recovered {
             let me = self.pid_of(i);
             let mut ctx = LiveCtx {
@@ -493,6 +597,7 @@ where
                 router: &mut self.faulty,
                 sent: &mut sent,
                 queued: &mut queued,
+                trace: &mut self.trace,
             };
             self.procs[i].on_recover(&mut ctx);
         }
@@ -513,6 +618,7 @@ where
                     router: &mut self.faulty,
                     sent: &mut sent,
                     queued: &mut queued,
+                    trace: &mut self.trace,
                 };
                 self.procs[i].on_start(&mut ctx);
             }
@@ -552,6 +658,13 @@ where
             }
         }
 
+        // The wheel is stable from here to the flush (round-hook sends
+        // travel via the router, never this worker's own wheel), so this
+        // is the tick's settled occupancy.
+        if let Some(trace) = self.trace.as_mut() {
+            trace.wheel_occupancy.record(self.wheel.len() as u64);
+        }
+
         // Round hooks for alive processes, in pid order within the stripe.
         for i in 0..self.procs.len() {
             if !self.lifecycle.is_alive(i) {
@@ -567,6 +680,7 @@ where
                 router: &mut self.faulty,
                 sent: &mut sent,
                 queued: &mut queued,
+                trace: &mut self.trace,
             };
             self.procs[i].on_round(tick, &mut ctx);
         }
@@ -578,6 +692,13 @@ where
         if flush.dropped_closed > 0 {
             self.counters
                 .add(self.ids.dropped_closed, flush.dropped_closed);
+            if let Some(trace) = self.trace.as_mut() {
+                // Closed-inbox drops surface as a flush total, not per
+                // envelope — counted, not evented.
+                trace
+                    .recorder
+                    .count_only(TraceVerdict::DroppedClosed, flush.dropped_closed);
+            }
         }
         self.sched.marks.publish(self.id, tick + 1);
 
@@ -625,6 +746,8 @@ pub struct Runtime<P: ExecProtocol> {
     reports: Receiver<WorkerReport>,
     handles: Vec<JoinHandle<Vec<(ProcessId, P, ProcessStatus)>>>,
     counters: Arc<ShardedCounters>,
+    /// Shared flight-recorder sink — `None` when tracing is off.
+    trace: Option<Arc<TraceSink>>,
     sched: Arc<SchedulerState>,
     population: usize,
     /// The next tick to hand the caller (every tick below it is
@@ -654,6 +777,12 @@ pub struct Shutdown<P> {
     /// pool stopped (possible under latency models above one tick) are
     /// counted under `rt.dropped_shutdown`.
     pub counters: Counters,
+    /// Merged flight-recorder log (events across all workers, verdict
+    /// counts, `delivery_latency_ticks` / `wheel_occupancy` /
+    /// `watermark_lag` histograms) — `None` when tracing was off.
+    /// Canonicalize the events before comparing against another
+    /// substrate's stream.
+    pub trace: Option<TraceLog>,
 }
 
 impl<P> Runtime<P>
@@ -685,6 +814,10 @@ where
         }
         let router = Router::new(inbox_txs);
         let counters = Arc::new(ShardedCounters::new(workers));
+        let trace_sink = config
+            .trace
+            .is_enabled()
+            .then(|| Arc::new(TraceSink::new(workers, &config.trace)));
         let sched = Arc::new(SchedulerState {
             horizon: AtomicU64::new(0),
             marks: EdgeWatermarks::new(workers),
@@ -735,6 +868,9 @@ where
                 ids,
                 lifecycle,
                 wheel: DelayWheel::new(),
+                trace: trace_sink
+                    .as_ref()
+                    .and_then(|sink| WorkerTrace::new(&config.trace, Arc::clone(sink))),
                 sched: Arc::clone(&sched),
                 lag: config.effective_lag(),
                 next_tick: 0,
@@ -753,6 +889,7 @@ where
             reports: report_rx,
             handles,
             counters,
+            trace: trace_sink,
             sched,
             population,
             tick: 0,
@@ -952,6 +1089,15 @@ where
         self.counters.merged()
     }
 
+    /// Merged flight-recorder snapshot across all worker shards, each as
+    /// of that worker's most recent tick-boundary publish (exact
+    /// whenever the pool is idle between driver calls) — `None` when
+    /// tracing is off. The live twin of `Engine::trace_log`.
+    #[must_use]
+    pub fn trace_log(&self) -> Option<TraceLog> {
+        self.trace.as_ref().map(|sink| sink.merged())
+    }
+
     /// Graceful shutdown: stops every worker, joins the pool, and
     /// returns the protocol instances (pid order) with the final metrics.
     /// In-flight messages (delay wheels, undrained inboxes) are counted
@@ -981,6 +1127,7 @@ where
             processes,
             statuses,
             counters: self.counters.merged(),
+            trace: self.trace.as_ref().map(|sink| sink.merged()),
         }
     }
 }
@@ -1776,5 +1923,141 @@ mod tests {
         // per-edge draws — and with them the global loss totals — must
         // not move when the worker count changes.
         assert_eq!(run(1), run(4));
+    }
+
+    use da_core::trace::TraceConfig;
+
+    #[test]
+    fn tracing_is_off_by_default() {
+        let mut rt = relay_runtime(6, 2);
+        rt.run_ticks(2);
+        assert!(rt.trace_log().is_none());
+        assert!(rt.shutdown().trace.is_none());
+    }
+
+    /// Tentpole acceptance: the flight recorder's verdict counts are the
+    /// envelope ledger — every trace count equals its counter, the
+    /// event buffer holds one event per count, and the latency histogram
+    /// saw every delivery.
+    #[test]
+    fn full_trace_mirrors_the_counters() {
+        let config = RuntimeConfig::default()
+            .with_workers(3)
+            .with_seed(9)
+            .with_channel(ChannelConfig::reliable().with_success_probability(0.6))
+            .with_trace(TraceConfig::full());
+        let mut rt = Runtime::spawn(config, relay_procs(10));
+        rt.run_until_quiescent(64);
+        let out = rt.shutdown();
+        let log = out.trace.expect("tracing was on");
+        assert_eq!(log.count(TraceVerdict::Sent), out.counters.get("rt.sent"));
+        assert_eq!(
+            log.count(TraceVerdict::Delivered),
+            out.counters.get("rt.delivered")
+        );
+        assert_eq!(
+            log.count(TraceVerdict::DroppedChannel),
+            out.counters.get("rt.dropped_channel")
+        );
+        assert!(
+            log.count(TraceVerdict::DroppedChannel) > 0,
+            "the run lost messages"
+        );
+        assert_eq!(
+            log.events.len() as u64,
+            log.verdict_counts.iter().sum::<u64>(),
+            "full mode buffers one event per counted verdict"
+        );
+        assert_eq!(log.dropped_events, 0);
+        let latency = log.histogram("delivery_latency_ticks").expect("histogram");
+        assert_eq!(latency.count(), out.counters.get("rt.delivered"));
+        assert_eq!(latency.max(), 1, "the relay runs on latency-1 channels");
+        assert!(log.histogram("wheel_occupancy").is_some());
+        assert!(log.histogram("watermark_lag").is_some());
+    }
+
+    #[test]
+    fn counters_only_keeps_the_ledger_without_events() {
+        let config = RuntimeConfig::default()
+            .with_workers(2)
+            .with_seed(1)
+            .with_trace(TraceConfig::counters_only());
+        let mut rt = Runtime::spawn(config, relay_procs(6));
+        rt.run_until_quiescent(64);
+        let out = rt.shutdown();
+        let log = out.trace.expect("tracing was on");
+        assert!(log.events.is_empty(), "counters-only buffers nothing");
+        assert_eq!(log.count(TraceVerdict::Sent), 30);
+        assert_eq!(log.count(TraceVerdict::Delivered), 30);
+    }
+
+    /// Lifecycle events land in the stream: one `crashed` per downward
+    /// transition, one `recovered` per upward one, self-edged, matching
+    /// the churn counters.
+    #[test]
+    fn lifecycle_events_match_churn_counters() {
+        use da_core::failure::FailureModel;
+        let config = RuntimeConfig::default()
+            .with_workers(3)
+            .with_seed(11)
+            .with_failures(FailureModel::Churn {
+                crash_probability: 0.15,
+                recover_probability: 0.3,
+            })
+            .with_trace(TraceConfig::full());
+        let mut rt = Runtime::spawn(config, (0..12).map(|_| LifeProbe::default()).collect());
+        rt.run_ticks(40);
+        let out = rt.shutdown();
+        let log = out.trace.expect("tracing was on");
+        assert_eq!(
+            log.count(TraceVerdict::Crashed),
+            out.counters.get("rt.churn_crashes"),
+            "churn is the only crash source here"
+        );
+        assert_eq!(
+            log.count(TraceVerdict::Recovered),
+            out.counters.get("rt.churn_recoveries")
+        );
+        assert!(log.count(TraceVerdict::Crashed) > 0, "the run saw churn");
+        for e in log
+            .events
+            .iter()
+            .filter(|e| e.verdict == TraceVerdict::Crashed)
+        {
+            assert_eq!(e.from, e.to, "lifecycle events are self-edged");
+            assert_eq!(e.payload, 0);
+        }
+    }
+
+    /// The canonical trace stream is a worker-count invariant: loss,
+    /// latency, and churn draws all key off (edge, tick) or (pid, tick),
+    /// so regrouping the pool permutes only the within-tick interleaving
+    /// that canonicalization erases.
+    #[test]
+    fn canonical_trace_is_worker_count_invariant() {
+        use da_core::failure::FailureModel;
+        let run = |workers: usize| {
+            let config = RuntimeConfig::default()
+                .with_workers(workers)
+                .with_seed(7)
+                .with_channel(
+                    ChannelConfig::reliable()
+                        .with_success_probability(0.7)
+                        .with_latency(Latency::UniformRounds { min: 1, max: 3 }),
+                )
+                .with_failures(FailureModel::Churn {
+                    crash_probability: 0.1,
+                    recover_probability: 0.4,
+                })
+                .with_trace(TraceConfig::full());
+            let mut rt = Runtime::spawn(config, relay_procs(12));
+            rt.run_until_quiescent(64);
+            let out = rt.shutdown();
+            out.trace.expect("tracing was on").canonical_events()
+        };
+        let single = run(1);
+        assert!(!single.is_empty());
+        assert_eq!(single, run(3));
+        assert_eq!(single, run(4));
     }
 }

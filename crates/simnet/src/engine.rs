@@ -2,13 +2,14 @@
 
 use crate::event::MessageQueue;
 use crate::failure::{FailureModel, FailurePlan};
-use crate::metrics::{CounterId, Counters};
+use crate::metrics::{CounterId, Counters, Histogram, TraceLog};
 use crate::process::{ProcessId, ProcessStatus};
 use crate::rng::{derive_seed, rng_for_process, rng_from_seed};
 use crate::wire::WireSize;
 use da_core::channel::ChannelConfig;
 use da_core::fault::FaultConfig;
 use da_core::topology::{NetFate, NetworkModel, PartitionSchedule, Topology};
+use da_core::trace::{TraceConfig, TraceEvent, TraceRecorder, TraceVerdict};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +62,9 @@ pub struct SimConfig {
     /// partitions) and process failure model — the same
     /// `da_core::fault::FaultConfig` the live runtime's config embeds.
     pub faults: FaultConfig,
+    /// Flight-recorder configuration (default: off — the engine holds no
+    /// recorder and the hot path pays one branch on a `None`).
+    pub trace: TraceConfig,
 }
 
 impl SimConfig {
@@ -117,6 +121,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_partitions(mut self, partitions: PartitionSchedule) -> Self {
         self.faults.network.partitions = partitions;
+        self
+    }
+
+    /// Replaces the flight-recorder configuration (same shape as
+    /// `RuntimeConfig::with_trace`).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -228,6 +240,28 @@ impl SimHotIds {
     }
 }
 
+/// The engine's flight-recorder state when tracing is enabled: the
+/// event recorder plus the sim-side trace histograms.
+#[derive(Debug)]
+struct SimTrace {
+    recorder: TraceRecorder,
+    /// Delivery round minus send round, per delivered message.
+    delivery_latency: Histogram,
+    /// In-flight queue length sampled at the end of every round — the
+    /// simulator's analogue of the runtime's delay-wheel occupancy.
+    queue_depth: Histogram,
+}
+
+impl SimTrace {
+    fn new(config: &TraceConfig) -> Option<Self> {
+        TraceRecorder::new(config).map(|recorder| SimTrace {
+            recorder,
+            delivery_latency: Histogram::new(),
+            queue_depth: Histogram::new(),
+        })
+    }
+}
+
 /// The round-driven simulation engine.
 ///
 /// Owns one [`Protocol`] instance per process (`ProcessId` = index), the
@@ -244,6 +278,7 @@ pub struct Engine<P: Protocol> {
     plan: FailurePlan,
     engine_rng: SmallRng,
     observer_rng: SmallRng,
+    trace: Option<SimTrace>,
     round: u64,
     started: bool,
 }
@@ -277,6 +312,7 @@ impl<P: Protocol> Engine<P> {
             observer_rng: rng_from_seed(plan.observation_seed()),
             plan,
             engine_rng: rng_from_seed(derive_seed(config.seed, 0)),
+            trace: SimTrace::new(&config.trace),
             round: 0,
             started: false,
         }
@@ -367,6 +403,23 @@ impl<P: Protocol> Engine<P> {
         &self.counters
     }
 
+    /// A snapshot of the flight recorder's output so far — events in
+    /// capture order, per-verdict totals, and the sim-side histograms
+    /// (`delivery_latency_ticks`, `queue_depth`) — or `None` when the
+    /// [`SimConfig::trace`] mode is off.
+    #[must_use]
+    pub fn trace_log(&self) -> Option<TraceLog> {
+        self.trace.as_ref().map(|t| {
+            let mut log = TraceLog::new();
+            log.events = t.recorder.events().to_vec();
+            log.dropped_events = t.recorder.dropped();
+            log.verdict_counts = *t.recorder.counts();
+            log.add_histogram("delivery_latency_ticks", &t.delivery_latency);
+            log.add_histogram("queue_depth", &t.queue_depth);
+            log
+        })
+    }
+
     /// The next round to execute.
     #[must_use]
     pub fn current_round(&self) -> u64 {
@@ -402,11 +455,28 @@ impl<P: Protocol> Engine<P> {
         let mut recovered: Vec<usize> = Vec::new();
         for fate in fates {
             let i = fate.pid.index();
+            let was_alive = self.status[i].is_alive();
             if fate.crash {
                 self.status[i] = ProcessStatus::Crashed;
+                if was_alive {
+                    if let Some(t) = self.trace.as_mut() {
+                        t.recorder.record(TraceEvent::lifecycle(
+                            round,
+                            fate.pid,
+                            TraceVerdict::Crashed,
+                        ));
+                    }
+                }
             } else {
-                if !self.status[i].is_alive() {
+                if !was_alive {
                     recovered.push(i);
+                    if let Some(t) = self.trace.as_mut() {
+                        t.recorder.record(TraceEvent::lifecycle(
+                            round,
+                            fate.pid,
+                            TraceVerdict::Recovered,
+                        ));
+                    }
                 }
                 self.status[i] = ProcessStatus::Alive;
             }
@@ -424,10 +494,24 @@ impl<P: Protocol> Engine<P> {
                     if alive {
                         self.status[i] = ProcessStatus::Crashed;
                         self.counters.add(self.hot.churn_crashes, 1);
+                        if let Some(t) = self.trace.as_mut() {
+                            t.recorder.record(TraceEvent::lifecycle(
+                                round,
+                                ProcessId::from_index(i),
+                                TraceVerdict::Crashed,
+                            ));
+                        }
                     } else {
                         self.status[i] = ProcessStatus::Alive;
                         self.counters.add(self.hot.churn_recoveries, 1);
                         recovered.push(i);
+                        if let Some(t) = self.trace.as_mut() {
+                            t.recorder.record(TraceEvent::lifecycle(
+                                round,
+                                ProcessId::from_index(i),
+                                TraceVerdict::Recovered,
+                            ));
+                        }
                     }
                 }
             }
@@ -462,6 +546,7 @@ impl<P: Protocol> Engine<P> {
                 &mut self.engine_rng,
                 &mut self.queue,
                 &mut self.counters,
+                &mut self.trace,
             );
         }
 
@@ -489,6 +574,7 @@ impl<P: Protocol> Engine<P> {
                     &mut self.engine_rng,
                     &mut self.queue,
                     &mut self.counters,
+                    &mut self.trace,
                 );
                 report.sent += sent;
             }
@@ -500,16 +586,44 @@ impl<P: Protocol> Engine<P> {
             let to = m.to;
             if !self.status[to.index()].is_alive() {
                 self.counters.add(self.hot.dropped_dead, 1);
+                if let Some(t) = self.trace.as_mut() {
+                    t.recorder.record(TraceEvent {
+                        tick: round,
+                        from: m.from,
+                        to,
+                        payload: m.msg.wire_size() as u64,
+                        verdict: TraceVerdict::DroppedCrashed,
+                    });
+                }
                 continue;
             }
             // Per-observer failure model: the target appears failed for
             // this particular transmission.
             if !self.plan.observes_alive(&mut self.observer_rng) {
                 self.counters.add(self.hot.dropped_observed_failed, 1);
+                if let Some(t) = self.trace.as_mut() {
+                    t.recorder.record(TraceEvent {
+                        tick: round,
+                        from: m.from,
+                        to,
+                        payload: m.msg.wire_size() as u64,
+                        verdict: TraceVerdict::DroppedObserved,
+                    });
+                }
                 continue;
             }
             report.delivered += 1;
             self.counters.add(self.hot.delivered, 1);
+            if let Some(t) = self.trace.as_mut() {
+                t.recorder.record(TraceEvent {
+                    tick: round,
+                    from: m.from,
+                    to,
+                    payload: m.msg.wire_size() as u64,
+                    verdict: TraceVerdict::Delivered,
+                });
+                t.delivery_latency.record(round - m.sent);
+            }
             let mut ctx = Ctx {
                 me: to,
                 round,
@@ -527,6 +641,7 @@ impl<P: Protocol> Engine<P> {
                 &mut self.engine_rng,
                 &mut self.queue,
                 &mut self.counters,
+                &mut self.trace,
             );
             report.sent += sent;
         }
@@ -554,10 +669,14 @@ impl<P: Protocol> Engine<P> {
                 &mut self.engine_rng,
                 &mut self.queue,
                 &mut self.counters,
+                &mut self.trace,
             );
             report.sent += sent;
         }
 
+        if let Some(t) = self.trace.as_mut() {
+            t.queue_depth.record(self.queue.len() as u64);
+        }
         self.round += 1;
         report
     }
@@ -595,17 +714,42 @@ impl<P: Protocol> Engine<P> {
         engine_rng: &mut SmallRng,
         queue: &mut MessageQueue<P::Msg>,
         counters: &mut Counters,
+        trace: &mut Option<SimTrace>,
     ) -> u64 {
         let mut sent = 0;
         for (to, msg) in outbox.drain(..) {
             sent += 1;
+            let size = msg.wire_size() as u64;
             counters.add(hot.sent, 1);
-            counters.add(hot.bytes_sent, msg.wire_size() as u64);
-            match network.sample_fate(from, to, round, engine_rng) {
+            counters.add(hot.bytes_sent, size);
+            let fate = network.sample_fate(from, to, round, engine_rng);
+            match fate {
                 NetFate::Severed => counters.add(hot.dropped_partitioned, 1),
                 NetFate::Lost => counters.add(hot.dropped_channel, 1),
                 NetFate::Deliver { latency } => {
-                    queue.push(round + latency, from, to, msg);
+                    queue.push(round + latency, round, from, to, msg);
+                }
+            }
+            if let Some(t) = trace.as_mut() {
+                let mut event = TraceEvent {
+                    tick: round,
+                    from,
+                    to,
+                    payload: size,
+                    verdict: TraceVerdict::Sent,
+                };
+                t.recorder.record(event);
+                // Send-time drops stamp the send tick; drops decided at
+                // delivery time (crashed / observed-failed destinations)
+                // stamp the delivery tick instead.
+                let dropped = match fate {
+                    NetFate::Severed => Some(TraceVerdict::DroppedPartitioned),
+                    NetFate::Lost => Some(TraceVerdict::DroppedChannel),
+                    NetFate::Deliver { .. } => None,
+                };
+                if let Some(verdict) = dropped {
+                    event.verdict = verdict;
+                    t.recorder.record(event);
                 }
             }
         }
@@ -613,20 +757,20 @@ impl<P: Protocol> Engine<P> {
     }
 }
 
+/// Test fixtures shared by the engine test modules below.
 #[cfg(test)]
-mod tests {
+mod tests_support {
     use super::*;
-    use crate::{FailureModel, Latency};
 
     /// Every process sends its id to the next process each round and
     /// counts receipts.
-    struct Relay {
-        received: u64,
-        population: u32,
+    pub struct Relay {
+        pub received: u64,
+        pub population: u32,
     }
 
     #[derive(Clone, Debug)]
-    struct Token;
+    pub struct Token;
 
     impl WireSize for Token {
         fn wire_size(&self) -> usize {
@@ -647,7 +791,7 @@ mod tests {
         }
     }
 
-    fn relay_engine(config: SimConfig, n: u32) -> Engine<Relay> {
+    pub fn relay_engine(config: SimConfig, n: u32) -> Engine<Relay> {
         let procs = (0..n)
             .map(|_| Relay {
                 received: 0,
@@ -656,6 +800,13 @@ mod tests {
             .collect();
         Engine::new(config, procs)
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::relay_engine;
+    use super::*;
+    use crate::{FailureModel, Latency};
 
     #[test]
     fn sim_config_new_equals_default() {
@@ -897,6 +1048,110 @@ mod tests {
                 + e.in_flight() as u64,
             e.counters().get("sim.sent")
         );
+    }
+}
+
+#[cfg(test)]
+mod trace_engine_tests {
+    use super::tests_support::relay_engine;
+    use super::*;
+
+    #[test]
+    fn trace_off_allocates_no_recorder() {
+        let e = relay_engine(SimConfig::default(), 3);
+        assert!(e.trace_log().is_none());
+    }
+
+    #[test]
+    fn full_trace_mirrors_the_counter_ledger() {
+        let config = SimConfig::default()
+            .with_seed(5)
+            .with_channel(ChannelConfig::default().with_success_probability(0.5))
+            .with_trace(TraceConfig::full());
+        let mut e = relay_engine(config, 10);
+        e.run_rounds(50);
+        let log = e.trace_log().unwrap();
+        assert_eq!(log.count(TraceVerdict::Sent), e.counters().get("sim.sent"));
+        assert_eq!(
+            log.count(TraceVerdict::Delivered),
+            e.counters().get("sim.delivered")
+        );
+        assert_eq!(
+            log.count(TraceVerdict::DroppedChannel),
+            e.counters().get("sim.dropped_channel")
+        );
+        // Every delivered message contributed one latency sample.
+        let latency = log.histogram("delivery_latency_ticks").unwrap();
+        assert_eq!(latency.count(), e.counters().get("sim.delivered"));
+        assert!(latency.max() >= 1, "reliable latency is ≥ 1 round");
+        assert!(log.histogram("queue_depth").unwrap().count() == 50);
+        assert_eq!(log.dropped_events, 0);
+        assert_eq!(
+            log.events.len() as u64,
+            log.verdict_counts.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn counters_only_mode_skips_the_event_buffer() {
+        let config = SimConfig::default().with_trace(TraceConfig::counters_only());
+        let mut e = relay_engine(config, 4);
+        e.run_rounds(10);
+        let log = e.trace_log().unwrap();
+        assert!(log.events.is_empty());
+        assert_eq!(log.count(TraceVerdict::Sent), 40);
+    }
+
+    #[test]
+    fn capacity_bound_counts_overflow() {
+        let config = SimConfig::default().with_trace(TraceConfig::full().with_capacity(8));
+        let mut e = relay_engine(config, 4);
+        e.run_rounds(10);
+        let log = e.trace_log().unwrap();
+        assert_eq!(log.events.len(), 8);
+        assert!(log.dropped_events > 0);
+        assert_eq!(log.count(TraceVerdict::Sent), 40, "counts see past the cap");
+    }
+
+    #[test]
+    fn churn_emits_lifecycle_events() {
+        let config = SimConfig::default()
+            .with_seed(9)
+            .with_failures(FailureModel::Churn {
+                crash_probability: 0.1,
+                recover_probability: 0.1,
+            })
+            .with_trace(TraceConfig::full());
+        let mut e = relay_engine(config, 20);
+        e.run_rounds(40);
+        let log = e.trace_log().unwrap();
+        assert_eq!(
+            log.count(TraceVerdict::Crashed),
+            e.counters().get("sim.churn_crashes")
+        );
+        assert_eq!(
+            log.count(TraceVerdict::Recovered),
+            e.counters().get("sim.churn_recoveries")
+        );
+        assert!(log
+            .events
+            .iter()
+            .filter(|e| e.verdict == TraceVerdict::Crashed)
+            .all(|e| e.from == e.to && e.payload == 0));
+    }
+
+    #[test]
+    fn same_seed_traces_are_identical() {
+        let run = || {
+            let config = SimConfig::default()
+                .with_seed(77)
+                .with_channel(ChannelConfig::paper_default())
+                .with_trace(TraceConfig::full());
+            let mut e = relay_engine(config, 10);
+            e.run_rounds(30);
+            e.trace_log().unwrap().canonical_events()
+        };
+        assert_eq!(run(), run());
     }
 }
 

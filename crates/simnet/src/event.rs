@@ -10,6 +10,9 @@ use std::collections::BinaryHeap;
 pub(crate) struct InFlight<M> {
     pub round: u64,
     pub seq: u64,
+    /// Round the message was sent in — kept so the engine's delivery
+    /// latency histogram (`round - sent`) needs no side table.
+    pub sent: u64,
     pub from: ProcessId,
     pub to: ProcessId,
     pub msg: M,
@@ -54,12 +57,14 @@ impl<M> MessageQueue<M> {
         }
     }
 
-    pub fn push(&mut self, round: u64, from: ProcessId, to: ProcessId, msg: M) {
+    /// Queues a message sent in round `sent` for delivery at `round`.
+    pub fn push(&mut self, round: u64, sent: u64, from: ProcessId, to: ProcessId, msg: M) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(InFlight {
             round,
             seq,
+            sent,
             from,
             to,
             msg,
@@ -96,9 +101,9 @@ mod tests {
     #[test]
     fn fifo_within_round() {
         let mut q = MessageQueue::new();
-        q.push(1, ProcessId(0), ProcessId(1), "a");
-        q.push(1, ProcessId(0), ProcessId(2), "b");
-        q.push(1, ProcessId(0), ProcessId(3), "c");
+        q.push(1, 0, ProcessId(0), ProcessId(1), "a");
+        q.push(1, 0, ProcessId(0), ProcessId(2), "b");
+        q.push(1, 0, ProcessId(0), ProcessId(3), "c");
         let order: Vec<&str> = std::iter::from_fn(|| q.pop_due(1).map(|m| m.msg)).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
     }
@@ -106,8 +111,8 @@ mod tests {
     #[test]
     fn rounds_ordered() {
         let mut q = MessageQueue::new();
-        q.push(3, ProcessId(0), ProcessId(1), "late");
-        q.push(1, ProcessId(0), ProcessId(1), "early");
+        q.push(3, 0, ProcessId(0), ProcessId(1), "late");
+        q.push(1, 0, ProcessId(0), ProcessId(1), "early");
         assert_eq!(q.next_round(), Some(1));
         assert_eq!(q.pop_due(1).unwrap().msg, "early");
         assert!(q.pop_due(1).is_none(), "round-3 message is not yet due");
@@ -118,7 +123,7 @@ mod tests {
     #[test]
     fn pop_due_includes_overdue() {
         let mut q = MessageQueue::new();
-        q.push(1, ProcessId(0), ProcessId(1), "x");
+        q.push(1, 0, ProcessId(0), ProcessId(1), "x");
         assert_eq!(q.pop_due(5).unwrap().msg, "x");
     }
 
@@ -126,8 +131,8 @@ mod tests {
     fn len_tracks_contents() {
         let mut q = MessageQueue::new();
         assert!(q.is_empty());
-        q.push(1, ProcessId(0), ProcessId(1), 1u8);
-        q.push(2, ProcessId(0), ProcessId(1), 2u8);
+        q.push(1, 0, ProcessId(0), ProcessId(1), 1u8);
+        q.push(2, 0, ProcessId(0), ProcessId(1), 2u8);
         assert_eq!(q.len(), 2);
         let _ = q.pop_due(1);
         assert_eq!(q.len(), 1);

@@ -68,10 +68,14 @@ pub use da_core::fault::FaultConfig;
 pub use da_core::topology::{
     NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, Topology,
 };
+pub use da_core::trace::{
+    canonicalize, first_divergence, TraceCategory, TraceConfig, TraceDivergence, TraceEvent,
+    TraceMode, TraceRecorder, TraceVerdict,
+};
 pub use engine::{Ctx, Engine, Protocol, RoundReport, SimConfig};
 pub use error::SimError;
 pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};
-pub use metrics::{CounterId, Counters, FxBuildHasher, FxHasher};
+pub use metrics::{CounterId, Counters, FxBuildHasher, FxHasher, Histogram, TraceLog};
 pub use overlay::Overlay;
 pub use process::{ProcessId, ProcessStatus};
 pub use rng::{derive_seed, rng_for_process, rng_from_seed};

@@ -1,4 +1,5 @@
-//! Interned counter registry.
+//! Interned counter registry, log-bucketed histograms, and the
+//! [`TraceLog`] the flight recorder publishes into.
 //!
 //! Protocols label their traffic (e.g. `intra.t2`, `inter.t2->t1`) and the
 //! harness reads the counters back after a run. Counter names are interned
@@ -7,7 +8,15 @@
 //! through an FxHash-indexed map, so even the lazy label path costs a
 //! multiply-xor hash rather than SipHash — the interned-label API both
 //! substrates share.
+//!
+//! [`Histogram`] is the distribution-shaped companion to the counters
+//! (delivery latency in ticks, delay-wheel occupancy, watermark lag):
+//! power-of-two buckets, so recording is a `leading_zeros` plus an array
+//! increment and merging is element-wise addition. [`TraceLog`] bundles
+//! the flight recorder's output — causal events, per-verdict counts,
+//! named histograms — with JSONL and Chrome-tracing exporters.
 
+use da_core::trace::{canonicalize, TraceEvent, TraceVerdict};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -212,6 +221,270 @@ impl fmt::Display for Counters {
     }
 }
 
+/// Number of histogram buckets: one for zero plus one per possible bit
+/// length of a `u64`.
+const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. Recording is branch-free (`leading_zeros` + array
+/// increment), merging is element-wise addition — the same
+/// shard-and-merge lifecycle the counters follow, so the live runtime
+/// can keep one histogram per worker and fold them at shutdown.
+///
+/// ```
+/// use da_simnet::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 1, 3, 8] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.sum(), 13);
+/// assert_eq!(h.max(), 8);
+/// assert!((h.mean() - 2.6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(value)] += n;
+        self.count += n;
+        self.sum += value * n;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when no sample has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates over non-empty buckets as `(lower_bound, count)` pairs
+    /// in ascending value order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << (i - 1) }, n))
+    }
+
+    /// Adds every sample of `other` into this histogram.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// One JSON object summarising the distribution (hand-rolled — the
+    /// offline serde shim cannot serialize).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::from("[");
+        for (i, (lo, n)) in self.buckets().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            buckets.push_str(&format!("[{lo},{n}]"));
+        }
+        buckets.push(']');
+        format!(
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.3},\"buckets\":{}}}",
+            self.count,
+            self.sum,
+            self.max,
+            self.mean(),
+            buckets
+        )
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "count={} mean={:.2} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
+/// Everything one substrate's flight recorder captured during a run:
+/// the causal event stream (bounded; overflow counted in
+/// [`TraceLog::dropped_events`]), per-verdict totals, and named
+/// histograms, with hand-rolled JSONL / Chrome-tracing exporters.
+///
+/// The simulator fills one directly; the live runtime merges one from
+/// its per-worker trace shards at shutdown, exactly like the counter
+/// shards.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    /// The recorded causal events, in capture order (NOT canonical —
+    /// call [`TraceLog::canonical_events`] before comparing streams).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to the recorder capacity bound.
+    pub dropped_events: u64,
+    /// Per-verdict totals, indexed by [`TraceVerdict::index`] — these
+    /// see every event, including filtered-in events beyond capacity.
+    pub verdict_counts: [u64; TraceVerdict::COUNT],
+    /// Named distributions (e.g. `delivery_latency_ticks`,
+    /// `wheel_occupancy`, `watermark_lag`).
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl TraceLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Total for one verdict.
+    #[must_use]
+    pub fn count(&self, verdict: TraceVerdict) -> u64 {
+        self.verdict_counts[verdict.index()]
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Adds (or merges into) a named histogram.
+    pub fn add_histogram(&mut self, name: &str, histogram: &Histogram) {
+        match self.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, existing)) => existing.merge_from(histogram),
+            None => self.histograms.push((name.to_owned(), histogram.clone())),
+        }
+    }
+
+    /// The event stream in canonical substrate-neutral order (a sorted
+    /// copy; the capture order is preserved).
+    #[must_use]
+    pub fn canonical_events(&self) -> Vec<TraceEvent> {
+        let mut events = self.events.clone();
+        canonicalize(&mut events);
+        events
+    }
+
+    /// JSONL export of the capture-order event stream.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        da_core::trace::events_to_jsonl(&self.events)
+    }
+
+    /// Chrome-tracing (`chrome://tracing` / Perfetto) export of the
+    /// capture-order event stream.
+    #[must_use]
+    pub fn to_chrome_trace(&self) -> String {
+        da_core::trace::events_to_chrome_trace(&self.events)
+    }
+
+    /// Writes the JSONL export to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+impl fmt::Display for TraceLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TraceLog ({} events, {} dropped)",
+            self.events.len(),
+            self.dropped_events
+        )?;
+        for verdict in TraceVerdict::ALL {
+            let n = self.count(verdict);
+            if n > 0 {
+                writeln!(f, "  {}: {}", verdict.label(), n)?;
+            }
+        }
+        for (name, h) in &self.histograms {
+            writeln!(f, "  {name}: {h}")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,5 +590,98 @@ mod tests {
         c.bump("a");
         let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (1, 1), (2, 2), (1024, 1)]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn histogram_extremes_do_not_overflow_buckets() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX / 2);
+        h.record_n(0, 3);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), u64::MAX / 2);
+        h.record_n(7, 0);
+        assert_eq!(h.count(), 4, "zero-sample record is a no-op");
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise() {
+        let mut a = Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(1);
+        b.record(7);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 109);
+        assert_eq!(a.max(), 100);
+        let ones = a.buckets().find(|&(lo, _)| lo == 1).unwrap();
+        assert_eq!(ones.1, 2);
+    }
+
+    #[test]
+    fn histogram_mean_handles_empty() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.to_json().contains("\"count\":0"));
+    }
+
+    #[test]
+    fn trace_log_counts_and_histograms_roundtrip() {
+        use da_core::ProcessId;
+        let mut log = TraceLog::new();
+        log.events.push(TraceEvent {
+            tick: 1,
+            from: ProcessId(0),
+            to: ProcessId(1),
+            payload: 4,
+            verdict: TraceVerdict::Delivered,
+        });
+        log.verdict_counts[TraceVerdict::Delivered.index()] = 1;
+        let mut h = Histogram::new();
+        h.record(3);
+        log.add_histogram("delivery_latency_ticks", &h);
+        log.add_histogram("delivery_latency_ticks", &h);
+        assert_eq!(log.count(TraceVerdict::Delivered), 1);
+        assert_eq!(log.histogram("delivery_latency_ticks").unwrap().count(), 2);
+        assert!(log.histogram("nope").is_none());
+        assert!(log.to_jsonl().contains("\"verdict\":\"delivered\""));
+        assert!(log.to_chrome_trace().contains("\"ph\":\"i\""));
+        let text = log.to_string();
+        assert!(text.contains("delivered: 1"));
+        assert!(text.contains("delivery_latency_ticks"));
+    }
+
+    #[test]
+    fn trace_log_canonical_events_sorts_a_copy() {
+        use da_core::ProcessId;
+        let ev = |tick, from: u32| TraceEvent {
+            tick,
+            from: ProcessId(from),
+            to: ProcessId(0),
+            payload: 1,
+            verdict: TraceVerdict::Delivered,
+        };
+        let mut log = TraceLog::new();
+        log.events = vec![ev(2, 1), ev(1, 9), ev(2, 0)];
+        let canonical = log.canonical_events();
+        assert_eq!(canonical, vec![ev(1, 9), ev(2, 0), ev(2, 1)]);
+        assert_eq!(log.events[0], ev(2, 1), "capture order preserved");
     }
 }

@@ -22,10 +22,15 @@
 //! Asserted: zero parasite deliveries through cut and heal, severed
 //! sends actually accounted (`rt.dropped_partitioned > 0`), and exact
 //! envelope accounting — every envelope ends in exactly one bucket.
+//!
+//! Set `DA_TRACE_OUT=<path>` to run with the flight recorder in full
+//! capture mode and write the JSONL event stream there (CI uploads it
+//! as a workflow artifact from the smoke run).
 
-use da_runtime::{Runtime, RuntimeConfig};
+use da_runtime::{Runtime, RuntimeConfig, TraceConfig};
 use da_simnet::{NodeId, Partition, PartitionSchedule, ProcessId, Topology};
 use damulticast::{DynamicNetwork, ParamMap, TopicParams};
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// The cut opens at this tick…
@@ -65,11 +70,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let workers = std::thread::available_parallelism()
         .map_or(4, usize::from)
         .max(4);
+    // Opt-in flight recorder: full capture when DA_TRACE_OUT names a
+    // JSONL destination, off (the zero-cost default) otherwise.
+    let trace_out: Option<PathBuf> = std::env::var_os("DA_TRACE_OUT").map(PathBuf::from);
+    let trace = if trace_out.is_some() {
+        TraceConfig::full()
+    } else {
+        TraceConfig::off()
+    };
     let config = RuntimeConfig::default()
         .with_seed(seed)
         .with_workers(workers)
         .with_topology(topology)
-        .with_partitions(partitions);
+        .with_partitions(partitions)
+        .with_trace(trace);
     let start = Instant::now();
     let mut rt = Runtime::spawn(config, net.into_processes());
     println!(
@@ -162,5 +176,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sent as f64 / elapsed.as_secs_f64()
     );
     println!("parasite deliveries: 0 — the invariant holds through split-brain and heal, live");
+
+    if let Some(path) = trace_out {
+        let log = out.trace.as_ref().expect("tracing was enabled");
+        log.write_jsonl(&path)?;
+        println!(
+            "flight recorder: {} events ({} beyond capacity) -> {}",
+            log.events.len(),
+            log.dropped_events,
+            path.display()
+        );
+    }
     Ok(())
 }

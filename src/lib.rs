@@ -47,8 +47,9 @@ pub mod prelude {
     pub use da_membership::FanoutRule;
     pub use da_runtime::{Runtime, RuntimeConfig};
     pub use da_simnet::{
-        ChannelConfig, Engine, FailureModel, FaultConfig, NetworkModel, NodeId, Partition,
-        PartitionSchedule, ProcessId, SimConfig, Topology,
+        ChannelConfig, Engine, FailureModel, FaultConfig, Histogram, NetworkModel, NodeId,
+        Partition, PartitionSchedule, ProcessId, SimConfig, Topology, TraceConfig, TraceEvent,
+        TraceLog, TraceMode, TraceVerdict,
     };
     pub use da_topics::{TopicHierarchy, TopicId};
     pub use damulticast::{

@@ -12,8 +12,11 @@
 //! fanout) so full coverage is not at the mercy of one seed or one
 //! thread interleaving (miss probability ≈ e^{-12} per event).
 
+use da_harness::experiments::trace::describe_divergence;
 use da_runtime::{Runtime, RuntimeConfig};
-use da_simnet::{ChannelConfig, Engine, FailureModel, Latency, ProcessId, SimConfig};
+use da_simnet::{
+    ChannelConfig, Engine, FailureModel, Latency, ProcessId, SimConfig, TraceConfig, TraceLog,
+};
 use damulticast::{DaProcess, EventId, ParamMap, StaticNetwork, TopicParams};
 use proptest::prelude::*;
 
@@ -154,18 +157,23 @@ const PROP_SIZES: [usize; 3] = [4, 10, 40];
 
 /// One publication per level driven to quiescence on the given
 /// substrate over a lossy, possibly multi-tick-latency channel.
-/// Returns per-process delivered sets plus the parasite count.
+/// Returns per-process delivered sets, the parasite count, and the
+/// flight-recorder trace (captured so a parity failure can name the
+/// first divergent envelope instead of just "the sets differ").
 fn run_lossy(
     seed: u64,
     channel: ChannelConfig,
     live: Option<RuntimeConfig>,
-) -> (Vec<Vec<EventId>>, u64) {
+) -> (Vec<Vec<EventId>>, u64, TraceLog) {
     let net = StaticNetwork::linear(&PROP_SIZES, pinned_params(), seed).expect("valid topology");
     let pubs = publishers(&net);
     match live {
         Some(config) => {
             let mut rt = Runtime::spawn(
-                config.with_seed(seed).with_channel(channel),
+                config
+                    .with_seed(seed)
+                    .with_channel(channel)
+                    .with_trace(TraceConfig::full()),
                 net.into_processes(),
             );
             for (level, pid) in pubs.into_iter().enumerate() {
@@ -176,17 +184,22 @@ fn run_lossy(
             (
                 delivered_sets(&out.processes),
                 out.counters.get("da.parasite"),
+                out.trace.expect("tracing was enabled"),
             )
         }
         None => {
-            let config = SimConfig::default().with_seed(seed).with_channel(channel);
+            let config = SimConfig::default()
+                .with_seed(seed)
+                .with_channel(channel)
+                .with_trace(TraceConfig::full());
             let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
             for (level, pid) in pubs.into_iter().enumerate() {
                 engine.process_mut(pid).publish(format!("event-{level}"));
             }
             engine.run_until_quiescent(192);
             let parasites = engine.counters().get("da.parasite");
-            (delivered_sets(&engine.into_processes()), parasites)
+            let trace = engine.trace_log().expect("tracing was enabled");
+            (delivered_sets(&engine.into_processes()), parasites, trace)
         }
     }
 }
@@ -201,7 +214,7 @@ fn run_churned(
     failure: &FailureModel,
     ticks: u64,
     live: Option<RuntimeConfig>,
-) -> (Vec<Vec<EventId>>, u64) {
+) -> (Vec<Vec<EventId>>, u64, TraceLog) {
     let net = StaticNetwork::linear(&PROP_SIZES, pinned_params(), seed).expect("valid topology");
     let pubs = publishers(&net);
     match live {
@@ -210,7 +223,8 @@ fn run_churned(
                 config
                     .with_seed(seed)
                     .with_channel(channel)
-                    .with_failures(failure.clone()),
+                    .with_failures(failure.clone())
+                    .with_trace(TraceConfig::full()),
                 net.into_processes(),
             );
             for (level, pid) in pubs.into_iter().enumerate() {
@@ -221,20 +235,23 @@ fn run_churned(
             (
                 delivered_sets(&out.processes),
                 out.counters.get("da.parasite"),
+                out.trace.expect("tracing was enabled"),
             )
         }
         None => {
             let config = SimConfig::default()
                 .with_seed(seed)
                 .with_channel(channel)
-                .with_failures(failure.clone());
+                .with_failures(failure.clone())
+                .with_trace(TraceConfig::full());
             let mut engine: Engine<DaProcess> = Engine::new(config, net.into_processes());
             for (level, pid) in pubs.into_iter().enumerate() {
                 engine.process_mut(pid).publish(format!("event-{level}"));
             }
             engine.run_rounds(ticks);
             let parasites = engine.counters().get("da.parasite");
-            (delivered_sets(&engine.into_processes()), parasites)
+            let trace = engine.trace_log().expect("tracing was enabled");
+            (delivered_sets(&engine.into_processes()), parasites, trace)
         }
     }
 }
@@ -283,22 +300,28 @@ proptest! {
         let channel = ChannelConfig::reliable()
             .with_success_probability(0.9)
             .with_latency(Latency::Fixed(min_latency));
-        let (sim_sets, sim_parasites) = run_lossy(seed, channel, None);
+        let (sim_sets, sim_parasites, sim_trace) = run_lossy(seed, channel, None);
         let live_config = RuntimeConfig::default()
             .with_workers(workers)
             .with_max_lag(max_lag);
-        let (live_sets, live_parasites) = run_lossy(seed, channel, Some(live_config));
+        let (live_sets, live_parasites, live_trace) = run_lossy(seed, channel, Some(live_config));
 
         prop_assert_eq!(sim_parasites, 0, "simulator saw a parasite");
         prop_assert_eq!(live_parasites, 0, "live runtime saw a parasite");
         prop_assert_eq!(sim_sets.len(), live_sets.len());
-        for (pid, (sim, live)) in sim_sets.iter().zip(&live_sets).enumerate() {
-            prop_assert_eq!(
-                sim, live,
-                "process {} delivered different event sets (workers={}, max_lag={}, latency={})",
-                pid, workers, max_lag, min_latency
-            );
-        }
+        let mismatched: Vec<usize> = sim_sets
+            .iter()
+            .zip(&live_sets)
+            .enumerate()
+            .filter_map(|(pid, (sim, live))| (sim != live).then_some(pid))
+            .collect();
+        prop_assert!(
+            mismatched.is_empty(),
+            "processes {:?} delivered different event sets \
+             (workers={}, max_lag={}, latency={}); {}",
+            mismatched, workers, max_lag, min_latency,
+            describe_divergence(&sim_trace, &live_trace)
+        );
     }
 }
 
@@ -334,11 +357,11 @@ proptest! {
             crash_probability: 0.01,
             recover_probability: 0.3,
         };
-        let (sim_sets, sim_parasites) = run_churned(seed, channel, &failure, TICKS, None);
+        let (sim_sets, sim_parasites, sim_trace) = run_churned(seed, channel, &failure, TICKS, None);
         let live_config = RuntimeConfig::default()
             .with_workers(workers)
             .with_max_lag(max_lag);
-        let (live_sets, live_parasites) =
+        let (live_sets, live_parasites, live_trace) =
             run_churned(seed, channel, &failure, TICKS, Some(live_config));
 
         prop_assert_eq!(sim_parasites, 0, "simulator saw a parasite");
@@ -348,16 +371,20 @@ proptest! {
         let survivors = never_crashed(seed, population, TICKS, &failure);
         let surviving = survivors.iter().filter(|&&s| s).count();
         prop_assert!(surviving * 5 > population, "churn left too few survivors");
-        for (pid, (sim, live)) in sim_sets.iter().zip(&live_sets).enumerate() {
-            if !survivors[pid] {
-                continue;
-            }
-            prop_assert_eq!(
-                sim, live,
-                "surviving process {} delivered different event sets \
-                 (workers={}, max_lag={})",
-                pid, workers, max_lag
-            );
-        }
+        let mismatched: Vec<usize> = sim_sets
+            .iter()
+            .zip(&live_sets)
+            .enumerate()
+            .filter_map(|(pid, (sim, live))| {
+                (survivors[pid] && sim != live).then_some(pid)
+            })
+            .collect();
+        prop_assert!(
+            mismatched.is_empty(),
+            "surviving processes {:?} delivered different event sets \
+             (workers={}, max_lag={}); {}",
+            mismatched, workers, max_lag,
+            describe_divergence(&sim_trace, &live_trace)
+        );
     }
 }

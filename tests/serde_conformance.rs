@@ -34,6 +34,16 @@ fn fault_and_topology_types_are_serde() {
 }
 
 #[test]
+fn trace_types_are_serde() {
+    is_serde::<da_simnet::TraceConfig>();
+    is_serde::<da_simnet::TraceMode>();
+    is_serde::<da_simnet::TraceCategory>();
+    is_serde::<da_simnet::TraceEvent>();
+    is_serde::<da_simnet::TraceVerdict>();
+    is_serde::<da_simnet::Histogram>();
+}
+
+#[test]
 fn membership_types_are_serde() {
     is_serde::<da_membership::MembershipParams>();
     is_serde::<da_membership::FanoutRule>();
