@@ -96,5 +96,5 @@ pub use message::DaMsg;
 pub use multi_super::{plan_multi_dissemination, MultiSuperTables};
 pub use network::{DynamicNetwork, GroupSpec, StaticNetwork};
 pub use params::{ParamMap, TopicParams};
-pub use protocol::DaProcess;
+pub use protocol::{DaProcess, Mutation};
 pub use tables::{SuperEntry, SuperTable};

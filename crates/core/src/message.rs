@@ -3,8 +3,10 @@
 use crate::event::Event;
 use crate::tables::SuperEntry;
 use da_membership::MembershipMsg;
+use da_simnet::mc::McHash;
 use da_simnet::{ProcessId, WireSize};
 use da_topics::TopicId;
+use std::hash::Hasher;
 
 /// Messages exchanged by daMulticast processes.
 ///
@@ -89,6 +91,96 @@ impl WireSize for DaMsg {
                 inner,
                 stable_sample,
             } => inner.wire_size() + 4 + stable_sample.len() * 8,
+        }
+    }
+}
+
+/// Canonical content hash for the model checker's state digests: a
+/// variant tag followed by every field, in declaration order. Payload
+/// bytes are included — two events with the same id but different
+/// payloads are different states.
+impl McHash for DaMsg {
+    fn mc_hash(&self, state: &mut dyn Hasher) {
+        match self {
+            DaMsg::Event {
+                event,
+                sender_topic,
+            } => {
+                state.write_u8(0);
+                state.write_u32(event.id().publisher.0);
+                state.write_u64(event.id().sequence);
+                state.write_u64(event.topic().index() as u64);
+                state.write(event.payload());
+                state.write_u64(sender_topic.index() as u64);
+            }
+            DaMsg::ReqContact {
+                origin,
+                req_id,
+                topics,
+                ttl,
+            } => {
+                state.write_u8(1);
+                state.write_u32(origin.0);
+                state.write_u64(*req_id);
+                state.write_u64(topics.len() as u64);
+                for t in topics {
+                    state.write_u64(t.index() as u64);
+                }
+                state.write_u8(*ttl);
+            }
+            DaMsg::AnsContact { topic, contacts } => {
+                state.write_u8(2);
+                state.write_u64(topic.index() as u64);
+                state.write_u64(contacts.len() as u64);
+                for c in contacts {
+                    state.write_u32(c.0);
+                }
+            }
+            DaMsg::NewProcessReq => state.write_u8(3),
+            DaMsg::NewProcessAns { contacts } => {
+                state.write_u8(4);
+                state.write_u64(contacts.len() as u64);
+                for e in contacts {
+                    state.write_u32(e.pid.0);
+                    state.write_u64(e.topic.index() as u64);
+                }
+            }
+            DaMsg::Ping { nonce } => {
+                state.write_u8(5);
+                state.write_u64(*nonce);
+            }
+            DaMsg::Pong { nonce } => {
+                state.write_u8(6);
+                state.write_u64(*nonce);
+            }
+            DaMsg::Membership {
+                inner,
+                stable_sample,
+            } => {
+                state.write_u8(7);
+                match inner {
+                    MembershipMsg::JoinRequest => state.write_u8(0),
+                    MembershipMsg::JoinReply { sample } => {
+                        state.write_u8(1);
+                        state.write_u64(sample.len() as u64);
+                        for p in sample {
+                            state.write_u32(p.0);
+                        }
+                    }
+                    MembershipMsg::Digest { sample } => {
+                        state.write_u8(2);
+                        state.write_u64(sample.len() as u64);
+                        for p in sample {
+                            state.write_u32(p.0);
+                        }
+                    }
+                }
+                state.write_u64(stable_sample.len() as u64);
+                for e in stable_sample {
+                    state.write_u32(e.pid.0);
+                    state.write_u64(e.topic.index() as u64);
+                }
+            }
         }
     }
 }

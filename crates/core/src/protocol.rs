@@ -34,9 +34,11 @@ use crate::message::DaMsg;
 use crate::params::TopicParams;
 use crate::tables::{SuperEntry, SuperTable};
 use da_membership::{FlatMembership, MembershipParams};
-use da_simnet::{Ctx, Overlay, ProcessId, Protocol};
+use da_simnet::mc::McHash;
+use da_simnet::{Ctx, FxHasher, Overlay, ProcessId, Protocol};
 use da_topics::{TopicHierarchy, TopicId};
 use std::collections::HashSet;
+use std::hash::Hasher;
 use std::sync::Arc;
 
 /// Pre-rendered counter labels for one process (the metrics hot path does
@@ -126,6 +128,33 @@ pub struct DaProcess {
     /// Bootstrap requests already answered/forwarded: `(origin, req_id)`.
     answered_requests: HashSet<(ProcessId, u64)>,
     labels: Labels,
+    /// Deliberate protocol defect, [`Mutation::None`] in production.
+    mutation: Mutation,
+}
+
+/// A deliberately broken protocol variant, used to prove the bounded
+/// model checker can actually find bugs (a checker that passes
+/// everything proves nothing). Production code paths always run with
+/// [`Mutation::None`]; the mutants exist for `da_simnet::mc` mutation
+/// tests and are expected to yield counterexamples within small depth
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Mutation {
+    /// The shipped protocol, unmodified.
+    #[default]
+    None,
+    /// Skips the Fig. 5 "done only the first time" de-dup check on
+    /// reception: every duplicate is re-delivered and re-disseminated,
+    /// so the gossip echoes forever and processes deliver the same
+    /// event many times.
+    SkipDedup,
+}
+
+impl Mutation {
+    fn skips_dedup(self) -> bool {
+        matches!(self, Mutation::SkipDedup)
+    }
 }
 
 impl DaProcess {
@@ -181,6 +210,7 @@ impl DaProcess {
             next_sequence: 0,
             answered_requests: HashSet::new(),
             labels,
+            mutation: Mutation::None,
         }
     }
 
@@ -224,7 +254,16 @@ impl DaProcess {
             next_sequence: 0,
             answered_requests: HashSet::new(),
             labels,
+            mutation: Mutation::None,
         }
+    }
+
+    /// Installs a deliberate defect for mutation testing. See
+    /// [`Mutation`]; never used by production configurations.
+    #[must_use]
+    pub fn with_mutation(mut self, mutation: Mutation) -> Self {
+        self.mutation = mutation;
+        self
     }
 
     /// The process' identity.
@@ -361,7 +400,8 @@ impl DaProcess {
             ctx.bump("da.parasite");
             return;
         }
-        if !self.seen.insert(event.id()) {
+        let fresh = self.seen.insert(event.id());
+        if !fresh && !self.mutation.skips_dedup() {
             ctx.bump(&self.labels.duplicate);
             return;
         }
@@ -709,6 +749,74 @@ impl Protocol for DaProcess {
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, DaMsg>) {
         ExecProtocol::on_recover(self, ctx);
+    }
+}
+
+/// XOR-fold of per-element hashes: order-independent, so iteration
+/// order of a `HashSet` cannot leak into the digest.
+fn fold_unordered<I: IntoIterator<Item = u64>>(items: I) -> u64 {
+    let mut acc = 0u64;
+    for word in items {
+        let mut h = FxHasher::default();
+        h.write_u64(word);
+        acc ^= h.finish();
+    }
+    acc
+}
+
+fn event_id_word(id: EventId) -> u64 {
+    (u64::from(id.publisher.0) << 32) ^ id.sequence.rotate_left(17)
+}
+
+/// Canonical protocol-state digest for the bounded model checker.
+///
+/// Ordered containers (views, tables, delivery logs) are hashed in
+/// order; sets are XOR-folded so `HashSet` iteration order cannot make
+/// equal states look distinct. The bootstrap/maintenance/overlay tasks
+/// contribute presence flags only: the checker targets static-mode
+/// processes (the paper's simulation setting), where all three are
+/// absent and the flags are constant. Dynamic-mode exploration would
+/// under-distinguish timer state — acceptable for a *bounded* checker
+/// (it can only merge states, never invent transitions), but worth
+/// knowing when reading state counts.
+impl McHash for DaProcess {
+    fn mc_hash(&self, state: &mut dyn Hasher) {
+        state.write_u32(self.me.0);
+        state.write_u64(self.topic.index() as u64);
+        let view = self.membership.view().as_slice();
+        state.write_u64(view.len() as u64);
+        for p in view {
+            state.write_u32(p.0);
+        }
+        state.write_u64(self.stable.entries().len() as u64);
+        for e in self.stable.entries() {
+            state.write_u32(e.pid.0);
+            state.write_u64(e.topic.index() as u64);
+        }
+        state.write_u64(self.group_size as u64);
+        state.write_u8(u8::from(self.bootstrap.is_some()));
+        state.write_u8(u8::from(self.maintenance.is_some()));
+        state.write_u8(u8::from(self.overlay.is_some()));
+        state.write_u64(self.join_contacts.len() as u64);
+        for p in &self.join_contacts {
+            state.write_u32(p.0);
+        }
+        state.write_u64(fold_unordered(
+            self.seen.iter().map(|&id| event_id_word(id)),
+        ));
+        state.write_u64(self.delivered.len() as u64);
+        for e in &self.delivered {
+            state.write_u64(event_id_word(e.id()));
+        }
+        state.write_u64(self.parasite_count);
+        state.write_u64(self.pending_publish.len() as u64);
+        for e in &self.pending_publish {
+            state.write_u64(event_id_word(e.id()));
+        }
+        state.write_u64(self.next_sequence);
+        state.write_u64(fold_unordered(self.answered_requests.iter().map(
+            |&(origin, req_id)| (u64::from(origin.0) << 32) ^ req_id.rotate_left(7),
+        )));
     }
 }
 

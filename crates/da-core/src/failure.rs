@@ -230,6 +230,30 @@ impl FailurePlan {
         self.schedule.iter().filter(move |f| f.round == round)
     }
 
+    /// Inserts one scripted fate into an already-materialized plan,
+    /// keeping the schedule sorted by `(round, pid)` — the order
+    /// [`FailureModel::Schedule`] materializes in, so a plan grown fate
+    /// by fate is indistinguishable from one scripted up front.
+    ///
+    /// This is the model checker's crash/recover injection point: the
+    /// explorer pushes a fate for the *next* round, steps the engine,
+    /// and the fate applies through the exact same code path a replayed
+    /// `FailureModel::Schedule` would use. Callers are responsible for
+    /// only naming pids inside the population, as
+    /// [`FailureModel::materialize`] enforces for up-front schedules.
+    pub fn push_fate(&mut self, fate: Fate) {
+        let at = self
+            .schedule
+            .partition_point(|f| (f.round, f.pid) <= (fate.round, fate.pid));
+        self.schedule.insert(at, fate);
+    }
+
+    /// The full scripted schedule, sorted by `(round, pid)`.
+    #[must_use]
+    pub fn schedule(&self) -> &[Fate] {
+        &self.schedule
+    }
+
     /// Whether the churn model flips the liveness of `pid` at the start
     /// of `round`, given the process is currently `alive`.
     ///
@@ -472,6 +496,36 @@ mod tests {
         assert_eq!(plan.fates_at(2).count(), 1);
         assert_eq!(plan.fates_at(5).count(), 2);
         assert_eq!(plan.fates_at(9).count(), 0);
+    }
+
+    #[test]
+    fn push_fate_matches_upfront_schedule() {
+        // A plan grown fate-by-fate must be indistinguishable from one
+        // scripted up front: same sort, same fates_at answers.
+        let fates = [
+            Fate {
+                round: 5,
+                pid: ProcessId(1),
+                crash: true,
+            },
+            Fate {
+                round: 2,
+                pid: ProcessId(0),
+                crash: true,
+            },
+            Fate {
+                round: 5,
+                pid: ProcessId(0),
+                crash: false,
+            },
+        ];
+        let upfront = FailureModel::Schedule(fates.to_vec()).materialize(10, 0);
+        let mut grown = FailureModel::None.materialize(10, 0);
+        for fate in fates {
+            grown.push_fate(fate);
+        }
+        assert_eq!(grown.schedule(), upfront.schedule());
+        assert!(!grown.is_inert(), "a pushed fate makes the plan active");
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};
 pub use fault::FaultConfig;
 pub use process::{ProcessId, ProcessStatus};
 pub use seed::{derive_seed, rng_for_process, rng_from_seed};
-pub use topology::{NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, Topology};
+pub use topology::{
+    DropSchedule, NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, ScriptedDrop,
+    Topology,
+};
 pub use trace::{
     canonicalize, first_divergence, TraceCategory, TraceConfig, TraceDivergence, TraceEvent,
     TraceMode, TraceRecorder, TraceVerdict,

@@ -355,6 +355,88 @@ impl PartitionSchedule {
     }
 }
 
+/// One scripted message drop: kill the `occurrence`-th send (0-based)
+/// from `from` to `to` at `tick`, deterministically and without
+/// consuming any randomness.
+///
+/// This is how a model-checking counterexample replays a "the channel
+/// happened to lose exactly that envelope" branch as an ordinary fault
+/// config: the explorer records which send it dropped, and the replay
+/// kills the same send on either substrate with zero RNG involvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScriptedDrop {
+    /// The round/tick the doomed send happens at.
+    pub tick: u64,
+    /// Sending process.
+    pub from: ProcessId,
+    /// Receiving process.
+    pub to: ProcessId,
+    /// Which of the `(from, to)` sends at `tick` dies, 0-based in send
+    /// order. A process that sends the same peer three messages in one
+    /// round has occurrences 0, 1, 2.
+    pub occurrence: u32,
+}
+
+/// A deterministic drop script: a set of [`ScriptedDrop`]s applied on
+/// top of the channel model, before any randomness is consumed for the
+/// matched send.
+///
+/// Empty schedules are free: [`NetworkModel::decide_fate`] with an
+/// empty schedule is byte-for-byte [`NetworkModel::sample_fate`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DropSchedule {
+    drops: Vec<ScriptedDrop>,
+}
+
+impl DropSchedule {
+    /// The empty schedule — no scripted drops.
+    #[must_use]
+    pub fn none() -> Self {
+        DropSchedule::default()
+    }
+
+    /// Adds one scripted drop.
+    #[must_use]
+    pub fn with_drop(mut self, drop: ScriptedDrop) -> Self {
+        self.drops.push(drop);
+        self
+    }
+
+    /// Adds many scripted drops.
+    #[must_use]
+    pub fn with_drops<I: IntoIterator<Item = ScriptedDrop>>(mut self, drops: I) -> Self {
+        self.drops.extend(drops);
+        self
+    }
+
+    /// True when nothing is scripted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.drops.is_empty()
+    }
+
+    /// Number of scripted drops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.drops.len()
+    }
+
+    /// The scripted drops, in insertion order.
+    #[must_use]
+    pub fn drops(&self) -> &[ScriptedDrop] {
+        &self.drops
+    }
+
+    /// True when this schedule kills the `occurrence`-th send from
+    /// `from` to `to` at `tick`. Pure — consumes zero randomness.
+    #[must_use]
+    pub fn kills(&self, from: ProcessId, to: ProcessId, tick: u64, occurrence: u32) -> bool {
+        self.drops
+            .iter()
+            .any(|d| d.tick == tick && d.from == from && d.to == to && d.occurrence == occurrence)
+    }
+}
+
 /// The fate of one send under the full network model: severed by a
 /// partition (zero randomness), lost on the channel, or delivered after
 /// a sampled latency.
@@ -435,6 +517,9 @@ pub struct NetworkModel {
     pub topology: Option<Topology>,
     /// Scripted split-brain windows.
     pub partitions: PartitionSchedule,
+    /// Scripted per-send drops (model-checking counterexample replays).
+    /// Empty by default; consulted only by [`NetworkModel::decide_fate`].
+    pub drops: DropSchedule,
 }
 
 impl NetworkModel {
@@ -446,6 +531,7 @@ impl NetworkModel {
             channel,
             topology: None,
             partitions: PartitionSchedule::none(),
+            drops: DropSchedule::none(),
         }
     }
 
@@ -467,6 +553,13 @@ impl NetworkModel {
     #[must_use]
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
         self.channel = channel;
+        self
+    }
+
+    /// Installs a scripted drop schedule (see [`DropSchedule`]).
+    #[must_use]
+    pub fn with_drops(mut self, drops: DropSchedule) -> Self {
+        self.drops = drops;
         self
     }
 
@@ -524,6 +617,63 @@ impl NetworkModel {
         }
     }
 
+    /// Decides the fate of the `occurrence`-th send from `from` to `to`
+    /// at `tick`, consulting the scripted [`DropSchedule`] before any
+    /// randomness.
+    ///
+    /// Precedence (part of the replay contract): partition check first
+    /// (pure), then the drop script (pure — a matched send is `Lost`
+    /// without consuming a single draw), then the usual
+    /// [`sample_fate`](Self::sample_fate) channel draws. With an empty
+    /// schedule this is byte-for-byte `sample_fate`: same draws, same
+    /// order, same fates — callers with no script may keep calling
+    /// either.
+    pub fn decide_fate<R: Rng>(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        tick: u64,
+        occurrence: u32,
+        rng: &mut R,
+    ) -> NetFate {
+        if self.severed(from, to, tick) {
+            return NetFate::Severed;
+        }
+        if !self.drops.is_empty() && self.drops.kills(from, to, tick, occurrence) {
+            return NetFate::Lost;
+        }
+        match self.channel_between(from, to).sample_fate(rng) {
+            ChannelFate::Lost => NetFate::Lost,
+            ChannelFate::Deliver { latency } => NetFate::Deliver { latency },
+        }
+    }
+
+    /// Enumerates every fate a send from `from` to `to` at `tick` could
+    /// receive — the enumeration twin of [`sample_fate`](Self::sample_fate),
+    /// used by the bounded model checker as the branching factor of a
+    /// send.
+    ///
+    /// A severed pair has the single fate `Severed` (partitions are
+    /// scripted, not chosen). Otherwise the effective link channel's
+    /// [`ChannelConfig::enumerate_fates`] is lifted: `Lost` first iff
+    /// the link is lossy, then `Deliver` per reachable latency,
+    /// ascending. The scripted drop schedule is *not* consulted — it
+    /// exists to replay one specific branch, not to widen the set.
+    #[must_use]
+    pub fn enumerate_fates(&self, from: ProcessId, to: ProcessId, tick: u64) -> Vec<NetFate> {
+        if self.severed(from, to, tick) {
+            return vec![NetFate::Severed];
+        }
+        self.channel_between(from, to)
+            .enumerate_fates()
+            .into_iter()
+            .map(|fate| match fate {
+                ChannelFate::Lost => NetFate::Lost,
+                ChannelFate::Deliver { latency } => NetFate::Deliver { latency },
+            })
+            .collect()
+    }
+
     /// The fastest delivery any link of this model can ever sample —
     /// the drift bound a bounded-lag scheduler may exploit. The minimum
     /// of the default channel's floor and every override's.
@@ -537,13 +687,15 @@ impl NetworkModel {
     }
 
     /// True when the model can neither lose, delay, nor sever anything:
-    /// the default channel and every override are perfect and no
-    /// partition is scripted — the configuration under which a faulty
-    /// transport must behave byte-for-byte like a perfect one.
+    /// the default channel and every override are perfect, no partition
+    /// is scripted, and no drop is scripted — the configuration under
+    /// which a faulty transport must behave byte-for-byte like a
+    /// perfect one.
     #[must_use]
     pub fn is_perfect(&self) -> bool {
         self.channel.is_perfect()
             && self.partitions.is_empty()
+            && self.drops.is_empty()
             && self
                 .topology
                 .as_ref()
@@ -689,6 +841,98 @@ mod tests {
         );
         assert!(!cut.is_perfect(), "a scripted cut must disable fast paths");
         assert!(NetworkModel::from(ChannelConfig::reliable()).is_perfect());
+    }
+
+    #[test]
+    fn decide_fate_with_empty_script_is_sample_fate_draw_for_draw() {
+        // decide_fate must be a conservative extension: with no drops
+        // scripted, the exact same draws happen in the exact same order,
+        // so wiring it into either substrate cannot shift any stream.
+        let model = NetworkModel::uniform(
+            ChannelConfig::default()
+                .with_success_probability(0.6)
+                .with_latency(Latency::UniformRounds { min: 1, max: 4 }),
+        );
+        let mut a = rng_from_seed(21);
+        let mut b = rng_from_seed(21);
+        for tick in 0..256 {
+            let sampled = model.sample_fate(ProcessId(0), ProcessId(1), tick, &mut a);
+            let decided = model.decide_fate(ProcessId(0), ProcessId(1), tick, tick as u32, &mut b);
+            assert_eq!(sampled, decided);
+        }
+        use rand::Rng as _;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "streams stayed in step");
+    }
+
+    #[test]
+    fn scripted_drop_kills_exact_occurrence_without_randomness() {
+        let model = NetworkModel::uniform(ChannelConfig::reliable()).with_drops(
+            DropSchedule::none().with_drop(ScriptedDrop {
+                tick: 3,
+                from: ProcessId(0),
+                to: ProcessId(1),
+                occurrence: 1,
+            }),
+        );
+        assert!(!model.is_perfect(), "a scripted drop disables fast paths");
+        let mut rng = rng_from_seed(4);
+        // Occurrence 0 sails through; occurrence 1 dies; occurrence 2 sails.
+        assert_eq!(
+            model.decide_fate(ProcessId(0), ProcessId(1), 3, 0, &mut rng),
+            NetFate::Deliver { latency: 1 },
+        );
+        assert_eq!(
+            model.decide_fate(ProcessId(0), ProcessId(1), 3, 1, &mut rng),
+            NetFate::Lost,
+        );
+        assert_eq!(
+            model.decide_fate(ProcessId(0), ProcessId(1), 3, 2, &mut rng),
+            NetFate::Deliver { latency: 1 },
+        );
+        // Wrong tick, wrong direction: untouched.
+        assert_eq!(
+            model.decide_fate(ProcessId(0), ProcessId(1), 4, 1, &mut rng),
+            NetFate::Deliver { latency: 1 },
+        );
+        assert_eq!(
+            model.decide_fate(ProcessId(1), ProcessId(0), 3, 1, &mut rng),
+            NetFate::Deliver { latency: 1 },
+        );
+        // A perfect channel consumes zero randomness either way, so the
+        // stream never moved.
+        use rand::Rng as _;
+        let mut fresh = rng_from_seed(4);
+        assert_eq!(rng.gen::<u64>(), fresh.gen::<u64>());
+    }
+
+    #[test]
+    fn enumerate_fates_respects_partitions_and_links() {
+        let lossy = ChannelConfig::default().with_success_probability(0.85);
+        let model = NetworkModel::uniform(ChannelConfig::reliable())
+            .with_topology(
+                Topology::with_nodes(["a", "b"])
+                    .with_placement_range(0..1, NodeId(0))
+                    .with_placement_range(1..2, NodeId(1))
+                    .with_link(NodeId(0), NodeId(1), lossy),
+            )
+            .with_partitions(PartitionSchedule::none().with_partition(
+                Partition::cut(vec![vec![NodeId(0)], vec![NodeId(1)]], 5).heal_at(7),
+            ));
+        // Severed window: exactly one, deterministic fate.
+        assert_eq!(
+            model.enumerate_fates(ProcessId(0), ProcessId(1), 5),
+            vec![NetFate::Severed],
+        );
+        // Outside the window, the lossy override branches two ways.
+        assert_eq!(
+            model.enumerate_fates(ProcessId(0), ProcessId(1), 0),
+            vec![NetFate::Lost, NetFate::Deliver { latency: 1 }],
+        );
+        // Intra-node traffic rides the perfect default: no branching.
+        assert_eq!(
+            model.enumerate_fates(ProcessId(0), ProcessId(0), 5),
+            vec![NetFate::Deliver { latency: 1 }],
+        );
     }
 
     #[test]

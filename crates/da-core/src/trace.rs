@@ -744,6 +744,64 @@ mod tests {
     }
 
     #[test]
+    fn first_divergence_empty_vs_empty_is_none() {
+        assert_eq!(first_divergence(&[], &[]), None);
+    }
+
+    #[test]
+    fn first_divergence_empty_vs_nonempty_points_at_index_zero() {
+        // The degenerate prefix case: an empty stream against anything
+        // non-empty diverges at index 0 with exactly one side present.
+        let stream = vec![ev(0, 0, 1, 4, TraceVerdict::Sent)];
+        let d = first_divergence(&[], &stream).unwrap();
+        assert_eq!(d.index, 0);
+        assert_eq!(d.left, None);
+        assert_eq!(d.right, Some(stream[0]));
+
+        let d = first_divergence(&stream, &[]).unwrap();
+        assert_eq!(d.index, 0);
+        assert_eq!(d.left, Some(stream[0]));
+        assert_eq!(d.right, None);
+        // The rendering never says "event -1" or similar off-by-one.
+        assert!(format!("{d}").starts_with("first divergence at event 0"));
+    }
+
+    #[test]
+    fn first_divergence_proper_prefix_diverges_at_shorter_length() {
+        // Streams where one is a proper prefix of the other must
+        // diverge exactly at the shorter length — not shorter-1 (the
+        // last shared event is equal) and not shorter+1 (out of range).
+        let long: Vec<TraceEvent> = (0..4).map(|t| ev(t, 0, 1, t, TraceVerdict::Sent)).collect();
+        for cut in 0..long.len() {
+            let short = &long[..cut];
+            let d = first_divergence(short, &long).unwrap();
+            assert_eq!(d.index, cut, "prefix of length {cut}");
+            assert_eq!(d.left, None);
+            assert_eq!(d.right, Some(long[cut]));
+            // And symmetrically.
+            let d = first_divergence(&long, short).unwrap();
+            assert_eq!(d.index, cut);
+            assert_eq!(d.left, Some(long[cut]));
+            assert_eq!(d.right, None);
+        }
+    }
+
+    #[test]
+    fn first_divergence_equal_length_streams() {
+        // Equal-length identical streams: no divergence, whatever the
+        // length. Equal-length different streams: index of the first
+        // differing event, both sides present.
+        let a: Vec<TraceEvent> = (0..3).map(|t| ev(t, 0, 1, 7, TraceVerdict::Sent)).collect();
+        assert_eq!(first_divergence(&a, &a.clone()), None);
+        let mut b = a.clone();
+        b[2].payload = 8;
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.index, 2);
+        assert_eq!(d.left.unwrap().payload, 7);
+        assert_eq!(d.right.unwrap().payload, 8);
+    }
+
+    #[test]
     fn jsonl_export_is_one_object_per_line() {
         let events = vec![
             ev(0, 0, 1, 4, TraceVerdict::Sent),

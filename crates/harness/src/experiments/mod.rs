@@ -6,6 +6,7 @@ pub mod ablations;
 pub mod dynamics;
 pub mod figures;
 pub mod live;
+pub mod mc;
 pub mod parasites;
 pub mod scaling;
 pub mod tables;

@@ -10,9 +10,12 @@
 //!   process, never losing or delaying anything.
 //! * [`FaultyRouter`] layers the substrate-neutral network fault model
 //!   (`da_core::topology::NetworkModel`: default channel, per-link
-//!   topology overrides, partition schedule) on top: a send crossing an
-//!   active partition cut is dropped outright (a pure decision — no
-//!   randomness), every other send's fate — lost, or delivered after a
+//!   topology overrides, partition schedule, scripted drops) on top: a
+//!   send crossing an active partition cut is dropped outright (a pure
+//!   decision — no randomness), a send matching a scripted drop for its
+//!   per-tick occurrence on the edge is likewise dropped draw-free
+//!   (this is how model-checker counterexamples replay on the live
+//!   runtime), every other send's fate — lost, or delivered after a
 //!   sampled latency — is drawn from a deterministic per-edge RNG
 //!   stream on its link's channel, and survivors are coalesced per
 //!   destination worker so one tick costs at most one channel send per
@@ -27,7 +30,8 @@
 use crossbeam::channel::Sender;
 use da_core::channel::{ChannelConfig, EdgeRngs};
 use da_core::topology::{NetFate, NetworkModel};
-use da_simnet::ProcessId;
+use da_simnet::{FxBuildHasher, ProcessId};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One in-flight message on the live transport.
@@ -288,6 +292,17 @@ pub struct FaultyRouter<M> {
     rngs: EdgeRngs,
     /// Per-destination-worker coalescing buffers, flushed once per tick.
     slots: Vec<Vec<Envelope<M>>>,
+    /// Per-edge send counters for the tick in `occ_tick`, giving each
+    /// send its occurrence index for scripted-drop matching. Only
+    /// maintained when the model carries scripted drops; a worker sends
+    /// sequentially and owns its sources, so the count per edge is
+    /// deterministic.
+    occurrences: HashMap<(ProcessId, ProcessId), u32, FxBuildHasher>,
+    /// Tick the occurrence counters belong to; counters reset when a
+    /// send arrives for a later tick.
+    occ_tick: u64,
+    /// Whether `network.drops` is non-empty, cached like `perfect`.
+    track_occurrences: bool,
 }
 
 impl<M> FaultyRouter<M> {
@@ -302,9 +317,12 @@ impl<M> FaultyRouter<M> {
         FaultyRouter {
             router,
             perfect: network.is_perfect(),
+            track_occurrences: !network.drops.is_empty(),
             network,
             rngs: EdgeRngs::new(master_seed),
             slots,
+            occurrences: HashMap::default(),
+            occ_tick: 0,
         }
     }
 
@@ -328,20 +346,34 @@ impl<M> FaultyRouter<M> {
     }
 
     /// Routes one message through the unreliable network: checks the
-    /// partition schedule (pure, draw-free), samples the surviving
-    /// send's fate on the `from → to` edge stream using its link's
-    /// channel, and, if it survives, buffers it for the destination
-    /// worker until [`FaultyRouter::flush`].
+    /// partition schedule (pure, draw-free), then any scripted drop for
+    /// this send's per-tick occurrence on the edge (pure), then samples
+    /// the surviving send's fate on the `from → to` edge stream using
+    /// its link's channel, and, if it survives, buffers it for the
+    /// destination worker until [`FaultyRouter::flush`].
     pub fn send(&mut self, from: ProcessId, to: ProcessId, sent_tick: u64, msg: M) -> SendFate {
         let fate = if self.perfect {
             // Draw-free fast path: no edge-stream lookup on the hot path
             // of a reliable runtime.
             NetFate::Deliver { latency: 1 }
         } else {
-            self.network.sample_fate(
+            let occurrence = if self.track_occurrences {
+                if sent_tick != self.occ_tick {
+                    self.occurrences.clear();
+                    self.occ_tick = sent_tick;
+                }
+                let slot = self.occurrences.entry((from, to)).or_insert(0);
+                let occurrence = *slot;
+                *slot += 1;
+                occurrence
+            } else {
+                0
+            };
+            self.network.decide_fate(
                 from,
                 to,
                 sent_tick,
+                occurrence,
                 self.rngs.rng(u64::from(from.0), u64::from(to.0)),
             )
         };
@@ -608,6 +640,54 @@ mod tests {
 
         assert_eq!(plain_w0, faulty_w0);
         assert_eq!(plain_w1, faulty_w1);
+    }
+
+    /// A model-checker counterexample replays on the live transport: a
+    /// scripted drop kills exactly the named per-tick occurrence on its
+    /// edge, draw-free, and every other send on a reliable channel
+    /// still goes through.
+    #[test]
+    fn scripted_drop_kills_exact_occurrence_on_live_router() {
+        use da_core::topology::{DropSchedule, ScriptedDrop};
+        let network =
+            NetworkModel::uniform(ChannelConfig::reliable().with_latency(Latency::Fixed(1)))
+                .with_drops(DropSchedule::none().with_drop(ScriptedDrop {
+                    tick: 5,
+                    from: ProcessId(0),
+                    to: ProcessId(1),
+                    occurrence: 1,
+                }));
+        let (tx, rx) = channel::unbounded::<Batch<u8>>();
+        let mut faulty = FaultyRouter::new(Router::new(vec![tx]), network, 11);
+
+        // Tick 5, edge 0 → 1: only the second send dies.
+        let fates: Vec<SendFate> = (0..3)
+            .map(|i| faulty.send(ProcessId(0), ProcessId(1), 5, i))
+            .collect();
+        assert_eq!(
+            fates,
+            vec![
+                SendFate::Queued { due_tick: 6 },
+                SendFate::DroppedChannel,
+                SendFate::Queued { due_tick: 6 },
+            ]
+        );
+        // Same tick, different edge: untouched.
+        assert_eq!(
+            faulty.send(ProcessId(2), ProcessId(1), 5, 9),
+            SendFate::Queued { due_tick: 6 }
+        );
+        // Next tick, same edge and occurrence: counters reset, the
+        // script names tick 5 only, so everything goes through.
+        let fates: Vec<SendFate> = (0..3)
+            .map(|i| faulty.send(ProcessId(0), ProcessId(1), 6, i))
+            .collect();
+        assert!(fates
+            .iter()
+            .all(|f| matches!(f, SendFate::Queued { due_tick: 7 })));
+        faulty.flush();
+        let delivered: usize = rx.try_iter().map(|b| b.len()).sum();
+        assert_eq!(delivered, 6, "3 sends survived of 4 at tick 5, plus 3 at 6");
     }
 
     #[test]

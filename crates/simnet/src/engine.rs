@@ -1,10 +1,11 @@
 //! The round-driven simulation engine.
 
-use crate::event::MessageQueue;
-use crate::failure::{FailureModel, FailurePlan};
-use crate::metrics::{CounterId, Counters, Histogram, TraceLog};
+use crate::event::{InFlight, MessageQueue};
+use crate::failure::{FailureModel, FailurePlan, Fate};
+use crate::metrics::{CounterId, Counters, FxBuildHasher, Histogram, TraceLog};
 use crate::process::{ProcessId, ProcessStatus};
 use crate::rng::{derive_seed, rng_for_process, rng_from_seed};
+use crate::strategy::{DueMessage, RngStrategy, Strategy};
 use crate::wire::WireSize;
 use da_core::channel::ChannelConfig;
 use da_core::fault::FaultConfig;
@@ -12,6 +13,7 @@ use da_core::topology::{NetFate, NetworkModel, PartitionSchedule, Topology};
 use da_core::trace::{TraceConfig, TraceEvent, TraceRecorder, TraceVerdict};
 use rand::rngs::SmallRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// A protocol running at every simulated process.
 ///
@@ -101,13 +103,6 @@ impl SimConfig {
     pub fn with_failures(mut self, failure: FailureModel) -> Self {
         self.faults.failure = failure;
         self
-    }
-
-    /// Replaces the failure model.
-    #[deprecated(since = "0.6.0", note = "renamed to `with_failures`")]
-    #[must_use]
-    pub fn with_failure(self, failure: FailureModel) -> Self {
-        self.with_failures(failure)
     }
 
     /// Installs a topology (placement + per-link channel overrides).
@@ -242,7 +237,7 @@ impl SimHotIds {
 
 /// The engine's flight-recorder state when tracing is enabled: the
 /// event recorder plus the sim-side trace histograms.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SimTrace {
     recorder: TraceRecorder,
     /// Delivery round minus send round, per delivered message.
@@ -267,6 +262,12 @@ impl SimTrace {
 /// Owns one [`Protocol`] instance per process (`ProcessId` = index), the
 /// in-flight message queue, the failure plan, and the metrics registry.
 /// See the crate-level docs for an end-to-end example.
+///
+/// `Engine` is `Clone` when the protocol is: a clone is an independent
+/// parallel universe (every RNG stream, queued message, and counter
+/// duplicated) that steps identically until driven differently. The
+/// bounded model checker forks universes this way at each choice point.
+#[derive(Clone)]
 pub struct Engine<P: Protocol> {
     processes: Vec<P>,
     status: Vec<ProcessStatus>,
@@ -281,6 +282,11 @@ pub struct Engine<P: Protocol> {
     trace: Option<SimTrace>,
     round: u64,
     started: bool,
+    /// Per-round `(from, to)` send counts, maintained only when the
+    /// network has scripted drops (`track_occurrences`); feeds the
+    /// occurrence argument of [`Strategy::fate`].
+    occurrences: HashMap<(ProcessId, ProcessId), u32, FxBuildHasher>,
+    track_occurrences: bool,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -301,6 +307,7 @@ impl<P: Protocol> Engine<P> {
             .collect();
         let mut counters = Counters::new();
         let hot = SimHotIds::register(&mut counters);
+        let track_occurrences = !config.faults.network.drops.is_empty();
         Engine {
             processes,
             status,
@@ -315,6 +322,8 @@ impl<P: Protocol> Engine<P> {
             trace: SimTrace::new(&config.trace),
             round: 0,
             started: false,
+            occurrences: HashMap::default(),
+            track_occurrences,
         }
     }
 
@@ -439,12 +448,51 @@ impl<P: Protocol> Engine<P> {
         self.queue.next_round()
     }
 
+    /// Schedules a crash/recover [`Fate`] for a future round through
+    /// the failure plan — the exact path a replayed
+    /// [`FailureModel::Schedule`] takes, including trace lifecycle
+    /// events and [`Protocol::on_recover`] hooks. The model checker
+    /// injects explored crash points here, so a counterexample's fates
+    /// replay verbatim as an ordinary scripted failure model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fate.pid` is out of the population or `fate.round`
+    /// has already executed (the plan is consulted at the start of
+    /// each round).
+    pub fn schedule_fate(&mut self, fate: Fate) {
+        assert!(
+            fate.pid.index() < self.processes.len(),
+            "fate pid {} out of population {}",
+            fate.pid,
+            self.processes.len()
+        );
+        assert!(
+            fate.round >= self.round,
+            "fate round {} already executed (next round is {})",
+            fate.round,
+            self.round
+        );
+        self.plan.push_fate(fate);
+    }
+
     /// Runs one round: applies scheduled fates and churn draws (invoking
     /// [`Protocol::on_recover`] for plan-driven recoveries), calls
     /// `on_start` hooks (first round only), delivers all messages due,
     /// then runs `on_round` for every alive process in pid order.
     pub fn step_round(&mut self) -> RoundReport {
+        self.step_round_with(&mut RngStrategy)
+    }
+
+    /// [`step_round`](Self::step_round) with an explicit [`Strategy`]
+    /// deciding send fates and delivery order. `step_round` is exactly
+    /// `step_round_with(&mut RngStrategy)`; the model checker passes a
+    /// script-following strategy to walk one enumerated branch instead.
+    pub fn step_round_with<S: Strategy>(&mut self, strategy: &mut S) -> RoundReport {
         let round = self.round;
+        if self.track_occurrences {
+            self.occurrences.clear();
+        }
         let mut report = RoundReport {
             round,
             ..RoundReport::default()
@@ -547,6 +595,9 @@ impl<P: Protocol> Engine<P> {
                 &mut self.queue,
                 &mut self.counters,
                 &mut self.trace,
+                strategy,
+                &mut self.occurrences,
+                self.track_occurrences,
             );
         }
 
@@ -575,75 +626,44 @@ impl<P: Protocol> Engine<P> {
                     &mut self.queue,
                     &mut self.counters,
                     &mut self.trace,
+                    strategy,
+                    &mut self.occurrences,
+                    self.track_occurrences,
                 );
                 report.sent += sent;
             }
         }
 
         // Deliver everything due this round (including stragglers from
-        // earlier rounds when a latency model produced them).
-        while let Some(m) = self.queue.pop_due(round) {
-            let to = m.to;
-            if !self.status[to.index()].is_alive() {
-                self.counters.add(self.hot.dropped_dead, 1);
-                if let Some(t) = self.trace.as_mut() {
-                    t.recorder.record(TraceEvent {
-                        tick: round,
-                        from: m.from,
-                        to,
-                        payload: m.msg.wire_size() as u64,
-                        verdict: TraceVerdict::DroppedCrashed,
-                    });
-                }
-                continue;
+        // earlier rounds when a latency model produced them). Latency is
+        // clamped ≥ 1, so nothing sent while delivering can become due
+        // in the same round: the due set is closed before delivery
+        // starts, which is what lets an ordering strategy see it whole.
+        if strategy.wants_ordering() {
+            let mut due: Vec<InFlight<P::Msg>> = Vec::new();
+            while let Some(m) = self.queue.pop_due(round) {
+                due.push(m);
             }
-            // Per-observer failure model: the target appears failed for
-            // this particular transmission.
-            if !self.plan.observes_alive(&mut self.observer_rng) {
-                self.counters.add(self.hot.dropped_observed_failed, 1);
-                if let Some(t) = self.trace.as_mut() {
-                    t.recorder.record(TraceEvent {
-                        tick: round,
-                        from: m.from,
-                        to,
-                        payload: m.msg.wire_size() as u64,
-                        verdict: TraceVerdict::DroppedObserved,
-                    });
-                }
-                continue;
-            }
-            report.delivered += 1;
-            self.counters.add(self.hot.delivered, 1);
-            if let Some(t) = self.trace.as_mut() {
-                t.recorder.record(TraceEvent {
-                    tick: round,
+            let mut meta: Vec<DueMessage> = due
+                .iter()
+                .map(|m| DueMessage {
+                    sent: m.sent,
                     from: m.from,
-                    to,
-                    payload: m.msg.wire_size() as u64,
-                    verdict: TraceVerdict::Delivered,
-                });
-                t.delivery_latency.record(round - m.sent);
+                    to: m.to,
+                })
+                .collect();
+            while !due.is_empty() {
+                let idx = strategy.next_delivery(&meta).min(due.len() - 1);
+                meta.remove(idx);
+                let m = due.remove(idx);
+                self.deliver_one(m, round, &mut outbox, &mut report, strategy);
             }
-            let mut ctx = Ctx {
-                me: to,
-                round,
-                rng: &mut self.rngs[to.index()],
-                counters: &mut self.counters,
-                outbox: &mut outbox,
-            };
-            self.processes[to.index()].on_message(m.from, m.msg, &mut ctx);
-            let sent = Self::flush_outbox(
-                &mut outbox,
-                to,
-                round,
-                &self.network,
-                &self.hot,
-                &mut self.engine_rng,
-                &mut self.queue,
-                &mut self.counters,
-                &mut self.trace,
-            );
-            report.sent += sent;
+        } else {
+            // FIFO (round, seq) pops — the historical hot path, no
+            // per-round allocation.
+            while let Some(m) = self.queue.pop_due(round) {
+                self.deliver_one(m, round, &mut outbox, &mut report, strategy);
+            }
         }
 
         // Round hooks for alive processes, in pid order.
@@ -670,6 +690,9 @@ impl<P: Protocol> Engine<P> {
                 &mut self.queue,
                 &mut self.counters,
                 &mut self.trace,
+                strategy,
+                &mut self.occurrences,
+                self.track_occurrences,
             );
             report.sent += sent;
         }
@@ -699,13 +722,89 @@ impl<P: Protocol> Engine<P> {
         max_rounds
     }
 
+    /// Delivers one due message: dead/observed checks, counters and
+    /// trace, the `on_message` hook, and the flush of whatever it sent.
+    fn deliver_one<S: Strategy>(
+        &mut self,
+        m: InFlight<P::Msg>,
+        round: u64,
+        outbox: &mut Vec<(ProcessId, P::Msg)>,
+        report: &mut RoundReport,
+        strategy: &mut S,
+    ) {
+        let to = m.to;
+        if !self.status[to.index()].is_alive() {
+            self.counters.add(self.hot.dropped_dead, 1);
+            if let Some(t) = self.trace.as_mut() {
+                t.recorder.record(TraceEvent {
+                    tick: round,
+                    from: m.from,
+                    to,
+                    payload: m.msg.wire_size() as u64,
+                    verdict: TraceVerdict::DroppedCrashed,
+                });
+            }
+            return;
+        }
+        // Per-observer failure model: the target appears failed for
+        // this particular transmission.
+        if !self.plan.observes_alive(&mut self.observer_rng) {
+            self.counters.add(self.hot.dropped_observed_failed, 1);
+            if let Some(t) = self.trace.as_mut() {
+                t.recorder.record(TraceEvent {
+                    tick: round,
+                    from: m.from,
+                    to,
+                    payload: m.msg.wire_size() as u64,
+                    verdict: TraceVerdict::DroppedObserved,
+                });
+            }
+            return;
+        }
+        report.delivered += 1;
+        self.counters.add(self.hot.delivered, 1);
+        if let Some(t) = self.trace.as_mut() {
+            t.recorder.record(TraceEvent {
+                tick: round,
+                from: m.from,
+                to,
+                payload: m.msg.wire_size() as u64,
+                verdict: TraceVerdict::Delivered,
+            });
+            t.delivery_latency.record(round - m.sent);
+        }
+        let mut ctx = Ctx {
+            me: to,
+            round,
+            rng: &mut self.rngs[to.index()],
+            counters: &mut self.counters,
+            outbox,
+        };
+        self.processes[to.index()].on_message(m.from, m.msg, &mut ctx);
+        report.sent += Self::flush_outbox(
+            outbox,
+            to,
+            round,
+            &self.network,
+            &self.hot,
+            &mut self.engine_rng,
+            &mut self.queue,
+            &mut self.counters,
+            &mut self.trace,
+            strategy,
+            &mut self.occurrences,
+            self.track_occurrences,
+        );
+    }
+
     /// Routes queued sends through the network model: counts them,
     /// checks the partition schedule (a pure severed/not decision that
-    /// consumes no randomness), samples each surviving send's fate from
-    /// the shared `da_core` channel model of its link (on the engine's
-    /// single RNG stream), and enqueues survivors.
+    /// consumes no randomness), asks the [`Strategy`] for each
+    /// surviving send's fate (the default draws from the shared
+    /// `da_core` channel model of its link, on the engine's single RNG
+    /// stream), and enqueues survivors.
     #[allow(clippy::too_many_arguments)]
-    fn flush_outbox(
+    fn flush_outbox<S: Strategy>(
         outbox: &mut Vec<(ProcessId, P::Msg)>,
         from: ProcessId,
         round: u64,
@@ -715,6 +814,9 @@ impl<P: Protocol> Engine<P> {
         queue: &mut MessageQueue<P::Msg>,
         counters: &mut Counters,
         trace: &mut Option<SimTrace>,
+        strategy: &mut S,
+        occurrences: &mut HashMap<(ProcessId, ProcessId), u32, FxBuildHasher>,
+        track_occurrences: bool,
     ) -> u64 {
         let mut sent = 0;
         for (to, msg) in outbox.drain(..) {
@@ -722,7 +824,15 @@ impl<P: Protocol> Engine<P> {
             let size = msg.wire_size() as u64;
             counters.add(hot.sent, 1);
             counters.add(hot.bytes_sent, size);
-            let fate = network.sample_fate(from, to, round, engine_rng);
+            let occurrence = if track_occurrences {
+                let count = occurrences.entry((from, to)).or_insert(0);
+                let this = *count;
+                *count += 1;
+                this
+            } else {
+                0
+            };
+            let fate = strategy.fate(network, from, to, round, occurrence, engine_rng);
             match fate {
                 NetFate::Severed => counters.add(hot.dropped_partitioned, 1),
                 NetFate::Lost => counters.add(hot.dropped_channel, 1),
@@ -754,6 +864,75 @@ impl<P: Protocol> Engine<P> {
             }
         }
         sent
+    }
+}
+
+impl<P: Protocol> Engine<P>
+where
+    P: crate::mc::McHash,
+    P::Msg: crate::mc::McHash,
+{
+    /// A 64-bit digest of the engine's complete behavioral state: the
+    /// round, liveness statuses, every protocol instance's
+    /// [`McHash`](crate::mc::McHash), every RNG stream's state (via
+    /// clone-and-draw probing), the in-flight queue in delivery order
+    /// (absolute sequence numbers excluded — only relative order can
+    /// affect the future), and any not-yet-applied scheduled fates.
+    ///
+    /// Counters and the flight recorder are deliberately excluded:
+    /// they are derived observations, and hashing them would make the
+    /// model checker treat behaviorally identical states as distinct.
+    ///
+    /// Equal digests are (modulo 64-bit collisions) equal futures:
+    /// the model checker uses this for visited-set deduplication.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        use crate::mc::McHash as _;
+        use crate::metrics::FxHasher;
+        use rand::Rng as _;
+        use std::hash::Hasher as _;
+
+        fn probe_rng(rng: &SmallRng, h: &mut FxHasher) {
+            // SmallRng keeps 256 bits of hidden state; four drawn words
+            // from a clone pin it down without advancing the original.
+            let mut probe = rng.clone();
+            for _ in 0..4 {
+                h.write_u64(probe.gen());
+            }
+        }
+
+        let mut h = FxHasher::default();
+        h.write_u64(self.round);
+        h.write_u8(u8::from(self.started));
+        for status in &self.status {
+            h.write_u8(u8::from(status.is_alive()));
+        }
+        for process in &self.processes {
+            process.mc_hash(&mut h);
+        }
+        for rng in &self.rngs {
+            probe_rng(rng, &mut h);
+        }
+        probe_rng(&self.engine_rng, &mut h);
+        probe_rng(&self.observer_rng, &mut h);
+        for m in self.queue.snapshot_sorted() {
+            h.write_u64(m.round);
+            h.write_u64(m.sent);
+            h.write_u32(m.from.0);
+            h.write_u32(m.to.0);
+            m.msg.mc_hash(&mut h);
+        }
+        for fate in self
+            .plan
+            .schedule()
+            .iter()
+            .filter(|f| f.round >= self.round)
+        {
+            h.write_u64(fate.round);
+            h.write_u32(fate.pid.0);
+            h.write_u8(u8::from(fate.crash));
+        }
+        h.finish()
     }
 }
 
@@ -815,18 +994,6 @@ mod tests {
         assert_eq!(*SimConfig::new().failure(), FailureModel::None);
         assert!(SimConfig::new().faults.network.is_perfect());
         assert_ne!(SimConfig::new(), SimConfig::new().with_seed(1));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_with_failure_alias_delegates() {
-        let model = FailureModel::Stillborn {
-            alive_fraction: 0.5,
-        };
-        assert_eq!(
-            SimConfig::new().with_failure(model.clone()),
-            SimConfig::new().with_failures(model)
-        );
     }
 
     #[test]

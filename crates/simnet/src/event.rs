@@ -43,7 +43,7 @@ impl<M> Ord for InFlight<M> {
 /// The sequence number makes the queue stable: two messages scheduled for
 /// the same round are delivered in send order, which keeps simulations
 /// deterministic.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct MessageQueue<M> {
     heap: BinaryHeap<Reverse<InFlight<M>>>,
     next_seq: u64,
@@ -91,6 +91,16 @@ impl<M> MessageQueue<M> {
     /// Earliest delivery round among queued messages.
     pub fn next_round(&self) -> Option<u64> {
         self.heap.peek().map(|Reverse(m)| m.round)
+    }
+
+    /// All in-flight messages sorted by `(delivery round, sequence)` —
+    /// i.e. in the exact order they would pop. Used by the model
+    /// checker's state digest, where heap layout must not leak into the
+    /// hash.
+    pub fn snapshot_sorted(&self) -> Vec<&InFlight<M>> {
+        let mut all: Vec<&InFlight<M>> = self.heap.iter().map(|Reverse(m)| m).collect();
+        all.sort_by_key(|m| (m.round, m.seq));
+        all
     }
 }
 

@@ -57,16 +57,19 @@ mod engine;
 mod error;
 mod event;
 mod failure;
+pub mod mc;
 mod metrics;
 mod overlay;
 mod process;
 mod rng;
+mod strategy;
 mod wire;
 
 pub use da_core::channel::{ChannelConfig, ChannelFate, Latency};
 pub use da_core::fault::FaultConfig;
 pub use da_core::topology::{
-    NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, Topology,
+    DropSchedule, NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, ScriptedDrop,
+    Topology,
 };
 pub use da_core::trace::{
     canonicalize, first_divergence, TraceCategory, TraceConfig, TraceDivergence, TraceEvent,
@@ -79,4 +82,5 @@ pub use metrics::{CounterId, Counters, FxBuildHasher, FxHasher, Histogram, Trace
 pub use overlay::Overlay;
 pub use process::{ProcessId, ProcessStatus};
 pub use rng::{derive_seed, rng_for_process, rng_from_seed};
+pub use strategy::{DueMessage, RngStrategy, Strategy};
 pub use wire::{encode_frame, WireSize, FRAME_OVERHEAD};
