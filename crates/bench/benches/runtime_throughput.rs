@@ -38,11 +38,11 @@
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use crossbeam::channel;
 use da_bench::bench_sizes;
-use da_core::channel::ChannelConfig;
+use da_core::channel::{ChannelConfig, Latency};
 use da_core::failure::FailureModel;
 use da_runtime::{Batch, Envelope, FaultyRouter, Router, Runtime, RuntimeConfig, TraceConfig};
 use da_simnet::{Engine, ProcessId, SimConfig};
-use damulticast::{DaProcess, ParamMap, StaticNetwork};
+use damulticast::{metro_population, DaProcess, MetroProcess, ParamMap, StaticNetwork};
 use std::hint::black_box;
 
 const MAX_TICKS: u64 = 64;
@@ -147,6 +147,47 @@ fn sim_fixture(seed: u64, events: usize, failure: FailureModel) -> Engine<DaProc
         engine.process_mut(leaf[i % leaf.len()]).publish("bench");
     }
     engine
+}
+
+/// Bench-scale metropolis: the `live_metropolis` example's workload
+/// (flat-state gossip over computed overlay links, lossy multi-tick
+/// channel, churn) at a population small enough for a tracked row —
+/// the flat-memory hot path (slab store, stateless edge draws, ring
+/// wheel) without the full protocol stack in front of it.
+const METRO_POPULATION: usize = 16_384;
+const METRO_HEADLINES: usize = 16;
+const METRO_TTL: u8 = 12;
+
+/// The soak's channel: 5% loss, 1–3 tick latency — every send takes a
+/// stateless `(edge, tick, occurrence)` draw and multi-tick envelopes
+/// ride the delay-wheel ring.
+fn metro_channel() -> ChannelConfig {
+    ChannelConfig::reliable()
+        .with_success_probability(0.95)
+        .with_latency(Latency::UniformRounds { min: 1, max: 3 })
+}
+
+fn live_metro_fixture(seed: u64, workers: usize) -> Runtime<MetroProcess> {
+    let config = RuntimeConfig::default()
+        .with_seed(seed)
+        .with_workers(workers)
+        .with_channel(metro_channel())
+        .with_failures(bench_churn());
+    Runtime::spawn(
+        config,
+        metro_population(METRO_POPULATION, METRO_HEADLINES, METRO_TTL),
+    )
+}
+
+fn sim_metro_fixture(seed: u64) -> Engine<MetroProcess> {
+    let config = SimConfig::default()
+        .with_seed(seed)
+        .with_channel(metro_channel())
+        .with_failures(bench_churn());
+    Engine::new(
+        config,
+        metro_population(METRO_POPULATION, METRO_HEADLINES, METRO_TTL),
+    )
 }
 
 /// Publishes one event and drives it to quiescence end-to-end (spin-up
@@ -261,6 +302,45 @@ fn runtime_throughput(c: &mut Criterion) {
     };
     sim_burst_row("sim_burst16", || FailureModel::None);
     sim_burst_row("sim_churn16", bench_churn);
+
+    // Metropolis rows: the flat-memory soak workload at bench scale,
+    // identical on both substrates (fixture excluded from timing).
+    group.bench_with_input(
+        BenchmarkId::new("live_metropolis", METRO_POPULATION),
+        &METRO_POPULATION,
+        |b, _| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed = seed.wrapping_add(1);
+                    live_metro_fixture(seed, HEADLINE_WORKERS)
+                },
+                |mut rt| {
+                    black_box(rt.run_until_quiescent(MAX_TICKS));
+                    rt
+                },
+                BatchSize::SmallInput,
+            );
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("sim_metropolis", METRO_POPULATION),
+        &METRO_POPULATION,
+        |b, _| {
+            let mut seed = 0u64;
+            b.iter_batched(
+                || {
+                    seed = seed.wrapping_add(1);
+                    sim_metro_fixture(seed)
+                },
+                |mut engine| {
+                    black_box(engine.run_until_quiescent(MAX_TICKS));
+                    engine
+                },
+                BatchSize::SmallInput,
+            );
+        },
+    );
 
     // Transport isolation: the same 8192-envelope stream to a 4-worker
     // pool, per-envelope channel sends vs per-tick coalesced batches —

@@ -79,6 +79,7 @@ mod event;
 mod exec;
 mod maintenance;
 mod message;
+mod metro;
 mod multi_super;
 mod network;
 mod params;
@@ -93,6 +94,7 @@ pub use event::{Event, EventId};
 pub use exec::{Exec, ExecProtocol};
 pub use maintenance::{MaintenanceAction, MaintenanceTask};
 pub use message::DaMsg;
+pub use metro::{metro_population, MetroMsg, MetroProcess, MAX_HEADLINES};
 pub use multi_super::{plan_multi_dissemination, MultiSuperTables};
 pub use network::{DynamicNetwork, GroupSpec, StaticNetwork};
 pub use params::{ParamMap, TopicParams};

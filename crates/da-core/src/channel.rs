@@ -8,14 +8,14 @@
 //! fate of one send from a caller-supplied RNG, so each substrate keeps
 //! its own notion of which stream the draws come from —
 //! `da_simnet::Engine` uses its single engine stream, `da_runtime`'s
-//! `FaultyRouter` uses one deterministic stream per directed process
-//! pair ([`EdgeRngs`]).
+//! `FaultyRouter` derives one stateless RNG per send, keyed by the
+//! directed edge, the send tick, and the within-tick occurrence
+//! ([`EdgeRngs`]).
 
 use crate::seed::{derive_seed, rng_from_seed};
 use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Message latency, measured in virtual-time units (gossip rounds on the
 /// simulator, ticks on the live runtime).
@@ -58,6 +58,29 @@ impl Latency {
         match self {
             Latency::Fixed(l) => (*l).max(1),
             Latency::UniformRounds { min, .. } => (*min).max(1),
+        }
+    }
+
+    /// The slowest delivery this model can ever sample, in rounds/ticks
+    /// (≥ [`min_rounds`](Self::min_rounds), with the same degenerate-bound
+    /// clamping [`ChannelConfig::sample_fate`] applies).
+    ///
+    /// Where `min_rounds` bounds how far a scheduler may run *ahead*,
+    /// `max_rounds` bounds how far into the future a surviving send can
+    /// land — the sizing bound for a fixed-capacity delay wheel.
+    ///
+    /// ```
+    /// use da_core::channel::Latency;
+    /// assert_eq!(Latency::Fixed(3).max_rounds(), 3);
+    /// assert_eq!(Latency::Fixed(0).max_rounds(), 1, "clamped like sampling");
+    /// assert_eq!(Latency::UniformRounds { min: 2, max: 5 }.max_rounds(), 5);
+    /// assert_eq!(Latency::UniformRounds { min: 4, max: 2 }.max_rounds(), 4);
+    /// ```
+    #[must_use]
+    pub fn max_rounds(&self) -> u64 {
+        match self {
+            Latency::Fixed(l) => (*l).max(1),
+            Latency::UniformRounds { min, max } => (*max).max((*min).max(1)),
         }
     }
 }
@@ -152,6 +175,14 @@ impl ChannelConfig {
         self.latency.min_rounds()
     }
 
+    /// The slowest delivery this channel can ever sample
+    /// ([`Latency::max_rounds`] of its latency model) — the capacity a
+    /// fixed-size delay wheel needs to hold every in-flight envelope.
+    #[must_use]
+    pub fn max_latency(&self) -> u64 {
+        self.latency.max_rounds()
+    }
+
     /// Draws the fate of one send from `rng`.
     ///
     /// The draw order is part of the model's contract (deterministic
@@ -240,78 +271,74 @@ impl Default for ChannelConfig {
 /// engine stream (0) and the per-process streams (`pid + 1`).
 const EDGE_STREAM_TAG: u64 = 0xED6E_0000_0000_0001;
 
-/// Deterministic per-edge RNG streams: one independent [`SmallRng`] per
-/// directed `(from, to)` process pair, derived from the master seed.
+/// Stateless deterministic per-send RNGs for the live runtime's edge
+/// draws: every send's fate comes from a fresh [`SmallRng`] keyed by
+/// `(master seed, from, to, send tick, within-tick occurrence)`.
 ///
 /// The live runtime samples channel fates on the sending side, where
 /// thread interleaving would make a single shared stream
-/// schedule-dependent. Keying the stream by the *edge* removes the
-/// worker from the picture: the k-th message a process sends to a given
-/// peer sees the same draw regardless of how processes are striped
-/// across threads.
+/// schedule-dependent. Keying the draw by the *edge* removes the worker
+/// from the picture; keying it additionally by `(tick, occurrence)` —
+/// counter mode, the same positional-determinism trick
+/// `FailurePlan::churn_flips` uses for lifecycle draws — removes the
+/// *stream position* too. The fate of the k-th same-edge send within a
+/// tick is a pure function of the key, so resident state is a single
+/// `u64` regardless of how many distinct edges a run touches (the
+/// pre-existing design cached one 32-byte generator per directed edge,
+/// `O(edges)` forever-growing memory).
 ///
-/// Streams materialise lazily and are never evicted, so memory grows
-/// with the number of *distinct directed edges actually used* — worst
-/// case `O(n²)` per stream family for an all-to-all workload (one
-/// 32-byte generator plus map entry per edge). Gossip traffic touches
-/// far fewer edges (each process talks to its fanout-bounded view), but
-/// callers running huge dense populations should hold one `EdgeRngs`
-/// per sender partition, as `da_runtime` does per worker, or derive
-/// stateless draws from [`EdgeRngs::edge_seed`] plus a message counter.
+/// **Draw-order version 2.** Counter-mode keys changed the live
+/// substrate's fate sequences relative to the original sequential
+/// per-edge streams (draw-order v1): the per-seed fates are still fully
+/// deterministic and worker-count-independent, but they are not
+/// byte-identical to v1's. Sim-vs-live parity is unaffected — the
+/// simulator draws fates on its own engine stream, and every
+/// cross-substrate comparison in the workspace is over delivered sets
+/// or 3σ reliability bands, not live fate bytes. Committed live-side
+/// figures were re-pinned when v2 shipped.
 ///
 /// ```
 /// use da_core::channel::EdgeRngs;
 /// use rand::Rng as _;
 ///
-/// let mut a = EdgeRngs::new(42);
-/// let mut b = EdgeRngs::new(42);
-/// let draw_a: u64 = a.rng(3, 9).gen();
-/// let draw_b: u64 = b.rng(3, 9).gen();
-/// assert_eq!(draw_a, draw_b, "same master seed, same edge, same stream");
+/// let a = EdgeRngs::new(42);
+/// let b = EdgeRngs::new(42);
+/// let draw_a: u64 = a.draw_rng(3, 9, 5, 0).gen();
+/// let draw_b: u64 = b.draw_rng(3, 9, 5, 0).gen();
+/// assert_eq!(draw_a, draw_b, "same master seed, same key, same draw");
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub struct EdgeRngs {
     edge_master: u64,
-    streams: HashMap<(u64, u64), SmallRng>,
 }
 
 impl EdgeRngs {
-    /// Creates the stream family for a run with the given master seed.
+    /// Creates the draw family for a run with the given master seed.
     #[must_use]
     pub fn new(master_seed: u64) -> Self {
         EdgeRngs {
             edge_master: derive_seed(master_seed, EDGE_STREAM_TAG),
-            streams: HashMap::new(),
         }
     }
 
-    /// The seed of the `(from, to)` edge stream (exposed for tests and
+    /// The seed of the `(from, to)` edge family (exposed for tests and
     /// for substrates that manage their own RNG storage).
     #[must_use]
     pub fn edge_seed(&self, from: u64, to: u64) -> u64 {
         derive_seed(derive_seed(self.edge_master, from), to)
     }
 
-    /// The RNG stream of the directed edge `from → to`, created on first
-    /// use (cache hits pay only the map lookup, not the seed
-    /// derivation).
-    pub fn rng(&mut self, from: u64, to: u64) -> &mut SmallRng {
-        let edge_master = self.edge_master;
-        self.streams
-            .entry((from, to))
-            .or_insert_with(|| rng_from_seed(derive_seed(derive_seed(edge_master, from), to)))
-    }
-
-    /// Number of edge streams materialised so far.
+    /// The RNG for one send: the `occurrence`-th message (0-based) on
+    /// the directed edge `from → to` within send tick `tick`. Pure in
+    /// its arguments — no state is read or written, so the same key
+    /// yields the same draws on any worker striping, in any order, any
+    /// number of times.
     #[must_use]
-    pub fn len(&self) -> usize {
-        self.streams.len()
-    }
-
-    /// True when no edge stream has been materialised yet.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.streams.is_empty()
+    pub fn draw_rng(&self, from: u64, to: u64, tick: u64, occurrence: u64) -> SmallRng {
+        rng_from_seed(derive_seed(
+            derive_seed(self.edge_seed(from, to), tick),
+            occurrence,
+        ))
     }
 }
 
@@ -394,17 +421,60 @@ mod tests {
     }
 
     #[test]
-    fn edge_streams_are_independent_and_reproducible() {
+    fn edge_draws_are_independent_and_reproducible() {
         use rand::Rng as _;
-        let mut rngs = EdgeRngs::new(7);
-        let ab: Vec<u64> = (0..8).map(|_| rngs.rng(0, 1).gen()).collect();
-        let ba: Vec<u64> = (0..8).map(|_| rngs.rng(1, 0).gen()).collect();
+        let rngs = EdgeRngs::new(7);
+        let ab: Vec<u64> = (0..8).map(|k| rngs.draw_rng(0, 1, 3, k).gen()).collect();
+        let ba: Vec<u64> = (0..8).map(|k| rngs.draw_rng(1, 0, 3, k).gen()).collect();
         assert_ne!(ab, ba, "direction matters");
-        assert_eq!(rngs.len(), 2);
 
-        let mut again = EdgeRngs::new(7);
-        let ab2: Vec<u64> = (0..8).map(|_| again.rng(0, 1).gen()).collect();
-        assert_eq!(ab, ab2);
+        let again = EdgeRngs::new(7);
+        let ab2: Vec<u64> = (0..8).map(|k| again.draw_rng(0, 1, 3, k).gen()).collect();
+        assert_eq!(ab, ab2, "same master seed, same keys, same draws");
+    }
+
+    #[test]
+    fn edge_draws_are_keyed_by_tick_and_occurrence() {
+        use rand::Rng as _;
+        let rngs = EdgeRngs::new(7);
+        let base: u64 = rngs.draw_rng(0, 1, 3, 0).gen();
+        assert_ne!(base, rngs.draw_rng(0, 1, 4, 0).gen(), "tick matters");
+        assert_ne!(base, rngs.draw_rng(0, 1, 3, 1).gen(), "occurrence matters");
+        // Stateless: re-drawing the same key any number of times, in any
+        // order, always replays the same stream from the top.
+        let replay: u64 = rngs.draw_rng(0, 1, 3, 0).gen();
+        assert_eq!(base, replay);
+    }
+
+    #[test]
+    fn edge_rngs_resident_state_is_one_word() {
+        // The whole point of counter-mode draws: resident state is O(1)
+        // in the number of edges touched — the struct IS the seed.
+        assert_eq!(std::mem::size_of::<EdgeRngs>(), 8);
+    }
+
+    #[test]
+    fn max_latency_tracks_the_latency_model() {
+        assert_eq!(ChannelConfig::reliable().max_latency(), 1);
+        assert_eq!(
+            ChannelConfig::reliable()
+                .with_latency(Latency::Fixed(4))
+                .max_latency(),
+            4
+        );
+        assert_eq!(
+            ChannelConfig::reliable()
+                .with_latency(Latency::UniformRounds { min: 2, max: 9 })
+                .max_latency(),
+            9
+        );
+        // Degenerate bounds clamp exactly like sample_fate does.
+        assert_eq!(
+            ChannelConfig::reliable()
+                .with_latency(Latency::UniformRounds { min: 4, max: 2 })
+                .max_latency(),
+            4
+        );
     }
 
     #[test]

@@ -16,12 +16,12 @@
 //!   RNG stream — single-threaded, globally ordered draws — and applies
 //!   a [`failure::FailurePlan`] at the start of every round;
 //! * `da_runtime`'s `FaultyRouter` samples the *same* channel model per
-//!   send, but on [`channel::EdgeRngs`] — one deterministic stream per
-//!   directed process pair — and its `LifecycleController` applies the
-//!   *same* failure plan per worker stripe. Plan fates are drawn from
-//!   stateless `(pid, round)` hashes ([`failure::FailurePlan::churn_flips`]),
-//!   so neither draws nor fates depend on how processes are striped
-//!   across worker threads.
+//!   send, but on [`channel::EdgeRngs`] — a stateless RNG per send,
+//!   keyed by `(edge, tick, occurrence)` — and its
+//!   `LifecycleController` applies the *same* failure plan per worker
+//!   stripe. Plan fates are drawn from stateless `(pid, round)` hashes
+//!   ([`failure::FailurePlan::churn_flips`]), so neither draws nor
+//!   fates depend on how processes are striped across worker threads.
 //!
 //! `da_simnet` re-exports [`channel::ChannelConfig`], [`channel::Latency`],
 //! [`failure::FailureModel`], [`failure::FailurePlan`],
@@ -37,14 +37,16 @@ pub mod failure;
 pub mod fault;
 pub mod process;
 pub mod seed;
+pub mod store;
 pub mod topology;
 pub mod trace;
 
 pub use channel::{ChannelConfig, ChannelFate, EdgeRngs, Latency};
 pub use failure::{ChurnRates, FailureModel, FailurePlan, Fate};
 pub use fault::FaultConfig;
-pub use process::{ProcessId, ProcessStatus};
+pub use process::{ProcessId, ProcessIndexError, ProcessStatus};
 pub use seed::{derive_seed, rng_for_process, rng_from_seed};
+pub use store::ProcessStore;
 pub use topology::{
     DropSchedule, NetFate, NetworkModel, NodeId, Partition, PartitionSchedule, ScriptedDrop,
     Topology,

@@ -229,6 +229,13 @@ impl Topology {
     pub fn min_link_latency(&self) -> Option<u64> {
         self.links.iter().map(|(_, _, c)| c.min_latency()).min()
     }
+
+    /// The slowest delivery any link override can sample, or `None`
+    /// when there are no overrides.
+    #[must_use]
+    pub fn max_link_latency(&self) -> Option<u64> {
+        self.links.iter().map(|(_, _, c)| c.max_latency()).max()
+    }
 }
 
 /// One scripted split-brain window: the listed islands of nodes are
@@ -686,6 +693,22 @@ impl NetworkModel {
         }
     }
 
+    /// The slowest delivery any link of this model can ever sample —
+    /// how far into the future a surviving send can land, and therefore
+    /// the horizon a fixed-capacity delay wheel must cover. The maximum
+    /// of the default channel's ceiling and every override's. (Every
+    /// latency model is bounded, so this is always finite; a wheel
+    /// still keeps a spillover path for envelopes scheduled past the
+    /// capacity it was sized with.)
+    #[must_use]
+    pub fn max_latency(&self) -> u64 {
+        let base = self.channel.max_latency();
+        match self.topology.as_ref().and_then(Topology::max_link_latency) {
+            Some(link) => base.max(link),
+            None => base,
+        }
+    }
+
     /// True when the model can neither lose, delay, nor sever anything:
     /// the default channel and every override are perfect, no partition
     /// is scripted, and no drop is scripted — the configuration under
@@ -829,6 +852,21 @@ mod tests {
             .with_topology(Topology::with_nodes(["a", "b"]).with_link(NodeId(0), NodeId(1), fast));
         assert_eq!(model.min_latency(), 2, "the fastest link bounds the lag");
         assert_eq!(NetworkModel::uniform(slow).min_latency(), 4);
+    }
+
+    #[test]
+    fn max_latency_spans_default_and_overrides() {
+        let fast = ChannelConfig::reliable().with_latency(Latency::Fixed(2));
+        let slow =
+            ChannelConfig::reliable().with_latency(Latency::UniformRounds { min: 1, max: 6 });
+        let model = NetworkModel::uniform(fast)
+            .with_topology(Topology::with_nodes(["a", "b"]).with_link(NodeId(0), NodeId(1), slow));
+        assert_eq!(model.max_latency(), 6, "the slowest link sizes the wheel");
+        assert_eq!(NetworkModel::uniform(fast).max_latency(), 2);
+        assert_eq!(
+            NetworkModel::uniform(ChannelConfig::reliable()).max_latency(),
+            1
+        );
     }
 
     #[test]

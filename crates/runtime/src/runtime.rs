@@ -41,10 +41,10 @@ use crate::metrics::{ShardedCounters, TraceSink, WorkerTrace};
 use crate::transport::{Batch, EdgeWatermarks, Envelope, FaultyRouter, Router, SendFate};
 use crate::wheel::DelayWheel;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use da_core::process::ProcessIndexError;
+use da_core::store::ProcessStore;
 use da_core::trace::{TraceEvent, TraceVerdict};
-use da_simnet::{
-    rng_for_process, CounterId, Counters, ProcessId, ProcessStatus, TraceLog, WireSize,
-};
+use da_simnet::{CounterId, Counters, ProcessId, ProcessStatus, TraceLog, WireSize};
 use damulticast::{Exec, ExecProtocol};
 use rand::rngs::SmallRng;
 use std::collections::BTreeMap;
@@ -299,8 +299,11 @@ impl PartialTick {
 struct Worker<P: ExecProtocol> {
     id: usize,
     stride: usize,
-    procs: Vec<P>,
-    rngs: Vec<SmallRng>,
+    /// The stripe's process slab plus lazily-derived RNG streams
+    /// (`da_core::store::ProcessStore`): a process that never draws
+    /// never materialises its 32-byte generator, which is most of them
+    /// at million-process scale.
+    store: ProcessStore<P>,
     control: Receiver<Control<P>>,
     inbox: Receiver<Batch<P::Msg>>,
     faulty: FaultyRouter<P::Msg>,
@@ -343,15 +346,42 @@ where
 
     fn apply(&mut self, pid: ProcessId, f: Box<dyn FnOnce(&mut P) + Send>) {
         let local = self.local_index(pid);
-        f(&mut self.procs[local]);
+        f(self.store.get_mut(local));
+    }
+
+    /// Applies every control message already sitting in the channel
+    /// without blocking. Returns `false` once a stop command is seen.
+    /// Called at the top of each tick so fire-and-forget
+    /// [`Runtime::inject`] closures land before the next tick executes —
+    /// `park` may return on a horizon re-check *without* draining
+    /// control, so the main loop cannot rely on the park path having
+    /// seen them. A stop seen here must NOT abort ticks the worker was
+    /// already granted: the coordinator's run-ahead grant means every
+    /// worker owes the pool the same final tick, and honouring stop
+    /// early would make the executed-tick range (and so the trace tail)
+    /// depend on message-arrival timing instead of on the grant.
+    fn drain_control(&mut self) -> bool {
+        loop {
+            match self.control.try_recv() {
+                Ok(Control::Apply { pid, f }) => self.apply(pid, f),
+                Ok(Control::Sync) => {}
+                Ok(Control::Stop) | Err(TryRecvError::Disconnected) => return false,
+                Err(TryRecvError::Empty) => return true,
+            }
+        }
     }
 
     /// The worker main loop: execute every granted-and-gated tick, park
-    /// when the horizon is exhausted, stop on command.
+    /// when the horizon is exhausted, stop on command — after finishing
+    /// any ticks already granted, so the stop point is deterministic.
     fn run(mut self) -> Vec<(ProcessId, P, ProcessStatus)> {
+        let mut stopping = false;
         'main: loop {
             while self.next_tick < self.sched.horizon.load(Ordering::SeqCst) {
                 let tick = self.next_tick;
+                if !self.drain_control() {
+                    stopping = true;
+                }
                 if !self.await_watermarks(tick) {
                     break 'main;
                 }
@@ -365,7 +395,7 @@ where
                     break 'main; // Coordinator is gone: shut down.
                 }
             }
-            if !self.park() {
+            if stopping || !self.park() {
                 break 'main;
             }
         }
@@ -378,7 +408,8 @@ where
         }
         let (id, stride) = (self.id, self.stride);
         let lifecycle = self.lifecycle;
-        self.procs
+        self.store
+            .into_processes()
             .into_iter()
             .enumerate()
             .map(|(i, p)| {
@@ -531,10 +562,11 @@ where
         if let Some(trace) = self.trace.as_mut() {
             trace.delivery_latency.record(tick - env.sent_tick);
         }
+        let (proc_state, rng) = self.store.pair_mut(local, env.to);
         let mut ctx = LiveCtx {
             me: env.to,
             tick,
-            rng: &mut self.rngs[local],
+            rng,
             counters: &mut self.counters,
             ids: &self.ids,
             router: &mut self.faulty,
@@ -542,7 +574,7 @@ where
             queued,
             trace: &mut self.trace,
         };
-        self.procs[local].on_message(env.from, env.msg, &mut ctx);
+        proc_state.on_message(env.from, env.msg, &mut ctx);
         true
     }
 
@@ -588,10 +620,11 @@ where
         }
         for i in transitions.recovered {
             let me = self.pid_of(i);
+            let (proc_state, rng) = self.store.pair_mut(i, me);
             let mut ctx = LiveCtx {
                 me,
                 tick,
-                rng: &mut self.rngs[i],
+                rng,
                 counters: &mut self.counters,
                 ids: &self.ids,
                 router: &mut self.faulty,
@@ -599,20 +632,21 @@ where
                 queued: &mut queued,
                 trace: &mut self.trace,
             };
-            self.procs[i].on_recover(&mut ctx);
+            proc_state.on_recover(&mut ctx);
         }
 
         if !self.started {
             self.started = true;
-            for i in 0..self.procs.len() {
+            for i in 0..self.store.len() {
                 if !self.lifecycle.is_alive(i) {
                     continue; // stillborn (or crashed at tick 0)
                 }
                 let me = self.pid_of(i);
+                let (proc_state, rng) = self.store.pair_mut(i, me);
                 let mut ctx = LiveCtx {
                     me,
                     tick,
-                    rng: &mut self.rngs[i],
+                    rng,
                     counters: &mut self.counters,
                     ids: &self.ids,
                     router: &mut self.faulty,
@@ -620,7 +654,7 @@ where
                     queued: &mut queued,
                     trace: &mut self.trace,
                 };
-                self.procs[i].on_start(&mut ctx);
+                proc_state.on_start(&mut ctx);
             }
         }
 
@@ -666,15 +700,16 @@ where
         }
 
         // Round hooks for alive processes, in pid order within the stripe.
-        for i in 0..self.procs.len() {
+        for i in 0..self.store.len() {
             if !self.lifecycle.is_alive(i) {
                 continue;
             }
             let me = self.pid_of(i);
+            let (proc_state, rng) = self.store.pair_mut(i, me);
             let mut ctx = LiveCtx {
                 me,
                 tick,
-                rng: &mut self.rngs[i],
+                rng,
                 counters: &mut self.counters,
                 ids: &self.ids,
                 router: &mut self.faulty,
@@ -682,7 +717,7 @@ where
                 queued: &mut queued,
                 trace: &mut self.trace,
             };
-            self.procs[i].on_round(tick, &mut ctx);
+            proc_state.on_round(tick, &mut ctx);
         }
 
         // Ship this tick's output — one coalesced batch per destination
@@ -796,10 +831,29 @@ where
     ///
     /// # Panics
     ///
-    /// Panics when the OS refuses to spawn a worker thread.
+    /// Panics when the OS refuses to spawn a worker thread, or when the
+    /// population exceeds the `u32` process-id space (use
+    /// [`Runtime::try_spawn`] to get the latter as a typed error).
     #[must_use]
     pub fn spawn(config: RuntimeConfig, processes: Vec<P>) -> Self {
+        Self::try_spawn(config, processes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`Runtime::spawn`]: validates the population
+    /// against the `u32` process-id space once, here at the spawn
+    /// boundary, so an oversized configuration comes back as a typed
+    /// [`ProcessIndexError`] instead of a panic deep in striping.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the OS refuses to spawn a worker thread.
+    pub fn try_spawn(config: RuntimeConfig, processes: Vec<P>) -> Result<Self, ProcessIndexError> {
         let population = processes.len();
+        if population > 0 {
+            // Every pid the pool will ever mint is below the population,
+            // so this single check covers all of striping.
+            ProcessId::try_from_index(population - 1)?;
+        }
         let workers = config.effective_workers(population);
 
         let mut inbox_txs = Vec::with_capacity(workers);
@@ -830,31 +884,36 @@ where
         // same fates the simulator would draw.
         let plan = Arc::new(config.faults.failure.materialize(population, config.seed));
 
-        // Stripe processes and their seeded RNG streams across workers.
-        let mut proc_stripes: Vec<Vec<P>> = (0..workers).map(|_| Vec::new()).collect();
-        let mut rng_stripes: Vec<Vec<SmallRng>> = (0..workers).map(|_| Vec::new()).collect();
+        // Stripe processes across per-worker stores: a dense slab per
+        // stripe, RNG streams derived lazily on first draw (the seed is
+        // pure in `(master, pid)`, so nothing is precomputed here).
+        let stripe_capacity = population.div_ceil(workers.max(1));
+        let mut stores: Vec<ProcessStore<P>> = (0..workers)
+            .map(|_| ProcessStore::with_capacity(config.seed, stripe_capacity))
+            .collect();
         for (i, p) in processes.into_iter().enumerate() {
-            proc_stripes[i % workers].push(p);
-            rng_stripes[i % workers].push(rng_for_process(config.seed, ProcessId::from_index(i)));
+            stores[i % workers].push(p);
         }
+
+        // Size each delay wheel's ring to the worst due-tick distance an
+        // envelope can arrive with: a peer running `lag` ahead sends at
+        // most `lag` ticks into the future, plus the network's latency
+        // ceiling (+1 because the window includes the current tick).
+        let wheel_capacity =
+            usize::try_from(config.faults.network.max_latency() + config.effective_lag() + 1)
+                .unwrap_or(usize::MAX);
 
         let mut controls = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for (id, ((procs, rngs), inbox)) in proc_stripes
-            .into_iter()
-            .zip(rng_stripes)
-            .zip(inbox_rxs)
-            .enumerate()
-        {
+        for (id, (store, inbox)) in stores.into_iter().zip(inbox_rxs).enumerate() {
             let (control_tx, control_rx) = channel::unbounded();
             let mut local = Counters::new();
             let ids = HotIds::register(&mut local);
-            let lifecycle = LifecycleController::new(Arc::clone(&plan), id, workers, procs.len());
+            let lifecycle = LifecycleController::new(Arc::clone(&plan), id, workers, store.len());
             let worker = Worker {
                 id,
                 stride: workers,
-                procs,
-                rngs,
+                store,
                 control: control_rx,
                 inbox,
                 faulty: FaultyRouter::new(
@@ -867,7 +926,7 @@ where
                 counters: local,
                 ids,
                 lifecycle,
-                wheel: DelayWheel::new(),
+                wheel: DelayWheel::with_capacity(wheel_capacity),
                 trace: trace_sink
                     .as_ref()
                     .and_then(|sink| WorkerTrace::new(&config.trace, Arc::clone(sink))),
@@ -884,7 +943,7 @@ where
             handles.push(handle);
         }
 
-        Runtime {
+        Ok(Runtime {
             controls,
             reports: report_rx,
             handles,
@@ -897,7 +956,7 @@ where
             backlog: BTreeMap::new(),
             in_flight: 0,
             tick_timeout: config.tick_timeout(),
-        }
+        })
     }
 
     /// Number of processes hosted by the pool.
@@ -1079,6 +1138,36 @@ where
             .send(Control::Apply { pid, f: wrapped })
             .unwrap_or_else(|_| panic!("runtime worker for {pid} terminated"));
         rx.recv().expect("runtime worker dropped an apply")
+    }
+
+    /// Fire-and-forget variant of [`Runtime::with_process_mut`]: applies
+    /// the closure to `pid` on its worker thread without a reply channel
+    /// or a blocking round-trip — one boxed closure is the only
+    /// allocation on the injection path. Workers drain their control
+    /// queue at the top of every tick, so an injection sent between
+    /// driver calls is applied before the next tick that worker
+    /// executes; use [`Runtime::with_process_mut`] when the caller needs
+    /// a result (or a completion barrier) back.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pid` is out of range or its worker has died.
+    pub fn inject<F>(&mut self, pid: ProcessId, f: F)
+    where
+        F: FnOnce(&mut P) + Send + 'static,
+    {
+        assert!(
+            pid.index() < self.population,
+            "{pid} out of range for population {}",
+            self.population
+        );
+        let worker = pid.index() % self.controls.len();
+        self.controls[worker]
+            .send(Control::Apply {
+                pid,
+                f: Box::new(f),
+            })
+            .unwrap_or_else(|_| panic!("runtime worker for {pid} terminated"));
     }
 
     /// Merged metrics snapshot across all worker shards, each as of that
@@ -1316,6 +1405,28 @@ mod tests {
     fn with_process_mut_rejects_unknown_pid() {
         let mut rt = relay_runtime(3, 2);
         rt.with_process_mut(ProcessId(99), |_| ());
+    }
+
+    #[test]
+    fn inject_lands_before_the_next_executed_tick() {
+        let mut rt = relay_runtime(6, 3);
+        rt.run_ticks(1);
+        // Fire-and-forget: no reply, no barrier — the control drain at
+        // the top of the worker's next tick must still apply it first.
+        rt.inject(ProcessId(4), |p| p.received.push(0xBEEF));
+        rt.run_ticks(1);
+        let seen = rt.with_process_mut(ProcessId(4), |p| p.received.clone());
+        assert!(
+            seen.contains(&0xBEEF),
+            "injected mutation visible after one more tick: {seen:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn inject_rejects_unknown_pid() {
+        let mut rt = relay_runtime(3, 2);
+        rt.inject(ProcessId(99), |_| ());
     }
 
     #[test]

@@ -16,10 +16,10 @@
 //!   per-tick occurrence on the edge is likewise dropped draw-free
 //!   (this is how model-checker counterexamples replay on the live
 //!   runtime), every other send's fate — lost, or delivered after a
-//!   sampled latency — is drawn from a deterministic per-edge RNG
-//!   stream on its link's channel, and survivors are coalesced per
-//!   destination worker so one tick costs at most one channel send per
-//!   worker pair.
+//!   sampled latency — is drawn from a stateless RNG keyed by
+//!   `(edge, tick, occurrence)` on its link's channel, and survivors
+//!   are coalesced per destination worker so one tick costs at most one
+//!   channel send per worker pair.
 //!
 //! A batch handed to an inbox is only *visible* to the scheduler once
 //! the sending worker bumps its watermarks: [`EdgeWatermarks::publish`]
@@ -247,15 +247,17 @@ pub struct FlushReport {
 /// Partition cuts are decided from the schedule alone — a pure function
 /// of the two placements and the send tick, consuming zero randomness —
 /// so both substrates sever the same sends. Loss and latency draws come
-/// from `da_core`'s deterministic per-edge RNG streams, so the fate of
-/// "the k-th message from process 3 to process 9" does not depend on
-/// how processes are striped across worker threads. A perfect
-/// configuration ([`NetworkModel::is_perfect`]) takes a draw-free fast
-/// path and is byte-for-byte equivalent to the plain [`Router`].
+/// from `da_core`'s stateless [`EdgeRngs`]: each send's RNG is keyed by
+/// `(edge, send tick, within-tick occurrence)`, so the fate of "the
+/// k-th message from process 3 to process 9 in tick t" depends on
+/// neither worker striping *nor* the edge's prior traffic — zero
+/// resident RNG state per edge. A perfect configuration
+/// ([`NetworkModel::is_perfect`]) takes a draw-free fast path and is
+/// byte-for-byte equivalent to the plain [`Router`].
 ///
 /// Each worker owns its own `FaultyRouter` (wrapping a clone of the
 /// shared [`Router`]); since a process is owned by exactly one worker,
-/// the per-edge streams never race.
+/// the per-tick occurrence counters never race.
 ///
 /// ```
 /// use crossbeam::channel;
@@ -293,16 +295,19 @@ pub struct FaultyRouter<M> {
     /// Per-destination-worker coalescing buffers, flushed once per tick.
     slots: Vec<Vec<Envelope<M>>>,
     /// Per-edge send counters for the tick in `occ_tick`, giving each
-    /// send its occurrence index for scripted-drop matching. Only
-    /// maintained when the model carries scripted drops; a worker sends
-    /// sequentially and owns its sources, so the count per edge is
-    /// deterministic.
+    /// send its occurrence index — the counter half of the stateless
+    /// `(edge, tick, occurrence)` draw key, and the occurrence scripted
+    /// drops match on. The perfect fast path never touches it; every
+    /// imperfect send needs it (the occurrence disambiguates same-edge
+    /// sends within one tick). `clear()` at tick boundaries retains the
+    /// allocation, so the map's footprint is bounded by the edges
+    /// touched in the *busiest single tick*, not the edges ever used. A
+    /// worker sends sequentially and owns its sources, so the count per
+    /// edge is deterministic.
     occurrences: HashMap<(ProcessId, ProcessId), u32, FxBuildHasher>,
     /// Tick the occurrence counters belong to; counters reset when a
     /// send arrives for a later tick.
     occ_tick: u64,
-    /// Whether `network.drops` is non-empty, cached like `perfect`.
-    track_occurrences: bool,
 }
 
 impl<M> FaultyRouter<M> {
@@ -317,7 +322,6 @@ impl<M> FaultyRouter<M> {
         FaultyRouter {
             router,
             perfect: network.is_perfect(),
-            track_occurrences: !network.drops.is_empty(),
             network,
             rngs: EdgeRngs::new(master_seed),
             slots,
@@ -348,34 +352,33 @@ impl<M> FaultyRouter<M> {
     /// Routes one message through the unreliable network: checks the
     /// partition schedule (pure, draw-free), then any scripted drop for
     /// this send's per-tick occurrence on the edge (pure), then samples
-    /// the surviving send's fate on the `from → to` edge stream using
-    /// its link's channel, and, if it survives, buffers it for the
-    /// destination worker until [`FaultyRouter::flush`].
+    /// the surviving send's fate from a stateless RNG keyed by
+    /// `(edge, tick, occurrence)` using its link's channel, and, if it
+    /// survives, buffers it for the destination worker until
+    /// [`FaultyRouter::flush`].
     pub fn send(&mut self, from: ProcessId, to: ProcessId, sent_tick: u64, msg: M) -> SendFate {
         let fate = if self.perfect {
-            // Draw-free fast path: no edge-stream lookup on the hot path
-            // of a reliable runtime.
+            // Draw-free fast path: no occurrence counting, no seed
+            // derivation on the hot path of a reliable runtime.
             NetFate::Deliver { latency: 1 }
         } else {
-            let occurrence = if self.track_occurrences {
-                if sent_tick != self.occ_tick {
-                    self.occurrences.clear();
-                    self.occ_tick = sent_tick;
-                }
-                let slot = self.occurrences.entry((from, to)).or_insert(0);
-                let occurrence = *slot;
-                *slot += 1;
-                occurrence
-            } else {
-                0
-            };
-            self.network.decide_fate(
-                from,
-                to,
+            if sent_tick != self.occ_tick {
+                // clear() keeps the allocation, so steady-state ticks
+                // reuse the same table.
+                self.occurrences.clear();
+                self.occ_tick = sent_tick;
+            }
+            let slot = self.occurrences.entry((from, to)).or_insert(0);
+            let occurrence = *slot;
+            *slot += 1;
+            let mut rng = self.rngs.draw_rng(
+                u64::from(from.0),
+                u64::from(to.0),
                 sent_tick,
-                occurrence,
-                self.rngs.rng(u64::from(from.0), u64::from(to.0)),
-            )
+                u64::from(occurrence),
+            );
+            self.network
+                .decide_fate(from, to, sent_tick, occurrence, &mut rng)
         };
         match fate {
             NetFate::Severed => SendFate::DroppedPartitioned,
@@ -418,11 +421,23 @@ impl<M> FaultyRouter<M> {
     }
 }
 
-/// One atomic on its own cache line, so per-edge watermark traffic never
-/// false-shares between workers.
+/// One cache line of watermark cells. Rows of the grid start on line
+/// boundaries, so two *senders'* rows never share a line — the only
+/// writer of a line is its row's sender, and false sharing between
+/// writers is impossible. Within a line the 8 cells belong to 8
+/// receivers of the same sender; a receiver's acquire load may share
+/// the line with 7 sibling readers, but read-shared lines cost nothing.
+///
+/// Compared to the earlier one-padded-atomic-per-cell layout (64 bytes
+/// per cell, `workers² × 64` bytes total), this stores 8 cells per line:
+/// ~`workers² × 8` bytes for wide pools — the difference between 256 KB
+/// and 2 MB at 64 workers — with identical ordering semantics.
 #[derive(Debug, Default)]
 #[repr(align(64))]
-struct PaddedAtomicU64(AtomicU64);
+struct WatermarkLine([AtomicU64; CELLS_PER_LINE]);
+
+/// Watermark cells per 64-byte cache line.
+const CELLS_PER_LINE: usize = 8;
 
 /// The per-edge publish watermarks that replace the global tick barrier.
 ///
@@ -451,8 +466,10 @@ struct PaddedAtomicU64(AtomicU64);
 #[derive(Debug)]
 pub struct EdgeWatermarks {
     workers: usize,
-    /// Row-major `(sender, receiver)` grid.
-    marks: Vec<PaddedAtomicU64>,
+    /// Cache lines per sender row (`⌈workers / CELLS_PER_LINE⌉`).
+    lines_per_row: usize,
+    /// Row-major `(sender, receiver)` grid, 8 cells per line.
+    marks: Vec<WatermarkLine>,
 }
 
 impl EdgeWatermarks {
@@ -460,10 +477,12 @@ impl EdgeWatermarks {
     #[must_use]
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
+        let lines_per_row = workers.div_ceil(CELLS_PER_LINE);
         EdgeWatermarks {
             workers,
-            marks: (0..workers * workers)
-                .map(|_| PaddedAtomicU64::default())
+            lines_per_row,
+            marks: (0..workers * lines_per_row)
+                .map(|_| WatermarkLine::default())
                 .collect(),
         }
     }
@@ -472,6 +491,11 @@ impl EdgeWatermarks {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    fn cell(&self, sender: usize, receiver: usize) -> &AtomicU64 {
+        let line = sender * self.lines_per_row + receiver / CELLS_PER_LINE;
+        &self.marks[line].0[receiver % CELLS_PER_LINE]
     }
 
     /// Records that `sender` has flushed every outbound batch of ticks
@@ -485,9 +509,7 @@ impl EdgeWatermarks {
     pub fn publish(&self, sender: usize, ticks: u64) {
         assert!(sender < self.workers, "sender {sender} out of range");
         for receiver in 0..self.workers {
-            self.marks[sender * self.workers + receiver]
-                .0
-                .store(ticks, Ordering::Release);
+            self.cell(sender, receiver).store(ticks, Ordering::Release);
         }
     }
 
@@ -499,9 +521,7 @@ impl EdgeWatermarks {
     #[must_use]
     pub fn published(&self, sender: usize, receiver: usize) -> u64 {
         assert!(sender < self.workers && receiver < self.workers);
-        self.marks[sender * self.workers + receiver]
-            .0
-            .load(Ordering::Acquire)
+        self.cell(sender, receiver).load(Ordering::Acquire)
     }
 
     /// True when every *peer* of `receiver` has published at least
@@ -515,11 +535,7 @@ impl EdgeWatermarks {
     pub fn all_published(&self, receiver: usize, ticks: u64) -> bool {
         assert!(receiver < self.workers, "receiver {receiver} out of range");
         (0..self.workers).all(|sender| {
-            sender == receiver
-                || self.marks[sender * self.workers + receiver]
-                    .0
-                    .load(Ordering::Acquire)
-                    >= ticks
+            sender == receiver || self.cell(sender, receiver).load(Ordering::Acquire) >= ticks
         })
     }
 }
@@ -777,6 +793,40 @@ mod tests {
     }
 
     #[test]
+    fn same_tick_sends_draw_independent_fates_per_occurrence() {
+        // Many sends on one edge within one tick: each gets its own
+        // occurrence-keyed draw, so fates are not all correlated copies
+        // of the first.
+        let (tx, _rx) = channel::unbounded::<Batch<u8>>();
+        let mut faulty = FaultyRouter::new(
+            Router::new(vec![tx]),
+            ChannelConfig::reliable().with_success_probability(0.5),
+            42,
+        );
+        let fates: Vec<bool> = (0..64)
+            .map(|i| faulty.send(ProcessId(1), ProcessId(2), 7, i) == SendFate::DroppedChannel)
+            .collect();
+        let dropped = fates.iter().filter(|&&d| d).count();
+        assert!(
+            (10..54).contains(&dropped),
+            "dropped {dropped} of 64 same-tick sends; occurrence keying must decorrelate them"
+        );
+
+        // And the occurrence counter resets per tick: the k-th send of a
+        // tick replays the k-th fate of that tick, deterministically.
+        let (tx, _rx) = channel::unbounded::<Batch<u8>>();
+        let mut again = FaultyRouter::new(
+            Router::new(vec![tx]),
+            ChannelConfig::reliable().with_success_probability(0.5),
+            42,
+        );
+        let replay: Vec<bool> = (0..64)
+            .map(|i| again.send(ProcessId(1), ProcessId(2), 7, i) == SendFate::DroppedChannel)
+            .collect();
+        assert_eq!(fates, replay);
+    }
+
+    #[test]
     fn partition_cut_severs_then_heals_without_consuming_draws() {
         use da_core::topology::{NetworkModel, NodeId, Partition, PartitionSchedule, Topology};
         let network = |partitions| {
@@ -816,10 +866,11 @@ mod tests {
             open[..10],
             "fates before the cut are untouched"
         );
-        // Severed sends consume no edge draws, so post-heal fates
-        // continue the edge stream exactly where the cut paused it: the
-        // 10 severed sends left draws 10.. unconsumed.
-        assert_eq!(severed[20..30], open[10..20]);
+        // Draws are keyed by (edge, tick, occurrence), not stream
+        // position, so post-heal fates are *identical* to the never-cut
+        // run at the same ticks — severing a window cannot shift any
+        // other send's fate.
+        assert_eq!(severed[20..30], open[20..30]);
         assert!(severed[20..].iter().all(|&f| f != -2));
     }
 
@@ -842,6 +893,25 @@ mod tests {
     fn single_worker_grid_never_waits() {
         let marks = EdgeWatermarks::new(1);
         assert!(marks.all_published(0, u64::MAX));
+    }
+
+    #[test]
+    fn wide_grid_keeps_cells_distinct_across_line_packing() {
+        // 37 workers: rows span 5 cache lines with a ragged tail, so
+        // every packing edge case (first cell, mid-line, line boundary,
+        // last partial line) is exercised.
+        let workers = 37;
+        let marks = EdgeWatermarks::new(workers);
+        for sender in 0..workers {
+            marks.publish(sender, sender as u64 + 1);
+        }
+        for sender in 0..workers {
+            for receiver in 0..workers {
+                assert_eq!(marks.published(sender, receiver), sender as u64 + 1);
+            }
+        }
+        assert!(marks.all_published(0, 1), "every peer published ≥ 1");
+        assert!(!marks.all_published(36, 2), "sender 0 only published 1");
     }
 
     #[test]

@@ -19,10 +19,14 @@
 //!   the warm-up/measure budgets ~10×, for CI smoke runs;
 //! * when the `DA_BENCH_JSON` environment variable names a file, every
 //!   finished benchmark **appends** one JSON line
-//!   `{"bench": …, "ns_per_iter": …, "iters": …}` — a machine-readable
-//!   baseline (real criterion writes Criterion-format JSON trees under
-//!   `target/criterion/` instead). Start from a fresh file when the run
-//!   must hold exactly one baseline.
+//!   `{"bench": …, "ns_per_iter": …, "iters": …, "peak_rss_kb": …}` — a
+//!   machine-readable baseline (real criterion writes Criterion-format
+//!   JSON trees under `target/criterion/` instead). Start from a fresh
+//!   file when the run must hold exactly one baseline. `peak_rss_kb` is
+//!   the process-wide `VmHWM` high-water mark at the moment the row
+//!   finishes (0 where procfs is unavailable): monotone over the run,
+//!   so a jump between consecutive rows localises a memory-hungry
+//!   bench, while absolute values compare only within one run.
 //! * Only the registration surface this workspace uses exists:
 //!   `benchmark_group`, `bench_function`, `bench_with_input`,
 //!   `BenchmarkId::{new, from_parameter}`, `group.finish()`. Throughput
@@ -66,6 +70,21 @@ fn measure_budget() -> Duration {
     }
 }
 
+/// The process' peak resident set (`VmHWM`) in kilobytes, read from
+/// `/proc/self/status`; 0 where procfs is unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
 /// Appends one JSON line per finished benchmark to `$DA_BENCH_JSON`,
 /// when set. Failures to write are silently ignored — emitting a
 /// baseline must never fail a bench run.
@@ -81,8 +100,9 @@ fn emit_json(label: &str, ns_per_iter: f64, iters: u64) {
     {
         let _ = writeln!(
             file,
-            "{{\"bench\":\"{}\",\"ns_per_iter\":{ns_per_iter:.1},\"iters\":{iters}}}",
-            label.escape_default()
+            "{{\"bench\":\"{}\",\"ns_per_iter\":{ns_per_iter:.1},\"iters\":{iters},\"peak_rss_kb\":{}}}",
+            label.escape_default(),
+            peak_rss_kb()
         );
     }
 }

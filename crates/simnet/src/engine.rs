@@ -4,11 +4,12 @@ use crate::event::{InFlight, MessageQueue};
 use crate::failure::{FailureModel, FailurePlan, Fate};
 use crate::metrics::{CounterId, Counters, FxBuildHasher, Histogram, TraceLog};
 use crate::process::{ProcessId, ProcessStatus};
-use crate::rng::{derive_seed, rng_for_process, rng_from_seed};
+use crate::rng::{derive_seed, rng_from_seed};
 use crate::strategy::{DueMessage, RngStrategy, Strategy};
 use crate::wire::WireSize;
 use da_core::channel::ChannelConfig;
 use da_core::fault::FaultConfig;
+use da_core::store::ProcessStore;
 use da_core::topology::{NetFate, NetworkModel, PartitionSchedule, Topology};
 use da_core::trace::{TraceConfig, TraceEvent, TraceRecorder, TraceVerdict};
 use rand::rngs::SmallRng;
@@ -269,9 +270,8 @@ impl SimTrace {
 /// bounded model checker forks universes this way at each choice point.
 #[derive(Clone)]
 pub struct Engine<P: Protocol> {
-    processes: Vec<P>,
+    store: ProcessStore<P>,
     status: Vec<ProcessStatus>,
-    rngs: Vec<SmallRng>,
     queue: MessageQueue<P::Msg>,
     counters: Counters,
     hot: SimHotIds,
@@ -302,16 +302,16 @@ impl<P: Protocol> Engine<P> {
         for pid in plan.initially_crashed() {
             status[pid.index()] = ProcessStatus::Crashed;
         }
-        let rngs = (0..population)
-            .map(|i| rng_for_process(config.seed, ProcessId::from_index(i)))
-            .collect();
+        let mut store = ProcessStore::with_capacity(config.seed, population);
+        for p in processes {
+            store.push(p);
+        }
         let mut counters = Counters::new();
         let hot = SimHotIds::register(&mut counters);
         let track_occurrences = !config.faults.network.drops.is_empty();
         Engine {
-            processes,
+            store,
             status,
-            rngs,
             queue: MessageQueue::new(),
             counters,
             hot,
@@ -330,7 +330,7 @@ impl<P: Protocol> Engine<P> {
     /// Number of simulated processes.
     #[must_use]
     pub fn population(&self) -> usize {
-        self.processes.len()
+        self.store.len()
     }
 
     /// The protocol instance at `pid`.
@@ -340,7 +340,7 @@ impl<P: Protocol> Engine<P> {
     /// Panics if `pid` is out of range.
     #[must_use]
     pub fn process(&self, pid: ProcessId) -> &P {
-        &self.processes[pid.index()]
+        self.store.get(pid.index())
     }
 
     /// Mutable access to the protocol instance at `pid` (e.g. to inject a
@@ -350,12 +350,12 @@ impl<P: Protocol> Engine<P> {
     ///
     /// Panics if `pid` is out of range.
     pub fn process_mut(&mut self, pid: ProcessId) -> &mut P {
-        &mut self.processes[pid.index()]
+        self.store.get_mut(pid.index())
     }
 
     /// Iterates over `(pid, protocol)` pairs.
     pub fn processes(&self) -> impl Iterator<Item = (ProcessId, &P)> {
-        self.processes
+        self.store
             .iter()
             .enumerate()
             .map(|(i, p)| (ProcessId::from_index(i), p))
@@ -364,7 +364,7 @@ impl<P: Protocol> Engine<P> {
     /// Consumes the engine, returning the protocol instances.
     #[must_use]
     pub fn into_processes(self) -> Vec<P> {
-        self.processes
+        self.store.into_processes()
     }
 
     /// Liveness of `pid`.
@@ -462,10 +462,10 @@ impl<P: Protocol> Engine<P> {
     /// each round).
     pub fn schedule_fate(&mut self, fate: Fate) {
         assert!(
-            fate.pid.index() < self.processes.len(),
+            fate.pid.index() < self.store.len(),
             "fate pid {} out of population {}",
             fate.pid,
-            self.processes.len()
+            self.store.len()
         );
         assert!(
             fate.round >= self.round,
@@ -577,14 +577,15 @@ impl<P: Protocol> Engine<P> {
                 continue; // re-crashed in the same round
             }
             let me = ProcessId::from_index(i);
+            let (proc_state, rng) = self.store.pair_mut(i, me);
             let mut ctx = Ctx {
                 me,
                 round,
-                rng: &mut self.rngs[i],
+                rng,
                 counters: &mut self.counters,
                 outbox: &mut outbox,
             };
-            self.processes[i].on_recover(&mut ctx);
+            proc_state.on_recover(&mut ctx);
             report.sent += Self::flush_outbox(
                 &mut outbox,
                 me,
@@ -603,19 +604,20 @@ impl<P: Protocol> Engine<P> {
 
         if !self.started {
             self.started = true;
-            for i in 0..self.processes.len() {
+            for i in 0..self.store.len() {
                 if !self.status[i].is_alive() {
                     continue;
                 }
                 let me = ProcessId::from_index(i);
+                let (proc_state, rng) = self.store.pair_mut(i, me);
                 let mut ctx = Ctx {
                     me,
                     round,
-                    rng: &mut self.rngs[i],
+                    rng,
                     counters: &mut self.counters,
                     outbox: &mut outbox,
                 };
-                self.processes[i].on_start(&mut ctx);
+                proc_state.on_start(&mut ctx);
                 let sent = Self::flush_outbox(
                     &mut outbox,
                     me,
@@ -667,19 +669,20 @@ impl<P: Protocol> Engine<P> {
         }
 
         // Round hooks for alive processes, in pid order.
-        for i in 0..self.processes.len() {
+        for i in 0..self.store.len() {
             if !self.status[i].is_alive() {
                 continue;
             }
             let me = ProcessId::from_index(i);
+            let (proc_state, rng) = self.store.pair_mut(i, me);
             let mut ctx = Ctx {
                 me,
                 round,
-                rng: &mut self.rngs[i],
+                rng,
                 counters: &mut self.counters,
                 outbox: &mut outbox,
             };
-            self.processes[i].on_round(round, &mut ctx);
+            proc_state.on_round(round, &mut ctx);
             let sent = Self::flush_outbox(
                 &mut outbox,
                 me,
@@ -773,14 +776,15 @@ impl<P: Protocol> Engine<P> {
             });
             t.delivery_latency.record(round - m.sent);
         }
+        let (proc_state, rng) = self.store.pair_mut(to.index(), to);
         let mut ctx = Ctx {
             me: to,
             round,
-            rng: &mut self.rngs[to.index()],
+            rng,
             counters: &mut self.counters,
             outbox,
         };
-        self.processes[to.index()].on_message(m.from, m.msg, &mut ctx);
+        proc_state.on_message(m.from, m.msg, &mut ctx);
         report.sent += Self::flush_outbox(
             outbox,
             to,
@@ -907,11 +911,14 @@ where
         for status in &self.status {
             h.write_u8(u8::from(status.is_alive()));
         }
-        for process in &self.processes {
+        for process in self.store.iter() {
             process.mc_hash(&mut h);
         }
-        for rng in &self.rngs {
-            probe_rng(rng, &mut h);
+        for i in 0..self.store.len() {
+            // `probe_rng` derives the stream on the fly when the slot was
+            // never touched, so a lazily-stored engine and an eagerly
+            // materialised one digest identically.
+            probe_rng(&self.store.probe_rng(i, ProcessId::from_index(i)), &mut h);
         }
         probe_rng(&self.engine_rng, &mut h);
         probe_rng(&self.observer_rng, &mut h);
@@ -1178,7 +1185,7 @@ mod tests {
         );
         let mut e = relay_engine(config, 5);
         e.run_rounds(20);
-        let total: u64 = e.processes.iter().map(|p| p.received).sum();
+        let total: u64 = e.processes().map(|(_, p)| p.received).sum();
         assert!(total > 0);
         // All messages sent at least 4 rounds ago must have arrived.
         assert_eq!(

@@ -8,7 +8,11 @@
 # the failure-plan lifecycle path on both substrates. Rows regressing by
 # more than the threshold are flagged, as are baseline rows that vanish
 # from the fresh run (a renamed or dropped bench silently escapes the
-# gate otherwise).
+# gate otherwise) and fresh rows missing from the committed baseline (a
+# new bench nobody re-pinned — regenerate BENCH_runtime.json). Each row
+# also reports the shim's peak_rss_kb sample (process VmHWM when the
+# row finished — monotone across the run, so jumps between consecutive
+# rows localise memory growth).
 #
 # The gate is ADVISORY by default: it always exits 0, because the shim
 # bench harness takes single-shot wall-clock means and CI machines are
@@ -53,25 +57,30 @@ echo "bench_gate: fresh run vs committed $BASELINE (threshold ${THRESHOLD}%)"
 # The JSON is one flat object per line with fixed keys, written by the
 # criterion shim — field extraction by delimiter is exact, no jq needed.
 TABLE=$(awk -v threshold="$THRESHOLD" -F'"' '
-  function ns(line,   parts) {
-    split(line, parts, /"ns_per_iter":/)
+  function field(line, key,   parts) {
+    if (split(line, parts, "\"" key "\":") < 2) return 0
     sub(/[,}].*/, "", parts[2])
     return parts[2] + 0
   }
-  FNR == NR { base[$4] = ns($0); next }
+  function rss(line,   kb) {
+    kb = field(line, "peak_rss_kb")
+    return kb > 0 ? sprintf("  rss %7.1f MiB", kb / 1024) : ""
+  }
+  FNR == NR { base[$4] = field($0, "ns_per_iter"); next }
   {
     name = $4
-    fresh = ns($0)
+    fresh = field($0, "ns_per_iter")
     if (!(name in base)) {
-      printf "  %-55s %14.1f ns/iter  (new row, no baseline)\n", name, fresh
+      printf "  %-55s %14.1f ns/iter%s  <- NEW ROW (re-pin BENCH_runtime.json)\n", \
+             name, fresh, rss($0)
       next
     }
     delta = (fresh - base[name]) / base[name] * 100
     flag = ""
     if (delta > threshold) { flag = "  <- REGRESSION" }
     else if (delta < -threshold) { flag = "  (improved)" }
-    printf "  %-55s %14.1f -> %14.1f ns/iter  %+7.1f%%%s\n", \
-           name, base[name], fresh, delta, flag
+    printf "  %-55s %14.1f -> %14.1f ns/iter  %+7.1f%%%s%s\n", \
+           name, base[name], fresh, delta, rss($0), flag
     seen[name] = 1
   }
   END {
@@ -81,6 +90,13 @@ TABLE=$(awk -v threshold="$THRESHOLD" -F'"' '
 ' "$BASELINE" "$OUT")
 echo "$TABLE"
 BAD=$(printf '%s\n' "$TABLE" | grep -c -- '<- REGRESSION' || true)
+NEW=$(printf '%s\n' "$TABLE" | grep -c -- '<- NEW ROW' || true)
+
+if [ "$NEW" -gt 0 ]; then
+  echo
+  echo "bench_gate: $NEW new row(s) not in the committed baseline — regenerate it with:"
+  echo "  rm -f BENCH_runtime.json && DA_BENCH_JSON=BENCH_runtime.json cargo bench -p da-bench --bench runtime_throughput -- --quick"
+fi
 
 if [ "$BAD" -gt 0 ]; then
   echo

@@ -331,7 +331,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Satellite requirement: delivered-set parity under **combined
-    /// churn × 10% loss × `max_lag ∈ {1, 4}`**. Both substrates
+    /// churn × 10% loss × `workers ∈ {1, 2, 4}` × `max_lag ∈ {1, 4}`**
+    /// — the slab `ProcessStore` stripes differently at every worker
+    /// count, so this sweep pins storage layout out of the delivered
+    /// sets. Both substrates
     /// materialise the identical `FailurePlan` from the shared seed, so
     /// the crash/recovery schedule is the same tick-for-tick; processes
     /// that stay alive for the whole horizon must then deliver
@@ -343,7 +346,7 @@ proptest! {
     #[test]
     fn churned_runtime_matches_simulator_for_surviving_cohort(
         seed in 1u64..100_000,
-        workers in prop_oneof![Just(2usize), Just(4)],
+        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
         max_lag in prop_oneof![Just(1u64), Just(4)],
     ) {
         // 64 ticks: ample for dissemination (the quiescence budget other
