@@ -18,7 +18,9 @@
 //!   identical workload; `live_burst16_w{1,2,4,8}` sweeps the pool
 //!   width so scaling regressions show up in the committed baseline,
 //!   not just absolute times (the headline `live_burst16` row runs at
-//!   4 workers). `live_churn16` / `sim_churn16` repeat the burst with
+//!   4 workers), and `live_burst16_best` re-emits the fastest sweep
+//!   point as an alias row (`scripts/bench_gate.sh` also derives
+//!   parallel efficiency from the sweep). `live_churn16` / `sim_churn16` repeat the burst with
 //!   the shared churn failure plan active, so the lifecycle scan and
 //!   the crashed-inbox drain stay visible in the committed baseline.
 //!   `trace_overhead_off` / `trace_overhead_full` rerun the headline
@@ -26,9 +28,9 @@
 //!   envelope verdict, so the recorder's zero-cost-when-off claim and
 //!   its full-capture price are both tracked rows.
 //! * `runtime_batching_*` — transport isolation: the same envelope
-//!   stream pushed one channel send per envelope versus coalesced into
-//!   one batch per destination worker per tick (the PR 3 Router
-//!   hot-path change).
+//!   stream pushed one SPSC lane push per envelope versus coalesced
+//!   into one pooled batch per destination worker per tick (the
+//!   lock-free data plane's hot path, buffer recycling included).
 //!
 //! `DA_BENCH_JSON=BENCH_runtime.json cargo bench -p da-bench --bench
 //! runtime_throughput -- --quick` emits the machine-readable baseline
@@ -36,11 +38,10 @@
 //! run against the committed file).
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
-use crossbeam::channel;
 use da_bench::bench_sizes;
 use da_core::channel::{ChannelConfig, Latency};
 use da_core::failure::FailureModel;
-use da_runtime::{Batch, Envelope, FaultyRouter, Router, Runtime, RuntimeConfig, TraceConfig};
+use da_runtime::{lane_matrix, Envelope, FaultyRouter, Runtime, RuntimeConfig, TraceConfig};
 use da_simnet::{Engine, ProcessId, SimConfig};
 use damulticast::{metro_population, DaProcess, MetroProcess, ParamMap, StaticNetwork};
 use std::hint::black_box;
@@ -58,44 +59,53 @@ const HEADLINE_WORKERS: usize = 4;
 /// window the batched path flushes on).
 const PUMP_TICK: usize = 64;
 
-/// Pushes `msgs` envelopes through the in-memory transport to `workers`
-/// inboxes and drains them, either one channel send per envelope (the
-/// PR 2 hot path) or coalesced per destination worker per tick (the
-/// batched `FaultyRouter` path). Returns the envelopes received.
+/// Pushes `msgs` envelopes through the lock-free lane matrix to
+/// `workers` inboxes and drains them, either one `Batch::One` lane push
+/// per envelope (the unbatched reference) or coalesced per destination
+/// worker per tick (the pooled `FaultyRouter` path, buffer recycling
+/// included). Returns the envelopes received.
+///
+/// Lanes are bounded, so the pump drains every coalescing window before
+/// filling the next; one window always fits (`PUMP_TICK + 1` capacity).
 fn transport_pump(msgs: usize, workers: usize, batched: bool) -> u64 {
-    let mut txs = Vec::with_capacity(workers);
-    let mut rxs = Vec::with_capacity(workers);
-    for _ in 0..workers {
-        let (tx, rx) = channel::unbounded::<Batch<u64>>();
-        txs.push(tx);
-        rxs.push(rx);
-    }
-    let router = Router::new(txs);
+    let (mut hubs, mut inboxes) = lane_matrix::<u64>(workers, PUMP_TICK + 1);
+    let mut hub = hubs.remove(0); // hubs[1..] stay alive: lanes stay open
+    let mut received = 0u64;
     if batched {
-        let mut faulty = FaultyRouter::new(router, ChannelConfig::reliable(), 1);
+        let mut faulty = FaultyRouter::new(hub, ChannelConfig::reliable(), 1);
         for i in 0..msgs {
             let tick = (i / PUMP_TICK) as u64;
             faulty.send(ProcessId(0), ProcessId((i % 97) as u32), tick, i as u64);
             if i % PUMP_TICK == PUMP_TICK - 1 {
                 faulty.flush();
+                for inbox in &mut inboxes {
+                    received += inbox.drain();
+                }
             }
         }
         faulty.flush();
     } else {
         for i in 0..msgs {
             let tick = (i / PUMP_TICK) as u64;
-            router.send(Envelope {
+            let env = Envelope {
                 from: ProcessId(0),
                 to: ProcessId((i % 97) as u32),
                 sent_tick: tick,
                 due_tick: tick + 1,
                 msg: i as u64,
-            });
+            };
+            hub.send(env).expect("pump lanes stay open");
+            if i % PUMP_TICK == PUMP_TICK - 1 {
+                for inbox in &mut inboxes {
+                    received += inbox.drain();
+                }
+            }
         }
     }
-    rxs.iter()
-        .map(|rx| rx.try_iter().map(|b| b.len() as u64).sum::<u64>())
-        .sum()
+    for inbox in &mut inboxes {
+        received += inbox.drain();
+    }
+    received
 }
 
 fn network(seed: u64) -> StaticNetwork {
@@ -223,7 +233,8 @@ fn runtime_throughput(c: &mut Criterion) {
     let mut live_burst_row = |label: String,
                               workers: usize,
                               failure: fn() -> FailureModel,
-                              trace: fn() -> TraceConfig| {
+                              trace: fn() -> TraceConfig|
+     -> Option<(f64, u64)> {
         group.bench_with_input(BenchmarkId::new(label, population), &population, |b, _| {
             let mut seed = 0u64;
             b.iter_batched(
@@ -238,19 +249,28 @@ fn runtime_throughput(c: &mut Criterion) {
                 BatchSize::SmallInput,
             );
         });
+        group.last_measurement()
     };
     // The ascending sweep runs first so the headline row measures the
     // warmed steady state rather than paying the suite's one-time
-    // warm-up costs.
+    // warm-up costs. The fastest sweep point is re-emitted below as the
+    // `live_burst16_best` alias row — the number scaling work should
+    // move, whatever pool width achieves it on this machine.
+    let mut best: Option<(f64, u64)> = None;
     for workers in [1usize, 2, 4, 8] {
-        live_burst_row(
+        let row = live_burst_row(
             format!("live_burst16_w{workers}"),
             workers,
             || FailureModel::None,
             TraceConfig::off,
         );
+        if let Some((ns, iters)) = row {
+            if best.is_none_or(|(b, _)| ns < b) {
+                best = Some((ns, iters));
+            }
+        }
     }
-    live_burst_row(
+    let _ = live_burst_row(
         "live_burst16".into(),
         HEADLINE_WORKERS,
         || FailureModel::None,
@@ -258,7 +278,7 @@ fn runtime_throughput(c: &mut Criterion) {
     );
     // The same burst with the lifecycle controller live: per-tick churn
     // draws, crashed-inbox drains, recovery hooks all on the hot path.
-    live_burst_row(
+    let _ = live_burst_row(
         "live_churn16".into(),
         HEADLINE_WORKERS,
         bench_churn,
@@ -269,18 +289,21 @@ fn runtime_throughput(c: &mut Criterion) {
     // diff against `live_burst16` tracks the "zero cost when off"
     // claim), `_full` pays per-envelope ring-buffer appends plus the
     // tick-boundary shard publishes.
-    live_burst_row(
+    let _ = live_burst_row(
         "trace_overhead_off".into(),
         HEADLINE_WORKERS,
         || FailureModel::None,
         TraceConfig::off,
     );
-    live_burst_row(
+    let _ = live_burst_row(
         "trace_overhead_full".into(),
         HEADLINE_WORKERS,
         || FailureModel::None,
         TraceConfig::full,
     );
+    if let Some((ns, iters)) = best {
+        group.report_alias(BenchmarkId::new("live_burst16_best", population), ns, iters);
+    }
 
     // Simulator reference: the same topology and burst, single-threaded
     // deterministic rounds, fixture equally excluded.

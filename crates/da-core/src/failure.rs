@@ -289,6 +289,7 @@ impl FailurePlan {
     /// assert_ne!(walk(ProcessId(3)), walk(ProcessId(4)), "streams differ");
     /// ```
     #[must_use]
+    #[inline]
     pub fn churn_flips(&self, pid: ProcessId, round: u64, alive: bool) -> bool {
         let Some(rates) = self.churn else {
             return false;
@@ -323,7 +324,22 @@ impl FailurePlan {
     /// `LifecycleController::begin_tick`, and the [`FailurePlan::alive_at`]
     /// replay all consume it, so the substrates cannot drift apart.
     #[must_use]
+    #[inline]
     pub fn transition(&self, pid: ProcessId, round: u64, mut alive: bool) -> Transition {
+        // Hot path: no scripted schedule (the common churn-only and
+        // inert plans) — the transition is exactly the churn draw. This
+        // runs once per process per tick on the live workers, so the
+        // scripted-fate scan below must not be paid when there is
+        // nothing to scan.
+        if self.schedule.is_empty() {
+            let flips = self.churn_flips(pid, round, alive);
+            return Transition {
+                alive: alive != flips,
+                recovered: flips && !alive,
+                churn_crashed: flips && alive,
+                churn_recovered: flips && !alive,
+            };
+        }
         let mut came_back = false;
         for fate in self.fates_at(round) {
             if fate.pid == pid {

@@ -45,11 +45,13 @@ pub struct RuntimeConfig {
     /// The default is the absence of faults — perfect channels, no
     /// topology, no partitions, no crashes — the PR 2 behaviour.
     pub faults: FaultConfig,
-    /// Per-worker inbox capacity. `None` (the default) is unbounded;
-    /// `Some(n)` applies send-side backpressure at `n` queued batches.
-    /// Bounded inboxes can deadlock a tick when workers flood each other
-    /// beyond the cap — use them only with protocols whose per-tick
-    /// output is bounded.
+    /// Floor override for the per-lane capacity of the SPSC data
+    /// plane. `None` (the default) sizes every (producer, consumer)
+    /// lane at `effective_lag() + 2` batches — the proven bound the
+    /// watermark gate never exceeds, so the default never blocks.
+    /// `Some(n)` raises the capacity to at least `n` (it can only
+    /// deepen the lanes; the computed bound is always kept, since
+    /// shallower lanes would stall producers inside a tick).
     pub mailbox_capacity: Option<usize>,
     /// Watchdog: how long the coordinator waits for a worker to ack a
     /// tick before declaring the pool wedged (panicking with
@@ -175,7 +177,8 @@ impl RuntimeConfig {
         self
     }
 
-    /// Bounds every worker inbox to `capacity` queued batches.
+    /// Raises every data-plane lane to at least `capacity` queued
+    /// batches (see [`RuntimeConfig::mailbox_capacity`]).
     #[must_use]
     pub fn with_mailbox_capacity(mut self, capacity: usize) -> Self {
         self.mailbox_capacity = Some(capacity);

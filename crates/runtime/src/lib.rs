@@ -6,10 +6,16 @@
 //! `damulticast::ExecProtocol` — [`damulticast::DaProcess`] included,
 //! unchanged — runs as an actor on a worker pool:
 //!
-//! * **transport** — an in-memory [`Router`] over mpsc channels
-//!   (the crossbeam shim): each worker owns one inbox; sends are
-//!   address-hashed to the owning worker, coalesced per destination
-//!   worker into one [`Batch`] per tick, and never copied twice;
+//! * **transport** — a lock-free data plane over a lane matrix
+//!   ([`lane_matrix`]): one bounded SPSC ring (`crossbeam::queue`) per
+//!   (producer worker, consumer worker) pair, so batch publication
+//!   never takes a lock and never contends with any third worker.
+//!   Sends are address-hashed to the owning worker, coalesced per
+//!   destination worker into one [`Batch`] per tick, and never copied
+//!   twice; drained `Batch::Many` buffers recycle back to the producer
+//!   over per-pair return lanes (a [`BatchPool`]), so steady-state
+//!   ticks allocate nothing on the data plane. Control messages stay
+//!   on mpsc channels;
 //! * **network faults** — the [`FaultyRouter`] applies the same
 //!   substrate-neutral [`NetworkModel`] the simulator uses
 //!   (`da_core::topology`, configured via the unified
@@ -64,10 +70,13 @@
 //!   their final liveness) for inspection, exactly like
 //!   `Engine::into_processes`.
 //!
-//! Delivery order *within* a tick is whatever the threads produce — the
-//! substrate is concurrent, not deterministic — but the protocol's
-//! guarantees (full audience coverage, zero parasite deliveries) hold on
-//! both substrates; `tests/runtime_parity.rs` in the workspace root
+//! Delivery order *within* a tick is deterministic: each worker sweeps
+//! its incoming lanes onto a per-producer-bucketed delay wheel and
+//! releases a tick's dues in (due tick, producer worker id, arrival
+//! order) sequence — a pure function of `(tick, from, to, occurrence)`,
+//! independent of thread interleaving and worker count. The protocol's
+//! guarantees (full audience coverage, zero parasite deliveries) hold
+//! on both substrates; `tests/runtime_parity.rs` in the workspace root
 //! asserts it against the simulator on the paper's topology.
 //!
 //! ## Quick start
@@ -116,4 +125,7 @@ pub use da_simnet::{Histogram, TraceLog};
 pub use lifecycle::{LifecycleController, LifecycleTransitions};
 pub use metrics::{ShardOutOfRange, ShardedCounters, TraceSink};
 pub use runtime::{Runtime, Shutdown, TickReport};
-pub use transport::{Batch, EdgeWatermarks, Envelope, FaultyRouter, FlushReport, Router, SendFate};
+pub use transport::{
+    lane_matrix, Batch, BatchPool, EdgeInbox, EdgeWatermarks, Envelope, FaultyRouter, FlushReport,
+    Hub, LaneClosed, SendFate,
+};

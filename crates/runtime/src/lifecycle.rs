@@ -118,11 +118,6 @@ impl LifecycleController {
         }
     }
 
-    /// The pid of local stripe slot `slot`.
-    fn pid_of(&self, slot: usize) -> ProcessId {
-        ProcessId::from_index(self.worker + slot * self.stride)
-    }
-
     /// Liveness of the process at local stripe slot `slot`.
     ///
     /// # Panics
@@ -184,14 +179,45 @@ impl LifecycleController {
         if !self.plan.has_transitions() {
             return out;
         }
-        for slot in 0..self.status.len() {
-            let was_alive = self.status[slot].is_alive();
-            let t = self.plan.transition(self.pid_of(slot), tick, was_alive);
-            self.status[slot] = if t.alive {
-                ProcessStatus::Alive
-            } else {
-                ProcessStatus::Crashed
-            };
+        // This loop runs once per owned process per tick — the single
+        // hottest lifecycle path in the runtime. Hoist the `Arc` deref
+        // out of the loop, and keep the no-schedule common case (churn
+        // or nothing) to a bare draw-and-compare per process with every
+        // piece of bookkeeping behind the rarely-taken flip branch.
+        // Semantically this is exactly `FailurePlan::transition` with an
+        // empty schedule — `churn_fates_are_stripe_independent` below
+        // and the cross-substrate parity suites pin the equivalence.
+        let plan = &*self.plan;
+        let (worker, stride) = (self.worker, self.stride);
+        if plan.schedule().is_empty() {
+            for (slot, status) in self.status.iter_mut().enumerate() {
+                let alive = status.is_alive();
+                let pid = ProcessId::from_index(worker + slot * stride);
+                if plan.churn_flips(pid, tick, alive) {
+                    if alive {
+                        *status = ProcessStatus::Crashed;
+                        out.churn_crashes += 1;
+                        out.crashed.push(slot);
+                    } else {
+                        *status = ProcessStatus::Alive;
+                        out.churn_recoveries += 1;
+                        out.recovered.push(slot);
+                    }
+                }
+            }
+            return out;
+        }
+        for (slot, status) in self.status.iter_mut().enumerate() {
+            let was_alive = status.is_alive();
+            let pid = ProcessId::from_index(worker + slot * stride);
+            let t = plan.transition(pid, tick, was_alive);
+            if t.alive != was_alive {
+                *status = if t.alive {
+                    ProcessStatus::Alive
+                } else {
+                    ProcessStatus::Crashed
+                };
+            }
             out.churn_crashes += u64::from(t.churn_crashed);
             out.churn_recoveries += u64::from(t.churn_recovered);
             if t.recovered {

@@ -291,6 +291,9 @@ pub(crate) struct WorkerTrace {
     /// How many ticks this worker ran ahead of its slowest peer's
     /// published frontier, sampled once per tick.
     pub watermark_lag: Histogram,
+    /// Batches swept off the incoming SPSC lanes per tick (across all
+    /// sweeps of that tick, pre-gate and final).
+    pub lane_depth: Histogram,
     sink: Arc<TraceSink>,
 }
 
@@ -303,6 +306,7 @@ impl WorkerTrace {
             delivery_latency: Histogram::new(),
             wheel_occupancy: Histogram::new(),
             watermark_lag: Histogram::new(),
+            lane_depth: Histogram::new(),
             sink,
         })
     }
@@ -322,6 +326,7 @@ impl WorkerTrace {
                     ("delivery_latency_ticks", &self.delivery_latency),
                     ("wheel_occupancy", &self.wheel_occupancy),
                     ("watermark_lag", &self.watermark_lag),
+                    ("lane_depth", &self.lane_depth),
                 ],
             )
             .expect("worker id is in range");

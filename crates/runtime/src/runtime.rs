@@ -38,7 +38,7 @@
 use crate::config::RuntimeConfig;
 use crate::lifecycle::LifecycleController;
 use crate::metrics::{ShardedCounters, TraceSink, WorkerTrace};
-use crate::transport::{Batch, EdgeWatermarks, Envelope, FaultyRouter, Router, SendFate};
+use crate::transport::{lane_matrix, EdgeInbox, EdgeWatermarks, Envelope, FaultyRouter, SendFate};
 use crate::wheel::DelayWheel;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use da_core::process::ProcessIndexError;
@@ -223,6 +223,12 @@ struct WorkerReport {
     /// the per-observer draw failed (`rt.dropped_observed_failed`).
     undeliverable: u64,
     pending: u64,
+    /// Furthest due tick with an envelope provably parked in this
+    /// worker's wheel (0 when empty). Every tick before it will report
+    /// `pending > 0`, so the coordinator may grant through
+    /// `due_horizon + 1` without risking a tick past the quiescent one
+    /// — the multi-tick analogue of the loud-report lookahead.
+    due_horizon: u64,
 }
 
 impl WorkerReport {
@@ -292,10 +298,11 @@ impl PartialTick {
 }
 
 /// One worker thread: owns a stripe of processes (`pid ≡ id mod stride`),
-/// their RNG streams, its inbox, its outgoing [`FaultyRouter`] (with the
-/// per-tick coalescing buffers), its delay wheel, and its own metrics
-/// registry; advances its local tick clock through the shared horizon
-/// and watermark gates.
+/// their RNG streams, its [`EdgeInbox`] (the consumer column of the lane
+/// matrix), its outgoing [`FaultyRouter`] (wrapping its hub row, with
+/// the per-tick coalescing buffers), its delay wheel, and its own
+/// metrics registry; advances its local tick clock through the shared
+/// horizon and watermark gates.
 struct Worker<P: ExecProtocol> {
     id: usize,
     stride: usize,
@@ -305,7 +312,7 @@ struct Worker<P: ExecProtocol> {
     /// at million-process scale.
     store: ProcessStore<P>,
     control: Receiver<Control<P>>,
-    inbox: Receiver<Batch<P::Msg>>,
+    inbox: EdgeInbox<P::Msg>,
     faulty: FaultyRouter<P::Msg>,
     reports: Sender<WorkerReport>,
     shards: Arc<ShardedCounters>,
@@ -315,9 +322,16 @@ struct Worker<P: ExecProtocol> {
     ids: HotIds,
     /// Liveness of the owned stripe under the shared failure plan.
     lifecycle: LifecycleController,
-    /// Envelopes that survived the channel but carry latency > 1: parked
-    /// here until the local clock reaches their due tick.
+    /// Everything the lanes delivered that is not yet due: every swept
+    /// envelope parks here (bucketed by producer lane) until the local
+    /// clock reaches its due tick.
     wheel: DelayWheel<P::Msg>,
+    /// Reused drain buffer for [`DelayWheel::take_due_into`] — the
+    /// tick's due envelopes, emptied in place every tick.
+    due_buf: Vec<Envelope<P::Msg>>,
+    /// Batches swept off the lanes since the last tick finished; folded
+    /// into the `lane_depth` histogram each tick.
+    swept: u64,
     /// Flight recorder plus trace histograms — `None` when tracing is
     /// off, which keeps every hot-path trace hook a branch on a `None`.
     trace: Option<WorkerTrace>,
@@ -371,6 +385,21 @@ where
         }
     }
 
+    /// Moves every batch currently sitting on the incoming lanes onto
+    /// the delay wheel, preserving each envelope's producer lane so the
+    /// wheel can release a tick's dues in worker-id order. Cheap when
+    /// the lanes are empty (one relaxed load per lane), so the main
+    /// loop calls it both before the watermark gate and again inside
+    /// `run_tick` once the gate opens.
+    fn sweep_lanes(&mut self) {
+        let wheel = &mut self.wheel;
+        let batches = self.inbox.sweep(|lane, env| {
+            debug_assert!(env.due_tick > env.sent_tick, "latency is at least one tick");
+            wheel.schedule(lane, env);
+        });
+        self.swept += batches;
+    }
+
     /// The worker main loop: execute every granted-and-gated tick, park
     /// when the horizon is exhausted, stop on command — after finishing
     /// any ticks already granted, so the stop point is deterministic.
@@ -382,6 +411,12 @@ where
                 if !self.drain_control() {
                     stopping = true;
                 }
+                // Sweep the lanes before the watermark gate: frees lane
+                // capacity for peers running ahead and parks early
+                // arrivals. Order-safe at any sweep frequency — the
+                // wheel buckets per producer lane, so the delivery
+                // sequence never depends on *when* a batch was swept.
+                self.sweep_lanes();
                 if !self.await_watermarks(tick) {
                     break 'main;
                 }
@@ -471,7 +506,22 @@ where
 
     /// Blocks on the control channel until the coordinator extends the
     /// horizon (or stops the pool). Returns `false` on stop.
+    ///
+    /// Before blocking, the worker yields the CPU a bounded number of
+    /// times re-checking the horizon: in the steady pipelined state the
+    /// coordinator is usually about to extend it (it grants on every
+    /// absorbed report), and a grant that lands during the yield window
+    /// costs two atomic loads instead of a `Sync` round trip through
+    /// the control channel — the dominant per-tick overhead on
+    /// oversubscribed hosts. A genuinely idle pool still parks after
+    /// the budget, so waiting between driver calls burns no CPU.
     fn park(&mut self) -> bool {
+        for _ in 0..32 {
+            if self.next_tick < self.sched.horizon.load(Ordering::SeqCst) {
+                return true;
+            }
+            std::thread::yield_now();
+        }
         self.sched.parked[self.id].store(true, Ordering::SeqCst);
         // Re-check after raising the flag: a grant that raced us has
         // either seen the flag (a Sync is on its way) or happened before
@@ -499,14 +549,12 @@ where
     ///
     /// The drain is complete: Stop is only sent between driver calls,
     /// when every worker has executed and flushed every granted tick, so
-    /// nothing can race into the inbox after `try_recv` starts draining,
-    /// and each in-flight envelope is counted exactly once (it is either
-    /// on this worker's wheel or in this worker's inbox, never both).
+    /// nothing can race onto the lanes after the sweep starts, and each
+    /// in-flight envelope is counted exactly once (it is either on this
+    /// worker's wheel or on one of its incoming lanes, never both).
     fn account_shutdown_in_flight(&mut self) {
         let mut in_flight = self.wheel.discard_all() as u64;
-        while let Ok(batch) = self.inbox.try_recv() {
-            in_flight += batch.len() as u64;
-        }
+        in_flight += self.inbox.drain();
         if in_flight > 0 {
             self.counters.add(self.ids.dropped_shutdown, in_flight);
             if let Some(trace) = self.trace.as_mut() {
@@ -658,39 +706,32 @@ where
             }
         }
 
-        // Deliver this tick's dues: whatever the wheel owes now, then
-        // every inbox envelope already due (the watermark gate guarantees
-        // they all arrived). Envelopes with a later due tick are parked
-        // on the wheel — that covers both sampled latencies above one
-        // tick and batches from peers whose clock runs ahead of ours
-        // (their output is due later than the tick being drained, by the
-        // watermark invariant).
-        for env in self.wheel.take_due(tick) {
+        // Deliver this tick's dues. One final lane sweep parks every
+        // envelope the watermark gate guarantees has arrived, then the
+        // wheel releases exactly this tick's dues in (due tick,
+        // producer lane, arrival order) sequence — a pure function of
+        // (tick, from, to, occurrence), independent of sweep timing and
+        // of how batches interleaved on the lanes.
+        self.sweep_lanes();
+        if let Some(trace) = self.trace.as_mut() {
+            trace.lane_depth.record(self.swept);
+        }
+        self.swept = 0;
+        let mut due = std::mem::take(&mut self.due_buf);
+        self.wheel.take_due_into(tick, &mut due);
+        for env in due.drain(..) {
+            debug_assert!(
+                env.due_tick == tick,
+                "due tick {} missed at local tick {tick}",
+                env.due_tick
+            );
             if self.deliver(env, tick, &mut sent, &mut queued) {
                 delivered += 1;
             } else {
                 undeliverable += 1;
             }
         }
-        while let Ok(batch) = self.inbox.try_recv() {
-            for env in batch {
-                debug_assert!(env.due_tick > env.sent_tick, "latency is at least one tick");
-                if env.due_tick <= tick {
-                    debug_assert!(
-                        env.due_tick == tick,
-                        "due tick {} missed at local tick {tick}",
-                        env.due_tick
-                    );
-                    if self.deliver(env, tick, &mut sent, &mut queued) {
-                        delivered += 1;
-                    } else {
-                        undeliverable += 1;
-                    }
-                } else {
-                    self.wheel.schedule(env);
-                }
-            }
-        }
+        self.due_buf = due;
 
         // The wheel is stable from here to the flush (round-hook sends
         // travel via the router, never this worker's own wheel), so this
@@ -745,6 +786,7 @@ where
             dropped_closed: flush.dropped_closed,
             undeliverable,
             pending: self.wheel.len() as u64,
+            due_horizon: self.wheel.due_horizon().unwrap_or(0),
         }
     }
 }
@@ -856,17 +898,19 @@ where
         }
         let workers = config.effective_workers(population);
 
-        let mut inbox_txs = Vec::with_capacity(workers);
-        let mut inbox_rxs = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = match config.mailbox_capacity {
-                Some(cap) => channel::bounded(cap),
-                None => channel::unbounded(),
-            };
-            inbox_txs.push(tx);
-            inbox_rxs.push(rx);
-        }
-        let router = Router::new(inbox_txs);
+        // Lane capacity: the watermark gate bounds any (producer,
+        // consumer) lane at `lag + 1` unswept batches (a producer at
+        // tick `p` requires the consumer to have published `p + 1 -
+        // lag`, so `p - c <= lag`; one batch per producer tick on a
+        // lane), so `lag + 2` never blocks in steady state.
+        // `mailbox_capacity` acts as a floor override for callers who
+        // want deeper lanes (it can only raise the bound — shrinking
+        // below `lag + 2` would deadlock the gate).
+        let lane_capacity = usize::try_from(config.effective_lag())
+            .unwrap_or(usize::MAX)
+            .saturating_add(2)
+            .max(config.mailbox_capacity.unwrap_or(0));
+        let (hubs, inbox_rxs) = lane_matrix::<P::Msg>(workers, lane_capacity);
         let counters = Arc::new(ShardedCounters::new(workers));
         let trace_sink = config
             .trace
@@ -905,7 +949,7 @@ where
 
         let mut controls = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for (id, (store, inbox)) in stores.into_iter().zip(inbox_rxs).enumerate() {
+        for (id, ((store, inbox), hub)) in stores.into_iter().zip(inbox_rxs).zip(hubs).enumerate() {
             let (control_tx, control_rx) = channel::unbounded();
             let mut local = Counters::new();
             let ids = HotIds::register(&mut local);
@@ -916,17 +960,15 @@ where
                 store,
                 control: control_rx,
                 inbox,
-                faulty: FaultyRouter::new(
-                    router.clone(),
-                    config.faults.network.clone(),
-                    config.seed,
-                ),
+                faulty: FaultyRouter::new(hub, config.faults.network.clone(), config.seed),
                 reports: report_tx.clone(),
                 shards: Arc::clone(&counters),
                 counters: local,
                 ids,
                 lifecycle,
-                wheel: DelayWheel::with_capacity(wheel_capacity),
+                wheel: DelayWheel::with_capacity(wheel_capacity, workers),
+                due_buf: Vec::new(),
+                swept: 0,
                 trace: trace_sink
                     .as_ref()
                     .and_then(|sink| WorkerTrace::new(&config.trace, Arc::clone(sink))),
@@ -996,9 +1038,12 @@ where
     /// into the backlog as they arrive, then finalizes the tick: folds
     /// it out of the backlog, settles the in-flight ledger, and returns
     /// the aggregate. `lookahead_cap`, when set, lets the collector
-    /// grant `tick + 2` the moment `tick` is proven loud (capped), which
-    /// is how `run_until_quiescent` keeps workers a tick ahead of report
-    /// collection without ever overshooting the quiescent tick.
+    /// turn every absorbed report into a grant (capped): a loud tick
+    /// `u` proves horizon `u + 2` safe, and a wheel holding an envelope
+    /// due at `d` proves horizon `d + 1` safe — which is how
+    /// `run_until_quiescent` keeps workers up to a full latency window
+    /// ahead of report collection without ever overshooting the
+    /// quiescent tick.
     ///
     /// The wait polls in short slices so a worker that *died* (panicked
     /// out of its thread) is diagnosed promptly instead of after the
@@ -1025,6 +1070,25 @@ where
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             match self.reports.recv_timeout(remaining.min(DEATH_POLL)) {
                 Ok(report) => {
+                    if let Some(cap) = lookahead_cap {
+                        // Each report is its own non-quiescence proof,
+                        // whatever tick it is for: a loud tick `u` puts
+                        // the quiescent tick at `u + 1` or later
+                        // (horizon `u + 2` is safe), and a parked
+                        // envelope due at `d` keeps every tick before
+                        // `d` loud via `pending > 0` (horizon `d + 1`
+                        // is safe). Granting here — not just when the
+                        // collected tick finalizes — lets workers run
+                        // multi-tick-latency windows without parking
+                        // once per tick.
+                        let mut proof = if report.is_loud() { report.tick + 2 } else { 0 };
+                        if report.due_horizon > 0 {
+                            proof = proof.max(report.due_horizon + 1);
+                        }
+                        if proof > 0 {
+                            self.grant(proof.min(cap));
+                        }
+                    }
                     self.backlog.entry(report.tick).or_default().absorb(report);
                 }
                 Err(e) => {
@@ -1445,9 +1509,9 @@ mod tests {
     }
 
     /// Satellite requirement: the zero-latency (perfect) channel config
-    /// is byte-for-byte the plain-Router behaviour — same per-process
-    /// receipt ticks, same counters — because the explicit reliable
-    /// config and the default are the same draw-free path.
+    /// is byte-for-byte the fault-free data-plane behaviour — same
+    /// per-process receipt ticks, same counters — because the explicit
+    /// reliable config and the default are the same draw-free path.
     #[test]
     fn explicit_reliable_channel_equals_default_event_set() {
         let run = |config: RuntimeConfig| {
@@ -2085,6 +2149,11 @@ mod tests {
         assert_eq!(latency.max(), 1, "the relay runs on latency-1 channels");
         assert!(log.histogram("wheel_occupancy").is_some());
         assert!(log.histogram("watermark_lag").is_some());
+        let lane_depth = log.histogram("lane_depth").expect("histogram");
+        assert!(
+            lane_depth.count() > 0,
+            "every executed tick samples the lanes swept"
+        );
     }
 
     #[test]

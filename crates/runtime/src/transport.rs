@@ -1,37 +1,62 @@
-//! The in-memory transport: envelopes, per-tick batches, the
-//! worker-addressed [`Router`], the fault-injecting [`FaultyRouter`],
-//! and the [`EdgeWatermarks`] publish grid the bounded-lag scheduler
-//! reads instead of a barrier.
+//! The in-memory transport: envelopes, per-tick batches, the lock-free
+//! lane-matrix data plane ([`Hub`] / [`EdgeInbox`] / [`BatchPool`]), the
+//! fault-injecting [`FaultyRouter`], and the [`EdgeWatermarks`] publish
+//! grid the bounded-lag scheduler reads instead of a barrier.
 //!
-//! Two transport layers share the same inboxes:
+//! ## Data plane: the lane matrix
 //!
-//! * [`Router`] is the perfect wire: it hands envelopes (or whole
-//!   batches of them) to the inbox of the worker owning the destination
-//!   process, never losing or delaying anything.
+//! Batches move over a matrix of bounded lock-free SPSC rings
+//! (`crossbeam::queue`), one *data lane* per (producer worker, consumer
+//! worker) pair plus one *return lane* per pair flowing the other way:
+//!
+//! * [`Hub`] is worker `p`'s producer row: `send`/`send_batch` push onto
+//!   the data lane addressed to the destination's worker — one `Release`
+//!   store, no lock, no contention with any other producer. The hub also
+//!   owns a [`BatchPool`] recycling `Batch::Many` buffers that come back
+//!   over the return lanes, so steady-state ticks allocate nothing.
+//! * [`EdgeInbox`] is worker `c`'s consumer column:
+//!   [`sweep`](EdgeInbox::sweep) drains every incoming lane once, **in
+//!   producer worker-id order**, handing each envelope to the caller
+//!   tagged with its producer lane; drained `Batch::Many` buffers go
+//!   straight back to their owning producer's pool over the return lane.
 //! * [`FaultyRouter`] layers the substrate-neutral network fault model
 //!   (`da_core::topology::NetworkModel`: default channel, per-link
-//!   topology overrides, partition schedule, scripted drops) on top: a
-//!   send crossing an active partition cut is dropped outright (a pure
-//!   decision — no randomness), a send matching a scripted drop for its
-//!   per-tick occurrence on the edge is likewise dropped draw-free
+//!   topology overrides, partition schedule, scripted drops) on top of a
+//!   hub: a send crossing an active partition cut is dropped outright (a
+//!   pure decision — no randomness), a send matching a scripted drop for
+//!   its per-tick occurrence on the edge is likewise dropped draw-free
 //!   (this is how model-checker counterexamples replay on the live
 //!   runtime), every other send's fate — lost, or delivered after a
 //!   sampled latency — is drawn from a stateless RNG keyed by
-//!   `(edge, tick, occurrence)` on its link's channel, and survivors
-//!   are coalesced per destination worker so one tick costs at most one
-//!   channel send per worker pair.
+//!   `(edge, tick, occurrence)` on its link's channel, and survivors are
+//!   coalesced per destination worker so one tick costs at most one lane
+//!   push per worker pair.
 //!
-//! A batch handed to an inbox is only *visible* to the scheduler once
+//! Control messages (`Control::*`, worker reports) stay on the mpsc
+//! channels — they are rare, and blocking `recv` is exactly right for a
+//! parked worker. Only the per-tick batch traffic rides the lanes.
+//!
+//! Determinism: a lane is FIFO, each worker's send order within a tick
+//! is deterministic (pid-stripe iteration), and fate draws are stateless
+//! per `(edge, tick, occurrence)` — so the sequence of envelopes worker
+//! `c` observes from lane `p` is a pure function of the config, and
+//! sweeping lanes in worker-id order makes the merged delivery order one
+//! too. No RNG state rides the transport (PR 9), which is what makes the
+//! lock-free swap safe.
+//!
+//! A batch pushed onto a lane is only *visible* to the scheduler once
 //! the sending worker bumps its watermarks: [`EdgeWatermarks::publish`]
 //! (a release store per edge) is the transport's "everything through
-//! tick `t` is in your inbox" signal, and a receiver's acquire load of
+//! tick `t` is in your lanes" signal, and a receiver's acquire load of
 //! its in-edges is what replaces the global tick barrier.
 
-use crossbeam::channel::Sender;
+use crossbeam::queue::{self, PushError};
 use da_core::channel::{ChannelConfig, EdgeRngs};
 use da_core::topology::{NetFate, NetworkModel};
 use da_simnet::{FxBuildHasher, ProcessId};
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One in-flight message on the live transport.
@@ -52,10 +77,10 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
-/// What travels through a worker inbox: one envelope, or everything a
+/// What travels through a data lane: one envelope, or everything a
 /// peer worker sent here during one tick.
 ///
-/// The one-element case stays allocation-free — it is what `Router::send`
+/// The one-element case stays allocation-free — it is what `Hub::send`
 /// produces, and what fan-in-of-one batching degenerates to.
 #[derive(Debug)]
 pub enum Batch<M> {
@@ -77,7 +102,7 @@ impl<M> Batch<M> {
     }
 
     /// True when the batch holds no envelopes (only possible for an
-    /// empty [`Batch::Many`], which the routers never send).
+    /// empty [`Batch::Many`], which the data plane never sends).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -127,84 +152,342 @@ impl<M> Iterator for BatchIter<M> {
     }
 }
 
-/// Routes envelopes to the inbox of the worker owning the destination.
+/// Typed error for a refused hand-off: the destination worker's lanes
+/// are closed (it already shut down), so the envelopes were dropped.
+/// Feed [`LaneClosed::envelopes`] into the ledger (`rt.dropped_closed`)
+/// — nothing else will account for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneClosed {
+    /// The destination worker whose lanes are closed.
+    pub worker: usize,
+    /// Envelopes dropped by the refused hand-off.
+    pub envelopes: u64,
+}
+
+impl fmt::Display for LaneClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dropped {} envelope(s): worker {}'s lanes are closed",
+            self.envelopes, self.worker
+        )
+    }
+}
+
+impl Error for LaneClosed {}
+
+/// Recycles `Batch::Many` buffers between a producer and its consumers.
+///
+/// Every [`Hub`] owns one. [`BatchPool::take`] hands out an empty
+/// buffer, preferring (in order) the local free list, buffers that came
+/// back over the return lanes from consumers that drained them, and —
+/// only when both are dry — a freshly minted `Vec`. Steady-state ticks
+/// cycle a fixed working set of buffers and never touch the allocator;
+/// [`BatchPool::minted`] counts the lifetime allocations so tests can
+/// assert exactly that.
+#[derive(Debug)]
+pub struct BatchPool<M> {
+    free: Vec<Vec<Envelope<M>>>,
+    /// Return lanes, one per consumer worker: emptied buffers flowing
+    /// back from the [`EdgeInbox`]es that drained our batches.
+    returns: Vec<queue::Consumer<Vec<Envelope<M>>>>,
+    minted: u64,
+}
+
+impl<M> BatchPool<M> {
+    /// Pulls every buffer waiting on the return lanes into the free
+    /// list.
+    fn reclaim(&mut self) {
+        for lane in &mut self.returns {
+            while let Some(buf) = lane.pop() {
+                debug_assert!(buf.is_empty(), "consumers return drained buffers");
+                self.free.push(buf);
+            }
+        }
+    }
+
+    /// An empty buffer: recycled if one is available, minted otherwise.
+    pub fn take(&mut self) -> Vec<Envelope<M>> {
+        if self.free.is_empty() {
+            self.reclaim();
+        }
+        self.free.pop().unwrap_or_else(|| {
+            self.minted += 1;
+            Vec::new()
+        })
+    }
+
+    /// Returns a buffer to the local free list (cleared, capacity kept).
+    pub fn put(&mut self, mut buf: Vec<Envelope<M>>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Lifetime count of buffers this pool allocated because nothing
+    /// was available to recycle. Flat across steady-state ticks.
+    #[must_use]
+    pub fn minted(&self) -> u64 {
+        self.minted
+    }
+
+    /// Buffers currently at rest in this pool (free list plus anything
+    /// waiting on the return lanes, which this reclaims first).
+    pub fn pooled(&mut self) -> usize {
+        self.reclaim();
+        self.free.len()
+    }
+}
+
+/// Worker `p`'s producer row of the lane matrix: one bounded SPSC data
+/// lane per destination worker, plus the [`BatchPool`] recycling batch
+/// buffers that consumers send back.
 ///
 /// Processes are striped across workers (`worker = pid mod workers`), so
 /// routing is a single index computation — no lookup table, no lock.
-/// Every worker holds a clone; the router is the only way messages move
+/// Each worker owns its hub exclusively (`!Clone`; the SPSC halves make
+/// cloning meaningless) — the lane matrix is the only way messages move
 /// between threads.
 ///
 /// ```
-/// use crossbeam::channel;
-/// use da_runtime::{Envelope, Router};
+/// use da_runtime::{lane_matrix, Envelope};
 /// use da_simnet::ProcessId;
 ///
-/// let (tx0, rx0) = channel::unbounded();
-/// let (tx1, rx1) = channel::unbounded();
-/// let router = Router::new(vec![tx0, tx1]);
-/// assert_eq!(router.worker_of(ProcessId(5)), 1, "pid mod workers");
-/// router.send(Envelope {
-///     from: ProcessId(0),
-///     to: ProcessId(5),
-///     sent_tick: 0,
-///     due_tick: 1,
-///     msg: "hi",
-/// });
-/// assert_eq!(rx1.recv().unwrap().len(), 1);
-/// assert!(rx0.is_empty());
+/// let (mut hubs, mut inboxes) = lane_matrix(2, 8);
+/// assert_eq!(hubs[0].worker_of(ProcessId(5)), 1, "pid mod workers");
+/// hubs[0]
+///     .send(Envelope {
+///         from: ProcessId(0),
+///         to: ProcessId(5),
+///         sent_tick: 0,
+///         due_tick: 1,
+///         msg: "hi",
+///     })
+///     .unwrap();
+/// let mut got = Vec::new();
+/// inboxes[1].sweep(|lane, env| got.push((lane, env.to)));
+/// assert_eq!(got, vec![(0, ProcessId(5))]);
 /// ```
 #[derive(Debug)]
-pub struct Router<M> {
-    inboxes: Vec<Sender<Batch<M>>>,
+pub struct Hub<M> {
+    worker: usize,
+    /// Data lanes, indexed by consumer worker.
+    lanes: Vec<queue::Producer<Batch<M>>>,
+    pool: BatchPool<M>,
 }
 
-impl<M> Clone for Router<M> {
-    fn clone(&self) -> Self {
-        Router {
-            inboxes: self.inboxes.clone(),
+/// Builds the full lane matrix for a `workers`-wide pool: `workers²`
+/// bounded data lanes (capacity `capacity` batches each) and `workers²`
+/// return lanes, split into one [`Hub`] (producer row) and one
+/// [`EdgeInbox`] (consumer column) per worker.
+///
+/// `capacity` bounds the batches in flight per (producer, consumer)
+/// pair. Under the bounded-lag scheduler at most `lag + 1` per-tick
+/// batches can be unswept on a lane, so `effective_lag + 2` never
+/// blocks; standalone users should size for their own push/drain
+/// pattern (a full lane makes the next push spin-yield until the
+/// consumer sweeps).
+///
+/// # Panics
+/// Panics when `workers` is zero or `capacity` is zero.
+#[must_use]
+pub fn lane_matrix<M>(workers: usize, capacity: usize) -> (Vec<Hub<M>>, Vec<EdgeInbox<M>>) {
+    assert!(workers > 0, "a lane matrix needs at least one worker");
+    let mut hub_lanes: Vec<Vec<queue::Producer<Batch<M>>>> =
+        (0..workers).map(|_| Vec::with_capacity(workers)).collect();
+    let mut inbox_lanes: Vec<Vec<queue::Consumer<Batch<M>>>> =
+        (0..workers).map(|_| Vec::with_capacity(workers)).collect();
+    let mut return_txs: Vec<Vec<queue::Producer<Vec<Envelope<M>>>>> =
+        (0..workers).map(|_| Vec::with_capacity(workers)).collect();
+    let mut return_rxs: Vec<Vec<queue::Consumer<Vec<Envelope<M>>>>> =
+        (0..workers).map(|_| Vec::with_capacity(workers)).collect();
+    for producer in 0..workers {
+        for consumer in 0..workers {
+            let (tx, rx) = queue::spsc(capacity);
+            hub_lanes[producer].push(tx);
+            inbox_lanes[consumer].push(rx);
+            let (tx, rx) = queue::spsc(capacity);
+            return_txs[consumer].push(tx);
+            return_rxs[producer].push(rx);
         }
     }
+    let hubs = hub_lanes
+        .into_iter()
+        .zip(return_rxs)
+        .enumerate()
+        .map(|(worker, (lanes, returns))| Hub {
+            worker,
+            lanes,
+            pool: BatchPool {
+                free: Vec::new(),
+                returns,
+                minted: 0,
+            },
+        })
+        .collect();
+    let inboxes = inbox_lanes
+        .into_iter()
+        .zip(return_txs)
+        .enumerate()
+        .map(|(worker, (lanes, returns))| EdgeInbox {
+            worker,
+            lanes,
+            returns,
+        })
+        .collect();
+    (hubs, inboxes)
 }
 
-impl<M> Router<M> {
-    /// Builds a router over one inbox sender per worker.
-    #[must_use]
-    pub fn new(inboxes: Vec<Sender<Batch<M>>>) -> Self {
-        assert!(!inboxes.is_empty(), "a router needs at least one worker");
-        Router { inboxes }
-    }
-
-    /// Number of workers behind this router.
+impl<M> Hub<M> {
+    /// Number of workers behind this hub.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.inboxes.len()
+        self.lanes.len()
+    }
+
+    /// The producer worker this hub belongs to.
+    #[must_use]
+    pub fn worker(&self) -> usize {
+        self.worker
     }
 
     /// The worker owning `pid`.
     #[must_use]
     pub fn worker_of(&self, pid: ProcessId) -> usize {
-        pid.index() % self.inboxes.len()
+        pid.index() % self.lanes.len()
     }
 
-    /// Hands one envelope to the owning worker's inbox. Returns `false`
-    /// when that worker has already shut down (the message is dropped,
-    /// like a send to a crashed process).
-    pub fn send(&self, envelope: Envelope<M>) -> bool {
+    /// This hub's buffer pool.
+    pub fn pool(&mut self) -> &mut BatchPool<M> {
+        &mut self.pool
+    }
+
+    /// Pushes a batch onto `worker`'s lane, yielding while the lane is
+    /// full (the consumer is behind; under the runtime's lag-derived
+    /// capacity this cannot happen). `Err` hands the batch back once the
+    /// consumer is gone for good.
+    fn push(&mut self, worker: usize, mut batch: Batch<M>) -> Result<(), Batch<M>> {
+        let lane = &mut self.lanes[worker];
+        loop {
+            match lane.push(batch) {
+                Ok(()) => return Ok(()),
+                Err(PushError::Full(b)) => {
+                    batch = b;
+                    std::thread::yield_now();
+                }
+                Err(PushError::Disconnected(b)) => return Err(b),
+            }
+        }
+    }
+
+    /// Hands one envelope to the owning worker's lane, lock-free.
+    ///
+    /// # Errors
+    /// [`LaneClosed`] when that worker has already shut down — the
+    /// envelope is dropped and must be accounted by the caller.
+    #[must_use = "a refused send drops the envelope — account it in the ledger"]
+    pub fn send(&mut self, envelope: Envelope<M>) -> Result<(), LaneClosed> {
         let worker = self.worker_of(envelope.to);
-        self.inboxes[worker].send(Batch::One(envelope)).is_ok()
+        self.push(worker, Batch::One(envelope))
+            .map_err(|_| LaneClosed {
+                worker,
+                envelopes: 1,
+            })
     }
 
-    /// Hands a whole per-tick batch to `worker`'s inbox in one channel
-    /// operation — the amortisation the gossip fanout lives off (many
-    /// small same-destination sends per tick). Returns `false` when the
-    /// worker has already shut down.
+    /// Hands a whole per-tick batch to `worker`'s lane in one lock-free
+    /// push — the amortisation the gossip fanout lives off (many small
+    /// same-destination sends per tick). Returns the envelope count on
+    /// success.
+    ///
+    /// # Errors
+    /// [`LaneClosed`] when the worker has already shut down: the
+    /// envelopes are dropped (their count rides the error — feed it into
+    /// the ledger) and the buffer itself is recycled into the pool.
     ///
     /// # Panics
-    ///
     /// Panics when `worker` is out of range.
-    pub fn send_batch(&self, worker: usize, batch: Vec<Envelope<M>>) -> bool {
+    #[must_use = "a refused hand-off drops the whole batch — feed the count into the ledger"]
+    pub fn send_batch(
+        &mut self,
+        worker: usize,
+        batch: Vec<Envelope<M>>,
+    ) -> Result<u64, LaneClosed> {
         debug_assert!(!batch.is_empty(), "empty batches are never sent");
-        self.inboxes[worker].send(Batch::Many(batch)).is_ok()
+        let envelopes = batch.len() as u64;
+        match self.push(worker, Batch::Many(batch)) {
+            Ok(()) => Ok(envelopes),
+            Err(batch) => {
+                if let Batch::Many(buf) = batch {
+                    self.pool.put(buf);
+                }
+                Err(LaneClosed { worker, envelopes })
+            }
+        }
+    }
+}
+
+/// Worker `c`'s consumer column of the lane matrix: one bounded SPSC
+/// data lane per producer worker, swept in worker-id order, plus the
+/// return lanes handing drained batch buffers back to their producers.
+#[derive(Debug)]
+pub struct EdgeInbox<M> {
+    worker: usize,
+    /// Data lanes, indexed by producer worker.
+    lanes: Vec<queue::Consumer<Batch<M>>>,
+    /// Return lanes, indexed by producer worker.
+    returns: Vec<queue::Producer<Vec<Envelope<M>>>>,
+}
+
+impl<M> EdgeInbox<M> {
+    /// Number of workers feeding this inbox.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The consumer worker this inbox belongs to.
+    #[must_use]
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Drains every incoming lane once, **in producer worker-id order**,
+    /// handing each envelope to `visit` tagged with its producer lane.
+    /// Within a lane the order is the producer's send order (SPSC FIFO)
+    /// — together that makes the visit sequence deterministic. Drained
+    /// `Batch::Many` buffers go back to the owning producer's pool over
+    /// the return lane (or are simply freed if that lane is full or
+    /// closed — never leaked). Returns the number of batches swept, the
+    /// `lane_depth` observability signal.
+    pub fn sweep(&mut self, mut visit: impl FnMut(usize, Envelope<M>)) -> u64 {
+        let mut batches = 0;
+        for (producer, lane) in self.lanes.iter_mut().enumerate() {
+            while let Some(batch) = lane.pop() {
+                batches += 1;
+                match batch {
+                    Batch::One(env) => visit(producer, env),
+                    Batch::Many(mut buf) => {
+                        for env in buf.drain(..) {
+                            visit(producer, env);
+                        }
+                        // A refused return (full lane, gone producer)
+                        // just frees the buffer — the pool mints a
+                        // replacement when it next runs dry.
+                        let _ = self.returns[producer].push(buf);
+                    }
+                }
+            }
+        }
+        batches
+    }
+
+    /// Drains everything still in flight on the incoming lanes,
+    /// returning the envelope count — the shutdown accounting path
+    /// (`rt.dropped_shutdown`).
+    pub fn drain(&mut self) -> u64 {
+        let mut envelopes = 0;
+        self.sweep(|_, _| envelopes += 1);
+        envelopes
     }
 }
 
@@ -228,7 +511,7 @@ pub enum SendFate {
 /// What one [`FaultyRouter::flush`] moved and lost.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FlushReport {
-    /// Channel operations performed (≤ one per destination worker).
+    /// Lane pushes performed (≤ one per destination worker).
     pub batches: u64,
     /// Envelopes handed over across all batches.
     pub envelopes: u64,
@@ -237,12 +520,13 @@ pub struct FlushReport {
     pub dropped_closed: u64,
 }
 
-/// A [`Router`] behind an unreliable network: drops and delays
-/// envelopes according to a [`NetworkModel`] (default channel, per-link
-/// topology overrides, partition schedule), and coalesces the survivors
-/// of each tick into one batch per destination worker. A bare
-/// [`ChannelConfig`] converts into the uniform model, so the common
-/// case reads exactly as before.
+/// A [`Hub`] behind an unreliable network: drops and delays envelopes
+/// according to a [`NetworkModel`] (default channel, per-link topology
+/// overrides, partition schedule), and coalesces the survivors of each
+/// tick into one batch per destination worker, buffered in pooled
+/// buffers that recycle for the whole runtime lifetime. A bare
+/// [`ChannelConfig`] converts into the uniform model, so the common case
+/// reads exactly as before.
 ///
 /// Partition cuts are decided from the schedule alone — a pure function
 /// of the two placements and the send tick, consuming zero randomness —
@@ -253,46 +537,49 @@ pub struct FlushReport {
 /// neither worker striping *nor* the edge's prior traffic — zero
 /// resident RNG state per edge. A perfect configuration
 /// ([`NetworkModel::is_perfect`]) takes a draw-free fast path and is
-/// byte-for-byte equivalent to the plain [`Router`].
+/// byte-for-byte equivalent to sending on the plain [`Hub`].
 ///
-/// Each worker owns its own `FaultyRouter` (wrapping a clone of the
-/// shared [`Router`]); since a process is owned by exactly one worker,
-/// the per-tick occurrence counters never race.
+/// Each worker owns its own `FaultyRouter` (wrapping its [`Hub`], its
+/// row of the lane matrix); since a process is owned by exactly one
+/// worker, the per-tick occurrence counters never race.
 ///
 /// ```
-/// use crossbeam::channel;
 /// use da_core::channel::ChannelConfig;
-/// use da_runtime::{FaultyRouter, Router, SendFate};
+/// use da_runtime::{lane_matrix, FaultyRouter, SendFate};
 /// use da_simnet::ProcessId;
 ///
-/// let (tx, rx) = channel::unbounded();
-/// let router = Router::new(vec![tx]);
-/// let mut faulty = FaultyRouter::new(router, ChannelConfig::reliable(), 7);
+/// let (mut hubs, mut inboxes) = lane_matrix(1, 8);
+/// let mut faulty = FaultyRouter::new(hubs.remove(0), ChannelConfig::reliable(), 7);
 ///
-/// // Two sends in tick 0 coalesce into one channel operation.
+/// // Two sends in tick 0 coalesce into one lane push.
 /// faulty.send(ProcessId(0), ProcessId(1), 0, "a");
 /// faulty.send(ProcessId(0), ProcessId(1), 0, "b");
 /// let report = faulty.flush();
 /// assert_eq!((report.batches, report.envelopes), (1, 2));
-/// assert_eq!(rx.recv().unwrap().len(), 2);
+/// let mut seen = 0;
+/// inboxes[0].sweep(|_, _| seen += 1);
+/// assert_eq!(seen, 2);
 ///
 /// // A fully lossy channel drops everything before it reaches the wire.
-/// let (tx, _rx) = channel::unbounded::<da_runtime::Batch<&str>>();
+/// let (mut hubs, _inboxes) = lane_matrix::<&str>(1, 8);
 /// let black_hole = ChannelConfig::reliable().with_success_probability(0.0);
-/// let mut faulty = FaultyRouter::new(Router::new(vec![tx]), black_hole, 7);
+/// let mut faulty = FaultyRouter::new(hubs.remove(0), black_hole, 7);
 /// let fate = faulty.send(ProcessId(0), ProcessId(1), 0, "gone");
 /// assert_eq!(fate, SendFate::DroppedChannel);
 /// assert_eq!(faulty.flush().envelopes, 0);
 /// ```
 #[derive(Debug)]
 pub struct FaultyRouter<M> {
-    router: Router<M>,
+    hub: Hub<M>,
     network: NetworkModel,
     /// `network.is_perfect()`, cached at construction so the reliable
     /// hot path costs one branch instead of a model walk per send.
     perfect: bool,
     rngs: EdgeRngs,
     /// Per-destination-worker coalescing buffers, flushed once per tick.
+    /// Refilled from the hub's [`BatchPool`] at flush, so the same
+    /// buffers cycle producer → lane → consumer → return lane → producer
+    /// for the runtime's whole lifetime.
     slots: Vec<Vec<Envelope<M>>>,
     /// Per-edge send counters for the tick in `occ_tick`, giving each
     /// send its occurrence index — the counter half of the stateless
@@ -311,16 +598,16 @@ pub struct FaultyRouter<M> {
 }
 
 impl<M> FaultyRouter<M> {
-    /// Wraps `router` with the given network model (a bare
+    /// Wraps `hub` with the given network model (a bare
     /// [`ChannelConfig`] converts into the uniform model); `master_seed`
     /// roots the per-edge RNG streams (use the runtime's configured seed
     /// so live fault draws are reproducible).
     #[must_use]
-    pub fn new(router: Router<M>, network: impl Into<NetworkModel>, master_seed: u64) -> Self {
+    pub fn new(hub: Hub<M>, network: impl Into<NetworkModel>, master_seed: u64) -> Self {
         let network = network.into();
-        let slots = (0..router.workers()).map(|_| Vec::new()).collect();
+        let slots = (0..hub.workers()).map(|_| Vec::new()).collect();
         FaultyRouter {
-            router,
+            hub,
             perfect: network.is_perfect(),
             network,
             rngs: EdgeRngs::new(master_seed),
@@ -343,10 +630,15 @@ impl<M> FaultyRouter<M> {
         &self.network
     }
 
-    /// Number of workers behind the wrapped router.
+    /// Number of workers behind the wrapped hub.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.router.workers()
+        self.hub.workers()
+    }
+
+    /// The wrapped hub (for pool access and direct sends in tests).
+    pub fn hub(&mut self) -> &mut Hub<M> {
+        &mut self.hub
     }
 
     /// Routes one message through the unreliable network: checks the
@@ -385,7 +677,7 @@ impl<M> FaultyRouter<M> {
             NetFate::Lost => SendFate::DroppedChannel,
             NetFate::Deliver { latency } => {
                 let due_tick = sent_tick + latency;
-                let worker = self.router.worker_of(to);
+                let worker = self.hub.worker_of(to);
                 self.slots[worker].push(Envelope {
                     from,
                     to,
@@ -399,22 +691,38 @@ impl<M> FaultyRouter<M> {
     }
 
     /// Hands every buffered envelope to its destination worker — one
-    /// channel operation per non-empty slot. Call once per tick, before
-    /// acking the scheduler barrier, so the batch is in the inbox before
-    /// any worker starts the next tick.
+    /// lane push per non-empty slot, refilling the slot from the buffer
+    /// pool (a single-envelope slot degenerates to `Batch::One` and
+    /// keeps its buffer). Call once per tick, before publishing the
+    /// watermarks, so the batch is on the lane before any worker starts
+    /// the next tick. Closed-lane losses are totalled in
+    /// [`FlushReport::dropped_closed`] — the caller feeds that into the
+    /// ledger.
     pub fn flush(&mut self) -> FlushReport {
         let mut report = FlushReport::default();
-        for (worker, slot) in self.slots.iter_mut().enumerate() {
-            if slot.is_empty() {
-                continue;
-            }
-            let batch = std::mem::take(slot);
-            let count = batch.len() as u64;
-            report.batches += 1;
-            if self.router.send_batch(worker, batch) {
-                report.envelopes += count;
-            } else {
-                report.dropped_closed += count;
+        for worker in 0..self.slots.len() {
+            let slot = &mut self.slots[worker];
+            match slot.len() {
+                0 => continue,
+                1 => {
+                    // Keep the buffer: a one-envelope batch rides the
+                    // lane inline, no hand-off round trip needed.
+                    let env = slot.pop().expect("len checked");
+                    report.batches += 1;
+                    match self.hub.send(env) {
+                        Ok(()) => report.envelopes += 1,
+                        Err(err) => report.dropped_closed += err.envelopes,
+                    }
+                }
+                _ => {
+                    let replacement = self.hub.pool.take();
+                    let batch = std::mem::replace(slot, replacement);
+                    report.batches += 1;
+                    match self.hub.send_batch(worker, batch) {
+                        Ok(n) => report.envelopes += n,
+                        Err(err) => report.dropped_closed += err.envelopes,
+                    }
+                }
             }
         }
         report
@@ -445,7 +753,7 @@ const CELLS_PER_LINE: usize = 8;
 /// *published* toward `receiver`: after flushing tick `t`'s coalesced
 /// batches, a sender stores `t + 1` on each of its out-edges (release),
 /// promising "every envelope I will ever hand you from ticks `0..=t` is
-/// already in your inbox". A receiver that wants to execute tick `n`
+/// already in your lanes". A receiver that wants to execute tick `n`
 /// acquires its in-edges and waits until each shows at least
 /// `n + 1 − lag` published ticks, where `lag` is the scheduler's
 /// effective drift bound (`RuntimeConfig::effective_lag`): anything a
@@ -501,7 +809,7 @@ impl EdgeWatermarks {
     /// Records that `sender` has flushed every outbound batch of ticks
     /// `0..ticks` on every out-edge. Release stores: a receiver that
     /// acquires the new value also sees the flushed batches in its
-    /// inbox.
+    /// lanes.
     ///
     /// # Panics
     ///
@@ -543,7 +851,6 @@ impl EdgeWatermarks {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam::channel;
     use da_core::channel::Latency;
 
     fn env(to: u32) -> Envelope<u8> {
@@ -556,27 +863,43 @@ mod tests {
         }
     }
 
-    #[test]
-    fn routes_by_pid_stripe() {
-        let (tx0, rx0) = channel::unbounded();
-        let (tx1, rx1) = channel::unbounded();
-        let router = Router::new(vec![tx0, tx1]);
-        assert_eq!(router.workers(), 2);
-        assert!(router.send(env(4)));
-        assert!(router.send(env(5)));
-        assert!(router.send(env(7)));
-        assert_eq!(rx0.len(), 1, "pid 4 → worker 0");
-        assert_eq!(rx1.len(), 2, "pids 5 and 7 → worker 1");
-        let first = rx0.recv().unwrap().into_iter().next().unwrap();
-        assert_eq!(first.to, ProcessId(4));
+    /// Sweeps an inbox into `(lane, from, to, sent, due, msg)` tuples.
+    fn collect(inbox: &mut EdgeInbox<u8>) -> Vec<(usize, u32, u32, u64, u64, u8)> {
+        let mut got = Vec::new();
+        inbox.sweep(|lane, e| got.push((lane, e.from.0, e.to.0, e.sent_tick, e.due_tick, e.msg)));
+        got
     }
 
     #[test]
-    fn send_to_gone_worker_reports_drop() {
-        let (tx, rx) = channel::unbounded::<Batch<u8>>();
-        let router = Router::new(vec![tx]);
-        drop(rx);
-        assert!(!router.send(env(0)));
+    fn routes_by_pid_stripe() {
+        let (mut hubs, mut inboxes) = lane_matrix(2, 8);
+        assert_eq!(hubs[0].workers(), 2);
+        hubs[0].send(env(4)).unwrap();
+        hubs[0].send(env(5)).unwrap();
+        hubs[0].send(env(7)).unwrap();
+        let w0 = collect(&mut inboxes[0]);
+        let w1 = collect(&mut inboxes[1]);
+        assert_eq!(w0.len(), 1, "pid 4 → worker 0");
+        assert_eq!(w1.len(), 2, "pids 5 and 7 → worker 1");
+        assert_eq!(w0[0].2, 4);
+        assert_eq!(w1.iter().map(|e| e.2).collect::<Vec<_>>(), vec![5, 7]);
+    }
+
+    #[test]
+    fn send_to_gone_worker_reports_typed_drop() {
+        let (mut hubs, inboxes) = lane_matrix::<u8>(1, 4);
+        drop(inboxes);
+        let err = hubs[0].send(env(0)).unwrap_err();
+        assert_eq!(
+            err,
+            LaneClosed {
+                worker: 0,
+                envelopes: 1
+            }
+        );
+        let err = hubs[0].send_batch(0, vec![env(0), env(0)]).unwrap_err();
+        assert_eq!(err.envelopes, 2, "the error carries the dropped count");
+        assert!(err.to_string().contains("lanes are closed"));
     }
 
     #[test]
@@ -590,12 +913,54 @@ mod tests {
         assert_eq!(many.into_iter().count(), 2);
     }
 
+    #[test]
+    fn sweep_visits_lanes_in_worker_id_order() {
+        // Three producers push to worker 0 in reverse id order; the
+        // sweep still visits lane 0, then 1, then 2 — the deterministic
+        // merge order the runtime's delivery schedule is built on.
+        let (mut hubs, mut inboxes) = lane_matrix(3, 8);
+        for p in (0..3usize).rev() {
+            let mut e = env(0);
+            e.from = ProcessId(p as u32);
+            e.msg = p as u8;
+            hubs[p].send(e).unwrap();
+        }
+        let got = collect(&mut inboxes[0]);
+        assert_eq!(
+            got.iter().map(|e| e.0).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "lanes sweep in producer worker-id order regardless of push order"
+        );
+    }
+
+    #[test]
+    fn batch_pool_recycles_buffers_round_trip() {
+        let (mut hubs, mut inboxes) = lane_matrix(1, 8);
+        let mut faulty = FaultyRouter::new(hubs.remove(0), ChannelConfig::reliable(), 3);
+        for tick in 0..100u64 {
+            for i in 0..4u32 {
+                faulty.send(ProcessId(0), ProcessId(i), tick, 0);
+            }
+            faulty.flush();
+            inboxes[0].sweep(|_, _| {});
+        }
+        let pool = faulty.hub().pool();
+        let minted = pool.minted();
+        assert!(
+            minted <= 2,
+            "steady-state flushing must cycle a tiny working set, minted {minted}"
+        );
+        // Every minted buffer is at rest again: in the pool or parked as
+        // a coalescing slot (slots hold pool buffers once they've cycled).
+        assert!(pool.pooled() as u64 <= minted);
+    }
+
     /// Satellite requirement: under a perfect channel config the faulty
     /// path must produce the byte-for-byte event set of the plain
-    /// [`Router`] — same envelopes, same fields, same per-destination
+    /// [`Hub`] — same envelopes, same fields, same per-destination
     /// order.
     #[test]
-    fn perfect_faulty_router_matches_plain_router_byte_for_byte() {
+    fn perfect_faulty_router_matches_plain_hub_byte_for_byte() {
         let sends: Vec<(u32, u32, u64, u8)> = vec![
             (0, 3, 0, 10),
             (0, 4, 0, 11),
@@ -605,37 +970,27 @@ mod tests {
             (2, 0, 2, 15),
         ];
 
-        let collect = |batches: Vec<Batch<u8>>| -> Vec<(u32, u32, u64, u64, u8)> {
-            batches
-                .into_iter()
-                .flatten()
-                .map(|e| (e.from.0, e.to.0, e.sent_tick, e.due_tick, e.msg))
-                .collect()
-        };
-
-        // Plain router, one channel send per envelope.
-        let (tx0, rx0) = channel::unbounded();
-        let (tx1, rx1) = channel::unbounded();
-        let plain = Router::new(vec![tx0, tx1]);
+        // Plain hub, one lane push per envelope.
+        let (mut hubs, mut inboxes) = lane_matrix(2, 32);
         for &(from, to, tick, msg) in &sends {
-            plain.send(Envelope {
-                from: ProcessId(from),
-                to: ProcessId(to),
-                sent_tick: tick,
-                due_tick: tick + 1,
-                msg,
-            });
+            hubs[0]
+                .send(Envelope {
+                    from: ProcessId(from),
+                    to: ProcessId(to),
+                    sent_tick: tick,
+                    due_tick: tick + 1,
+                    msg,
+                })
+                .unwrap();
         }
-        drop(plain);
-        let plain_w0 = collect(rx0.try_iter().collect());
-        let plain_w1 = collect(rx1.try_iter().collect());
+        let plain_w0 = collect(&mut inboxes[0]);
+        let plain_w1 = collect(&mut inboxes[1]);
 
         // Faulty router with the zero-latency perfect config, flushed
         // at each tick boundary like the worker loop does.
-        let (tx0, rx0) = channel::unbounded();
-        let (tx1, rx1) = channel::unbounded();
+        let (mut hubs, mut inboxes) = lane_matrix(2, 32);
         let mut faulty = FaultyRouter::new(
-            Router::new(vec![tx0, tx1]),
+            hubs.remove(0),
             ChannelConfig::reliable().with_latency(Latency::Fixed(1)),
             99,
         );
@@ -650,9 +1005,8 @@ mod tests {
         }
         let report = faulty.flush();
         assert_eq!(report.dropped_closed, 0);
-        drop(faulty);
-        let faulty_w0 = collect(rx0.try_iter().collect());
-        let faulty_w1 = collect(rx1.try_iter().collect());
+        let faulty_w0 = collect(&mut inboxes[0]);
+        let faulty_w1 = collect(&mut inboxes[1]);
 
         assert_eq!(plain_w0, faulty_w0);
         assert_eq!(plain_w1, faulty_w1);
@@ -673,8 +1027,8 @@ mod tests {
                     to: ProcessId(1),
                     occurrence: 1,
                 }));
-        let (tx, rx) = channel::unbounded::<Batch<u8>>();
-        let mut faulty = FaultyRouter::new(Router::new(vec![tx]), network, 11);
+        let (mut hubs, mut inboxes) = lane_matrix::<u8>(1, 16);
+        let mut faulty = FaultyRouter::new(hubs.remove(0), network, 11);
 
         // Tick 5, edge 0 → 1: only the second send dies.
         let fates: Vec<SendFate> = (0..3)
@@ -702,39 +1056,38 @@ mod tests {
             .iter()
             .all(|f| matches!(f, SendFate::Queued { due_tick: 7 })));
         faulty.flush();
-        let delivered: usize = rx.try_iter().map(|b| b.len()).sum();
+        let delivered = inboxes[0].drain();
         assert_eq!(delivered, 6, "3 sends survived of 4 at tick 5, plus 3 at 6");
     }
 
     #[test]
     fn flush_coalesces_per_destination_worker() {
-        let (tx0, rx0) = channel::unbounded::<Batch<u8>>();
-        let (tx1, rx1) = channel::unbounded::<Batch<u8>>();
-        let mut faulty =
-            FaultyRouter::new(Router::new(vec![tx0, tx1]), ChannelConfig::reliable(), 1);
+        let (mut hubs, mut inboxes) = lane_matrix::<u8>(2, 8);
+        let mut faulty = FaultyRouter::new(hubs.remove(0), ChannelConfig::reliable(), 1);
         for to in [0u32, 1, 2, 3, 4, 5] {
             faulty.send(ProcessId(9), ProcessId(to), 0, to as u8);
         }
         let report = faulty.flush();
-        assert_eq!(report.batches, 2, "one channel op per destination worker");
+        assert_eq!(report.batches, 2, "one lane push per destination worker");
         assert_eq!(report.envelopes, 6);
-        assert_eq!(rx0.len(), 1, "worker 0 got one batch");
-        assert_eq!(rx1.len(), 1, "worker 1 got one batch");
-        assert_eq!(rx0.recv().unwrap().len(), 3);
-        assert_eq!(rx1.recv().unwrap().len(), 3);
+        let w0 = collect(&mut inboxes[0]);
+        let w1 = collect(&mut inboxes[1]);
+        assert_eq!(w0.len(), 3);
+        assert_eq!(w1.len(), 3);
         // Nothing buffered afterwards: a second flush is a no-op.
         assert_eq!(faulty.flush(), FlushReport::default());
     }
 
     #[test]
     fn lossy_channel_drops_roughly_fraction() {
-        let (tx, rx) = channel::unbounded::<Batch<u8>>();
+        let (mut hubs, mut inboxes) = lane_matrix::<u8>(1, 8);
         let mut faulty = FaultyRouter::new(
-            Router::new(vec![tx]),
+            hubs.remove(0),
             ChannelConfig::reliable().with_success_probability(0.5),
             5,
         );
         let mut dropped = 0u64;
+        let mut arrived = 0u64;
         for i in 0..1000u64 {
             // Spread over many edges so several streams are exercised.
             let from = ProcessId((i % 10) as u32);
@@ -743,21 +1096,22 @@ mod tests {
                 dropped += 1;
             }
             faulty.flush();
+            // Sweep per tick, like the worker loop — the lanes are
+            // bounded, a single-threaded pump must drain as it goes.
+            arrived += inboxes[0].drain();
         }
         assert!(
             (350..650).contains(&dropped),
             "dropped {dropped} of 1000, expected ≈ half"
         );
-        drop(faulty);
-        let arrived: usize = rx.try_iter().map(|b| b.len()).sum();
-        assert_eq!(arrived as u64 + dropped, 1000);
+        assert_eq!(arrived + dropped, 1000);
     }
 
     #[test]
     fn latency_sampling_stamps_due_ticks_in_bounds() {
-        let (tx, rx) = channel::unbounded::<Batch<u8>>();
+        let (mut hubs, mut inboxes) = lane_matrix::<u8>(1, 8);
         let mut faulty = FaultyRouter::new(
-            Router::new(vec![tx]),
+            hubs.remove(0),
             ChannelConfig::reliable().with_latency(Latency::UniformRounds { min: 2, max: 4 }),
             3,
         );
@@ -770,21 +1124,20 @@ mod tests {
             }
         }
         faulty.flush();
-        drop(faulty);
-        for batch in rx.try_iter() {
-            for envelope in batch {
-                assert_eq!(envelope.sent_tick, 10);
-                assert!((12..=14).contains(&envelope.due_tick));
-            }
-        }
+        let mut count = 0;
+        inboxes[0].sweep(|_, envelope| {
+            assert_eq!(envelope.sent_tick, 10);
+            assert!((12..=14).contains(&envelope.due_tick));
+            count += 1;
+        });
+        assert_eq!(count, 200);
     }
 
     #[test]
     fn fault_draws_are_reproducible_per_edge() {
         let run = || {
-            let (tx, _rx) = channel::unbounded::<Batch<u8>>();
-            let mut faulty =
-                FaultyRouter::new(Router::new(vec![tx]), ChannelConfig::paper_default(), 42);
+            let (mut hubs, _inboxes) = lane_matrix::<u8>(1, 8);
+            let mut faulty = FaultyRouter::new(hubs.remove(0), ChannelConfig::paper_default(), 42);
             (0..64u64)
                 .map(|i| faulty.send(ProcessId(1), ProcessId(2), i, 0) == SendFate::DroppedChannel)
                 .collect::<Vec<bool>>()
@@ -797,9 +1150,9 @@ mod tests {
         // Many sends on one edge within one tick: each gets its own
         // occurrence-keyed draw, so fates are not all correlated copies
         // of the first.
-        let (tx, _rx) = channel::unbounded::<Batch<u8>>();
+        let (mut hubs, _inboxes) = lane_matrix::<u8>(1, 8);
         let mut faulty = FaultyRouter::new(
-            Router::new(vec![tx]),
+            hubs.remove(0),
             ChannelConfig::reliable().with_success_probability(0.5),
             42,
         );
@@ -814,9 +1167,9 @@ mod tests {
 
         // And the occurrence counter resets per tick: the k-th send of a
         // tick replays the k-th fate of that tick, deterministically.
-        let (tx, _rx) = channel::unbounded::<Batch<u8>>();
+        let (mut hubs, _inboxes) = lane_matrix::<u8>(1, 8);
         let mut again = FaultyRouter::new(
-            Router::new(vec![tx]),
+            hubs.remove(0),
             ChannelConfig::reliable().with_success_probability(0.5),
             42,
         );
@@ -842,8 +1195,8 @@ mod tests {
         // Encode each fate latency-relative so runs at different ticks
         // compare: Severed → -2, Lost → -1, Deliver → its latency.
         let run = |partitions: PartitionSchedule| {
-            let (tx, _rx) = channel::unbounded::<Batch<u8>>();
-            let mut faulty = FaultyRouter::new(Router::new(vec![tx]), network(partitions), 42);
+            let (mut hubs, _inboxes) = lane_matrix::<u8>(1, 8);
+            let mut faulty = FaultyRouter::new(hubs.remove(0), network(partitions), 42);
             (0..30u64)
                 .map(
                     |tick| match faulty.send(ProcessId(0), ProcessId(1), tick, 0) {
@@ -915,30 +1268,36 @@ mod tests {
     }
 
     #[test]
-    fn watermarks_synchronise_with_inbox_contents() {
+    fn watermarks_synchronise_with_lane_contents() {
         // The release/acquire contract: once a receiver observes the
-        // watermark, the flushed batch must already be in its inbox.
-        let (tx, rx) = channel::unbounded::<Batch<u64>>();
-        let router = Router::new(vec![tx.clone(), tx]);
+        // watermark, the pushed batch must already be on its lane.
+        let (mut hubs, mut inboxes) = lane_matrix::<u64>(2, 4);
+        let mut producer_hub = hubs.remove(1);
+        let mut inbox0 = inboxes.remove(0);
         let marks = std::sync::Arc::new(EdgeWatermarks::new(2));
         let sender_marks = std::sync::Arc::clone(&marks);
         let handle = std::thread::spawn(move || {
             for tick in 0..200u64 {
-                router.send(Envelope {
-                    from: ProcessId(1),
-                    to: ProcessId(0),
-                    sent_tick: tick,
-                    due_tick: tick + 1,
-                    msg: tick,
-                });
+                // The lane is bounded: a full push yields inside `send`
+                // until the receiver sweeps, which it does concurrently.
+                producer_hub
+                    .send(Envelope {
+                        from: ProcessId(1),
+                        to: ProcessId(0),
+                        sent_tick: tick,
+                        due_tick: tick + 1,
+                        msg: tick,
+                    })
+                    .unwrap();
                 sender_marks.publish(1, tick + 1);
             }
         });
         let mut seen = 0u64;
         while seen < 200 {
             if marks.published(1, 0) > seen {
-                let batch = rx.try_recv().expect("published batch must be visible");
-                seen += batch.len() as u64;
+                let before = seen;
+                inbox0.sweep(|_, _| seen += 1);
+                assert!(seen > before, "published batch must be visible");
             } else {
                 std::thread::yield_now();
             }
@@ -948,12 +1307,47 @@ mod tests {
 
     #[test]
     fn flush_counts_closed_workers() {
-        let (tx, rx) = channel::unbounded::<Batch<u8>>();
-        let mut faulty = FaultyRouter::new(Router::new(vec![tx]), ChannelConfig::reliable(), 0);
+        let (mut hubs, inboxes) = lane_matrix::<u8>(1, 8);
+        let mut faulty = FaultyRouter::new(hubs.remove(0), ChannelConfig::reliable(), 0);
         faulty.send(ProcessId(0), ProcessId(0), 0, 1);
-        drop(rx);
+        faulty.send(ProcessId(0), ProcessId(0), 0, 2);
+        drop(inboxes);
         let report = faulty.flush();
-        assert_eq!(report.dropped_closed, 1);
+        assert_eq!(report.dropped_closed, 2);
         assert_eq!(report.envelopes, 0);
+    }
+
+    #[test]
+    fn in_flight_envelopes_drop_exactly_once_on_teardown() {
+        // Mid-flight Stop: batches still on the lanes when everything
+        // drops must free their envelopes exactly once (the SPSC ring
+        // drains `[head, tail)` on drop; pooled buffers are plain Vecs).
+        let token = std::sync::Arc::new(());
+        let (mut hubs, inboxes) = lane_matrix(2, 8);
+        for i in 0..4u32 {
+            hubs[0]
+                .send(Envelope {
+                    from: ProcessId(0),
+                    to: ProcessId(i),
+                    sent_tick: 0,
+                    due_tick: 1,
+                    msg: std::sync::Arc::clone(&token),
+                })
+                .unwrap();
+        }
+        let _ = hubs[1].send_batch(
+            0,
+            vec![Envelope {
+                from: ProcessId(1),
+                to: ProcessId(0),
+                sent_tick: 0,
+                due_tick: 1,
+                msg: std::sync::Arc::clone(&token),
+            }],
+        );
+        assert_eq!(std::sync::Arc::strong_count(&token), 6);
+        drop(inboxes);
+        drop(hubs);
+        assert_eq!(std::sync::Arc::strong_count(&token), 1);
     }
 }

@@ -35,6 +35,12 @@
 //!   sums the segments (setup and output-drop excluded per call), where
 //!   real criterion times whole batches between clock reads; the
 //!   [`BatchSize`] argument is accepted for API parity and ignored.
+//! * **Shim-only extension:** [`BenchmarkGroup::last_measurement`]
+//!   exposes the most recent row's `(ns_per_iter, iters)` and
+//!   [`BenchmarkGroup::report_alias`] re-emits a measurement under a
+//!   derived label (console + JSON baseline) without re-running
+//!   anything — real criterion has no such surface; benches using it
+//!   only compile against this shim.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -155,7 +161,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, &mut f);
+        let _ = run_one(name, &mut f);
         self
     }
 
@@ -164,6 +170,7 @@ impl Criterion {
         BenchmarkGroup {
             _parent: self,
             name: name.into(),
+            last: None,
         }
     }
 }
@@ -172,6 +179,9 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
     name: String,
+    /// `(ns_per_iter, iters)` of the most recent row, for
+    /// [`BenchmarkGroup::last_measurement`].
+    last: Option<(f64, u64)>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -181,7 +191,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id.label), &mut f);
+        self.last = run_one(&format!("{}/{}", self.name, id.label), &mut f);
         self
     }
 
@@ -191,8 +201,27 @@ impl BenchmarkGroup<'_> {
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
+        self.last = run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
         self
+    }
+
+    /// Shim-only: `(ns_per_iter, iters)` of the most recent row run in
+    /// this group, `None` before the first row (or when that row never
+    /// called its `Bencher`). Real criterion exposes no such value.
+    #[must_use]
+    pub fn last_measurement(&self) -> Option<(f64, u64)> {
+        self.last
+    }
+
+    /// Shim-only: records an already-measured result under a derived
+    /// label — one console line plus one `DA_BENCH_JSON` row, nothing
+    /// re-run. Pairs with [`BenchmarkGroup::last_measurement`] to emit
+    /// e.g. a "best of this sweep" alias row into the baseline.
+    pub fn report_alias(&mut self, id: impl Into<BenchmarkId>, ns_per_iter: f64, iters: u64) {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        println!("{label:<50} time: {ns_per_iter:>12.1} ns/iter  ({iters} iters, alias)");
+        emit_json(&label, ns_per_iter, iters);
     }
 
     /// Finishes the group (a no-op in the shim, kept for API parity).
@@ -279,7 +308,7 @@ impl Bencher {
     }
 }
 
-fn run_one<F>(label: &str, f: &mut F)
+fn run_one<F>(label: &str, f: &mut F) -> Option<(f64, u64)>
 where
     F: FnMut(&mut Bencher),
 {
@@ -287,7 +316,7 @@ where
     f(&mut bencher);
     if bencher.iters == 0 {
         println!("{label:<50} (no measurement — Bencher::iter never called)");
-        return;
+        return None;
     }
     let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
     println!(
@@ -295,6 +324,7 @@ where
         ns_per_iter, bencher.iters
     );
     emit_json(label, ns_per_iter, bencher.iters);
+    Some((ns_per_iter, bencher.iters))
 }
 
 /// Registers benchmark functions under a group name (API-compatible with

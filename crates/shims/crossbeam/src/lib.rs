@@ -1,10 +1,13 @@
-//! Offline shim for `crossbeam` (the `thread::scope` and `channel` APIs).
+//! Offline shim for `crossbeam` (the `thread::scope`, `channel`, and
+//! `queue` APIs).
 //!
 //! `crossbeam::thread::scope` predates `std::thread::scope`; the std
 //! version provides the same borrow-checked scoped spawning, so this shim
 //! is a thin adapter. The [`channel`] module mirrors `crossbeam::channel`
-//! over `std::sync::mpsc`; it carries the live runtime's transport
-//! (worker inboxes, control channels, tick acks).
+//! over `std::sync::mpsc`; it carries the live runtime's control plane
+//! (control channels, tick acks). The [`queue`] module is a bounded
+//! lock-free SPSC ring carrying the runtime's *data* plane (the
+//! per-(producer, consumer) batch lanes).
 //!
 //! ## Divergences from crates.io
 //!
@@ -28,11 +31,21 @@
 //!   try_iter}`, the matching error types, and `len`/`is_empty`.
 //!   `try_send`, `send_timeout`, deadlines, the blocking `iter`, and
 //!   the `after`/`tick`/`never` constructors are absent.
+//! * **`queue` is SPSC, not MPMC.** Real `crossbeam::queue` ships the
+//!   MPMC `ArrayQueue`/`SegQueue`; this shim ships a bounded Lamport
+//!   SPSC ring with split `!Clone` handles, cache-line-padded
+//!   head/tail, and built-in disconnect detection — the only shape the
+//!   workspace's lane matrix needs, and strictly cheaper (no CAS loops,
+//!   one `Release` store per push/pop). See the [`queue`] module docs
+//!   for the full divergence list and the soundness argument for its
+//!   unsafe interior (the one `#[allow(unsafe_code)]` island in an
+//!   otherwise `#![deny(unsafe_code)]` crate).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod queue;
 
 /// Scoped threads (mirror of `crossbeam::thread`).
 pub mod thread {

@@ -1,0 +1,451 @@
+//! Bounded lock-free SPSC ring (the `crossbeam::queue` niche this
+//! workspace uses).
+//!
+//! The live runtime's data plane is a lane *matrix*: one
+//! single-producer/single-consumer ring per (producer worker, consumer
+//! worker) pair, so batch publication never takes a lock and never
+//! contends across producers. This module provides that ring.
+//!
+//! ## Divergences from crates.io
+//!
+//! * Real `crossbeam::queue` ships MPMC `ArrayQueue`/`SegQueue`; this
+//!   shim ships only the strictly cheaper SPSC split-handle ring
+//!   ([`spsc`] → [`Producer`] + [`Consumer`]), which is all the lane
+//!   matrix needs. The handles are deliberately `!Clone` — cloning
+//!   either end would break the single-producer/single-consumer
+//!   ownership the memory ordering relies on.
+//! * Disconnect detection is built in (real `ArrayQueue` has none):
+//!   dropping the [`Consumer`] makes [`Producer::push`] return
+//!   [`PushError::Disconnected`], dropping the [`Producer`] makes
+//!   [`Consumer::is_disconnected`] true once the ring drains. The
+//!   runtime uses this to route envelopes bound for a shut-down worker
+//!   into the ledger instead of losing them silently.
+//! * Indices are monotonically increasing `usize` counters (slot =
+//!   `index % capacity`), so a ring wraps cleanly but a single ring is
+//!   limited to `usize::MAX` pushes over its lifetime — unreachable in
+//!   practice and checked nowhere, exactly like real-world Lamport
+//!   rings.
+//!
+//! This is the **only** unsafe code in the shim (the crate is otherwise
+//! `#![deny(unsafe_code)]`): the ring stores `MaybeUninit<T>` slots and
+//! transfers ownership through raw writes/reads. Soundness argument:
+//! the producer is the only writer of `tail` and of slots in
+//! `[head, tail)`'s complement; the consumer is the only writer of
+//! `head` and only reads slots in `[head, tail)`. Every slot write
+//! happens-before the `Release` store of `tail` that publishes it, and
+//! every slot read happens-after the `Acquire` load of `tail` that
+//! observed it (symmetrically for `head` when the producer reclaims
+//! capacity), so a slot is never touched by both sides at once.
+
+use std::cell::UnsafeCell;
+use std::error::Error;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pads and aligns a value to a cache line so the producer-owned `tail`
+/// and consumer-owned `head` never false-share.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Inner<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next index the consumer will pop (monotonic; slot = `head % cap`).
+    head: CachePadded<AtomicUsize>,
+    /// Next index the producer will push (monotonic; slot = `tail % cap`).
+    tail: CachePadded<AtomicUsize>,
+    /// Cleared by the matching handle's `Drop`; each lives on the line
+    /// its *reader* polls rarely, so neither hot path dirties it.
+    producer_alive: AtomicBool,
+    consumer_alive: AtomicBool,
+}
+
+// SAFETY: the ring hands each element from exactly one thread to exactly
+// one other thread (ownership transfer, never sharing), so `T: Send`
+// suffices; the atomics coordinating that transfer are `Sync` already.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Send for Inner<T> {}
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Inner<T> {
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Both handles are gone (`Arc` strong count hit zero), so the
+        // indices are quiescent and `&mut self` gives exclusive access:
+        // drop every element still in flight in `[head, tail)`.
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let cap = self.capacity();
+        for index in head..tail {
+            // SAFETY: slots in `[head, tail)` hold initialised values
+            // the consumer never popped; we own them exclusively here.
+            #[allow(unsafe_code)]
+            unsafe {
+                self.slots[index % cap].get_mut().assume_init_drop();
+            }
+        }
+    }
+}
+
+/// Error returned by [`Producer::push`]; both variants hand the value
+/// back so nothing is lost on a refused push.
+pub enum PushError<T> {
+    /// The ring is at capacity; the consumer has not drained yet.
+    Full(T),
+    /// The [`Consumer`] was dropped; no push can ever succeed again.
+    Disconnected(T),
+}
+
+impl<T> PushError<T> {
+    /// Recovers the value the failed push handed back.
+    pub fn into_inner(self) -> T {
+        match self {
+            PushError::Full(value) | PushError::Disconnected(value) => value,
+        }
+    }
+}
+
+impl<T> fmt::Debug for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full(_) => f.write_str("Full(..)"),
+            PushError::Disconnected(_) => f.write_str("Disconnected(..)"),
+        }
+    }
+}
+
+impl<T> fmt::Display for PushError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full(_) => f.write_str("pushing into a full SPSC ring"),
+            PushError::Disconnected(_) => {
+                f.write_str("pushing into an SPSC ring whose consumer is gone")
+            }
+        }
+    }
+}
+
+impl<T> Error for PushError<T> {}
+
+/// The producing half of an SPSC ring; exactly one exists per ring.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Local copy of `head`, refreshed only when the ring looks full —
+    /// the common-case push does zero loads of the consumer's line.
+    head_cache: usize,
+}
+
+/// The consuming half of an SPSC ring; exactly one exists per ring.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Local copy of `tail`, refreshed only when the ring looks empty.
+    tail_cache: usize,
+}
+
+// Like the channel shim's endpoints: handles are Debug without a
+// `T: Debug` bound — contents are in flight and must not be read here.
+impl<T> fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Producer")
+            .field("capacity", &self.inner.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Consumer")
+            .field("capacity", &self.inner.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Creates a bounded SPSC ring of the given capacity.
+///
+/// # Panics
+/// Panics if `capacity` is zero (a rendezvous ring cannot be lock-free).
+///
+/// # Examples
+/// ```
+/// let (mut tx, mut rx) = crossbeam::queue::spsc::<u32>(2);
+/// tx.push(1).unwrap();
+/// tx.push(2).unwrap();
+/// assert!(matches!(tx.push(3), Err(crossbeam::queue::PushError::Full(3))));
+/// assert_eq!(rx.pop(), Some(1));
+/// assert_eq!(rx.pop(), Some(2));
+/// assert_eq!(rx.pop(), None);
+/// ```
+pub fn spsc<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "SPSC ring capacity must be nonzero");
+    let slots = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Inner {
+        slots,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        producer_alive: AtomicBool::new(true),
+        consumer_alive: AtomicBool::new(true),
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            head_cache: 0,
+        },
+        Consumer {
+            inner,
+            tail_cache: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Pushes a value; wait-free (one `Release` store on success).
+    ///
+    /// # Errors
+    /// [`PushError::Full`] when the consumer has not drained enough
+    /// slots yet, [`PushError::Disconnected`] once the [`Consumer`] has
+    /// been dropped; both hand the value back.
+    pub fn push(&mut self, value: T) -> Result<(), PushError<T>> {
+        let inner = &*self.inner;
+        let tail = inner.tail.0.load(Ordering::Relaxed);
+        if tail - self.head_cache == inner.capacity() {
+            self.head_cache = inner.head.0.load(Ordering::Acquire);
+            if tail - self.head_cache == inner.capacity() {
+                return Err(if inner.consumer_alive.load(Ordering::Acquire) {
+                    PushError::Full(value)
+                } else {
+                    PushError::Disconnected(value)
+                });
+            }
+        }
+        if !inner.consumer_alive.load(Ordering::Acquire) {
+            return Err(PushError::Disconnected(value));
+        }
+        // SAFETY: `tail - head < capacity`, so slot `tail % cap` is not
+        // in the consumer's live window `[head, tail)`; only this
+        // producer may write it, and the `Release` store below publishes
+        // the write before the consumer can observe the new `tail`.
+        #[allow(unsafe_code)]
+        unsafe {
+            (*inner.slots[tail % inner.capacity()].get()).write(value);
+        }
+        inner.tail.0.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of elements currently in the ring (exact once both sides
+    /// quiesce; a consistent snapshot under concurrency).
+    pub fn len(&self) -> usize {
+        len_of(&self.inner)
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this ring was created with.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        self.inner.producer_alive.store(false, Ordering::Release);
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pops the oldest value, or `None` if the ring is empty; wait-free.
+    pub fn pop(&mut self) -> Option<T> {
+        let inner = &*self.inner;
+        let head = inner.head.0.load(Ordering::Relaxed);
+        if self.tail_cache == head {
+            self.tail_cache = inner.tail.0.load(Ordering::Acquire);
+            if self.tail_cache == head {
+                return None;
+            }
+        }
+        // SAFETY: `head < tail`, so slot `head % cap` holds a value the
+        // producer published with a `Release` store we have `Acquire`d;
+        // the `Release` store of `head + 1` below returns the slot to
+        // the producer only after the read completes.
+        #[allow(unsafe_code)]
+        let value = unsafe {
+            (*inner.slots[head % inner.capacity()].get())
+                .as_ptr()
+                .read()
+        };
+        inner.head.0.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// True once the [`Producer`] has been dropped. The ring may still
+    /// hold values — drain with [`pop`](Self::pop) until `None` first.
+    pub fn is_disconnected(&self) -> bool {
+        !self.inner.producer_alive.load(Ordering::Acquire)
+    }
+
+    /// Number of elements currently in the ring (exact once both sides
+    /// quiesce; a consistent snapshot under concurrency).
+    pub fn len(&self) -> usize {
+        len_of(&self.inner)
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The fixed capacity this ring was created with.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        self.inner.consumer_alive.store(false, Ordering::Release);
+    }
+}
+
+/// `head` is loaded first: `head@t0 <= tail@t0 <= tail@t1`, so the
+/// subtraction never underflows even while both sides move.
+fn len_of<T>(inner: &Inner<T>) -> usize {
+    let head = inner.head.0.load(Ordering::Acquire);
+    let tail = inner.tail.0.load(Ordering::Acquire);
+    tail - head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{spsc, PushError};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (mut tx, mut rx) = spsc(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn wraps_cleanly_across_many_revolutions() {
+        let (mut tx, mut rx) = spsc(3);
+        for i in 0..1000u32 {
+            tx.push(i).unwrap();
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn full_hands_the_value_back_and_drain_reopens() {
+        let (mut tx, mut rx) = spsc(2);
+        tx.push('a').unwrap();
+        tx.push('b').unwrap();
+        match tx.push('c') {
+            Err(PushError::Full(c)) => assert_eq!(c, 'c'),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.pop(), Some('a'));
+        tx.push('c').unwrap();
+        assert_eq!(rx.pop(), Some('b'));
+        assert_eq!(rx.pop(), Some('c'));
+    }
+
+    #[test]
+    fn dropped_consumer_disconnects_the_producer() {
+        let (mut tx, rx) = spsc(4);
+        tx.push(1).unwrap();
+        drop(rx);
+        match tx.push(2) {
+            Err(PushError::Disconnected(v)) => assert_eq!(v, 2),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_producer_lets_the_consumer_drain_then_signals() {
+        let (mut tx, mut rx) = spsc(4);
+        tx.push(10).unwrap();
+        tx.push(20).unwrap();
+        drop(tx);
+        assert!(rx.is_disconnected());
+        assert_eq!(rx.pop(), Some(10));
+        assert_eq!(rx.pop(), Some(20));
+        assert_eq!(rx.pop(), None);
+    }
+
+    #[test]
+    fn dropping_the_ring_drops_in_flight_elements_exactly_once() {
+        let token = Arc::new(());
+        let (mut tx, mut rx) = spsc(8);
+        for _ in 0..5 {
+            tx.push(Arc::clone(&token)).unwrap();
+        }
+        assert_eq!(rx.pop().map(|t| Arc::strong_count(&t)), Some(6));
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn cross_thread_handoff_preserves_order() {
+        const N: u64 = 100_000;
+        let (mut tx, mut rx) = spsc(16);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..N {
+                    let mut value = i;
+                    loop {
+                        match tx.push(value) {
+                            Ok(()) => break,
+                            Err(PushError::Full(v)) => {
+                                value = v;
+                                // Yield, don't spin: on a single-core box a
+                                // spinning producer starves the consumer for
+                                // its whole timeslice.
+                                std::thread::yield_now();
+                            }
+                            Err(PushError::Disconnected(_)) => panic!("consumer vanished"),
+                        }
+                    }
+                }
+            });
+            let mut expected = 0;
+            while expected < N {
+                match rx.pop() {
+                    Some(v) => {
+                        assert_eq!(v, expected);
+                        expected += 1;
+                    }
+                    None => std::thread::yield_now(),
+                }
+            }
+            assert_eq!(rx.pop(), None);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_is_rejected() {
+        let _ = spsc::<u8>(0);
+    }
+}

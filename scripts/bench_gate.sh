@@ -14,6 +14,17 @@
 # row finished — monotone across the run, so jumps between consecutive
 # rows localise memory growth).
 #
+# After the diff table, a second pass over the fresh run's
+# live_burst16_w{1,2,4,8} sweep computes parallel efficiency per width
+# (ns at w1 divided by ns at wN — how much of the single-worker time
+# each wider pool keeps) and flags non-monotone scaling: any consecutive
+# step where adding workers makes the burst slower beyond the same
+# noise threshold the diff table uses (single-shot wall-clock rows
+# swing either way by well over 10% between runs; one noise model for
+# the whole gate). On a single-core host flat (~100%) efficiency is the
+# ceiling; the flag catches the data plane *losing* time to extra
+# workers — a scaling cliff, not scheduler jitter.
+#
 # The gate is ADVISORY by default: it always exits 0, because the shim
 # bench harness takes single-shot wall-clock means and CI machines are
 # noisy — a >25% swing is worth a look, not a red build. Pass --strict to
@@ -92,20 +103,63 @@ echo "$TABLE"
 BAD=$(printf '%s\n' "$TABLE" | grep -c -- '<- REGRESSION' || true)
 NEW=$(printf '%s\n' "$TABLE" | grep -c -- '<- NEW ROW' || true)
 
+echo
+echo "bench_gate: worker-scaling sweep (fresh run, slack ${THRESHOLD}%)"
+SCALING=$(awk -v threshold="$THRESHOLD" -F'"' '
+  function field(line, key,   parts) {
+    if (split(line, parts, "\"" key "\":") < 2) return 0
+    sub(/[,}].*/, "", parts[2])
+    return parts[2] + 0
+  }
+  $4 ~ /\/live_burst16_w[0-9]+\// {
+    n = $4
+    sub(/.*\/live_burst16_w/, "", n)
+    sub(/\/.*/, "", n)
+    ns[n + 0] = field($0, "ns_per_iter")
+  }
+  END {
+    if (!(1 in ns)) { print "  (no live_burst16_w1 row in the fresh run)"; exit }
+    prev = -1
+    split("1 2 4 8", widths, " ")
+    for (i = 1; i <= 4; i++) {
+      w = widths[i]
+      if (!(w in ns)) continue
+      eff = ns[1] / ns[w] * 100
+      flag = ""
+      # Non-monotone: this width is slower than the narrower one left
+      # of it by more than the gate-wide noise slack. Single-shot rows
+      # on an oversubscribed host jitter well past 10% width-to-width;
+      # a real scaling cliff clears the threshold run after run.
+      if (prev > 0 && ns[w] > prev * (1 + threshold / 100)) flag = "  <- NON-MONOTONE SCALING"
+      printf "  w%-2d %14.1f ns/iter   efficiency vs w1 %6.1f%%%s\n", w, ns[w], eff, flag
+      prev = ns[w]
+    }
+  }
+' "$OUT")
+echo "$SCALING"
+NONMONO=$(printf '%s\n' "$SCALING" | grep -c -- '<- NON-MONOTONE' || true)
+
 if [ "$NEW" -gt 0 ]; then
   echo
   echo "bench_gate: $NEW new row(s) not in the committed baseline — regenerate it with:"
   echo "  rm -f BENCH_runtime.json && DA_BENCH_JSON=BENCH_runtime.json cargo bench -p da-bench --bench runtime_throughput -- --quick"
 fi
 
-if [ "$BAD" -gt 0 ]; then
+if [ "$NONMONO" -gt 0 ]; then
   echo
-  echo "bench_gate: $BAD row(s) regressed beyond ${THRESHOLD}% (advisory)"
+  echo "bench_gate: $NONMONO sweep step(s) lose time to extra workers (advisory)"
+fi
+
+if [ "$BAD" -gt 0 ] || [ "$NONMONO" -gt 0 ]; then
+  if [ "$BAD" -gt 0 ]; then
+    echo
+    echo "bench_gate: $BAD row(s) regressed beyond ${THRESHOLD}% (advisory)"
+  fi
   if [ "$STRICT" = "1" ]; then
     exit 1
   fi
 else
   echo
-  echo "bench_gate: no row regressed beyond ${THRESHOLD}%"
+  echo "bench_gate: no row regressed beyond ${THRESHOLD}%; worker scaling is monotone"
 fi
 exit 0

@@ -293,7 +293,7 @@ proptest! {
     #[test]
     fn barrier_free_runtime_matches_simulator_under_loss(
         seed in 1u64..100_000,
-        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
+        workers in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
         max_lag in prop_oneof![Just(1u64), Just(2), Just(4)],
         min_latency in 1u64..=3,
     ) {
@@ -346,7 +346,7 @@ proptest! {
     #[test]
     fn churned_runtime_matches_simulator_for_surviving_cohort(
         seed in 1u64..100_000,
-        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
+        workers in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
         max_lag in prop_oneof![Just(1u64), Just(4)],
     ) {
         // 64 ticks: ample for dissemination (the quiescence budget other

@@ -59,7 +59,7 @@ proptest! {
             !reference.is_empty(),
             "the probe workload always sends something"
         );
-        for workers in [2usize, 4] {
+        for workers in [2usize, 4, 8] {
             for max_lag in [1u64, 4] {
                 let stream = canonical_stream(population, &faults, seed, workers, max_lag);
                 prop_assert_eq!(
